@@ -1,0 +1,101 @@
+"""Ablation A1 — FlexRecs execution variants beyond P2.
+
+DESIGN.md calls out two design choices for ablation:
+
+* the **optimizer** (algebraic rewrites) vs naive execution of the same
+  workflow — measured on a filtered, truncated stacked CF workflow where
+  rule 4 (select into target) and rule 5 (top-k fusion) apply;
+* **staged** execution (the paper's literal "sequence of SQL calls" with
+  temp tables) vs the single nested statement.
+
+All variants must return the same ranking.
+"""
+
+import time
+
+import pytest
+from conftest import write_report
+
+from repro.core import Workflow, optimize, run_staged, strategies
+from repro.core.operators import Select, TopK
+
+
+@pytest.fixture(scope="module")
+def wrapped_workflow(active_student):
+    """A stacked CF workflow with a post-filter and a top-k cut."""
+    inner = strategies.collaborative_filtering(
+        active_student, similar_students=10, top_k=None
+    )
+    return Workflow(TopK(Select(inner.root, "Units >= 3"), 10, "score"))
+
+
+def test_unoptimized_direct(benchmark, bench_db, wrapped_workflow):
+    result = benchmark(wrapped_workflow.run, bench_db)
+    assert len(result) > 0
+
+
+def test_optimized_direct(benchmark, bench_db, wrapped_workflow):
+    optimized = optimize(wrapped_workflow, bench_db)
+    result = benchmark(optimized.run, bench_db)
+    assert len(result) > 0
+
+
+def test_optimizer_preserves_output(benchmark, bench_db, wrapped_workflow):
+    optimized = optimize(wrapped_workflow, bench_db)
+
+    def both(db):
+        return wrapped_workflow.run(db), optimized.run(db)
+
+    base, rewritten = benchmark(both, bench_db)
+    assert base.column("CourseID") == rewritten.column("CourseID")
+    for left, right in zip(base.rows, rewritten.rows):
+        assert left["score"] == pytest.approx(right["score"])
+
+
+def test_staged_execution(benchmark, bench_db, wrapped_workflow):
+    wrapped_workflow.validate(bench_db)
+    result = benchmark(run_staged, wrapped_workflow, bench_db)
+    assert len(result) > 0
+
+
+def test_staged_equals_single_statement(benchmark, bench_db, wrapped_workflow):
+    def both(db):
+        return wrapped_workflow.run_sql(db), run_staged(wrapped_workflow, db)
+
+    single, staged = benchmark(both, bench_db)
+    assert single.column("CourseID") == staged.column("CourseID")
+
+
+def test_report_ablation_timings(
+    bench_db, wrapped_workflow, active_student, benchmark
+):
+    optimized = optimize(wrapped_workflow, bench_db)
+    runners = {
+        "direct (naive)": lambda: wrapped_workflow.run(bench_db),
+        "direct (optimized)": lambda: optimized.run(bench_db),
+        "single SQL (naive)": lambda: wrapped_workflow.run_sql(bench_db),
+        "single SQL (optimized)": lambda: optimized.run_sql(bench_db),
+        "staged SQL sequence": lambda: run_staged(wrapped_workflow, bench_db),
+    }
+
+    def measure():
+        timings = {}
+        for name, runner in runners.items():
+            runner()  # warm
+            start = time.perf_counter()
+            for _ in range(3):
+                runner()
+            timings[name] = (time.perf_counter() - start) / 3
+        return timings
+
+    timings = benchmark.pedantic(measure, rounds=1, iterations=1)
+    lines = [
+        f"stacked CF + filter + top-10 (student {active_student}):",
+    ]
+    for name, seconds in sorted(timings.items(), key=lambda kv: kv[1]):
+        lines.append(f"  {name:>22}: {seconds * 1000:8.1f} ms")
+    speedup = timings["direct (naive)"] / timings["direct (optimized)"]
+    lines.append(f"optimizer speedup (direct path): {speedup:.2f}x")
+    write_report("ablation_flexrecs", lines)
+    # Shape: the rewrite rules must not make things slower.
+    assert timings["direct (optimized)"] <= timings["direct (naive)"] * 1.25

@@ -1,0 +1,48 @@
+"""Experiment S2b — adoption and activity growth over the first year.
+
+Section 2's narrative: "A little over a year after its launch, the
+system is already used by more than 9,000 Stanford students" — i.e. the
+site *grew into* its user base.  The generated contribution history
+follows a growth curve; this bench verifies the shape and reports the
+month-by-month timeline (the answer to the paper's "how do such systems
+evolve over time?" question, for the contribution dimension).
+"""
+
+from conftest import write_report
+
+from repro.evalkit.evolution import (
+    activity_timeline,
+    growth_summary,
+    render_timeline,
+)
+
+
+def test_adoption_grows_to_full_registration(benchmark, bench_db, scale_config):
+    summary = benchmark(growth_summary, bench_db)
+    assert summary["total_comments"] == scale_config.comments
+    assert summary["final_contributors"] == scale_config.registered_users
+    # Accelerating adoption: the later half of months carries the
+    # majority of activity.
+    assert summary["second_half_share"] > 0.55
+    # Most of the catalog accumulates at least one comment.
+    assert summary["catalog_coverage"] > 0.5
+
+
+def test_adoption_curve_monotone(benchmark, bench_db):
+    timeline = benchmark(activity_timeline, bench_db)
+    cumulative = [point.cumulative_contributors for point in timeline]
+    assert cumulative == sorted(cumulative)
+    coverage = [point.cumulative_courses_covered for point in timeline]
+    assert coverage == sorted(coverage)
+
+    summary = growth_summary(bench_db)
+    lines = [
+        "month       comments  (cumulative users)",
+        render_timeline(timeline),
+        "",
+        f"months observed          : {summary['months']}",
+        f"final contributors       : {summary['final_contributors']}",
+        f"second-half activity     : {summary['second_half_share']:.0%}",
+        f"catalog coverage         : {summary['catalog_coverage']:.0%}",
+    ]
+    write_report("evolution_adoption", lines)

@@ -1,0 +1,48 @@
+"""Experiment F1/S2 — the Section-2 operational statistics.
+
+The paper (September 2008): 18,605 courses, 134,000 comments, 50,300+
+ratings, 9,000 of ~14,000 students using the site.  The generator's
+``full`` preset reproduces those numbers exactly; smaller presets keep
+the proportions.  This bench asserts the generated site hits its
+configured counts exactly and reports the paper-vs-measured table.
+"""
+
+from conftest import write_report
+
+from repro.evalkit.reports import PAPER_STATISTICS, site_scale_report
+
+
+def test_site_scale_matches_configuration(benchmark, bench_app, scale_config):
+    stats = benchmark(bench_app.site_statistics)
+    assert stats["courses"] == scale_config.courses
+    assert stats["comments"] == scale_config.comments
+    assert stats["ratings"] == scale_config.ratings
+    assert stats["students"] == scale_config.students
+    assert stats["student_users"] == scale_config.registered_users
+
+    rows = site_scale_report(bench_app)
+    lines = [f"{'statistic':>14} | {'paper':>8} | {'measured':>8} | ratio"]
+    for row in rows:
+        lines.append(
+            f"{row['statistic']:>14} | {row['paper']:>8} | "
+            f"{row['measured']:>8} | {row['ratio']:.4f}"
+        )
+    write_report("fig1_site_scale", lines)
+
+
+def test_adoption_shape(benchmark, bench_app, scale_config):
+    """'Used by a very large fraction' — most students hold accounts."""
+    stats = benchmark(bench_app.site_statistics)
+    adoption = stats["student_users"] / stats["students"]
+    paper_adoption = (
+        PAPER_STATISTICS["student_users"] / PAPER_STATISTICS["students"]
+    )
+    # Paper: 9000/14000 ≈ 0.64.  Shape: majority adoption, within 2x.
+    assert adoption > 0.4
+    assert 0.5 < adoption / paper_adoption < 2.0
+
+
+def test_comments_exceed_ratings(benchmark, bench_app):
+    """Paper shape: 134k comments vs 50.3k ratings — comments dominate."""
+    stats = benchmark(bench_app.site_statistics)
+    assert stats["comments"] > stats["ratings"]

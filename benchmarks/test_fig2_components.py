@@ -1,0 +1,46 @@
+"""Experiment F2 — Figure 2: every CourseRank component is wired.
+
+Figure 2 sketches the system's components; this smoke bench drives each
+one through the facade and times the combined round-trip.
+"""
+
+from conftest import write_report
+
+
+def exercise_all_components(app, suid):
+    """One operation through every Figure-2 component; returns a trace."""
+    trace = {}
+    result, cloud = app.search_courses("history")
+    trace["search"] = len(result)
+    trace["course_cloud"] = len(cloud)
+    trace["flexrecs"] = len(
+        app.recommendations.run("related_courses", course_id=1, top_k=3)
+    )
+    trace["planner"] = app.planner.cumulative_gpa(suid) is not None
+    dep_id = app.db.query("SELECT MIN(DepID) FROM Departments").scalar()
+    trace["requirement_tracker"] = len(app.tracker.check(suid, dep_id))
+    trace["forum"] = app.forum.stats()["questions"]
+    trace["incentives"] = isinstance(app.incentives.action_counts(), dict)
+    trace["privacy"] = app.privacy.sharing_rate() is not None
+    trace["gradebook"] = isinstance(
+        app.gradebook.courses_with_official_grades(), list
+    )
+    trace["ratings"] = app.ratings.rating_count(1) >= 0
+    trace["accounts"] = app.accounts.count_by_role()["student"] > 0
+    trace["analytics"] = app.analytics.department_report(dep_id).courses
+    trace["database"] = app.db.query("SELECT COUNT(*) FROM Courses").scalar()
+    return trace
+
+
+def test_all_figure2_components_reachable(benchmark, bench_app, active_student):
+    trace = benchmark(exercise_all_components, bench_app, active_student)
+    missing = [
+        component
+        for component in bench_app.components()
+        if component not in trace
+    ]
+    assert not missing, f"components not exercised: {missing}"
+    assert trace["search"] > 0
+    assert trace["requirement_tracker"] > 0
+    lines = [f"{component}: {value}" for component, value in trace.items()]
+    write_report("fig2_components", lines)

@@ -1,0 +1,105 @@
+"""Experiment F4 — Figure 4: refining "American" with "African American".
+
+Paper: clicking "African American" in the cloud narrows 1160 matches to
+123 (a 9.4x narrowing), and the cloud is recomputed over the refined
+result set.
+
+Shape targets: refinement produces a strict subset; the specific
+"african american" click narrows by a substantial factor; the new cloud
+differs from the old one.
+"""
+
+import pytest
+from conftest import write_report
+
+from repro.evalkit.metrics import narrowing_factor
+
+
+def run_refinement(app, initial, clicked):
+    session = app.search_session(initial)
+    before = len(session.result)
+    step = session.refine(clicked)
+    return session, before, step
+
+
+def test_african_american_refinement(benchmark, bench_app):
+    session, before, step = benchmark(
+        run_refinement, bench_app, "american", "african american"
+    )
+    after = len(step.result)
+    assert after > 0, "refinement term must appear in the corpus"
+    assert step.result.doc_id_set() <= session._steps[0].result.doc_id_set()
+    factor = narrowing_factor(before, after)
+    # Paper: 1160 -> 123, a 9.4x narrowing. Shape: well above 1.5x.
+    assert factor > 1.5, f"narrowing only {factor:.1f}x"
+
+    lines = [
+        "refinement: 'american' -> click 'african american'",
+        f"before={before}  after={after}  narrowing={factor:.1f}x "
+        "(paper: 1160 -> 123 = 9.4x)",
+        f"refined cloud: {', '.join(step.cloud.term_names()[:10])}",
+    ]
+    write_report("fig4_refinement", lines)
+
+
+def test_cloud_recomputed_over_refined_set(benchmark, bench_app):
+    session, _before, step = benchmark(
+        run_refinement, bench_app, "american", "history"
+    )
+    assert step.cloud.result_size == len(step.result)
+    original_terms = session._steps[0].cloud.term_names()
+    refined_terms = step.cloud.term_names()
+    assert refined_terms != original_terms
+
+
+def test_multi_step_refinement_monotone(benchmark, bench_app):
+    def chain(app):
+        session = app.search_session("american")
+        sizes = [len(session.result)]
+        for term in ("history", "war"):
+            if len(session.result) == 0:
+                break
+            session.refine(term)
+            sizes.append(len(session.result))
+        return sizes
+
+    sizes = benchmark(chain, bench_app)
+    assert sizes == sorted(sizes, reverse=True)
+
+
+def test_phrase_vs_and_refinement(benchmark, bench_app):
+    """Ablation: phrase refinement is at least as selective as AND.
+
+    Clicking the cloud term "african american" requires adjacency; the
+    AND interpretation merely requires co-occurrence anywhere in the
+    entity.  Phrase ⊆ AND, and typically strictly narrower.
+    """
+    engine = bench_app.cloudsearch.engine
+
+    def both():
+        conjunctive = engine.search("american african").doc_id_set()
+        phrase = engine.search('american "african american"').doc_id_set()
+        return conjunctive, phrase
+
+    conjunctive, phrase = benchmark(both)
+    assert phrase <= conjunctive
+    write_report(
+        "fig4_phrase_vs_and",
+        [
+            f"'african' AND 'american' (co-occurrence): {len(conjunctive)}",
+            f'"african american" (phrase, the cloud click): {len(phrase)}',
+            f"phrase ⊆ AND holds: {phrase <= conjunctive}",
+        ],
+    )
+
+
+def test_back_restores_previous_state(benchmark, bench_app):
+    def roundtrip(app):
+        session = app.search_session("american")
+        before = session.result.doc_id_set()
+        session.refine("history")
+        session.back()
+        return before, session.result.doc_id_set()
+
+    before, after = benchmark(roundtrip, bench_app)
+    assert before == after

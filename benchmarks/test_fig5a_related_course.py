@@ -1,0 +1,74 @@
+"""Experiment F5a — Figure 5(a): the related-course workflow.
+
+The workflow selects the reference course by id and ranks all courses by
+title similarity.  Both execution paths (direct evaluation and
+compiled-to-SQL, the paper's deployment) are timed and must produce
+rank-identical output.
+"""
+
+import pytest
+from conftest import write_report
+
+from repro.core import strategies
+
+
+@pytest.fixture(scope="module")
+def reference_course(bench_db):
+    # A course whose title shares words with others (an "Introduction ...").
+    return bench_db.query(
+        "SELECT CourseID FROM Courses WHERE Title LIKE 'Introduction%' "
+        "ORDER BY CourseID LIMIT 1"
+    ).scalar()
+
+
+def test_fig5a_direct_path(benchmark, bench_db, reference_course):
+    workflow = strategies.related_courses(reference_course, top_k=10)
+    result = benchmark(workflow.run, bench_db)
+    assert len(result) > 0
+    assert reference_course not in result.column("CourseID")
+    scores = result.column("score")
+    assert scores == sorted(scores, reverse=True)
+
+
+def test_fig5a_compiled_sql_path(benchmark, bench_db, reference_course):
+    workflow = strategies.related_courses(reference_course, top_k=10)
+    result = benchmark(workflow.run_sql, bench_db)
+    assert len(result) > 0
+
+
+def test_fig5a_paths_rank_identical(benchmark, bench_db, reference_course):
+    workflow = strategies.related_courses(reference_course, top_k=10)
+
+    def both(db):
+        return workflow.run(db), workflow.run_sql(db)
+
+    direct, compiled = benchmark(both, bench_db)
+    assert direct.column("CourseID") == compiled.column("CourseID")
+    for left, right in zip(direct.rows, compiled.rows):
+        assert left["score"] == pytest.approx(right["score"])
+
+    reference_title = bench_db.query(
+        f"SELECT Title FROM Courses WHERE CourseID = {reference_course}"
+    ).scalar()
+    lines = [
+        f"reference course {reference_course}: {reference_title!r}",
+        "rank | score | title",
+    ]
+    for rank, row in enumerate(direct.rows, start=1):
+        lines.append(f"{rank:>4} | {row['score']:.3f} | {row['Title']}")
+    lines.append("direct == compiled SQL: True")
+    write_report("fig5a_related_course", lines)
+
+
+def test_fig5a_year_filter_variant(benchmark, bench_db, reference_course):
+    """The figure's 'courses for 2008' filter restricts the targets."""
+    workflow = strategies.related_courses(
+        reference_course, top_k=10, offered_year=2008
+    )
+    result = benchmark(workflow.run, bench_db)
+    offered_2008 = set(
+        bench_db.query(
+            "SELECT DISTINCT CourseID FROM Offerings WHERE Year = 2008"
+        ).column("CourseID")
+    )
+    assert set(result.column("CourseID")) <= offered_2008

@@ -1,0 +1,93 @@
+"""Experiment F5b — Figure 5(b): the stacked collaborative-filtering
+workflow (extend ratings → recommend similar students by inverse
+Euclidean → recommend courses by the neighbours' average ratings).
+
+Checks: dual-path rank identity, the neighbour count sweep, and that CF
+output differs from raw popularity (it is actually personalized).
+"""
+
+import pytest
+from conftest import write_report
+
+from repro.core import strategies
+from repro.evalkit.metrics import overlap_at_k
+
+
+def test_fig5b_direct_path(benchmark, bench_db, active_student):
+    workflow = strategies.collaborative_filtering(
+        active_student, similar_students=10, top_k=10
+    )
+    result = benchmark(workflow.run, bench_db)
+    assert len(result) > 0
+    scores = result.column("score")
+    assert scores == sorted(scores, reverse=True)
+    assert all(1.0 <= score <= 5.0 for score in scores)
+
+
+def test_fig5b_compiled_sql_path(benchmark, bench_db, active_student):
+    workflow = strategies.collaborative_filtering(
+        active_student, similar_students=10, top_k=10
+    )
+    result = benchmark(workflow.run_sql, bench_db)
+    assert len(result) > 0
+
+
+def test_fig5b_paths_rank_identical(benchmark, bench_db, active_student):
+    workflow = strategies.collaborative_filtering(
+        active_student, similar_students=10, top_k=10
+    )
+
+    def both(db):
+        return workflow.run(db), workflow.run_sql(db)
+
+    direct, compiled = benchmark(both, bench_db)
+    assert direct.column("CourseID") == compiled.column("CourseID")
+    for left, right in zip(direct.rows, compiled.rows):
+        assert left["score"] == pytest.approx(right["score"])
+
+    lines = [
+        f"student {active_student}, 10 neighbours, top 10 courses",
+        "rank | score | course",
+    ]
+    for rank, row in enumerate(direct.rows, start=1):
+        lines.append(f"{rank:>4} | {row['score']:.2f} | {row['Title']}")
+    lines.append("direct == compiled SQL: True")
+    write_report("fig5b_collaborative", lines)
+
+
+def test_fig5b_neighbour_sweep(benchmark, bench_db, active_student):
+    """Sweep the neighbour count; more neighbours -> denser coverage."""
+
+    def sweep(db):
+        coverage = {}
+        for k in (1, 5, 20):
+            workflow = strategies.collaborative_filtering(
+                active_student, similar_students=k, top_k=50
+            )
+            coverage[k] = len(workflow.run(db))
+        return coverage
+
+    coverage = benchmark(sweep, bench_db)
+    assert coverage[1] <= coverage[5] <= coverage[20]
+    lines = ["neighbours -> courses with defined scores:"] + [
+        f"  k={k:>3}: {count}" for k, count in coverage.items()
+    ]
+    write_report("fig5b_neighbour_sweep", lines)
+
+
+def test_fig5b_differs_from_popularity(benchmark, bench_db, active_student):
+    """Who-wins shape: CF is not just global popularity."""
+    workflow = strategies.collaborative_filtering(
+        active_student, similar_students=10, top_k=10
+    )
+
+    def compare(db):
+        cf = workflow.run(db).column("CourseID")
+        popular = db.query(
+            "SELECT CourseID FROM Enrollments GROUP BY CourseID "
+            "ORDER BY COUNT(*) DESC, CourseID LIMIT 10"
+        ).column("CourseID")
+        return cf, popular
+
+    cf, popular = benchmark(compare, bench_db)
+    assert overlap_at_k(cf, popular, 10) < 1.0

@@ -1,0 +1,103 @@
+"""Experiment L2 — "The Power of a Closed Community" (Section 2.2).
+
+The paper: in the closed community "we already see much higher quality
+comments than what one typically finds in public course evaluation sites
+or in social sites".  We generate the same university twice — once with
+the closed-community contribution model and once with the open-community
+simulation (a fraction of anonymous spam/drive-by contributions) — and
+compare comment-quality metrics.
+
+Shape targets: the closed corpus is more topical, longer, less
+extreme in its ratings, and its ratings carry more signal about actual
+course outcomes.
+"""
+
+import dataclasses
+
+import pytest
+from conftest import BENCH_SCALE, write_report
+
+from repro.datagen import SCALES, generate_university
+from repro.evalkit.quality import comment_quality_report
+
+
+@pytest.fixture(scope="module")
+def corpora():
+    base = SCALES[BENCH_SCALE]
+    closed = generate_university(scale=base, seed=11)
+    open_config = dataclasses.replace(
+        base, name=f"{base.name}-open", community="open"
+    )
+    opened = generate_university(scale=open_config, seed=11)
+    return closed, opened
+
+
+def test_closed_community_quality_wins(benchmark, corpora):
+    closed_db, open_db = corpora
+
+    def compare():
+        return (
+            comment_quality_report(closed_db),
+            comment_quality_report(open_db),
+        )
+
+    closed, opened = benchmark(compare)
+    # Same corpus size, different quality.
+    assert closed.comments == opened.comments
+    assert closed.topical_fraction > opened.topical_fraction + 0.1
+    assert closed.mean_words > opened.mean_words
+    assert closed.rating_extremity < opened.rating_extremity - 0.1
+    assert closed.rating_signal > opened.rating_signal
+
+    lines = [
+        f"{'metric':>18} | {'closed':>8} | {'open':>8}",
+    ]
+    for key in (
+        "comments",
+        "mean_words",
+        "topical_fraction",
+        "rating_extremity",
+        "rating_signal",
+    ):
+        left = closed.as_dict()[key]
+        right = opened.as_dict()[key]
+        lines.append(f"{key:>18} | {left!s:>8} | {right!s:>8}")
+    write_report("lessons_community_quality", lines)
+
+
+def test_spam_pollutes_search_clouds(benchmark, corpora):
+    """Off-topic contributions degrade the cloud's topical coherence."""
+    from repro.clouds.cloud import CloudBuilder
+    from repro.search.engine import SearchEngine
+    from repro.search.entity import course_entity
+
+    closed_db, open_db = corpora
+
+    def cloud_for(db):
+        engine = SearchEngine(db, course_entity())
+        engine.build()
+        builder = CloudBuilder(engine, min_result_df=1)
+        builder.prepare()
+        return builder.build(engine.search("history"))
+
+    def both():
+        return cloud_for(closed_db), cloud_for(open_db)
+
+    closed_cloud, open_cloud = benchmark.pedantic(both, rounds=1, iterations=1)
+    spam_markers = {"lol", "meh", "ez", "sux", "essays", "dealz", "aaaaaaaa"}
+    closed_spam = sum(
+        1 for term in closed_cloud.term_names()
+        if set(term.split()) & spam_markers
+    )
+    open_spam = sum(
+        1 for term in open_cloud.term_names()
+        if set(term.split()) & spam_markers
+    )
+    assert closed_spam == 0
+    write_report(
+        "lessons_community_clouds",
+        [
+            f"spam-marker terms in 'history' cloud (closed): {closed_spam}",
+            f"spam-marker terms in 'history' cloud (open)  : {open_spam}",
+        ],
+    )

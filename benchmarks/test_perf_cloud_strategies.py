@@ -1,0 +1,106 @@
+"""Experiment P1 — data-cloud computation strategies (ablation).
+
+Section 3.1 asks "how can we dynamically and efficiently compute their
+data cloud?".  We compare the three gathering strategies on the same
+query stream:
+
+* ``rescan``  — re-extract terms from raw text per query (no memory);
+* ``forward`` — per-document term counters precomputed at build time;
+* ``topk``    — only each document's top-k terms cached (approximate).
+
+Shape expectation: forward ≪ rescan per query; topk ≤ forward; rescan
+and forward are term-for-term identical; topk loses only tail terms.
+"""
+
+import time
+
+import pytest
+from conftest import write_report
+
+from repro.clouds.cloud import CloudBuilder
+
+QUERIES = ("american", "history", "programming", "politics")
+
+
+@pytest.fixture(scope="module")
+def builders(bench_app):
+    engine = bench_app.cloudsearch.engine
+    built = {}
+    for strategy in ("rescan", "forward", "topk"):
+        builder = CloudBuilder(engine, strategy=strategy, min_result_df=1)
+        builder.prepare()
+        built[strategy] = builder
+    return built
+
+
+@pytest.fixture(scope="module")
+def results(bench_app):
+    engine = bench_app.cloudsearch.engine
+    return {query: engine.search(query) for query in QUERIES}
+
+
+def build_clouds(builder, results):
+    return [builder.build(result) for result in results.values()]
+
+
+@pytest.mark.parametrize("strategy", ["rescan", "forward", "topk"])
+def test_strategy_latency(benchmark, builders, results, strategy):
+    clouds = benchmark(build_clouds, builders[strategy], results)
+    assert all(len(cloud) > 0 for cloud in clouds if cloud.result_size > 0)
+
+
+def test_forward_equals_rescan_exactly(builders, results, benchmark):
+    def compare():
+        mismatches = 0
+        for result in results.values():
+            left = builders["forward"].build(result).term_names()
+            right = builders["rescan"].build(result).term_names()
+            if left != right:
+                mismatches += 1
+        return mismatches
+
+    assert benchmark(compare) == 0
+
+
+def test_topk_is_approximation(builders, results, benchmark):
+    """topk's terms are drawn from the exact cloud's vocabulary."""
+
+    def check():
+        subset_violations = 0
+        for result in results.values():
+            exact_sources = builders["forward"].source.gather(result.doc_ids())
+            exact_terms = {stat.term for stat in exact_sources}
+            approx = builders["topk"].build(result).term_names()
+            subset_violations += sum(
+                1 for term in approx if term not in exact_terms
+            )
+        return subset_violations
+
+    assert benchmark(check) == 0
+
+
+def test_report_strategy_timings(builders, results, benchmark):
+    """Wall-clock series for the report (who wins, by what factor)."""
+
+    def measure():
+        timings = {}
+        for strategy, builder in builders.items():
+            start = time.perf_counter()
+            for _ in range(3):
+                build_clouds(builder, results)
+            timings[strategy] = (time.perf_counter() - start) / 3
+        return timings
+
+    timings = benchmark.pedantic(measure, rounds=1, iterations=1)
+    lines = [
+        f"per-query-stream cloud build over {len(QUERIES)} queries:",
+    ]
+    for strategy, seconds in sorted(timings.items(), key=lambda kv: kv[1]):
+        lines.append(f"  {strategy:>8}: {seconds * 1000:8.1f} ms")
+    fastest_cached = min(timings["forward"], timings["topk"])
+    lines.append(
+        f"speedup of cached vs rescan: {timings['rescan'] / fastest_cached:.1f}x"
+    )
+    write_report("perf_cloud_strategies", lines)
+    # Shape: precomputation beats per-query re-extraction.
+    assert timings["rescan"] > fastest_cached

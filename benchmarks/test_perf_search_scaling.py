@@ -1,0 +1,120 @@
+"""Experiment P3 — search latency vs catalog size; index vs scan.
+
+Section 3 motivates "more powerful search and discovery mechanisms" over
+18,605 courses.  We sweep catalog sizes and compare the inverted-index
+engine against the SQL LIKE-scan a naive implementation would use
+(scanning titles, descriptions, and comments).
+
+Shape targets: the index answers in roughly constant time per matched
+document while the LIKE scan grows with corpus size; the two agree on
+the match set for title/description-only corpora.
+"""
+
+import time
+
+import pytest
+from conftest import write_report
+
+from repro.courserank.app import CourseRank
+from repro.datagen import generate_university
+
+SWEEP_SCALES = ("tiny", "small")
+QUERY = "american"
+
+
+@pytest.fixture(scope="module")
+def sweep_apps():
+    apps = {}
+    for scale in SWEEP_SCALES:
+        app = CourseRank(generate_university(scale=scale, seed=2008))
+        app.cloudsearch.build()
+        apps[scale] = app
+    return apps
+
+
+def like_scan_count(db, word: str) -> int:
+    return db.query(
+        "SELECT COUNT(DISTINCT c.CourseID) FROM Courses c "
+        "LEFT JOIN Comments cm ON cm.CourseID = c.CourseID "
+        f"WHERE c.Title ILIKE '%{word}%' "
+        f"OR c.Description ILIKE '%{word}%' "
+        f"OR cm.Text ILIKE '%{word}%'"
+    ).scalar()
+
+
+def test_engine_search_latency(benchmark, bench_app):
+    result = benchmark(bench_app.cloudsearch.engine.search, QUERY)
+    assert len(result) > 0
+
+
+def test_like_scan_latency(benchmark, bench_db):
+    count = benchmark(like_scan_count, bench_db, QUERY)
+    assert count > 0
+
+
+def test_index_vs_scan_agree_on_superset(bench_app, bench_db, benchmark):
+    """Every LIKE-scan hit is found by the engine too.
+
+    (The engine finds *more*: stemming bridges word forms, and instructor
+    and department names are folded into the entity.)
+    """
+
+    def compare():
+        engine_hits = bench_app.cloudsearch.engine.search(QUERY).doc_id_set()
+        like_hits = set(
+            bench_db.query(
+                "SELECT DISTINCT c.CourseID FROM Courses c "
+                "LEFT JOIN Comments cm ON cm.CourseID = c.CourseID "
+                f"WHERE c.Title ILIKE '%{QUERY}%' "
+                f"OR c.Description ILIKE '%{QUERY}%' "
+                f"OR cm.Text ILIKE '%{QUERY}%'"
+            ).column("CourseID")
+        )
+        return engine_hits, like_hits
+
+    engine_hits, like_hits = benchmark(compare)
+    assert like_hits <= engine_hits
+
+
+def test_report_scaling_series(
+    sweep_apps, bench_app, bench_db, scale_name, benchmark
+):
+    apps = dict(sweep_apps)
+    apps[scale_name] = bench_app
+
+    def measure():
+        series = []
+        for scale, app in apps.items():
+            courses = app.db.query("SELECT COUNT(*) FROM Courses").scalar()
+
+            start = time.perf_counter()
+            for _ in range(5):
+                app.cloudsearch.engine.search(QUERY)
+            index_ms = (time.perf_counter() - start) / 5 * 1000
+
+            start = time.perf_counter()
+            for _ in range(5):
+                like_scan_count(app.db, QUERY)
+            scan_ms = (time.perf_counter() - start) / 5 * 1000
+            series.append((scale, courses, index_ms, scan_ms))
+        return series
+
+    series = benchmark.pedantic(measure, rounds=1, iterations=1)
+    lines = [
+        f"query={QUERY!r}; per-query latency (ms), 5-run average:",
+        f"{'scale':>8} | {'courses':>8} | {'index':>9} | {'LIKE scan':>9} | speedup",
+    ]
+    for scale, courses, index_ms, scan_ms in series:
+        speedup = scan_ms / index_ms if index_ms else float("inf")
+        lines.append(
+            f"{scale:>8} | {courses:>8} | {index_ms:>9.2f} | "
+            f"{scan_ms:>9.2f} | {speedup:.1f}x"
+        )
+    write_report("perf_search_scaling", lines)
+
+
+def test_index_build_cost(benchmark, bench_db):
+    """One-time indexing cost (amortized over all queries)."""
+    app = CourseRank(bench_db)
+    indexed = benchmark(app.cloudsearch.build)
+    assert indexed == bench_db.query("SELECT COUNT(*) FROM Courses").scalar()

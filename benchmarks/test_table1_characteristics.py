@@ -1,0 +1,33 @@
+"""Experiment T1 — Table 1: CourseRank vs DB vs Web vs social sites.
+
+The paper's Table 1 is qualitative; we *derive* the CourseRank column
+from the running system and assert each derived characteristic matches
+the paper's claimed cell, then render the full four-column table.
+"""
+
+from conftest import write_report
+
+from repro.evalkit.reports import render_table1, table1_report
+
+
+def test_table1_derived_column_matches_paper(benchmark, bench_app):
+    report = benchmark(table1_report, bench_app)
+    column = report["CourseRank"]
+    # Paper cells for the CourseRank column, checked against the system:
+    assert column["data_provenance"] == (
+        "centrally stored, user contributed + official"
+    )
+    assert column["data_structure"] == "both types"
+    assert column["access"] == "closed community"
+    assert column["identities"] == "authorized, real ids"
+    assert column["interests"] == "community-shaped interests"
+    write_report("table1", render_table1(report))
+
+
+def test_table1_static_columns_present(benchmark, bench_app):
+    report = benchmark(table1_report, bench_app)
+    assert set(report) == {"DB", "Web", "Social Sites", "CourseRank"}
+    # Spot-check the fixed characterizations transcribed from the paper.
+    assert "ACID" in report["DB"]["research"]
+    assert report["Web"]["identities"] == "anyone, anonymous"
+    assert "fake and multiple ids" in report["Social Sites"]["identities"]

@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""The Planner and Requirement Tracker (Section 2.1's "New Tools").
+
+Run:  python examples/academic_planning.py [scale]
+
+A staff member defines program requirements; a student plans a quarter
+(hitting a schedule conflict on the way), checks requirement progress,
+sees GPA tracking, and exercises the plan-sharing privacy opt-out.
+"""
+
+import sys
+
+from repro.errors import PlannerConflictError
+from repro.courserank import CourseRank
+from repro.datagen import generate_university
+
+
+def main() -> None:
+    scale = sys.argv[1] if len(sys.argv) > 1 else "small"
+    app = CourseRank(generate_university(scale=scale, seed=2008))
+
+    user = app.accounts.authenticate("student2")
+    suid = user.person_id
+    print(f"== Student {suid}'s four-year plan ==")
+    plan = app.planner.four_year_plan(suid)
+    for (year, term), entries in list(plan.items())[:4]:
+        shown = ", ".join(
+            f"{entry['title']}"
+            + (f" [{entry['grade']}]" if entry["grade"] else " (planned)")
+            for entry in entries[:3]
+        )
+        print(f"  {term} {year}: {shown}")
+    print(f"  cumulative GPA: {app.planner.cumulative_gpa(suid)}")
+
+    print("\n== Planning a new quarter (2009 Aut) ==")
+    taken_or_planned = set(
+        app.db.query(
+            f"SELECT CourseID FROM Enrollments WHERE SuID = {suid}"
+        ).column("CourseID")
+    ) | set(
+        app.db.query(
+            f"SELECT CourseID FROM Plans WHERE SuID = {suid}"
+        ).column("CourseID")
+    )
+    autumn_courses = [
+        course_id
+        for course_id in app.db.query(
+            "SELECT CourseID FROM Offerings WHERE Year = 2009 AND Term = 'Aut' "
+            "ORDER BY CourseID"
+        ).column("CourseID")
+        if course_id not in taken_or_planned
+    ]
+    planned = 0
+    conflicts_hit = 0
+    for course_id in autumn_courses:
+        if planned >= 3:
+            break
+        try:
+            app.planner.plan_course(suid, course_id, 2009, "Aut")
+            planned += 1
+            print(f"  planned course {course_id}: "
+                  f"{app.course(course_id).title}")
+        except PlannerConflictError as conflict:
+            conflicts_hit += 1
+            print(f"  conflict rejected: {conflict}")
+    print(f"  ({planned} planned, {conflicts_hit} conflicts caught)")
+    print(f"  quarter load: {app.planner.quarter_units(suid, 2009, 'Aut')} units")
+
+    warnings = app.planner.prerequisite_warnings(suid)
+    print(f"\n== Prerequisite warnings: {len(warnings)} ==")
+    for warning in warnings[:3]:
+        print(f"  {warning}")
+
+    print("\n== Requirement Tracker ==")
+    dep_id = app.db.query(
+        "SELECT d.DepID FROM Departments d JOIN Students s "
+        f"ON d.Name = s.Major WHERE s.SuID = {suid}"
+    ).scalar()
+    for status in app.tracker.check(suid, dep_id):
+        mark = "OK " if status.satisfied else "MISSING"
+        print(f"  [{mark}] {status.name}")
+        for gap in status.missing[:2]:
+            print(f"          - {gap}")
+
+    print("\n== Weekly timetable (2009 Aut) ==")
+    schedule = app.planner.weekly_schedule(suid, 2009, "Aut")
+    for day in "MTWhF":
+        meetings = schedule.get(day, [])
+        shown = ", ".join(
+            f"{m['title'][:28]} {m['start_minute'] // 60:02d}:"
+            f"{m['start_minute'] % 60:02d}"
+            for m in meetings
+            if m["start_minute"] is not None
+        )
+        print(f"  {day}: {shown or '-'}")
+
+    print("\n== What should I take next? (requirement-gap suggestions) ==")
+    for course_id, helps in app.tracker.suggest_courses(suid, dep_id, limit=5):
+        print(f"  course {course_id} ({app.course(course_id).title}) "
+              f"advances {helps} requirement(s)")
+
+    print("\n== Plan sharing (privacy opt-out) ==")
+    my_plans = app.db.query(
+        f"SELECT CourseID FROM Plans WHERE SuID = {suid} LIMIT 1"
+    ).column("CourseID")
+    if my_plans:
+        course_id = my_plans[0]
+        before = app.privacy.who_is_planning(course_id)
+        app.planner.set_plan_sharing(suid, course_id, False)
+        after = app.privacy.who_is_planning(course_id)
+        print(f"  course {course_id}: visible planners "
+              f"{len(before)} -> {len(after)} after opting out")
+        print(f"  sitewide sharing rate: {app.privacy.sharing_rate():.0%}")
+
+
+if __name__ == "__main__":
+    main()

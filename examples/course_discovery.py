@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Serendipitous course discovery with data clouds (Section 3.1).
+
+Run:  python examples/course_discovery.py [scale]
+
+Reproduces the paper's motivating scenario: a student browsing for
+"something related to Greece" won't find the history-of-science course by
+catalog navigation — but a keyword search plus cloud refinement surfaces
+the connection.  The script then replays the Figure 3 → Figure 4
+walkthrough ("american" → "african american") and compares the three
+term-significance models on the same result set.
+"""
+
+import sys
+
+from repro.clouds.cloud import CloudBuilder
+from repro.clouds.refinement import RefinementSession
+from repro.courserank import CourseRank
+from repro.datagen import generate_university
+
+
+def serendipity_demo(app: CourseRank) -> None:
+    print("== Serendipity: searching 'greek' across all relations ==")
+    result, cloud = app.search_courses("greek")
+    print(f"  {len(result)} courses mention 'greek' somewhere")
+    for row in app.cloudsearch.resolve_courses(result, limit=5, with_snippets=True):
+        print(f"  [{row['score']:.2f}] {row['Title']} ({row['Department']})")
+        if row.get("snippet"):
+            print(f"      {row['snippet']}")
+    if cloud.terms:
+        print(f"  related cloud terms: {', '.join(cloud.term_names()[:8])}")
+
+
+def refinement_walkthrough(app: CourseRank) -> None:
+    print("\n== Figure 3 -> Figure 4: refine 'american' ==")
+    session = app.search_session("american")
+    print(f"  'american': {len(session.result)} matching courses")
+    print(f"  cloud: {', '.join(session.cloud.term_names()[:10])}")
+    phrases = [
+        term.term
+        for term in session.cloud.terms
+        if " " in term.term and "american" in term.term
+    ]
+    if not phrases:
+        print("  (no american-phrases in this corpus; try a larger scale)")
+        return
+    clicked = phrases[0]
+    step = session.refine(clicked)
+    factor = len(session._steps[0].result) / max(1, len(step.result))
+    print(
+        f"  clicked {clicked!r}: narrowed to {len(step.result)} courses "
+        f"({factor:.1f}x narrowing)"
+    )
+    print(f"  refined cloud: {', '.join(step.cloud.term_names()[:10])}")
+    session.back()
+    print(f"  back(): restored {len(session.result)} results")
+
+
+def scoring_model_comparison(app: CourseRank) -> None:
+    print("\n== Term-significance models on the same results ==")
+    engine = app.cloudsearch.engine
+    result = engine.search("american")
+    for scoring in ("frequency", "tfidf", "popularity"):
+        builder = CloudBuilder(engine, scoring=scoring, max_terms=8)
+        builder.prepare()
+        cloud = builder.build(result)
+        print(f"  {scoring:>10}: {', '.join(cloud.term_names())}")
+
+
+def main() -> None:
+    scale = sys.argv[1] if len(sys.argv) > 1 else "small"
+    app = CourseRank(generate_university(scale=scale, seed=2008))
+    app.cloudsearch.build()
+    serendipity_demo(app)
+    refinement_walkthrough(app)
+    scoring_model_comparison(app)
+
+
+if __name__ == "__main__":
+    main()

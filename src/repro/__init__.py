@@ -1,0 +1,29 @@
+"""Reproduction of "Social Systems: Can We Do More Than Just Poke
+Friends?" (Koutrika et al., CIDR 2009) — the CourseRank system.
+
+Packages:
+
+* :mod:`repro.minidb`     — in-memory relational engine with a SQL front end;
+* :mod:`repro.search`     — full-text search over multi-relation entities;
+* :mod:`repro.clouds`     — Data Clouds (Section 3.1);
+* :mod:`repro.core`       — FlexRecs workflows (Section 3.2, the primary
+  contribution), with direct and compiled-to-SQL execution paths;
+* :mod:`repro.courserank` — the assembled CourseRank application;
+* :mod:`repro.datagen`    — deterministic synthetic university data;
+* :mod:`repro.evalkit`    — experiment reports and metrics.
+
+Quick start::
+
+    from repro.datagen import generate_university
+    from repro.courserank import CourseRank
+
+    app = CourseRank(generate_university(scale="small", seed=7))
+    results, cloud = app.search_courses("american")
+    recs = app.recommendations.courses_for_student(suid=1, top_k=10)
+"""
+
+__version__ = "1.0.0"
+
+from repro import errors
+
+__all__ = ["errors", "__version__"]

@@ -1,0 +1,44 @@
+"""Data Clouds (Section 3.1 of the paper).
+
+A *data cloud* is a tag cloud whose tags are the most significant terms in
+the result set of a keyword search over the database.  Terms come from
+every relation folded into the search entity (titles, descriptions,
+comments, instructor names), are scored by a pluggable significance model,
+and act as hyperlinks: clicking a term refines the search conjunctively
+and the cloud is recomputed over the narrowed results.
+
+Modules:
+
+* :mod:`scoring` — term significance models (frequency, TF-IDF over the
+  result set, popularity) and term-gathering strategies (rescan, forward
+  index, per-document top-k cache) whose cost trade-offs the P1 benchmark
+  measures;
+* :mod:`cloud` — :class:`CloudBuilder` producing :class:`DataCloud`;
+* :mod:`refinement` — :class:`RefinementSession`, the click-to-refine loop
+  of Figures 3 and 4;
+* :mod:`render` — text/HTML rendering with font-size buckets.
+"""
+
+from repro.clouds.cloud import CloudBuilder, CloudTerm, DataCloud
+from repro.clouds.refinement import RefinementSession, RefinementStep
+from repro.clouds.render import render_html, render_text
+from repro.clouds.scoring import (
+    FrequencyScoring,
+    PopularityScoring,
+    TfIdfScoring,
+    TermStats,
+)
+
+__all__ = [
+    "CloudBuilder",
+    "CloudTerm",
+    "DataCloud",
+    "RefinementSession",
+    "RefinementStep",
+    "render_html",
+    "render_text",
+    "FrequencyScoring",
+    "PopularityScoring",
+    "TfIdfScoring",
+    "TermStats",
+]

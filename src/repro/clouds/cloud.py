@@ -1,0 +1,187 @@
+"""DataCloud construction.
+
+:class:`CloudBuilder` connects a :class:`~repro.search.engine.SearchEngine`
+to a term-gathering strategy and a significance model, and produces a
+:class:`DataCloud` for any result set.  Query terms themselves are
+suppressed from the cloud (searching "American" should not show
+"american" as its own biggest tag), but *phrases containing* a query term
+survive — the paper's Figure 3 cloud for "American" prominently features
+"Latin American" and "African American".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, List, Optional, Sequence, Set
+
+from repro.errors import CloudError
+from repro.search.engine import SearchEngine, SearchResult
+from repro.clouds.scoring import (
+    SignificanceScoring,
+    TermSource,
+    TermStats,
+    get_scoring,
+)
+
+DocId = Any
+
+
+@dataclass(frozen=True)
+class CloudTerm:
+    """One tag in a data cloud."""
+
+    term: str
+    score: float
+    occurrences: float
+    result_df: int
+    bucket: int = 1  # font-size bucket 1..n, assigned at cloud build
+
+
+@dataclass
+class DataCloud:
+    """A ranked collection of cloud terms for one result set."""
+
+    query: str
+    result_size: int
+    terms: List[CloudTerm]
+
+    def __len__(self) -> int:
+        return len(self.terms)
+
+    def term_names(self) -> List[str]:
+        return [term.term for term in self.terms]
+
+    def top(self, k: int) -> List[CloudTerm]:
+        return self.terms[:k]
+
+    def find(self, term: str) -> Optional[CloudTerm]:
+        lowered = term.lower()
+        for cloud_term in self.terms:
+            if cloud_term.term == lowered:
+                return cloud_term
+        return None
+
+
+class CloudBuilder:
+    """Builds data clouds over search results.
+
+    ``max_terms`` caps the cloud size; ``min_result_df`` drops terms that
+    appear in only a handful of result documents (noise suppression);
+    ``buckets`` is the number of font-size classes for rendering.
+    """
+
+    def __init__(
+        self,
+        engine: SearchEngine,
+        scoring: Any = "popularity",
+        strategy: str = "forward",
+        max_terms: int = 40,
+        min_result_df: int = 2,
+        buckets: int = 5,
+        include_bigrams: bool = True,
+        topk_per_doc: int = 12,
+    ) -> None:
+        if max_terms < 1:
+            raise CloudError("max_terms must be at least 1")
+        if buckets < 1:
+            raise CloudError("buckets must be at least 1")
+        self.engine = engine
+        self.scoring: SignificanceScoring = get_scoring(scoring)
+        self.source = TermSource(
+            engine,
+            strategy=strategy,
+            topk_per_doc=topk_per_doc,
+            include_bigrams=include_bigrams,
+        )
+        self.max_terms = max_terms
+        self.min_result_df = min_result_df
+        self.buckets = buckets
+        self._prepared = False
+
+    def prepare(self) -> None:
+        """Precompute per-document term caches (run after engine.build())."""
+        self.source.prepare()
+        self._prepared = True
+
+    def build(self, result: SearchResult) -> DataCloud:
+        """Compute the data cloud for a search result."""
+        return self.build_for_docs(
+            result.doc_ids(), query=result.query, query_terms=result.terms
+        )
+
+    def build_for_docs(
+        self,
+        doc_ids: Sequence[DocId],
+        query: str = "",
+        query_terms: Optional[Sequence[str]] = None,
+    ) -> DataCloud:
+        if not self._prepared:
+            self.prepare()
+        stats = self.source.gather(doc_ids)
+        result_size = len(doc_ids)
+        corpus_size = self.source.corpus_size
+        suppressed = self._suppressed_terms(query_terms or [])
+        min_df = self.min_result_df if result_size >= self.min_result_df else 1
+        scored: List[CloudTerm] = []
+        for stat in stats:
+            if stat.result_df < min_df:
+                continue
+            if self._is_suppressed(stat.term, suppressed):
+                continue
+            score = self.scoring.score(stat, result_size, corpus_size)
+            if score <= 0:
+                continue
+            scored.append(
+                CloudTerm(
+                    term=stat.term,
+                    score=score,
+                    occurrences=stat.occurrences,
+                    result_df=stat.result_df,
+                )
+            )
+        scored.sort(key=lambda term: (-term.score, term.term))
+        scored = scored[: self.max_terms]
+        return DataCloud(
+            query=query,
+            result_size=result_size,
+            terms=self._assign_buckets(scored),
+        )
+
+    # -- helpers -----------------------------------------------------------
+
+    def _suppressed_terms(self, query_terms: Sequence[str]) -> Set[str]:
+        """Stemmed forms of the query, used to drop echo terms."""
+        return set(query_terms)
+
+    def _is_suppressed(self, term: str, suppressed: Set[str]) -> bool:
+        """A display term is suppressed when *all* its words echo the query."""
+        if not suppressed:
+            return False
+        words = term.split(" ")
+        stemmed = [self.engine.tokenizer.stem_token(word) for word in words]
+        return all(stem in suppressed for stem in stemmed)
+
+    def _assign_buckets(self, terms: List[CloudTerm]) -> List[CloudTerm]:
+        """Map scores to font buckets 1..n by linear score interpolation."""
+        if not terms:
+            return terms
+        high = terms[0].score
+        low = terms[-1].score
+        span = high - low
+        rebuilt: List[CloudTerm] = []
+        for term in terms:
+            if span <= 0:
+                bucket = self.buckets
+            else:
+                fraction = (term.score - low) / span
+                bucket = 1 + int(round(fraction * (self.buckets - 1)))
+            rebuilt.append(
+                CloudTerm(
+                    term=term.term,
+                    score=term.score,
+                    occurrences=term.occurrences,
+                    result_df=term.result_df,
+                    bucket=bucket,
+                )
+            )
+        return rebuilt

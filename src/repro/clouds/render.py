@@ -1,0 +1,54 @@
+"""Rendering data clouds as text or HTML.
+
+The site UI renders cloud terms at font sizes proportional to their
+bucket; for a library the equivalents are a compact text form (used by
+examples and the REPL) and a self-contained HTML fragment.
+"""
+
+from __future__ import annotations
+
+import html
+from typing import List
+
+from repro.clouds.cloud import DataCloud
+
+#: font-size in points for buckets 1..5 (clamped for other bucket counts)
+_FONT_SIZES = [10, 13, 16, 20, 26]
+
+
+def render_text(cloud: DataCloud, columns: int = 4) -> str:
+    """A fixed-width rendering: ``term(bucket)`` cells in rows.
+
+    >>> # render_text(cloud) →
+    >>> # african american(5)   politics(3)   indians(2) ...
+    """
+    cells = [f"{term.term}({term.bucket})" for term in cloud.terms]
+    if not cells:
+        return "(empty cloud)"
+    width = max(len(cell) for cell in cells) + 2
+    lines: List[str] = []
+    for start in range(0, len(cells), columns):
+        row = cells[start : start + columns]
+        lines.append("".join(cell.ljust(width) for cell in row).rstrip())
+    return "\n".join(lines)
+
+
+def render_html(cloud: DataCloud, css_class: str = "data-cloud") -> str:
+    """An HTML fragment with one clickable span per term.
+
+    Every term carries ``data-term`` so a front end can wire refinement
+    clicks; font size maps from the bucket.
+    """
+    parts = [f'<div class="{html.escape(css_class)}">']
+    for term in cloud.terms:
+        index = min(term.bucket, len(_FONT_SIZES)) - 1
+        size = _FONT_SIZES[max(index, 0)]
+        escaped = html.escape(term.term)
+        parts.append(
+            f'<span class="cloud-term" data-term="{escaped}" '
+            f'style="font-size:{size}pt" '
+            f'title="score {term.score:.3f}, in {term.result_df} results">'
+            f"{escaped}</span>"
+        )
+    parts.append("</div>")
+    return "\n".join(parts)

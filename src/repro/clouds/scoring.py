@@ -1,0 +1,203 @@
+"""Term gathering and significance scoring for data clouds.
+
+Two orthogonal choices are kept pluggable because the paper explicitly
+poses them as open questions ("How do we find and rank terms in the
+results of a search and how can we dynamically and efficiently compute
+their data cloud?"):
+
+**Gathering strategy** — how term statistics over the current result set
+are obtained (cost question, benchmarked by P1):
+
+* ``rescan``  — re-extract terms from each result document's raw text at
+  query time; no extra memory, highest per-query cost.
+* ``forward`` — per-document term counters precomputed at build time;
+  per-query work is merging counters of the result docs.  Exact.
+* ``topk``    — only each document's top-*m* terms are cached; merging is
+  cheaper still but term counts are approximate (long-tail terms from
+  individual documents are dropped).
+
+**Significance model** — how gathered terms are ranked (quality question):
+
+* :class:`FrequencyScoring`   — raw weighted occurrence count;
+* :class:`TfIdfScoring`       — occurrences in the result set, discounted
+  by corpus-wide document frequency (rare-in-corpus terms bubble up);
+* :class:`PopularityScoring`  — fraction of result documents containing
+  the term, discounted by corpus df (favors terms that characterize the
+  whole result set rather than one verbose document).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Set, Tuple
+
+from repro.errors import CloudError
+from repro.search.engine import SearchEngine
+from repro.search.phrases import display_unigrams, extract_bigrams
+
+DocId = Any
+
+
+@dataclass
+class TermStats:
+    """Aggregate statistics of one display term over a result set."""
+
+    term: str
+    occurrences: float  # field-weight-scaled occurrence mass in results
+    result_df: int  # number of result documents containing the term
+    corpus_df: int  # number of corpus documents containing the term
+
+
+class TermSource:
+    """Extracts and caches display terms (unigrams + bigrams) per document.
+
+    Display terms are unstemmed so the cloud shows readable words; the
+    search index remains stemmed.  Field weights from the entity
+    definition scale occurrence counts, so a term in a title counts more
+    than in a comment, mirroring the ranking of the search itself.
+    """
+
+    def __init__(
+        self,
+        engine: SearchEngine,
+        strategy: str = "forward",
+        topk_per_doc: int = 12,
+        include_bigrams: bool = True,
+    ) -> None:
+        if strategy not in ("rescan", "forward", "topk"):
+            raise CloudError(f"unknown gathering strategy {strategy!r}")
+        self.engine = engine
+        self.strategy = strategy
+        self.topk_per_doc = topk_per_doc
+        self.include_bigrams = include_bigrams
+        self._doc_terms: Dict[DocId, Counter] = {}
+        self._corpus_df: Counter = Counter()
+        self._prepared = False
+
+    # -- build-time work -----------------------------------------------------
+
+    def prepare(self) -> None:
+        """Precompute whatever the strategy needs (called once per build)."""
+        self._doc_terms.clear()
+        self._corpus_df.clear()
+        for doc_id in self.engine.index.document_ids():
+            counts = self._extract(doc_id)
+            self._corpus_df.update(counts.keys())
+            if self.strategy == "forward":
+                self._doc_terms[doc_id] = counts
+            elif self.strategy == "topk":
+                top = counts.most_common(self.topk_per_doc)
+                self._doc_terms[doc_id] = Counter(dict(top))
+            # rescan keeps nothing per-doc
+        self._prepared = True
+
+    def _extract(self, doc_id: DocId) -> Counter:
+        texts = self.engine.document_text(doc_id)
+        weights = self.engine.field_weights
+        counts: Counter = Counter()
+        for field_name, text in texts.items():
+            weight = weights.get(field_name, 1.0)
+            for term in display_unigrams(text, self.engine.tokenizer):
+                counts[term] += weight
+            if self.include_bigrams:
+                for term in extract_bigrams(text, self.engine.tokenizer):
+                    counts[term] += weight
+        return counts
+
+    # -- query-time work ----------------------------------------------------
+
+    def gather(self, doc_ids: Iterable[DocId]) -> List[TermStats]:
+        """Term statistics over ``doc_ids`` according to the strategy."""
+        if not self._prepared:
+            raise CloudError("TermSource.prepare() must run before gather()")
+        occurrences: Counter = Counter()
+        result_df: Counter = Counter()
+        for doc_id in doc_ids:
+            if self.strategy == "rescan":
+                counts = self._extract(doc_id)
+            else:
+                counts = self._doc_terms.get(doc_id, Counter())
+            for term, count in counts.items():
+                occurrences[term] += count
+                result_df[term] += 1
+        return [
+            TermStats(
+                term=term,
+                occurrences=occurrences[term],
+                result_df=result_df[term],
+                corpus_df=self._corpus_df.get(term, result_df[term]),
+            )
+            for term in occurrences
+        ]
+
+    @property
+    def corpus_size(self) -> int:
+        return self.engine.index.document_count
+
+
+class SignificanceScoring:
+    """Base class for term significance models."""
+
+    name = "base"
+
+    def score(self, stats: TermStats, result_size: int, corpus_size: int) -> float:
+        raise NotImplementedError
+
+
+class FrequencyScoring(SignificanceScoring):
+    """Raw weighted occurrence mass — the classic tag-cloud rule."""
+
+    name = "frequency"
+
+    def score(self, stats: TermStats, result_size: int, corpus_size: int) -> float:
+        return float(stats.occurrences)
+
+
+class TfIdfScoring(SignificanceScoring):
+    """Occurrences in the results, discounted by corpus-wide rarity."""
+
+    name = "tfidf"
+
+    def score(self, stats: TermStats, result_size: int, corpus_size: int) -> float:
+        if corpus_size == 0:
+            return 0.0
+        idf = math.log(1.0 + corpus_size / (1.0 + stats.corpus_df))
+        return stats.occurrences * idf
+
+
+class PopularityScoring(SignificanceScoring):
+    """Coverage of the result set, discounted by corpus-wide rarity.
+
+    A term in 80% of the matching courses characterizes the result set
+    even if each mention is brief; a term mentioned 40 times in a single
+    verbose comment does not.
+    """
+
+    name = "popularity"
+
+    def score(self, stats: TermStats, result_size: int, corpus_size: int) -> float:
+        if result_size == 0 or corpus_size == 0:
+            return 0.0
+        coverage = stats.result_df / result_size
+        idf = math.log(1.0 + corpus_size / (1.0 + stats.corpus_df))
+        return coverage * idf * math.log(1.0 + stats.occurrences)
+
+
+SCORINGS = {
+    scoring.name: scoring
+    for scoring in (FrequencyScoring(), TfIdfScoring(), PopularityScoring())
+}
+
+
+def get_scoring(name_or_instance) -> SignificanceScoring:
+    if isinstance(name_or_instance, SignificanceScoring):
+        return name_or_instance
+    try:
+        return SCORINGS[name_or_instance]
+    except KeyError:
+        raise CloudError(
+            f"unknown significance model {name_or_instance!r}; "
+            f"choose from {sorted(SCORINGS)}"
+        ) from None

@@ -1,0 +1,298 @@
+"""A textual language for FlexRecs workflows.
+
+The paper: "a given recommendation approach can be expressed
+*declaratively* as a high-level workflow over structured data" and the
+FlexRecs tool "lets the administrator quickly define recommendation
+strategies".  This module gives that administrator a concrete textual
+syntax, parsed into the same operator trees the Python API builds.
+
+A workflow is a pipeline of stages separated by ``|``; predicates and raw
+SQL live in ``[...]`` brackets so they stay free-form:
+
+    source Courses
+    | recommend against (
+        source Students
+        | extend ratings from Comments key SuID = SuID map CourseID value Rating
+        | filter [SuID = 444]
+      ) using vector_lookup(CourseID, ratings) key CourseID agg avg top 10
+
+Stages:
+
+    source <table>
+    sql [ SELECT ... ]
+    filter [ <predicate> ]
+    project [distinct] <col>, <col>, ...
+    extend <attr> from <table> key <childcol> = <sourcecol>
+           [map <col>] value <col>
+    topk <k> by <col> [asc]
+    recommend against ( <pipeline> )
+              using <comparator>(<target_attr>, <reference_attr> [, k=v ...])
+              key <target_key> [agg <name>] [score <col>] [top <k>]
+              [exclude <target_col> = <reference_col>]
+
+Comparators come from the library registry (``text_jaccard``,
+``inverse_euclidean``, ``pearson``, ``numeric_closeness``, ...).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import FlexRecsError
+from repro.core.library import make_comparator
+from repro.core.operators import (
+    Operator,
+    Project,
+    Recommend,
+    Select,
+    Source,
+    SqlSource,
+    TopK,
+    extend,
+)
+from repro.core.workflow import Workflow
+
+_TOKEN = re.compile(
+    r"""
+    \s*(
+        \[[^\]]*\]          # bracketed raw text
+      | [A-Za-z_][A-Za-z0-9_]*
+      | [0-9]+(\.[0-9]+)?
+      | \|
+      | \(
+      | \)
+      | ,
+      | =
+    )
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "source", "sql", "filter", "project", "distinct", "extend", "from",
+    "key", "map", "value", "topk", "by", "asc", "recommend", "against",
+    "using", "agg", "score", "top", "exclude",
+}
+
+
+class _Tokens:
+    def __init__(self, text: str) -> None:
+        self.items: List[str] = []
+        position = 0
+        while position < len(text):
+            match = _TOKEN.match(text, position)
+            if match is None:
+                remainder = text[position:].strip()
+                if not remainder:
+                    break
+                raise FlexRecsError(
+                    f"cannot tokenize workflow near {remainder[:25]!r}"
+                )
+            self.items.append(match.group(1))
+            position = match.end()
+        self.position = 0
+
+    def peek(self) -> Optional[str]:
+        if self.position < len(self.items):
+            return self.items[self.position]
+        return None
+
+    def advance(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise FlexRecsError("unexpected end of workflow text")
+        self.position += 1
+        return token
+
+    def accept(self, literal: str) -> bool:
+        if self.peek() is not None and self.peek().lower() == literal:
+            self.advance()
+            return True
+        return False
+
+    def expect(self, literal: str) -> None:
+        token = self.advance()
+        if token.lower() != literal:
+            raise FlexRecsError(f"expected {literal!r}, found {token!r}")
+
+    def identifier(self, what: str = "identifier") -> str:
+        token = self.advance()
+        if not re.fullmatch(r"[A-Za-z_][A-Za-z0-9_]*", token):
+            raise FlexRecsError(f"expected {what}, found {token!r}")
+        return token
+
+    def integer(self, what: str = "integer") -> int:
+        token = self.advance()
+        if not token.isdigit():
+            raise FlexRecsError(f"expected {what}, found {token!r}")
+        return int(token)
+
+    def bracketed(self, what: str = "bracketed text") -> str:
+        token = self.advance()
+        if not (token.startswith("[") and token.endswith("]")):
+            raise FlexRecsError(f"expected [{what}], found {token!r}")
+        inner = token[1:-1].strip()
+        if not inner:
+            raise FlexRecsError(f"{what} must be non-empty")
+        return inner
+
+
+def parse_workflow(text: str, name: str = "dsl-workflow") -> Workflow:
+    """Parse workflow text into a :class:`Workflow`."""
+    tokens = _Tokens(text)
+    root = _parse_pipeline(tokens)
+    if tokens.peek() is not None:
+        raise FlexRecsError(
+            f"trailing workflow text near {tokens.peek()!r}"
+        )
+    return Workflow(root, name=name)
+
+
+def _parse_pipeline(tokens: _Tokens) -> Operator:
+    node = _parse_stage(tokens, upstream=None)
+    while tokens.accept("|"):
+        node = _parse_stage(tokens, upstream=node)
+    return node
+
+
+def _parse_stage(tokens: _Tokens, upstream: Optional[Operator]) -> Operator:
+    token = tokens.peek()
+    if token is None:
+        raise FlexRecsError("empty workflow stage")
+    lowered = token.lower()
+    if lowered == "(" and upstream is None:
+        tokens.advance()
+        inner = _parse_pipeline(tokens)
+        tokens.expect(")")
+        return inner
+    if lowered == "source":
+        _require_head(upstream, "source")
+        tokens.advance()
+        return Source(tokens.identifier("table name"))
+    if lowered == "sql":
+        _require_head(upstream, "sql")
+        tokens.advance()
+        return SqlSource(tokens.bracketed("SQL text"))
+    if lowered == "filter":
+        tokens.advance()
+        return Select(_require_input(upstream, "filter"), tokens.bracketed("predicate"))
+    if lowered == "project":
+        tokens.advance()
+        distinct = tokens.accept("distinct")
+        columns = [tokens.identifier("column")]
+        while tokens.accept(","):
+            columns.append(tokens.identifier("column"))
+        return Project(
+            _require_input(upstream, "project"), tuple(columns), distinct=distinct
+        )
+    if lowered == "extend":
+        tokens.advance()
+        attribute = tokens.identifier("attribute name")
+        tokens.expect("from")
+        source_table = tokens.identifier("source table")
+        tokens.expect("key")
+        key_column = tokens.identifier("child key column")
+        tokens.expect("=")
+        source_key = tokens.identifier("source key column")
+        map_column = None
+        if tokens.accept("map"):
+            map_column = tokens.identifier("map column")
+        tokens.expect("value")
+        value_column = tokens.identifier("value column")
+        return extend(
+            _require_input(upstream, "extend"),
+            attribute=attribute,
+            source_table=source_table,
+            source_key=source_key,
+            key_column=key_column,
+            value_column=value_column,
+            map_column=map_column,
+        )
+    if lowered == "topk":
+        tokens.advance()
+        k = tokens.integer("k")
+        tokens.expect("by")
+        by_column = tokens.identifier("column")
+        descending = not tokens.accept("asc")
+        return TopK(
+            _require_input(upstream, "topk"), k, by_column, descending=descending
+        )
+    if lowered == "recommend":
+        tokens.advance()
+        return _parse_recommend(tokens, _require_input(upstream, "recommend"))
+    raise FlexRecsError(f"unknown workflow stage {token!r}")
+
+
+def _require_head(upstream: Optional[Operator], stage: str) -> None:
+    if upstream is not None:
+        raise FlexRecsError(f"{stage} must start a pipeline, not continue one")
+
+
+def _require_input(upstream: Optional[Operator], stage: str) -> Operator:
+    if upstream is None:
+        raise FlexRecsError(
+            f"{stage} needs an upstream stage (start with 'source <table>')"
+        )
+    return upstream
+
+
+def _parse_recommend(tokens: _Tokens, target: Operator) -> Recommend:
+    tokens.expect("against")
+    tokens.expect("(")
+    reference = _parse_pipeline(tokens)
+    tokens.expect(")")
+    tokens.expect("using")
+    comparator_name = tokens.identifier("comparator name")
+    tokens.expect("(")
+    target_attr = tokens.identifier("target attribute")
+    tokens.expect(",")
+    reference_attr = tokens.identifier("reference attribute")
+    params: Dict[str, Any] = {}
+    while tokens.accept(","):
+        key = tokens.identifier("parameter name")
+        tokens.expect("=")
+        params[key] = _parse_number(tokens.advance())
+    tokens.expect(")")
+    tokens.expect("key")
+    target_key = tokens.identifier("target key column")
+    aggregate = "max"
+    score_column = "score"
+    top_k = None
+    exclude_self: Optional[Tuple[str, str]] = None
+    while True:
+        if tokens.accept("agg"):
+            aggregate = tokens.identifier("aggregate name").lower()
+        elif tokens.accept("score"):
+            score_column = tokens.identifier("score column")
+        elif tokens.accept("top"):
+            top_k = tokens.integer("top k")
+        elif tokens.accept("exclude"):
+            left = tokens.identifier("target column")
+            tokens.expect("=")
+            right = tokens.identifier("reference column")
+            exclude_self = (left, right)
+        else:
+            break
+    comparator = make_comparator(
+        comparator_name, target_attr, reference_attr, **params
+    )
+    return Recommend(
+        target=target,
+        reference=reference,
+        comparator=comparator,
+        target_key=target_key,
+        aggregate=aggregate,
+        score_column=score_column,
+        top_k=top_k,
+        exclude_self=exclude_self,
+    )
+
+
+def _parse_number(token: str) -> float:
+    try:
+        return float(token)
+    except ValueError:
+        raise FlexRecsError(
+            f"comparator parameters must be numeric, got {token!r}"
+        ) from None

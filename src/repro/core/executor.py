@@ -1,0 +1,286 @@
+"""Direct (in-memory) evaluation of FlexRecs workflows.
+
+This is the reference semantics: tuples are dicts, extend attributes are
+real Python sets/dicts on those tuples, and the recommend operator loops
+over (target, reference) pairs calling the comparator.  The compiled-SQL
+path (:mod:`repro.core.compiler`) must produce rank-identical output; the
+property tests in ``tests/core/test_dual_path.py`` enforce that.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.errors import ExecutionError, FlexRecsError, WorkflowValidationError
+from repro.core.library import _get
+from repro.core.operators import (
+    Extend,
+    Join,
+    MaterializedSource,
+    Operator,
+    Project,
+    Recommend,
+    Select,
+    Source,
+    SqlSource,
+    TopK,
+)
+from repro.core.workflow import Recommendation, Workflow
+from repro.minidb.catalog import Database
+from repro.minidb.sql.parser import parse_expression
+from repro.minidb.types import sort_key
+
+
+class _Relation:
+    """Intermediate result: columns plus dict-rows (with extend attrs)."""
+
+    def __init__(self, columns: List[str], rows: List[Dict[str, Any]]) -> None:
+        self.columns = columns
+        self.rows = rows
+
+
+def execute_workflow(workflow: Workflow, database: Database) -> Recommendation:
+    """Evaluate a (validated) workflow directly."""
+    relation = _Executor(database).evaluate(workflow.root)
+    # Strip extend attributes from the output rows: the public result is
+    # relational, matching what the compiled SQL path returns.
+    visible = relation.columns
+    rows = [{column: row[column] for column in visible} for row in relation.rows]
+    return Recommendation(columns=list(visible), rows=rows)
+
+
+class _Executor:
+    def __init__(self, database: Database) -> None:
+        self.database = database
+        self._condition_cache: Dict[str, Any] = {}
+
+    # -- dispatch -----------------------------------------------------------
+
+    def evaluate(self, node: Operator) -> _Relation:
+        if isinstance(node, Source):
+            return self._eval_source(node)
+        if isinstance(node, MaterializedSource):
+            table = self.database.table(node.table)
+            columns = [name for name, _dtype in node.schema_pairs]
+            rows = [dict(zip(columns, row)) for row in table.rows()]
+            return _Relation(columns, rows)
+        if isinstance(node, SqlSource):
+            return self._eval_sql_source(node)
+        if isinstance(node, Select):
+            return self._eval_select(node)
+        if isinstance(node, Project):
+            return self._eval_project(node)
+        if isinstance(node, Join):
+            return self._eval_join(node)
+        if isinstance(node, Extend):
+            return self._eval_extend(node)
+        if isinstance(node, Recommend):
+            return self._eval_recommend(node)
+        if isinstance(node, TopK):
+            return self._eval_topk(node)
+        raise FlexRecsError(f"unknown operator {type(node).__name__}")
+
+    # -- leaves ----------------------------------------------------------
+
+    def _eval_source(self, node: Source) -> _Relation:
+        table = self.database.table(node.table)
+        columns = list(table.schema.column_names)
+        rows = [dict(zip(columns, row)) for row in table.rows()]
+        return _Relation(columns, rows)
+
+    def _eval_sql_source(self, node: SqlSource) -> _Relation:
+        result = self.database.query(node.sql)
+        rows = [dict(zip(result.columns, row)) for row in result.rows]
+        return _Relation(list(result.columns), rows)
+
+    # -- unary relational operators -------------------------------------------
+
+    def _eval_select(self, node: Select) -> _Relation:
+        child = self.evaluate(node.child)
+        predicate = self._condition(node.condition)
+        kept = []
+        for row in child.rows:
+            env = self._env(row)
+            if predicate.evaluate(env) is True:
+                kept.append(row)
+        return _Relation(child.columns, kept)
+
+    def _eval_project(self, node: Project) -> _Relation:
+        child = self.evaluate(node.child)
+        columns = node.output_columns(self.database)
+        attr_names = [
+            info.attribute
+            for info in node.extend_infos(self.database)
+        ]
+        rows = []
+        seen = set() if node.distinct else None
+        for row in child.rows:
+            projected = {column: _get(row, column) for column in columns}
+            if seen is not None:
+                key = tuple(_freeze(projected[column]) for column in columns)
+                if key in seen:
+                    continue
+                seen.add(key)
+            for attribute in attr_names:
+                projected[attribute] = row[attribute]
+            rows.append(projected)
+        return _Relation(columns, rows)
+
+    def _eval_topk(self, node: TopK) -> _Relation:
+        child = self.evaluate(node.child)
+        by = _resolve_column(child.columns, node.by_column)
+        rows = sorted(
+            child.rows,
+            key=lambda row: (sort_key(row[by]),),
+            reverse=node.descending,
+        )
+        return _Relation(child.columns, rows[: node.k])
+
+    # -- join ------------------------------------------------------------
+
+    def _eval_join(self, node: Join) -> _Relation:
+        left = self.evaluate(node.left)
+        right = self.evaluate(node.right)
+        columns = node.output_columns(self.database)
+        left_on = _resolve_column(left.columns, node.left_on)
+        right_on = _resolve_column(right.columns, node.right_on)
+        buckets: Dict[Any, List[Dict[str, Any]]] = {}
+        for row in right.rows:
+            key = row[right_on]
+            if key is None:
+                continue
+            buckets.setdefault(key, []).append(row)
+        rows = []
+        for left_row in left.rows:
+            key = left_row[left_on]
+            if key is None:
+                continue
+            for right_row in buckets.get(key, ()):
+                merged = dict(left_row)
+                merged.update(right_row)
+                rows.append(merged)
+        return _Relation(columns, rows)
+
+    # -- extend ------------------------------------------------------------
+
+    def _eval_extend(self, node: Extend) -> _Relation:
+        child = self.evaluate(node.child)
+        info = node.info
+        table = self.database.table(info.source_table)
+        schema = table.schema
+        key_position = schema.column_position(info.source_key)
+        value_position = schema.column_position(info.value_column)
+        map_position = (
+            schema.column_position(info.map_column)
+            if info.map_column is not None
+            else None
+        )
+        grouped: Dict[Any, Any] = {}
+        for row in table.rows():
+            key = row[key_position]
+            value = row[value_position]
+            if key is None or value is None:
+                continue
+            if map_position is not None:
+                map_key = row[map_position]
+                if map_key is None:
+                    continue
+                grouped.setdefault(key, {})[map_key] = value
+            else:
+                grouped.setdefault(key, set()).add(value)
+        empty: Any = {} if info.is_vector else set()
+        key_column = _resolve_column(child.columns, info.key_column)
+        rows = []
+        for row in child.rows:
+            extended = dict(row)
+            extended[info.attribute] = grouped.get(row[key_column], empty)
+            rows.append(extended)
+        return _Relation(child.columns, rows)
+
+    # -- recommend -----------------------------------------------------------
+
+    def _eval_recommend(self, node: Recommend) -> _Relation:
+        target = self.evaluate(node.target)
+        reference = self.evaluate(node.reference)
+        columns = node.output_columns(self.database)
+        key = _resolve_column(target.columns, node.target_key)
+        exclude = None
+        if node.exclude_self is not None:
+            exclude = (
+                _resolve_column(target.columns, node.exclude_self[0]),
+                _resolve_column(reference.columns, node.exclude_self[1]),
+            )
+        comparator = node.comparator
+        scored: List[Dict[str, Any]] = []
+        for target_row in target.rows:
+            pair_scores: List[float] = []
+            for reference_row in reference.rows:
+                if exclude is not None:
+                    left = target_row[exclude[0]]
+                    right = reference_row[exclude[1]]
+                    if left is not None and left == right:
+                        continue
+                value = comparator.score(target_row, reference_row)
+                if value is not None:
+                    pair_scores.append(value)
+            if not pair_scores:
+                continue
+            out = dict(target_row)
+            out[node.score_column] = _aggregate(node.aggregate, pair_scores)
+            scored.append(out)
+        scored.sort(
+            key=lambda row: (
+                -row[node.score_column],
+                sort_key(row[key]),
+            )
+        )
+        if node.top_k is not None:
+            scored = scored[: node.top_k]
+        return _Relation(columns, scored)
+
+    # -- helpers -----------------------------------------------------------
+
+    def _condition(self, text: str):
+        expression = self._condition_cache.get(text)
+        if expression is None:
+            expression = parse_expression(text)
+            self._condition_cache[text] = expression
+        return expression
+
+    def _env(self, row: Mapping[str, Any]) -> Dict[str, Any]:
+        env: Dict[str, Any] = {"__functions__": self.database.functions}
+        for column, value in row.items():
+            env[column.lower()] = value
+        return env
+
+
+def _aggregate(name: str, values: List[float]):
+    if name == "max":
+        return max(values)
+    if name == "min":
+        return min(values)
+    if name == "sum":
+        return sum(values)
+    if name == "avg":
+        return sum(values) / len(values)
+    if name == "count":
+        return len(values)
+    raise ExecutionError(f"unknown aggregate {name!r}")  # pragma: no cover
+
+
+def _resolve_column(columns: List[str], name: str) -> str:
+    lowered = name.lower()
+    for column in columns:
+        if column.lower() == lowered:
+            return column
+    raise WorkflowValidationError(
+        f"unknown column {name!r}; available: {columns}"
+    )
+
+
+def _freeze(value: Any):
+    if isinstance(value, dict):
+        return tuple(sorted(value.items()))
+    if isinstance(value, set):
+        return frozenset(value)
+    return value

@@ -1,0 +1,181 @@
+"""Workflow optimization (Section 3.2's open question, answered).
+
+"How can we optimize the execution of workflows?" — with classical
+algebraic rewrites adapted to the FlexRecs operators.  All rules preserve
+the workflow's output exactly (tested by running optimized and
+unoptimized trees side by side):
+
+1. **Select merge** — σ_p1(σ_p2(R)) → σ_(p1 AND p2)(R): one pass instead
+   of two.
+2. **Select below Extend** — σ_p(ε(R)) → ε(σ_p(R)): extend attributes
+   are not visible to SQL predicates, so the filter can run before the
+   (expensive) vector/set attachment.
+3. **Select below Project** — σ_p(π_c(R)) → π_c(σ_p(R)) when every
+   column p references survives the projection.
+4. **Select into Recommend target** — σ_p(recommend(T, R)) →
+   recommend(σ_p(T), R) when p references only target columns (not the
+   score): each target is scored independently, so filtering first skips
+   scoring discarded tuples entirely.  This is the big win for stacked
+   workflows.
+5. **TopK fusion** — topk_k-by-score(recommend(...)) folds into the
+   recommend operator's own ``top_k`` (which the compiler turns into
+   ORDER BY ... LIMIT in the same statement).
+
+``optimize`` returns a new Workflow; the original is never mutated
+(operators are frozen dataclasses).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Set
+
+from repro.core.operators import (
+    Extend,
+    Join,
+    MaterializedSource,
+    Operator,
+    Project,
+    Recommend,
+    Select,
+    Source,
+    SqlSource,
+    TopK,
+)
+from repro.core.workflow import Workflow
+from repro.minidb.catalog import Database
+from repro.minidb.sql.parser import parse_expression
+
+
+def optimize(workflow: Workflow, database: Database) -> Workflow:
+    """Apply the rewrite rules bottom-up until a fixpoint."""
+    root = workflow.root
+    while True:
+        rewritten = _rewrite(root, database)
+        if rewritten is root:
+            break
+        root = rewritten
+    return Workflow(root, name=f"{workflow.name} (optimized)")
+
+
+def _condition_columns(condition: str) -> Set[str]:
+    """Lowercased column names a predicate string references."""
+    expression = parse_expression(condition)
+    return {
+        reference.split(".")[-1].lower()
+        for reference in expression.columns_referenced()
+    }
+
+
+def _rewrite(node: Operator, database: Database) -> Operator:
+    """One bottom-up rewriting pass; returns ``node`` itself if unchanged."""
+    rebuilt = _rewrite_children(node, database)
+    rewritten = _apply_rules(rebuilt, database)
+    if rewritten is rebuilt and rebuilt is node:
+        return node
+    return rewritten
+
+
+def _rewrite_children(node: Operator, database: Database) -> Operator:
+    if isinstance(node, (Source, SqlSource, MaterializedSource)):
+        return node
+    if isinstance(node, (Select, Project, TopK, Extend)):
+        child = _rewrite(node.child, database)
+        if child is node.child:
+            return node
+        return dataclasses.replace(node, child=child)
+    if isinstance(node, Join):
+        left = _rewrite(node.left, database)
+        right = _rewrite(node.right, database)
+        if left is node.left and right is node.right:
+            return node
+        return dataclasses.replace(node, left=left, right=right)
+    if isinstance(node, Recommend):
+        target = _rewrite(node.target, database)
+        reference = _rewrite(node.reference, database)
+        if target is node.target and reference is node.reference:
+            return node
+        return dataclasses.replace(node, target=target, reference=reference)
+    return node
+
+
+def _apply_rules(node: Operator, database: Database) -> Operator:
+    if isinstance(node, Select):
+        return _rewrite_select(node, database)
+    if isinstance(node, TopK):
+        return _rewrite_topk(node, database)
+    return node
+
+
+def _rewrite_select(node: Select, database: Database) -> Operator:
+    child = node.child
+    # Rule 1: merge adjacent selects.
+    if isinstance(child, Select):
+        merged = Select(
+            child.child, f"({child.condition}) AND ({node.condition})"
+        )
+        return _rewrite_select(merged, database)
+    # Rule 2: push below extend (predicates never see extend attributes).
+    if isinstance(child, Extend):
+        pushed = Extend(
+            _apply_rules(Select(child.child, node.condition), database),
+            child.info,
+        )
+        return pushed
+    # Rule 3: push below project when the predicate's columns survive.
+    if isinstance(child, Project):
+        kept = {column.lower() for column in child.columns}
+        if _condition_columns(node.condition) <= kept and not child.distinct:
+            return Project(
+                _apply_rules(Select(child.child, node.condition), database),
+                child.columns,
+                distinct=child.distinct,
+            )
+    # Rule 4: push into the recommend target when only target columns
+    # (not the score) are referenced.
+    if isinstance(child, Recommend):
+        target_columns = {
+            column.lower()
+            for column in child.target.output_columns(database)
+        }
+        referenced = _condition_columns(node.condition)
+        if (
+            referenced <= target_columns
+            and child.score_column.lower() not in referenced
+            # top_k truncates *after* scoring; filtering first would
+            # change which rows the cut keeps unless no cut exists.
+            and child.top_k is None
+        ):
+            return dataclasses.replace(
+                child,
+                target=_apply_rules(
+                    Select(child.target, node.condition), database
+                ),
+            )
+    return node
+
+
+def _rewrite_topk(node: TopK, database: Database) -> Operator:
+    child = node.child
+    # Rule 5: fold TopK-by-score into the recommend operator.
+    if (
+        isinstance(child, Recommend)
+        and node.descending
+        and node.by_column.lower() == child.score_column.lower()
+    ):
+        limit = node.k if child.top_k is None else min(node.k, child.top_k)
+        return dataclasses.replace(child, top_k=limit)
+    return node
+
+
+def describe_rewrites(
+    workflow: Workflow, database: Database
+) -> List[str]:
+    """Human-readable before/after trees (for EXPLAIN-style output)."""
+    optimized = optimize(workflow, database)
+    return [
+        "before:",
+        *("  " + line for line in workflow.explain().splitlines()),
+        "after:",
+        *("  " + line for line in optimized.explain().splitlines()),
+    ]

@@ -1,0 +1,203 @@
+"""Similarity measures used by the FlexRecs recommend operator.
+
+The paper: *"The operator may call upon functions in a library that
+implement common tasks for recommendations, such as computing the Jaccard
+or Pearson similarity of two sets of objects."*
+
+All functions return ``None`` (SQL NULL) when a similarity is undefined
+(empty overlap, zero variance, ...) so the direct execution path and the
+compiled-SQL path agree exactly: NULL pair scores are skipped by AVG/MAX
+aggregation in both worlds.
+
+Vector arguments are mappings (e.g. ``{course_id: rating}``); set
+arguments are Python sets.  Pairwise vector measures operate over the
+*co-rated* keys only — the standard convention for collaborative
+filtering, and the one the compiled SQL joins reproduce.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import AbstractSet, Dict, Hashable, Mapping, Optional, Sequence
+
+
+def jaccard(left: AbstractSet, right: AbstractSet) -> Optional[float]:
+    """|A ∩ B| / |A ∪ B|; None when both sets are empty."""
+    if not left and not right:
+        return None
+    intersection = len(left & right)
+    union = len(left) + len(right) - intersection
+    return intersection / union
+
+
+def overlap_coefficient(left: AbstractSet, right: AbstractSet) -> Optional[float]:
+    """|A ∩ B| / min(|A|, |B|); None when either set is empty."""
+    if not left or not right:
+        return None
+    return len(left & right) / min(len(left), len(right))
+
+
+def common_count(left: AbstractSet, right: AbstractSet) -> Optional[float]:
+    """|A ∩ B| as a float score; None when there is no overlap."""
+    intersection = len(left & right)
+    return float(intersection) if intersection else None
+
+
+def _corated(
+    left: Mapping[Hashable, float], right: Mapping[Hashable, float]
+) -> Sequence[Hashable]:
+    if len(left) > len(right):
+        left, right = right, left
+    return [key for key in left if key in right]
+
+
+def inverse_euclidean(
+    left: Mapping[Hashable, float], right: Mapping[Hashable, float]
+) -> Optional[float]:
+    """1 / (1 + Euclidean distance) over co-rated keys.
+
+    The comparator of the paper's Figure 5(b) lower recommend operator
+    ("similarity between students is computed by taking the inverse
+    Euclidean distance of their ratings").  None without co-rated keys.
+    """
+    keys = _corated(left, right)
+    if not keys:
+        return None
+    total = sum((left[key] - right[key]) ** 2 for key in keys)
+    return 1.0 / (1.0 + math.sqrt(total))
+
+
+def pearson(
+    left: Mapping[Hashable, float], right: Mapping[Hashable, float]
+) -> Optional[float]:
+    """Pearson correlation over co-rated keys.
+
+    None when fewer than two co-rated keys or when either side has zero
+    variance — exactly the cases where the compiled SQL's NULLIF guards
+    produce NULL.
+    """
+    keys = _corated(left, right)
+    n = len(keys)
+    if n < 2:
+        return None
+    sum_x = sum(left[key] for key in keys)
+    sum_y = sum(right[key] for key in keys)
+    sum_xy = sum(left[key] * right[key] for key in keys)
+    sum_xx = sum(left[key] * left[key] for key in keys)
+    sum_yy = sum(right[key] * right[key] for key in keys)
+    var_x = n * sum_xx - sum_x * sum_x
+    var_y = n * sum_yy - sum_y * sum_y
+    if var_x <= 0 or var_y <= 0:
+        return None
+    return (n * sum_xy - sum_x * sum_y) / (math.sqrt(var_x) * math.sqrt(var_y))
+
+
+def cosine(
+    left: Mapping[Hashable, float], right: Mapping[Hashable, float]
+) -> Optional[float]:
+    """Cosine similarity over co-rated keys (norms over the overlap).
+
+    Using overlap-restricted norms keeps the measure computable from the
+    same co-rated join the other vector measures compile to.
+    """
+    keys = _corated(left, right)
+    if not keys:
+        return None
+    dot = sum(left[key] * right[key] for key in keys)
+    norm_left = math.sqrt(sum(left[key] ** 2 for key in keys))
+    norm_right = math.sqrt(sum(right[key] ** 2 for key in keys))
+    if norm_left == 0 or norm_right == 0:
+        return None
+    return dot / (norm_left * norm_right)
+
+
+def numeric_closeness(
+    left: Optional[float], right: Optional[float], scale: float = 1.0
+) -> Optional[float]:
+    """1 / (1 + |a - b| / scale); None when either value is NULL.
+
+    SQL-inlinable — compiles to arithmetic inside the generated query.
+    Used e.g. for "students with similar grades" (GPA closeness).
+    """
+    if left is None or right is None:
+        return None
+    return 1.0 / (1.0 + abs(left - right) / scale)
+
+
+def equality_match(left, right) -> Optional[float]:
+    """1.0 when equal, 0.0 otherwise; None when either is NULL."""
+    if left is None or right is None:
+        return None
+    return 1.0 if left == right else 0.0
+
+
+def token_set(text: Optional[str]) -> frozenset:
+    """Lowercased word tokens of a string as a set (for text Jaccard)."""
+    if not text:
+        return frozenset()
+    return frozenset(
+        token for token in _split_words(text.lower()) if len(token) >= 2
+    )
+
+
+def _split_words(text: str):
+    word = []
+    for char in text:
+        if char.isalnum():
+            word.append(char)
+        elif word:
+            yield "".join(word)
+            word = []
+    if word:
+        yield "".join(word)
+
+
+def text_jaccard(left: Optional[str], right: Optional[str]) -> Optional[float]:
+    """Jaccard similarity of the word-token sets of two strings.
+
+    The comparator of Figure 5(a): "find courses with titles similar to
+    the indicated course".  None when either string is NULL/empty.
+    """
+    left_tokens = token_set(left)
+    right_tokens = token_set(right)
+    if not left_tokens or not right_tokens:
+        return None
+    return jaccard(left_tokens, right_tokens)
+
+
+def levenshtein(left: str, right: str) -> int:
+    """Classic edit distance (insert/delete/substitute, all cost 1)."""
+    if left == right:
+        return 0
+    if not left:
+        return len(right)
+    if not right:
+        return len(left)
+    previous = list(range(len(right) + 1))
+    for row, left_char in enumerate(left, start=1):
+        current = [row]
+        for column, right_char in enumerate(right, start=1):
+            cost = 0 if left_char == right_char else 1
+            current.append(
+                min(
+                    previous[column] + 1,  # delete
+                    current[column - 1] + 1,  # insert
+                    previous[column - 1] + cost,  # substitute
+                )
+            )
+        previous = current
+    return previous[-1]
+
+
+def levenshtein_similarity(
+    left: Optional[str], right: Optional[str]
+) -> Optional[float]:
+    """1 - edit_distance / max_length, case-insensitive; None on NULLs."""
+    if left is None or right is None:
+        return None
+    left_lower = left.lower()
+    right_lower = right.lower()
+    longest = max(len(left_lower), len(right_lower))
+    if longest == 0:
+        return None
+    return 1.0 - levenshtein(left_lower, right_lower) / longest

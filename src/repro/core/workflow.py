@@ -1,0 +1,186 @@
+"""Workflow objects: validation and the two execution paths.
+
+A :class:`Workflow` wraps an operator tree.  ``validate()`` type-checks
+the tree against a database's catalog (column existence, comparator
+attribute availability, aggregate names).  ``run(db)`` executes directly;
+``run_sql(db)`` compiles to SQL and executes that through the minidb SQL
+front end — the paper's deployment model.  Both return a
+:class:`Recommendation` holding dict-rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence
+
+from repro.errors import WorkflowValidationError
+from repro.core.library import Comparator
+from repro.core.operators import (
+    Extend,
+    Join,
+    Operator,
+    Project,
+    Recommend,
+    Select,
+    Source,
+    SqlSource,
+    TopK,
+)
+from repro.minidb.catalog import Database
+
+
+@dataclass
+class Recommendation:
+    """Materialized workflow output."""
+
+    columns: List[str]
+    rows: List[Dict[str, Any]]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[Dict[str, Any]]:
+        return iter(self.rows)
+
+    def column(self, name: str) -> List[Any]:
+        lowered = name.lower()
+        key = next(
+            (column for column in self.columns if column.lower() == lowered), None
+        )
+        if key is None:
+            raise WorkflowValidationError(f"no column {name!r} in recommendation")
+        return [row[key] for row in self.rows]
+
+    def top(self, k: int) -> List[Dict[str, Any]]:
+        return self.rows[:k]
+
+    def as_tuples(self, *names: str) -> List[tuple]:
+        return [tuple(row[name] for name in names) for row in self.rows]
+
+
+class Workflow:
+    """A named, validated recommendation strategy."""
+
+    def __init__(self, root: Operator, name: str = "workflow") -> None:
+        self.root = root
+        self.name = name
+
+    # -- validation --------------------------------------------------------
+
+    def validate(self, database: Database) -> List[str]:
+        """Validate the tree; returns the output columns.
+
+        Raises :class:`WorkflowValidationError` on structural problems:
+        unknown columns, comparator attributes that neither the columns
+        nor the extend metadata provide, bad aggregates, cycles cannot
+        occur (operators are immutable trees).
+        """
+        columns = self.root.output_columns(database)
+        self._validate_node(self.root, database)
+        return columns
+
+    def _validate_node(self, node: Operator, database: Database) -> None:
+        for child in node.children():
+            self._validate_node(child, database)
+        node.output_columns(database)  # raises on unknown columns
+        if isinstance(node, Recommend):
+            self._validate_recommend(node, database)
+
+    def _validate_recommend(self, node: Recommend, database: Database) -> None:
+        comparator = node.comparator
+        target_columns = {
+            c.lower() for c in node.target.output_columns(database)
+        }
+        reference_columns = {
+            c.lower() for c in node.reference.output_columns(database)
+        }
+        target_attrs = target_columns | {
+            info.attribute.lower()
+            for info in node.target.extend_infos(database)
+        }
+        reference_attrs = reference_columns | {
+            info.attribute.lower()
+            for info in node.reference.extend_infos(database)
+        }
+        if comparator.kind in ("scalar", "udf"):
+            needed_target = comparator.target_attribute.lower()
+            needed_reference = comparator.reference_attribute.lower()
+            if needed_target not in target_columns:
+                raise WorkflowValidationError(
+                    f"comparator needs target column "
+                    f"{comparator.target_attribute!r}"
+                )
+            if needed_reference not in reference_columns:
+                raise WorkflowValidationError(
+                    f"comparator needs reference column "
+                    f"{comparator.reference_attribute!r}"
+                )
+        elif comparator.kind in ("vector", "set"):
+            if comparator.target_attribute.lower() not in target_attrs:
+                raise WorkflowValidationError(
+                    f"comparator needs target attribute "
+                    f"{comparator.target_attribute!r} (add an Extend)"
+                )
+            if comparator.reference_attribute.lower() not in reference_attrs:
+                raise WorkflowValidationError(
+                    f"comparator needs reference attribute "
+                    f"{comparator.reference_attribute!r} (add an Extend)"
+                )
+        elif comparator.kind == "lookup":
+            if comparator.target_attribute.lower() not in target_columns:
+                raise WorkflowValidationError(
+                    f"lookup comparator needs target column "
+                    f"{comparator.target_attribute!r}"
+                )
+            if comparator.reference_attribute.lower() not in reference_attrs:
+                raise WorkflowValidationError(
+                    f"lookup comparator needs reference vector attribute "
+                    f"{comparator.reference_attribute!r} (add an Extend)"
+                )
+        else:
+            raise WorkflowValidationError(
+                f"unknown comparator kind {comparator.kind!r}"
+            )
+        if node.exclude_self is not None:
+            target_column, reference_column = node.exclude_self
+            if target_column.lower() not in target_columns:
+                raise WorkflowValidationError(
+                    f"exclude_self target column {target_column!r} unknown"
+                )
+            if reference_column.lower() not in reference_columns:
+                raise WorkflowValidationError(
+                    f"exclude_self reference column {reference_column!r} unknown"
+                )
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, database: Database) -> Recommendation:
+        """Direct in-memory evaluation (the reference semantics)."""
+        from repro.core.executor import execute_workflow
+
+        self.validate(database)
+        return execute_workflow(self, database)
+
+    def run_sql(self, database: Database) -> Recommendation:
+        """Compile to SQL and execute through the minidb SQL engine."""
+        from repro.core.compiler import compile_workflow
+
+        self.validate(database)
+        compiled = compile_workflow(self, database)
+        result = database.query(compiled.sql)
+        rows = [dict(zip(result.columns, row)) for row in result.rows]
+        return Recommendation(columns=list(result.columns), rows=rows)
+
+    def to_sql(self, database: Database) -> str:
+        """The SQL this workflow compiles to (for inspection/EXPLAIN)."""
+        from repro.core.compiler import compile_workflow
+
+        self.validate(database)
+        return compile_workflow(self, database).sql
+
+    def explain(self) -> str:
+        """Render the operator tree."""
+        return self.root.render_tree()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Workflow {self.name!r}>"

@@ -1,0 +1,85 @@
+"""CourseRank — the social system of the paper, assembled.
+
+The facade is :class:`CourseRank`; subsystems are importable directly for
+finer-grained use (each maps to a component of the paper's Figure 2):
+
+* :mod:`schema` / :mod:`models` — relations and typed row views;
+* :mod:`accounts` — the three constituencies and authorization;
+* :mod:`ratings` — comments, ratings, helpfulness votes;
+* :mod:`planner` — quarterly schedules, conflicts, GPAs, 4-year plans;
+* :mod:`requirements` — the Requirement Tracker and its rule DSL;
+* :mod:`forum` — Q&A with routing and FAQ seeding;
+* :mod:`incentives` — the point ledger;
+* :mod:`privacy` — grade-distribution k-anonymity and plan sharing;
+* :mod:`gradebook` — official vs self-reported distributions;
+* :mod:`cloudsearch` — course search + course clouds;
+* :mod:`recommendations` — FlexRecs strategies wired to the site.
+"""
+
+from repro.courserank.accounts import AccountManager, Role, User
+from repro.courserank.analytics import Analytics, DepartmentReport
+from repro.courserank.app import CourseRank
+from repro.courserank.cloudsearch import CourseCloudSearch
+from repro.courserank.forum import Forum
+from repro.courserank.gradebook import GradeBook
+from repro.courserank.incentives import IncentiveLedger, POINT_SCHEDULE
+from repro.courserank.models import (
+    Answer,
+    Comment,
+    Course,
+    Department,
+    GradeDistribution,
+    Offering,
+    PlanEntry,
+    Question,
+    RequirementStatus,
+    Student,
+)
+from repro.courserank.planner import Planner
+from repro.courserank.privacy import PrivacyGuard, PrivacyPolicy
+from repro.courserank.ratings import RatingsService
+from repro.courserank.recommendations import RecommendationService
+from repro.courserank.requirements import RequirementTracker, parse_rule
+from repro.courserank.schema import (
+    GRADE_BUCKETS,
+    GRADE_POINTS,
+    TERMS,
+    create_schema,
+    new_database,
+)
+
+__all__ = [
+    "AccountManager",
+    "Analytics",
+    "DepartmentReport",
+    "Role",
+    "User",
+    "CourseRank",
+    "CourseCloudSearch",
+    "Forum",
+    "GradeBook",
+    "IncentiveLedger",
+    "POINT_SCHEDULE",
+    "Answer",
+    "Comment",
+    "Course",
+    "Department",
+    "GradeDistribution",
+    "Offering",
+    "PlanEntry",
+    "Question",
+    "RequirementStatus",
+    "Student",
+    "Planner",
+    "PrivacyGuard",
+    "PrivacyPolicy",
+    "RatingsService",
+    "RecommendationService",
+    "RequirementTracker",
+    "parse_rule",
+    "GRADE_BUCKETS",
+    "GRADE_POINTS",
+    "TERMS",
+    "create_schema",
+    "new_database",
+]

@@ -1,0 +1,114 @@
+"""CourseCloud: wiring the search engine and data clouds to CourseRank.
+
+"In CourseRank, a data cloud is used to summarize the results of a
+keyword search for courses, and is called course cloud" (Section 3.1).
+This module owns the course search entity, the engine, the cloud builder,
+and refinement sessions, and resolves hits back to course rows.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.clouds.cloud import CloudBuilder, DataCloud
+from repro.clouds.refinement import RefinementSession
+from repro.minidb.catalog import Database
+from repro.search.engine import SearchEngine, SearchResult
+from repro.search.entity import EntityDefinition, course_entity
+
+
+class CourseCloudSearch:
+    """The course search + course cloud feature."""
+
+    def __init__(
+        self,
+        database: Database,
+        entity: Optional[EntityDefinition] = None,
+        ranker: str = "bm25",
+        scoring: str = "popularity",
+        strategy: str = "forward",
+        max_cloud_terms: int = 40,
+    ) -> None:
+        self.database = database
+        self.entity = entity or course_entity()
+        self.engine = SearchEngine(database, self.entity, ranker=ranker)
+        self.builder = CloudBuilder(
+            self.engine,
+            scoring=scoring,
+            strategy=strategy,
+            max_terms=max_cloud_terms,
+        )
+        self._built = False
+
+    def build(self) -> int:
+        """Index all courses; returns the number of entities indexed."""
+        indexed = self.engine.build()
+        self.builder.prepare()
+        self._built = True
+        return indexed
+
+    def ensure_built(self) -> None:
+        if not self._built:
+            self.build()
+
+    # -- one-shot search -----------------------------------------------------
+
+    def search(
+        self, query: str, limit: Optional[int] = None
+    ) -> Tuple[SearchResult, DataCloud]:
+        """Search courses and summarize the results with a course cloud."""
+        self.ensure_built()
+        result = self.engine.search(query, limit=None)
+        cloud = self.builder.build(result)
+        if limit is not None:
+            result.hits = result.hits[:limit]
+        return result, cloud
+
+    def count(self, query: str) -> int:
+        self.ensure_built()
+        return self.engine.count(query)
+
+    # -- refinement sessions ----------------------------------------------------
+
+    def session(self, query: str) -> RefinementSession:
+        """Start a click-to-refine session (Figures 3/4)."""
+        self.ensure_built()
+        return RefinementSession(self.engine, self.builder, query)
+
+    # -- hit resolution -----------------------------------------------------
+
+    def resolve_courses(
+        self,
+        result: SearchResult,
+        limit: int = 20,
+        with_snippets: bool = False,
+    ) -> List[dict]:
+        """Course rows (with department names) for the top hits, in rank order.
+
+        With ``with_snippets=True`` each row carries a ``snippet`` showing
+        the matched text with the query terms marked.
+        """
+        top = result.top(limit)
+        if not top:
+            return []
+        listed = ", ".join(str(hit.doc_id) for hit in top)
+        rows = self.database.query(
+            "SELECT c.CourseID, c.Title, c.Units, d.Name AS Department "
+            "FROM Courses c JOIN Departments d ON c.DepID = d.DepID "
+            f"WHERE c.CourseID IN ({listed})"
+        ).to_dicts()
+        by_id: Dict[Any, dict] = {row["CourseID"]: row for row in rows}
+        resolved = []
+        for hit in top:
+            row = by_id.get(hit.doc_id)
+            if row is not None:
+                entry = dict(row)
+                entry["score"] = hit.score
+                if with_snippets:
+                    from repro.search.snippets import best_snippet
+
+                    entry["snippet"] = best_snippet(
+                        self.engine, hit.doc_id, result.terms
+                    )
+                resolved.append(entry)
+        return resolved

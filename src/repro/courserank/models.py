@@ -1,0 +1,165 @@
+"""Typed views over CourseRank rows.
+
+The storage layer deals in tuples/dicts; the application facade returns
+these lightweight dataclasses so callers get attribute access and doc
+comments instead of positional indexing.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Department:
+    dep_id: int
+    name: str
+    school: Optional[str] = None
+    releases_official_grades: bool = False
+
+
+@dataclass(frozen=True)
+class Course:
+    course_id: int
+    dep_id: int
+    title: str
+    description: Optional[str] = None
+    units: Optional[int] = None
+    url: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class Student:
+    suid: int
+    name: str
+    class_year: Optional[int] = None
+    major: Optional[str] = None
+    gpa: Optional[float] = None
+
+
+@dataclass(frozen=True)
+class Comment:
+    suid: int
+    course_id: int
+    year: Optional[int]
+    term: Optional[str]
+    text: Optional[str]
+    rating: Optional[float]
+    comment_date: Optional[datetime.date] = None
+    helpful_votes: int = 0
+    unhelpful_votes: int = 0
+
+    @property
+    def helpfulness(self) -> float:
+        """Fraction of votes marking the comment helpful (0.5 if unvoted)."""
+        total = self.helpful_votes + self.unhelpful_votes
+        if total == 0:
+            return 0.5
+        return self.helpful_votes / total
+
+
+@dataclass(frozen=True)
+class Offering:
+    course_id: int
+    year: int
+    term: str
+    days: Optional[str] = None  # e.g. "MWF"
+    start_minute: Optional[int] = None  # minutes from midnight
+    end_minute: Optional[int] = None
+
+    def overlaps(self, other: "Offering") -> bool:
+        """True when two offerings meet at an overlapping day/time."""
+        if self.year != other.year or self.term != other.term:
+            return False
+        if not (self.days and other.days):
+            return False
+        if not (set(self.days) & set(other.days)):
+            return False
+        if None in (
+            self.start_minute,
+            self.end_minute,
+            other.start_minute,
+            other.end_minute,
+        ):
+            return False
+        return (
+            self.start_minute < other.end_minute
+            and other.start_minute < self.end_minute
+        )
+
+
+@dataclass(frozen=True)
+class PlanEntry:
+    suid: int
+    course_id: int
+    year: int
+    term: str
+    shared: bool = True
+
+
+@dataclass(frozen=True)
+class GradeDistribution:
+    """A per-course grade histogram with its provenance."""
+
+    course_id: int
+    counts: Dict[str, int]  # bucket -> count
+    source: str  # "official" | "self-reported"
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def fractions(self) -> Dict[str, float]:
+        total = self.total
+        if total == 0:
+            return {bucket: 0.0 for bucket in self.counts}
+        return {bucket: count / total for bucket, count in self.counts.items()}
+
+    def mean_points(self) -> Optional[float]:
+        from repro.courserank.schema import GRADE_POINTS
+
+        total = self.total
+        if total == 0:
+            return None
+        weighted = sum(
+            GRADE_POINTS[bucket] * count
+            for bucket, count in self.counts.items()
+            if bucket in GRADE_POINTS
+        )
+        return weighted / total
+
+
+@dataclass(frozen=True)
+class Question:
+    question_id: int
+    asker_id: Optional[int]
+    text: str
+    course_id: Optional[int] = None
+    dep_id: Optional[int] = None
+    ask_date: Optional[datetime.date] = None
+    official: bool = False
+
+
+@dataclass(frozen=True)
+class Answer:
+    answer_id: int
+    question_id: int
+    author_id: Optional[int]
+    text: str
+    answer_date: Optional[datetime.date] = None
+    best: bool = False
+
+
+@dataclass(frozen=True)
+class RequirementStatus:
+    """Outcome of checking one program requirement for a student."""
+
+    req_id: int
+    name: str
+    satisfied: bool
+    missing: Tuple[str, ...] = ()  # human-readable gaps
+
+    def __bool__(self) -> bool:
+        return self.satisfied

@@ -1,0 +1,191 @@
+"""FlexRecs wiring: the recommendation feature of the site.
+
+"FlexRecs lets us experiment with different recommendation strategies
+(workflows), and offer users options for personalizing recommendations"
+(Section 3.2).  This module is the *site administrator* surface: a
+registry of named strategies (the prebuilt ones plus any custom workflow
+factory the administrator registers), per-user personalization
+parameters, an execution-path switch (direct vs compiled SQL), and the
+post-filter removing courses the student already took.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import FlexRecsError
+from repro.core import strategies
+from repro.core.workflow import Recommendation, Workflow
+from repro.minidb.catalog import Database
+
+StrategyFactory = Callable[..., Workflow]
+
+#: strategies available out of the box, keyed by the name users pick
+DEFAULT_STRATEGIES: Dict[str, StrategyFactory] = {
+    "related_courses": strategies.related_courses,
+    "collaborative_filtering": strategies.collaborative_filtering,
+    "collaborative_filtering_fresh": strategies.collaborative_filtering_fresh,
+    "similar_grade_students": strategies.similar_grade_students,
+    "grade_based_filtering": strategies.grade_based_filtering,
+    "similar_students_pearson": strategies.similar_students_pearson,
+    "recommended_majors": strategies.recommended_majors,
+    "recommended_quarters": strategies.recommended_quarters,
+    "courses_taken_together": strategies.courses_taken_together,
+}
+
+
+class RecommendationService:
+    """Executes named recommendation strategies for users."""
+
+    def __init__(
+        self,
+        database: Database,
+        use_compiled_sql: bool = True,
+    ) -> None:
+        self.database = database
+        self.use_compiled_sql = use_compiled_sql
+        self._registry: Dict[str, StrategyFactory] = dict(DEFAULT_STRATEGIES)
+
+    # -- administrator surface ----------------------------------------------
+
+    def register(self, name: str, factory: StrategyFactory) -> None:
+        """Register a custom strategy (the FlexRecs admin tool)."""
+        if not callable(factory):
+            raise FlexRecsError("strategy factory must be callable")
+        self._registry[name] = factory
+
+    def register_dsl(self, name: str, text: str) -> Workflow:
+        """Register a strategy written in the textual workflow language.
+
+        The text may contain ``{param}`` placeholders filled from the
+        keyword arguments at run time, e.g. ``filter [SuID = {student_id}]``.
+        The workflow is validated once now (with placeholders filled by
+        ``0``) so syntax errors surface at registration.
+        """
+        from repro.core.dsl import parse_workflow
+
+        class _Probe(dict):
+            def __missing__(self, key):
+                return "1"  # valid for ids, counts, and top-k alike
+
+        probe = parse_workflow(text.format_map(_Probe()), name=name)
+        probe.validate(self.database)
+
+        def factory(**params: Any) -> Workflow:
+            return parse_workflow(text.format(**params), name=name)
+
+        self._registry[name] = factory
+        return probe
+
+    def available(self) -> List[str]:
+        return sorted(self._registry)
+
+    def build(self, name: str, **params: Any) -> Workflow:
+        factory = self._registry.get(name)
+        if factory is None:
+            raise FlexRecsError(
+                f"unknown strategy {name!r}; available: {self.available()}"
+            )
+        return factory(**params)
+
+    # -- execution ------------------------------------------------------------
+
+    def run(
+        self,
+        name: str,
+        path: Optional[str] = None,
+        optimize: bool = False,
+        **params: Any,
+    ) -> Recommendation:
+        """Run a strategy.
+
+        ``path`` forces 'direct', 'sql' (one compiled statement), or
+        'staged' (a sequence of SQL calls with temp tables).
+        ``optimize=True`` applies the algebraic rewriter first.
+        """
+        workflow = self.build(name, **params)
+        return self.run_workflow(workflow, path=path, optimize=optimize)
+
+    def run_workflow(
+        self,
+        workflow: Workflow,
+        path: Optional[str] = None,
+        optimize: bool = False,
+    ) -> Recommendation:
+        if optimize:
+            from repro.core.optimizer import optimize as rewrite
+
+            workflow = rewrite(workflow, self.database)
+        if path is None:
+            path = "sql" if self.use_compiled_sql else "direct"
+        if path == "sql":
+            return workflow.run_sql(self.database)
+        if path == "direct":
+            return workflow.run(self.database)
+        if path == "staged":
+            from repro.core.staged import run_staged
+
+            workflow.validate(self.database)
+            return run_staged(workflow, self.database)
+        raise FlexRecsError(f"unknown execution path {path!r}")
+
+    # -- course recommendation post-processing --------------------------------
+
+    def courses_for_student(
+        self,
+        suid: int,
+        strategy: str = "collaborative_filtering",
+        top_k: int = 10,
+        exclude_taken: bool = True,
+        path: Optional[str] = None,
+        **params: Any,
+    ) -> Recommendation:
+        """Course recommendations with the already-taken filter applied.
+
+        "If a course A has as a prerequisite a course B, then A should
+        not be recommended independently" — we additionally flag rows
+        whose prerequisites the student has not completed.
+        """
+        params.setdefault("student_id", suid)
+        params.setdefault("top_k", top_k + 50 if exclude_taken else top_k)
+        recommendation = self.run(strategy, path=path, **params)
+        if "CourseID" not in recommendation.columns:
+            return recommendation
+        taken = set(
+            self.database.query(
+                f"SELECT CourseID FROM Enrollments WHERE SuID = {suid}"
+            ).column("CourseID")
+        )
+        prereqs = self._prerequisites_of(
+            [row["CourseID"] for row in recommendation.rows]
+        )
+        rows = []
+        for row in recommendation.rows:
+            course_id = row["CourseID"]
+            if exclude_taken and course_id in taken:
+                continue
+            missing = [
+                prereq
+                for prereq in prereqs.get(course_id, ())
+                if prereq not in taken
+            ]
+            annotated = dict(row)
+            annotated["missing_prerequisites"] = missing
+            rows.append(annotated)
+            if len(rows) >= top_k:
+                break
+        columns = list(recommendation.columns) + ["missing_prerequisites"]
+        return Recommendation(columns=columns, rows=rows)
+
+    def _prerequisites_of(self, course_ids: List[int]) -> Dict[int, List[int]]:
+        if not course_ids:
+            return {}
+        listed = ", ".join(str(course_id) for course_id in set(course_ids))
+        rows = self.database.query(
+            "SELECT CourseID, PrereqID FROM Prerequisites "
+            f"WHERE CourseID IN ({listed})"
+        ).rows
+        grouped: Dict[int, List[int]] = {}
+        for course_id, prereq in rows:
+            grouped.setdefault(course_id, []).append(prereq)
+        return grouped

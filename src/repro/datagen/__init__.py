@@ -1,0 +1,30 @@
+"""Synthetic university data (the paper's Stanford-registry substitution).
+
+Deterministic, seeded generation of the complete CourseRank dataset:
+catalog (departments, courses, instructors, offerings with meeting times,
+prerequisites, textbooks, program requirements) and population (students,
+accounts, enrollments with grades, comments, ratings, plans, official
+grade histograms, forum questions).
+
+The ``full`` preset reproduces the paper's September-2008 statistics:
+18,605 courses, 134,000 comments, 50,300 ratings, 9,000 registered
+students of ~14,000.
+"""
+
+from repro.datagen.catalog import GeneratedCatalog, GeneratedCourse, generate_catalog
+from repro.datagen.config import SCALES, ScaleConfig, get_scale
+from repro.datagen.population import GeneratedPopulation, generate_population
+from repro.datagen.university import GenerationReport, generate_university
+
+__all__ = [
+    "GeneratedCatalog",
+    "GeneratedCourse",
+    "generate_catalog",
+    "SCALES",
+    "ScaleConfig",
+    "get_scale",
+    "GeneratedPopulation",
+    "generate_population",
+    "GenerationReport",
+    "generate_university",
+]

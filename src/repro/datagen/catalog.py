@@ -1,0 +1,269 @@
+"""Generation of the official-data side: the course catalog.
+
+Produces departments, courses (with themed titles/descriptions),
+instructors and teaching assignments, offerings with meeting times,
+acyclic prerequisites, textbooks, and program requirements — the data
+CourseRank gets "from the university" rather than from users.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.courserank.schema import TERMS
+from repro.datagen.config import ScaleConfig
+from repro.datagen.vocab import (
+    DESCRIPTION_PATTERNS,
+    FIRST_NAMES,
+    LAST_NAMES,
+    TEXTBOOK_PATTERNS,
+    TITLE_PATTERNS,
+    DepartmentTheme,
+    synthesize_departments,
+)
+from repro.minidb.catalog import Database
+
+
+@dataclass
+class GeneratedCourse:
+    """Catalog-side metadata kept for the population generator."""
+
+    course_id: int
+    dep_id: int
+    title: str
+    topics: Tuple[str, ...]  # the topic phrases woven into this course
+    units: int
+    easiness: float  # 0..1, drives grade distributions
+    quality: float  # 0..1, drives ratings
+    school: str
+
+
+@dataclass
+class GeneratedCatalog:
+    """Everything downstream generators need about the catalog."""
+
+    departments: List[Tuple[int, DepartmentTheme]]
+    courses: List[GeneratedCourse]
+    courses_by_department: Dict[int, List[GeneratedCourse]]
+    offering_slots: Dict[int, List[Tuple[int, str]]]  # course -> (year, term)
+
+
+def _course_counts(total: int, departments: int, rng: random.Random) -> List[int]:
+    """Distribute ``total`` courses over departments, roughly 0.5x-1.5x even."""
+    base = total // departments
+    counts = []
+    remaining = total
+    for index in range(departments):
+        if index == departments - 1:
+            counts.append(remaining)
+            break
+        low = max(1, int(base * 0.5))
+        high = max(low + 1, int(base * 1.5))
+        count = min(remaining - (departments - index - 1), rng.randint(low, high))
+        count = max(1, count)
+        counts.append(count)
+        remaining -= count
+    return counts
+
+
+def generate_catalog(
+    database: Database, config: ScaleConfig, rng: random.Random
+) -> GeneratedCatalog:
+    """Populate catalog relations; returns metadata for the population step."""
+    themes = synthesize_departments(config.departments)
+    departments_table = database.table("Departments")
+    departments: List[Tuple[int, DepartmentTheme]] = []
+    for dep_id, theme in enumerate(themes, start=1):
+        departments_table.insert(
+            [dep_id, theme.name, theme.school, theme.school == "Engineering"]
+        )
+        departments.append((dep_id, theme))
+
+    counts = _course_counts(config.courses, config.departments, rng)
+    courses_table = database.table("Courses")
+    courses: List[GeneratedCourse] = []
+    by_department: Dict[int, List[GeneratedCourse]] = {}
+    course_id = 0
+    for (dep_id, theme), count in zip(departments, counts):
+        for _ in range(count):
+            course_id += 1
+            main_topic = rng.choice(theme.topics)
+            extra = [rng.choice(theme.topics) for _ in range(2)]
+            pattern = rng.choice(TITLE_PATTERNS)
+            title = pattern.format(topic=main_topic.title())
+            description = rng.choice(DESCRIPTION_PATTERNS).format(
+                a=main_topic, b=extra[0], c=extra[1]
+            )
+            units = rng.choice((1, 2, 3, 3, 4, 4, 5, 5))
+            course = GeneratedCourse(
+                course_id=course_id,
+                dep_id=dep_id,
+                title=title,
+                topics=(main_topic, extra[0], extra[1]),
+                units=units,
+                easiness=rng.uniform(0.2, 0.9),
+                quality=rng.uniform(0.3, 0.95),
+                school=theme.school,
+            )
+            courses_table.insert(
+                [
+                    course_id,
+                    dep_id,
+                    title,
+                    description,
+                    units,
+                    f"http://courses.example.edu/{course_id}",
+                ]
+            )
+            courses.append(course)
+            by_department.setdefault(dep_id, []).append(course)
+
+    _generate_instructors(database, departments, by_department, config, rng)
+    offering_slots = _generate_offerings(database, courses, config, rng)
+    _generate_prerequisites(database, by_department, config, rng)
+    _generate_textbooks(database, courses, config, rng)
+    _generate_requirements(database, by_department, rng)
+
+    return GeneratedCatalog(
+        departments=departments,
+        courses=courses,
+        courses_by_department=by_department,
+        offering_slots=offering_slots,
+    )
+
+
+def _generate_instructors(
+    database: Database,
+    departments: Sequence[Tuple[int, DepartmentTheme]],
+    by_department: Dict[int, List[GeneratedCourse]],
+    config: ScaleConfig,
+    rng: random.Random,
+) -> None:
+    instructors_table = database.table("Instructors")
+    teaches_table = database.table("Teaches")
+    instructor_id = 0
+    for dep_id, _theme in departments:
+        local: List[int] = []
+        for _ in range(config.instructors_per_department):
+            instructor_id += 1
+            name = (
+                f"Prof. {rng.choice(FIRST_NAMES)} {rng.choice(LAST_NAMES)}"
+            )
+            instructors_table.insert([instructor_id, name, dep_id])
+            local.append(instructor_id)
+        # Every course gets 1-2 instructors from its department.
+        for course in by_department.get(dep_id, ()):
+            chosen = rng.sample(local, k=min(len(local), rng.choice((1, 1, 2))))
+            for teacher in chosen:
+                teaches_table.insert([teacher, course.course_id])
+
+
+_DAY_PATTERNS = ("MWF", "TTh", "MW", "F")
+_START_HOURS = tuple(range(8, 17))
+
+
+def _generate_offerings(
+    database: Database,
+    courses: Sequence[GeneratedCourse],
+    config: ScaleConfig,
+    rng: random.Random,
+) -> Dict[int, List[Tuple[int, str]]]:
+    offerings_table = database.table("Offerings")
+    slots: Dict[int, List[Tuple[int, str]]] = {}
+    years = tuple(config.years) + (config.plan_year,)
+    for course in courses:
+        course_slots: List[Tuple[int, str]] = []
+        for year in years:
+            terms = rng.sample(TERMS[:3], k=rng.choice((1, 1, 2)))
+            for term in terms:
+                days = rng.choice(_DAY_PATTERNS)
+                start = rng.choice(_START_HOURS) * 60 + rng.choice((0, 30))
+                duration = rng.choice((50, 80, 110))
+                offerings_table.insert(
+                    [course.course_id, year, term, days, start, start + duration]
+                )
+                course_slots.append((year, term))
+        slots[course.course_id] = course_slots
+    return slots
+
+
+def _generate_prerequisites(
+    database: Database,
+    by_department: Dict[int, List[GeneratedCourse]],
+    config: ScaleConfig,
+    rng: random.Random,
+) -> None:
+    """Prerequisites within a department, acyclic by id ordering."""
+    table = database.table("Prerequisites")
+    for courses in by_department.values():
+        for position, course in enumerate(courses):
+            if position == 0:
+                continue
+            if rng.random() < config.prerequisite_fraction:
+                prereq = rng.choice(courses[:position])
+                table.insert([course.course_id, prereq.course_id])
+
+
+def _generate_textbooks(
+    database: Database,
+    courses: Sequence[GeneratedCourse],
+    config: ScaleConfig,
+    rng: random.Random,
+) -> None:
+    textbooks_table = database.table("Textbooks")
+    link_table = database.table("CourseTextbooks")
+    textbook_id = 0
+    for course in courses:
+        if rng.random() >= config.textbook_fraction:
+            continue
+        for _ in range(rng.choice((1, 1, 2))):
+            textbook_id += 1
+            title = rng.choice(TEXTBOOK_PATTERNS).format(
+                topic=rng.choice(course.topics).title()
+            )
+            author = f"{rng.choice(FIRST_NAMES)} {rng.choice(LAST_NAMES)}"
+            textbooks_table.insert(
+                [textbook_id, f"{title} #{textbook_id}", author]
+            )
+            link_table.insert([course.course_id, textbook_id, None])
+
+
+def _generate_requirements(
+    database: Database,
+    by_department: Dict[int, List[GeneratedCourse]],
+    rng: random.Random,
+) -> None:
+    """2-3 requirements per department over its own courses."""
+    from repro.courserank.requirements import RequirementTracker
+
+    tracker = RequirementTracker(database)
+    for dep_id, courses in by_department.items():
+        ids = [course.course_id for course in courses]
+        if len(ids) < 4:
+            core = ids[: max(1, len(ids) // 2)]
+            tracker.define(
+                dep_id,
+                "Core sequence",
+                f"ALL({', '.join(str(i) for i in core)})",
+            )
+            continue
+        core = ids[:2]
+        elective_pool = ids[2 : min(len(ids), 8)]
+        tracker.define(
+            dep_id,
+            "Core sequence",
+            f"ALL({', '.join(str(i) for i in core)})",
+        )
+        tracker.define(
+            dep_id,
+            "Electives",
+            f"ATLEAST(2, {', '.join(str(i) for i in elective_pool)})",
+        )
+        total_units = rng.choice((12, 15, 18))
+        tracker.define(
+            dep_id,
+            "Unit minimum",
+            f"DEPUNITS({total_units}, {dep_id})",
+        )

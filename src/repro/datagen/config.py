@@ -1,0 +1,126 @@
+"""Scale presets for the synthetic university.
+
+``full`` reproduces the operational statistics the paper reports for
+September 2008: 18,605 courses, 134,000 comments, over 50,300 ratings,
+about 14,000 students of whom more than 9,000 use the site (the vast
+majority undergraduates, of ~6,500 total undergrads).
+
+Smaller presets keep the same proportions so experiment *shapes* hold at
+test-friendly sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.errors import DataGenError
+
+
+@dataclass(frozen=True)
+class ScaleConfig:
+    """All knobs of one generation run."""
+
+    name: str
+    departments: int
+    courses: int
+    students: int
+    registered_users: int  # students holding accounts
+    faculty_users: int
+    staff_users: int
+    comments: int
+    ratings: int  # comments that carry a numeric rating
+    years: Tuple[int, ...] = (2007, 2008)
+    plan_year: int = 2009  # future year plans target
+    instructors_per_department: int = 6
+    textbook_fraction: float = 0.4
+    prerequisite_fraction: float = 0.3
+    plan_courses_per_user: int = 4
+    plan_shared_probability: float = 0.92
+    question_fraction: float = 0.01  # of registered users, pre-seeded
+    official_grade_multiplier: float = 1.6  # official class size vs reporters
+    # "closed" (the CourseRank model) or "open" (simulates an anonymous
+    # public site: a fraction of comments are spam/low-effort and their
+    # ratings are extreme and uncorrelated with course quality).
+    community: str = "closed"
+    open_spam_fraction: float = 0.35
+
+    def __post_init__(self) -> None:
+        if self.community not in ("closed", "open"):
+            raise DataGenError(
+                f"community must be 'closed' or 'open', got {self.community!r}"
+            )
+        if self.ratings > self.comments:
+            raise DataGenError("ratings cannot exceed comments")
+        if self.registered_users > self.students:
+            raise DataGenError("registered users cannot exceed students")
+        if self.courses < self.departments:
+            raise DataGenError("need at least one course per department")
+        for count in (
+            self.departments,
+            self.courses,
+            self.students,
+            self.registered_users,
+        ):
+            if count <= 0:
+                raise DataGenError("counts must be positive")
+
+
+SCALES: Dict[str, ScaleConfig] = {
+    "tiny": ScaleConfig(
+        name="tiny",
+        departments=4,
+        courses=48,
+        students=30,
+        registered_users=24,
+        faculty_users=4,
+        staff_users=2,
+        comments=150,
+        ratings=100,
+    ),
+    "small": ScaleConfig(
+        name="small",
+        departments=10,
+        courses=400,
+        students=250,
+        registered_users=180,
+        faculty_users=12,
+        staff_users=4,
+        comments=1400,
+        ratings=800,
+    ),
+    "medium": ScaleConfig(
+        name="medium",
+        departments=24,
+        courses=2400,
+        students=1600,
+        registered_users=1100,
+        faculty_users=40,
+        staff_users=10,
+        comments=11000,
+        ratings=4800,
+    ),
+    "full": ScaleConfig(
+        name="full",
+        departments=64,
+        courses=18605,
+        students=14000,
+        registered_users=9000,
+        faculty_users=300,
+        staff_users=60,
+        comments=134000,
+        ratings=50300,
+    ),
+}
+
+
+def get_scale(scale) -> ScaleConfig:
+    """Resolve a preset name or pass a ScaleConfig through."""
+    if isinstance(scale, ScaleConfig):
+        return scale
+    try:
+        return SCALES[scale]
+    except KeyError:
+        raise DataGenError(
+            f"unknown scale {scale!r}; presets: {sorted(SCALES)}"
+        ) from None

@@ -1,0 +1,457 @@
+"""Generation of the user-contributed side: the campus population.
+
+Students (with majors and class years), user accounts for the three
+constituencies, enrollments with self-reported grades (Zipfian course
+popularity, major-biased course choice), comments and ratings hitting the
+configured totals exactly, four-year-plan entries with the sharing flag,
+official grade distributions for the Engineering school (correlated with
+the self-reported ones, as the paper observes), and a trickle of forum
+questions (the paper: the forum had little traffic).
+"""
+
+from __future__ import annotations
+
+import datetime
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.courserank.schema import GRADE_BUCKETS, GRADE_POINTS
+from repro.datagen.catalog import GeneratedCatalog, GeneratedCourse
+from repro.datagen.config import ScaleConfig
+from repro.datagen.vocab import (
+    COMMENT_TEMPLATES,
+    FIRST_NAMES,
+    LAST_NAMES,
+    LOAD_WORDS,
+    QUALITY_WORDS,
+    SPAM_TEMPLATES,
+)
+from repro.minidb.catalog import Database
+
+
+@dataclass
+class GeneratedPopulation:
+    """Metadata about the generated population (for reports/tests)."""
+
+    student_ids: List[int]
+    registered_student_ids: List[int]
+    enrollment_count: int
+    comment_count: int
+    rating_count: int
+
+
+def generate_population(
+    database: Database,
+    catalog: GeneratedCatalog,
+    config: ScaleConfig,
+    rng: random.Random,
+) -> GeneratedPopulation:
+    students = _generate_students(database, catalog, config, rng)
+    registered = students[: config.registered_users]
+    _generate_users(database, catalog, config, rng, registered)
+    enrollments = _generate_enrollments(
+        database, catalog, config, rng, students, set(registered)
+    )
+    comment_count, rating_count = _generate_comments(
+        database, catalog, config, rng, enrollments, registered
+    )
+    _update_gpas(database, catalog, enrollments)
+    _generate_plans(database, catalog, config, rng, registered, enrollments)
+    _generate_official_grades(database, catalog, config, rng, enrollments)
+    _generate_questions(database, catalog, config, rng, registered)
+    return GeneratedPopulation(
+        student_ids=students,
+        registered_student_ids=registered,
+        enrollment_count=sum(len(rows) for rows in enrollments.values()),
+        comment_count=comment_count,
+        rating_count=rating_count,
+    )
+
+
+# ---------------------------------------------------------------------------
+# students & users
+# ---------------------------------------------------------------------------
+
+
+def _generate_students(
+    database: Database,
+    catalog: GeneratedCatalog,
+    config: ScaleConfig,
+    rng: random.Random,
+) -> List[int]:
+    table = database.table("Students")
+    department_names = {
+        dep_id: theme.name for dep_id, theme in catalog.departments
+    }
+    dep_ids = list(department_names)
+    student_ids = []
+    for suid in range(1, config.students + 1):
+        name = (
+            f"{rng.choice(FIRST_NAMES)} {rng.choice(LAST_NAMES)} {suid}"
+        )
+        class_year = rng.choice((2009, 2010, 2011, 2012))
+        major = department_names[rng.choice(dep_ids)]
+        table.insert([suid, name, class_year, major, None])
+        student_ids.append(suid)
+    return student_ids
+
+
+def _generate_users(
+    database: Database,
+    catalog: GeneratedCatalog,
+    config: ScaleConfig,
+    rng: random.Random,
+    registered: Sequence[int],
+) -> None:
+    table = database.table("Users")
+    user_id = 0
+    for suid in registered:
+        user_id += 1
+        table.insert([user_id, f"student{suid}", "student", suid])
+    instructor_ids = [
+        row[0] for row in database.table("Instructors").rows()
+    ]
+    for instructor_id in instructor_ids[: config.faculty_users]:
+        user_id += 1
+        table.insert(
+            [user_id, f"faculty{instructor_id}", "faculty", instructor_id]
+        )
+    for index in range(config.staff_users):
+        user_id += 1
+        table.insert([user_id, f"staff{index + 1}", "staff", None])
+
+
+# ---------------------------------------------------------------------------
+# enrollments
+# ---------------------------------------------------------------------------
+
+
+def _zipf_weights(count: int) -> List[float]:
+    return [1.0 / (rank + 1) for rank in range(count)]
+
+
+def _grade_for(easiness: float, rng: random.Random) -> Optional[str]:
+    """Draw a letter grade; easier courses skew toward A."""
+    roll = rng.random()
+    a_cut = 0.25 + 0.5 * easiness
+    b_cut = a_cut + 0.30
+    c_cut = b_cut + 0.15
+    d_cut = c_cut + 0.05
+    if roll < a_cut:
+        return "A"
+    if roll < b_cut:
+        return "B"
+    if roll < c_cut:
+        return "C"
+    if roll < d_cut:
+        return "D"
+    return "F"
+
+
+def _generate_enrollments(
+    database: Database,
+    catalog: GeneratedCatalog,
+    config: ScaleConfig,
+    rng: random.Random,
+    students: Sequence[int],
+    registered: Set[int],
+) -> Dict[int, List[Tuple[GeneratedCourse, int, str, Optional[str]]]]:
+    """Per-student enrollments: course, year, term, grade."""
+    table = database.table("Enrollments")
+    department_of_major = {
+        theme.name: dep_id for dep_id, theme in catalog.departments
+    }
+    all_courses = catalog.courses
+    global_weights = _zipf_weights(len(all_courses))
+    comments_per_user = max(1, config.comments // max(1, config.registered_users))
+    by_student: Dict[int, List[Tuple[GeneratedCourse, int, str, Optional[str]]]] = {}
+    students_rows = {
+        row[0]: row for row in database.table("Students").rows()
+    }
+    for suid in students:
+        is_registered = suid in registered
+        want = (
+            comments_per_user + rng.randint(3, 8)
+            if is_registered
+            else rng.randint(2, 6)
+        )
+        major_name = students_rows[suid][3]
+        major_dep = department_of_major.get(major_name)
+        major_courses = catalog.courses_by_department.get(major_dep, [])
+        chosen: Dict[int, GeneratedCourse] = {}
+        attempts = 0
+        while len(chosen) < want and attempts < want * 6:
+            attempts += 1
+            if major_courses and rng.random() < 0.7:
+                weights = _zipf_weights(len(major_courses))
+                course = rng.choices(major_courses, weights=weights, k=1)[0]
+            else:
+                course = rng.choices(all_courses, weights=global_weights, k=1)[0]
+            chosen[course.course_id] = course
+        rows = []
+        for course in chosen.values():
+            slots = [
+                (year, term)
+                for year, term in catalog.offering_slots[course.course_id]
+                if year in config.years
+            ]
+            if not slots:
+                continue
+            year, term = rng.choice(slots)
+            grade = _grade_for(course.easiness, rng)
+            table.insert([suid, course.course_id, year, term, grade])
+            rows.append((course, year, term, grade))
+        by_student[suid] = rows
+    return by_student
+
+
+def _update_gpas(
+    database: Database,
+    catalog: GeneratedCatalog,
+    enrollments: Dict[int, List[Tuple[GeneratedCourse, int, str, Optional[str]]]],
+) -> None:
+    """Set Students.GPA to the unit-weighted GPA of the enrollments."""
+    gpas: Dict[int, Optional[float]] = {}
+    for suid, rows in enrollments.items():
+        points = 0.0
+        units = 0
+        for course, _year, _term, grade in rows:
+            if grade in GRADE_POINTS:
+                weight = course.units or 1
+                points += GRADE_POINTS[grade] * weight
+                units += weight
+        gpas[suid] = round(points / units, 4) if units else None
+    table = database.table("Students")
+    for rowid, row in list(table.rows_with_ids()):
+        gpa = gpas.get(row[0])
+        if gpa is not None:
+            table.update_rowid(rowid, (row[0], row[1], row[2], row[3], gpa))
+
+
+# ---------------------------------------------------------------------------
+# comments & ratings
+# ---------------------------------------------------------------------------
+
+
+def _rating_for(
+    quality: float, grade: Optional[str], rng: random.Random
+) -> float:
+    """An honest rating: mostly course quality, partly own experience.
+
+    The grade term makes per-course average ratings track the actual
+    course outcomes — the signal the closed-community quality metrics
+    measure (spam ratings carry none of it).
+    """
+    grade_points = GRADE_POINTS.get(grade, 2.5) if grade else 2.5
+    raw = (
+        1.0
+        + 3.2 * quality
+        + 0.35 * (grade_points - 2.0)
+        + rng.gauss(0.0, 0.5)
+    )
+    clamped = min(5.0, max(1.0, raw))
+    return round(clamped * 2) / 2  # half-star granularity
+
+
+def _spam_rating(rng: random.Random) -> float:
+    """Spammers rate at the extremes, uncorrelated with quality."""
+    return rng.choice((1.0, 1.0, 5.0, 5.0, 3.0))
+
+
+def _comment_text(course: GeneratedCourse, rng: random.Random) -> str:
+    template = rng.choice(COMMENT_TEMPLATES)
+    return template.format(
+        topic=rng.choice(course.topics),
+        quality=rng.choice(QUALITY_WORDS),
+        load=rng.choice(LOAD_WORDS),
+    )
+
+
+def _generate_comments(
+    database: Database,
+    catalog: GeneratedCatalog,
+    config: ScaleConfig,
+    rng: random.Random,
+    enrollments: Dict[int, List[Tuple[GeneratedCourse, int, str, Optional[str]]]],
+    registered: Sequence[int],
+) -> Tuple[int, int]:
+    """Write exactly ``config.comments`` comments, ``config.ratings`` rated.
+
+    Ratings are spread over the comment stream with Bresenham stepping so
+    the quota is hit exactly without clustering on early users.
+    """
+    table = database.table("Comments")
+    target = config.comments
+    rating_target = config.ratings
+    written = 0
+    rated = 0
+    epoch = datetime.date(2007, 9, 1)
+    # Exactly rating_target of the comment slots carry ratings.  The flags
+    # are shuffled so the round-robin over students doesn't alias with the
+    # quota pattern (which would starve some students of ratings).
+    rating_flags = [index < rating_target for index in range(target)]
+    rng.shuffle(rating_flags)
+    # Round-robin over registered students until the quota is reached, so
+    # contribution counts stay roughly uniform (closed community: everyone
+    # contributes, per Section 2.2).
+    cursors = {suid: 0 for suid in registered}
+    progress = True
+    while written < target and progress:
+        progress = False
+        for suid in registered:
+            if written >= target:
+                break
+            rows = enrollments.get(suid, ())
+            cursor = cursors[suid]
+            if cursor >= len(rows):
+                continue
+            course, year, term, grade = rows[cursor]
+            cursors[suid] = cursor + 1
+            progress = True
+            is_spam = (
+                config.community == "open"
+                and rng.random() < config.open_spam_fraction
+            )
+            if rating_flags[written]:
+                rating = (
+                    _spam_rating(rng)
+                    if is_spam
+                    else _rating_for(course.quality, grade, rng)
+                )
+            else:
+                rating = None
+            text = (
+                rng.choice(SPAM_TEMPLATES)
+                if is_spam
+                else _comment_text(course, rng)
+            )
+            # Adoption grows over the site's first ~14 months: activity
+            # density increases linearly with time (sqrt-transformed
+            # uniform draw), matching the paper's narrative of rising
+            # usage ("a little over a year after its launch ... more
+            # than 9,000 students").
+            day = epoch + datetime.timedelta(
+                days=int(420 * (rng.random() ** 0.5))
+            )
+            table.insert(
+                [suid, course.course_id, year, term, text, rating, day]
+            )
+            written += 1
+            if rating is not None:
+                rated += 1
+    return written, rated
+
+
+# ---------------------------------------------------------------------------
+# plans
+# ---------------------------------------------------------------------------
+
+
+def _generate_plans(
+    database: Database,
+    catalog: GeneratedCatalog,
+    config: ScaleConfig,
+    rng: random.Random,
+    registered: Sequence[int],
+    enrollments: Dict[int, List[Tuple[GeneratedCourse, int, str, Optional[str]]]],
+) -> None:
+    table = database.table("Plans")
+    all_courses = catalog.courses
+    weights = _zipf_weights(len(all_courses))
+    for suid in registered:
+        taken = {course.course_id for course, *_ in enrollments.get(suid, ())}
+        want = rng.randint(1, config.plan_courses_per_user)
+        chosen: Dict[int, GeneratedCourse] = {}
+        attempts = 0
+        while len(chosen) < want and attempts < want * 6:
+            attempts += 1
+            course = rng.choices(all_courses, weights=weights, k=1)[0]
+            if course.course_id in taken:
+                continue
+            chosen[course.course_id] = course
+        for course in chosen.values():
+            slots = [
+                (year, term)
+                for year, term in catalog.offering_slots[course.course_id]
+                if year == config.plan_year
+            ]
+            if not slots:
+                continue
+            year, term = rng.choice(slots)
+            shared = rng.random() < config.plan_shared_probability
+            table.insert([suid, course.course_id, year, term, shared])
+
+
+# ---------------------------------------------------------------------------
+# official grades
+# ---------------------------------------------------------------------------
+
+
+def _generate_official_grades(
+    database: Database,
+    catalog: GeneratedCatalog,
+    config: ScaleConfig,
+    rng: random.Random,
+    enrollments: Dict[int, List[Tuple[GeneratedCourse, int, str, Optional[str]]]],
+) -> None:
+    """Official histograms for Engineering courses, near self-reported.
+
+    The paper validates self-reported data by noting official Engineering
+    distributions are very close to them; we generate official counts by
+    scaling the self-reported histogram (official classes include
+    non-reporting students) with small noise.
+    """
+    self_reported: Dict[int, Dict[str, int]] = {}
+    for rows in enrollments.values():
+        for course, _year, _term, grade in rows:
+            if grade is None or course.school != "Engineering":
+                continue
+            bucket = self_reported.setdefault(
+                course.course_id, {b: 0 for b in GRADE_BUCKETS}
+            )
+            bucket[grade] += 1
+    table = database.table("OfficialGrades")
+    year = max(config.years)
+    for course_id, counts in self_reported.items():
+        for bucket, count in counts.items():
+            if count == 0:
+                continue
+            official = max(
+                count,
+                int(round(count * config.official_grade_multiplier))
+                + rng.randint(-1, 1),
+            )
+            table.insert([course_id, year, bucket, official])
+
+
+# ---------------------------------------------------------------------------
+# forum seed traffic
+# ---------------------------------------------------------------------------
+
+
+def _generate_questions(
+    database: Database,
+    catalog: GeneratedCatalog,
+    config: ScaleConfig,
+    rng: random.Random,
+    registered: Sequence[int],
+) -> None:
+    """A small trickle of student questions (the forum's cold start)."""
+    from repro.courserank.forum import Forum
+
+    forum = Forum(database)
+    count = max(1, int(len(registered) * config.question_fraction))
+    askers = registered[:count]
+    epoch = datetime.date(2008, 1, 15)
+    for index, suid in enumerate(askers):
+        course = rng.choice(catalog.courses)
+        forum.ask(
+            asker_id=suid,
+            text=(
+                f"Is {course.title} manageable alongside a heavy quarter? "
+                "How were the exams?"
+            ),
+            course_id=course.course_id,
+            day=epoch + datetime.timedelta(days=index % 200),
+        )

@@ -1,0 +1,411 @@
+"""Vocabularies for the synthetic university.
+
+Departments carry *topic word pools* so generated titles, descriptions,
+and student comments cluster the way real catalogs do — which is what
+makes data clouds informative (searching "american" surfaces "latin
+american", "politics", "civil war" from several departments, mirroring
+the paper's Figure 3) and keeps department-level search selectivity
+realistic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class DepartmentTheme:
+    """One department blueprint: name, school, topic vocabulary."""
+
+    name: str
+    school: str
+    topics: Tuple[str, ...]
+
+
+# Schools: Engineering releases official grade distributions (the paper:
+# "so far only the School of Engineering has bought our argument").
+ENGINEERING = "Engineering"
+HUMANITIES = "Humanities and Sciences"
+EARTH = "Earth Sciences"
+MEDICINE = "Medicine"
+BUSINESS = "Business"
+
+DEPARTMENT_THEMES: Tuple[DepartmentTheme, ...] = (
+    DepartmentTheme(
+        "Computer Science",
+        ENGINEERING,
+        (
+            "programming", "java", "algorithms", "data structures",
+            "databases", "operating systems", "networks", "compilers",
+            "artificial intelligence", "machine learning", "graphics",
+            "cryptography", "distributed systems", "logic",
+        ),
+    ),
+    DepartmentTheme(
+        "Electrical Engineering",
+        ENGINEERING,
+        (
+            "circuits", "signals", "semiconductors", "control",
+            "electromagnetics", "embedded systems", "communication",
+            "photonics", "power systems", "digital design",
+        ),
+    ),
+    DepartmentTheme(
+        "Mechanical Engineering",
+        ENGINEERING,
+        (
+            "thermodynamics", "fluid mechanics", "dynamics", "robotics",
+            "manufacturing", "materials", "vibration", "design",
+            "heat transfer", "mechatronics",
+        ),
+    ),
+    DepartmentTheme(
+        "Civil Engineering",
+        ENGINEERING,
+        (
+            "structures", "concrete", "geotechnics", "transportation",
+            "hydrology", "construction", "earthquake", "infrastructure",
+        ),
+    ),
+    DepartmentTheme(
+        "Chemical Engineering",
+        ENGINEERING,
+        (
+            "reaction", "kinetics", "transport", "polymers", "catalysis",
+            "process design", "separation", "biomolecular",
+        ),
+    ),
+    DepartmentTheme(
+        "Bioengineering",
+        ENGINEERING,
+        (
+            "biomechanics", "imaging", "tissue", "synthetic biology",
+            "biodevices", "neural engineering", "genomics",
+        ),
+    ),
+    DepartmentTheme(
+        "History",
+        HUMANITIES,
+        (
+            "american history", "civil war", "colonial america",
+            "european history", "ancient rome", "medieval society",
+            "american revolution", "world war", "cold war",
+            "african american history", "native american", "reconstruction",
+            "empire", "historiography",
+        ),
+    ),
+    DepartmentTheme(
+        "Political Science",
+        HUMANITIES,
+        (
+            "american politics", "elections", "congress", "democracy",
+            "international relations", "public policy", "constitutional law",
+            "political economy", "latin american politics", "voting",
+        ),
+    ),
+    DepartmentTheme(
+        "American Studies",
+        HUMANITIES,
+        (
+            "american culture", "american identity", "immigration",
+            "african american studies", "american west", "popular culture",
+            "american literature", "jazz", "hollywood", "suburbia",
+        ),
+    ),
+    DepartmentTheme(
+        "Classics",
+        HUMANITIES,
+        (
+            "greek", "latin", "homer", "ancient philosophy", "mythology",
+            "greek science", "roman empire", "epic poetry", "archaeology",
+        ),
+    ),
+    DepartmentTheme(
+        "English",
+        HUMANITIES,
+        (
+            "poetry", "the novel", "shakespeare", "american literature",
+            "creative writing", "rhetoric", "modernism", "fiction",
+            "literary theory", "victorian literature",
+        ),
+    ),
+    DepartmentTheme(
+        "Philosophy",
+        HUMANITIES,
+        (
+            "ethics", "epistemology", "metaphysics", "logic", "kant",
+            "philosophy of mind", "political philosophy", "aesthetics",
+        ),
+    ),
+    DepartmentTheme(
+        "Mathematics",
+        HUMANITIES,
+        (
+            "calculus", "linear algebra", "analysis", "topology",
+            "number theory", "probability", "differential equations",
+            "combinatorics", "geometry", "abstract algebra",
+        ),
+    ),
+    DepartmentTheme(
+        "Statistics",
+        HUMANITIES,
+        (
+            "inference", "regression", "bayesian methods", "stochastic processes",
+            "experimental design", "time series", "multivariate analysis",
+        ),
+    ),
+    DepartmentTheme(
+        "Physics",
+        HUMANITIES,
+        (
+            "mechanics", "quantum", "relativity", "electromagnetism",
+            "thermodynamics", "particle physics", "astrophysics", "optics",
+        ),
+    ),
+    DepartmentTheme(
+        "Chemistry",
+        HUMANITIES,
+        (
+            "organic chemistry", "inorganic chemistry", "physical chemistry",
+            "spectroscopy", "synthesis", "biochemistry", "quantum chemistry",
+        ),
+    ),
+    DepartmentTheme(
+        "Biology",
+        HUMANITIES,
+        (
+            "genetics", "evolution", "ecology", "cell biology",
+            "molecular biology", "neuroscience", "physiology", "botany",
+        ),
+    ),
+    DepartmentTheme(
+        "Economics",
+        HUMANITIES,
+        (
+            "microeconomics", "macroeconomics", "econometrics", "game theory",
+            "labor economics", "finance", "development", "trade",
+            "american economy",
+        ),
+    ),
+    DepartmentTheme(
+        "Psychology",
+        HUMANITIES,
+        (
+            "cognition", "perception", "social psychology", "development",
+            "memory", "emotion", "personality", "psychopathology",
+        ),
+    ),
+    DepartmentTheme(
+        "Sociology",
+        HUMANITIES,
+        (
+            "social networks", "inequality", "race and ethnicity",
+            "urban sociology", "organizations", "american society",
+            "immigration", "social movements",
+        ),
+    ),
+    DepartmentTheme(
+        "Music",
+        HUMANITIES,
+        (
+            "music theory", "composition", "jazz", "opera", "orchestra",
+            "american music", "counterpoint", "ethnomusicology", "chamber music",
+        ),
+    ),
+    DepartmentTheme(
+        "Art History",
+        HUMANITIES,
+        (
+            "renaissance", "modern art", "photography", "architecture",
+            "american art", "impressionism", "sculpture", "museums",
+        ),
+    ),
+    DepartmentTheme(
+        "Linguistics",
+        HUMANITIES,
+        (
+            "syntax", "semantics", "phonology", "morphology",
+            "sociolinguistics", "language acquisition", "pragmatics",
+        ),
+    ),
+    DepartmentTheme(
+        "Anthropology",
+        HUMANITIES,
+        (
+            "ethnography", "culture", "archaeology", "human origins",
+            "kinship", "ritual", "native american cultures", "globalization",
+        ),
+    ),
+    DepartmentTheme(
+        "Religious Studies",
+        HUMANITIES,
+        (
+            "buddhism", "christianity", "islam", "judaism", "ritual",
+            "sacred texts", "mysticism", "religion in america",
+        ),
+    ),
+    DepartmentTheme(
+        "Comparative Literature",
+        HUMANITIES,
+        (
+            "translation", "world literature", "narrative", "poetics",
+            "latin american literature", "postcolonial literature",
+        ),
+    ),
+    DepartmentTheme(
+        "East Asian Studies",
+        HUMANITIES,
+        (
+            "chinese history", "japanese literature", "korean culture",
+            "confucianism", "east asian politics", "calligraphy",
+        ),
+    ),
+    DepartmentTheme(
+        "Geophysics",
+        EARTH,
+        (
+            "seismology", "plate tectonics", "earth structure",
+            "geodynamics", "exploration", "volcanology",
+        ),
+    ),
+    DepartmentTheme(
+        "Geology",
+        EARTH,
+        (
+            "mineralogy", "petrology", "stratigraphy", "paleontology",
+            "geochemistry", "field methods", "sedimentology",
+        ),
+    ),
+    DepartmentTheme(
+        "Environmental Science",
+        EARTH,
+        (
+            "climate change", "sustainability", "ecosystems", "pollution",
+            "conservation", "energy policy", "water resources",
+        ),
+    ),
+    DepartmentTheme(
+        "Medicine",
+        MEDICINE,
+        (
+            "anatomy", "physiology", "pharmacology", "pathology",
+            "immunology", "epidemiology", "public health", "clinical practice",
+        ),
+    ),
+    DepartmentTheme(
+        "Business",
+        BUSINESS,
+        (
+            "accounting", "marketing", "strategy", "entrepreneurship",
+            "organizational behavior", "negotiation", "operations",
+            "corporate finance",
+        ),
+    ),
+)
+
+#: prefixes used to synthesize extra departments beyond the base themes
+SYNTHETIC_PREFIXES = ("Applied", "Computational", "Comparative", "Modern", "Global")
+
+TITLE_PATTERNS: Tuple[str, ...] = (
+    "Introduction to {topic}",
+    "Advanced {topic}",
+    "Topics in {topic}",
+    "Seminar on {topic}",
+    "Foundations of {topic}",
+    "{topic} in Practice",
+    "The History of {topic}",
+    "Research Methods in {topic}",
+    "{topic} and Society",
+    "Special Studies: {topic}",
+)
+
+DESCRIPTION_PATTERNS: Tuple[str, ...] = (
+    "A survey of {a} and {b}, with emphasis on {c}.",
+    "Covers {a}, {b}, and an introduction to {c}. Weekly sections.",
+    "An examination of {a} through the lens of {b}; includes {c}.",
+    "Fundamentals of {a}. Additional topics: {b} and {c}.",
+    "Project-based exploration of {a} with case studies in {b}.",
+    "Lectures and readings on {a}, {b}, and {c}. Term paper required.",
+)
+
+COMMENT_TEMPLATES: Tuple[str, ...] = (
+    "Really enjoyed the material on {topic}. {quality} lectures overall.",
+    "The sections on {topic} were {quality}, though the workload was {load}.",
+    "{quality} course if you care about {topic}; problem sets were {load}.",
+    "Professor made {topic} come alive. Exams were {load} but fair.",
+    "Took this for my major; the {topic} unit alone was worth it. {quality}.",
+    "Honestly {quality}. Skip the readings at your peril, especially on {topic}.",
+    "Great discussions about {topic}; grading felt {load}.",
+    "If {topic} interests you at all, take it. {quality} teaching staff.",
+)
+
+QUALITY_WORDS = ("excellent", "solid", "outstanding", "decent", "mediocre", "weak")
+LOAD_WORDS = ("light", "reasonable", "heavy", "brutal")
+
+#: low-effort/spam comments used by the *open-community* simulation
+#: (Section 2.2: open sites "may attract spammers and malicious users";
+#: CourseRank's closed community sees "much higher quality comments")
+SPAM_TEMPLATES: Tuple[str, ...] = (
+    "lol",
+    "meh",
+    "worst ever",
+    "best class ever!!!",
+    "first!!!",
+    "dont take it",
+    "ez A",
+    "check out cheap textbooks at dealz dot example",
+    "buy essays online fast cheap guaranteed",
+    "follow me for more reviews",
+    "this prof sux",
+    "AAAAAAAA",
+)
+
+FIRST_NAMES: Tuple[str, ...] = (
+    "Alice", "Ben", "Carla", "David", "Elena", "Felix", "Grace", "Hugo",
+    "Iris", "Jack", "Karen", "Liam", "Maya", "Noah", "Olivia", "Pablo",
+    "Quinn", "Rosa", "Sam", "Tara", "Umar", "Vera", "Wes", "Ximena",
+    "Yuki", "Zoe", "Aaron", "Bella", "Carlos", "Diana", "Ethan", "Fiona",
+    "George", "Hannah", "Ivan", "Julia", "Kevin", "Laura", "Marco", "Nina",
+)
+
+LAST_NAMES: Tuple[str, ...] = (
+    "Anderson", "Brown", "Chen", "Davis", "Evans", "Fischer", "Garcia",
+    "Hernandez", "Ito", "Johnson", "Kim", "Lee", "Martinez", "Nguyen",
+    "O'Brien", "Patel", "Quintero", "Rodriguez", "Smith", "Taylor",
+    "Ueda", "Vasquez", "Wang", "Xu", "Young", "Zhang", "Adler", "Baker",
+    "Cohen", "Dubois", "Engel", "Foster", "Gupta", "Haas", "Iyer", "Jones",
+)
+
+TEXTBOOK_PATTERNS: Tuple[str, ...] = (
+    "Principles of {topic}",
+    "{topic}: A Modern Approach",
+    "Readings in {topic}",
+    "The {topic} Handbook",
+    "Essentials of {topic}",
+)
+
+
+def synthesize_departments(count: int) -> List[DepartmentTheme]:
+    """The first ``count`` departments, extending base themes as needed.
+
+    Synthetic departments reuse a base theme's topics under a prefixed
+    name ("Applied Physics"), preserving vocabulary clustering.
+    """
+    themes = list(DEPARTMENT_THEMES)
+    base_index = 0
+    prefix_index = 0
+    while len(themes) < count:
+        base = DEPARTMENT_THEMES[base_index % len(DEPARTMENT_THEMES)]
+        prefix = SYNTHETIC_PREFIXES[prefix_index % len(SYNTHETIC_PREFIXES)]
+        themes.append(
+            DepartmentTheme(
+                name=f"{prefix} {base.name}",
+                school=base.school,
+                topics=base.topics,
+            )
+        )
+        base_index += 1
+        if base_index % len(DEPARTMENT_THEMES) == 0:
+            prefix_index += 1
+    return themes[:count]

@@ -1,0 +1,100 @@
+"""Exception hierarchy shared by every subsystem in the reproduction.
+
+Each substrate raises a subclass of :class:`ReproError`, so applications can
+catch one base class at the facade boundary while tests can assert on the
+precise failure mode.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class MiniDBError(ReproError):
+    """Base class for relational-substrate errors."""
+
+
+class SchemaError(MiniDBError):
+    """A table/column definition is invalid or violated."""
+
+
+class TypeMismatchError(MiniDBError):
+    """A value does not conform to its declared column type."""
+
+
+class IntegrityError(MiniDBError):
+    """A key, uniqueness, not-null, or foreign-key constraint was violated."""
+
+
+class UnknownTableError(MiniDBError):
+    """A query referenced a table that does not exist in the catalog."""
+
+
+class UnknownColumnError(MiniDBError):
+    """A query referenced a column that does not exist."""
+
+
+class AmbiguousColumnError(MiniDBError):
+    """An unqualified column name matched more than one input relation."""
+
+
+class SQLSyntaxError(MiniDBError):
+    """The SQL text could not be tokenized or parsed."""
+
+
+class PlannerError(MiniDBError):
+    """A parsed statement could not be turned into an executable plan."""
+
+
+class ExecutionError(MiniDBError):
+    """A runtime failure while evaluating a plan (e.g. divide by zero)."""
+
+
+class TransactionError(MiniDBError):
+    """Invalid transaction state transition (commit without begin, ...)."""
+
+
+class SearchError(ReproError):
+    """Base class for full-text search errors."""
+
+
+class CloudError(ReproError):
+    """Base class for data-cloud errors."""
+
+
+class FlexRecsError(ReproError):
+    """Base class for FlexRecs workflow errors."""
+
+
+class WorkflowValidationError(FlexRecsError):
+    """A workflow DAG is structurally invalid (cycle, dangling input, ...)."""
+
+
+class CompilationError(FlexRecsError):
+    """A workflow could not be compiled to SQL."""
+
+
+class CourseRankError(ReproError):
+    """Base class for application-level errors."""
+
+
+class AuthorizationError(CourseRankError):
+    """A user attempted an action their constituency does not permit."""
+
+
+class PrivacyError(CourseRankError):
+    """A request would disclose data protected by a privacy policy."""
+
+
+class PlannerConflictError(CourseRankError):
+    """A schedule operation would create an unresolvable conflict."""
+
+
+class RequirementError(CourseRankError):
+    """A program-requirement definition is invalid."""
+
+
+class DataGenError(ReproError):
+    """The synthetic data generator was given inconsistent parameters."""

@@ -1,0 +1,50 @@
+"""Evaluation helpers: reports for the paper's table/figures and metrics.
+
+:mod:`reports` regenerates the qualitative artifacts (Table 1, the
+Section-2 operational statistics); :mod:`metrics` provides the ranking
+and refinement metrics the benchmark harness records.
+"""
+
+from repro.evalkit.metrics import (
+    coverage,
+    jaccard_overlap,
+    kendall_tau,
+    narrowing_factor,
+    overlap_at_k,
+)
+from repro.evalkit.evolution import (
+    TimelinePoint,
+    activity_timeline,
+    adoption_curve,
+    growth_summary,
+    render_timeline,
+)
+from repro.evalkit.quality import CommentQualityReport, comment_quality_report
+from repro.evalkit.receval import (
+    HoldoutEvaluation,
+    PredictorScore,
+    evaluate_predictors,
+    holdout_split,
+)
+from repro.evalkit.reports import site_scale_report, table1_report
+
+__all__ = [
+    "coverage",
+    "jaccard_overlap",
+    "kendall_tau",
+    "narrowing_factor",
+    "overlap_at_k",
+    "TimelinePoint",
+    "activity_timeline",
+    "adoption_curve",
+    "growth_summary",
+    "render_timeline",
+    "HoldoutEvaluation",
+    "PredictorScore",
+    "evaluate_predictors",
+    "holdout_split",
+    "CommentQualityReport",
+    "comment_quality_report",
+    "site_scale_report",
+    "table1_report",
+]

@@ -1,0 +1,122 @@
+"""System evolution over time.
+
+One of the paper's open questions: "How do such systems evolve over
+time?  How do resources, users, and their relationships change and how
+does this affect the whole user experience?"  This module computes the
+time-series the question asks about, from the timestamps CourseRank
+already stores:
+
+* **activity timeline** — contributions per month;
+* **adoption curve** — cumulative distinct contributors over time (the
+  Section-2 narrative: "a little over a year after its launch, the
+  system is already used by more than 9,000 Stanford students");
+* **coverage curve** — cumulative fraction of the catalog with at least
+  one comment (how the resource side fills in).
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.minidb.catalog import Database
+
+Month = str  # "YYYY-MM"
+
+
+@dataclass
+class TimelinePoint:
+    month: Month
+    comments: int
+    new_contributors: int
+    cumulative_contributors: int
+    cumulative_courses_covered: int
+
+
+def _month_of(day: datetime.date) -> Month:
+    return f"{day.year:04d}-{day.month:02d}"
+
+
+def activity_timeline(database: Database) -> List[TimelinePoint]:
+    """Per-month contribution activity, in chronological order."""
+    rows = database.query(
+        "SELECT CommentDate, SuID, CourseID FROM Comments "
+        "WHERE CommentDate IS NOT NULL"
+    ).rows
+    by_month: Dict[Month, List[Tuple[int, int]]] = {}
+    for day, suid, course_id in rows:
+        by_month.setdefault(_month_of(day), []).append((suid, course_id))
+    seen_contributors: Set[int] = set()
+    seen_courses: Set[int] = set()
+    timeline: List[TimelinePoint] = []
+    for month in sorted(by_month):
+        entries = by_month[month]
+        contributors = {suid for suid, _course in entries}
+        new_contributors = contributors - seen_contributors
+        seen_contributors |= contributors
+        seen_courses |= {course for _suid, course in entries}
+        timeline.append(
+            TimelinePoint(
+                month=month,
+                comments=len(entries),
+                new_contributors=len(new_contributors),
+                cumulative_contributors=len(seen_contributors),
+                cumulative_courses_covered=len(seen_courses),
+            )
+        )
+    return timeline
+
+
+def adoption_curve(database: Database) -> List[Tuple[Month, int]]:
+    """(month, cumulative distinct contributors) pairs."""
+    return [
+        (point.month, point.cumulative_contributors)
+        for point in activity_timeline(database)
+    ]
+
+
+def growth_summary(database: Database) -> Dict[str, float]:
+    """Headline growth statistics for the evolution report.
+
+    ``second_half_share`` is the fraction of all contributions landing in
+    the chronologically later half of the months — above 0.5 means the
+    site is *accelerating*, the adoption story of Section 2.
+    """
+    timeline = activity_timeline(database)
+    if not timeline:
+        return {
+            "months": 0,
+            "total_comments": 0,
+            "final_contributors": 0,
+            "second_half_share": 0.0,
+            "catalog_coverage": 0.0,
+        }
+    half = len(timeline) // 2
+    total = sum(point.comments for point in timeline)
+    later = sum(point.comments for point in timeline[half:])
+    courses = database.query("SELECT COUNT(*) FROM Courses").scalar()
+    return {
+        "months": len(timeline),
+        "total_comments": total,
+        "final_contributors": timeline[-1].cumulative_contributors,
+        "second_half_share": later / total if total else 0.0,
+        "catalog_coverage": (
+            timeline[-1].cumulative_courses_covered / courses if courses else 0.0
+        ),
+    }
+
+
+def render_timeline(timeline: List[TimelinePoint], width: int = 40) -> str:
+    """A text sparkline of monthly activity (for reports/examples)."""
+    if not timeline:
+        return "(no activity)"
+    peak = max(point.comments for point in timeline)
+    lines = []
+    for point in timeline:
+        bar = "#" * max(1, int(width * point.comments / peak)) if peak else ""
+        lines.append(
+            f"{point.month}  {point.comments:>6}  "
+            f"(users: {point.cumulative_contributors:>6})  {bar}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,58 @@
+"""Ranking and refinement metrics used by tests and benchmarks."""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Optional, Sequence, Set
+
+
+def overlap_at_k(left: Sequence, right: Sequence, k: int) -> float:
+    """|top-k(left) ∩ top-k(right)| / k — agreement of two rankings."""
+    if k <= 0:
+        raise ValueError("k must be positive")
+    left_top = set(left[:k])
+    right_top = set(right[:k])
+    return len(left_top & right_top) / k
+
+
+def jaccard_overlap(left: Set, right: Set) -> float:
+    """Plain Jaccard of two sets (1.0 when both are empty)."""
+    if not left and not right:
+        return 1.0
+    return len(left & right) / len(left | right)
+
+
+def kendall_tau(left: Sequence[Hashable], right: Sequence[Hashable]) -> Optional[float]:
+    """Kendall rank correlation over the items common to both rankings.
+
+    Returns None when fewer than two common items exist.
+    """
+    common = [item for item in left if item in set(right)]
+    if len(common) < 2:
+        return None
+    position = {item: index for index, item in enumerate(right)}
+    concordant = 0
+    discordant = 0
+    for i in range(len(common)):
+        for j in range(i + 1, len(common)):
+            if position[common[i]] < position[common[j]]:
+                concordant += 1
+            else:
+                discordant += 1
+    total = concordant + discordant
+    if total == 0:
+        return None
+    return (concordant - discordant) / total
+
+
+def coverage(recommended: Set, catalog_size: int) -> float:
+    """Fraction of the catalog ever recommended (diversity proxy)."""
+    if catalog_size <= 0:
+        raise ValueError("catalog_size must be positive")
+    return len(recommended) / catalog_size
+
+
+def narrowing_factor(before: int, after: int) -> Optional[float]:
+    """How much a refinement shrank the result set (before/after)."""
+    if after <= 0:
+        return None
+    return before / after

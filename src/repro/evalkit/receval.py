@@ -1,0 +1,198 @@
+"""Hold-out evaluation of recommendation strategies.
+
+"FlexRecs lets us experiment with different recommendation strategies"
+(Section 3.2) — this module is the experimental harness that promise
+implies: hide a sample of known ratings, ask each strategy to predict
+them, and score the predictions.
+
+Protocol: the held-out (student, course) ratings are NULLed in place (the
+comments stay, only the rating is hidden), each predictor is asked for a
+1–5 prediction per pair, and the originals are restored afterwards.
+
+Predictors:
+
+* ``global_mean``  — one number for everyone (the floor);
+* ``course_mean``  — the course's average visible rating (popularity);
+* ``cf``           — the Figure 5(b) FlexRecs workflow: the average
+  rating the student's taste-neighbours gave the course.
+
+Metrics: MAE, RMSE, and coverage (the fraction of held-out pairs the
+predictor could score at all — CF abstains when the student has no
+co-rated neighbours who rated the course).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core import strategies
+from repro.minidb.catalog import Database
+
+Pair = Tuple[int, int, float]  # (SuID, CourseID, true rating)
+
+
+@dataclass
+class PredictorScore:
+    name: str
+    mae: Optional[float]
+    rmse: Optional[float]
+    coverage: float
+    predictions: int
+
+
+def holdout_split(
+    database: Database,
+    fraction: float = 0.2,
+    seed: int = 0,
+    max_pairs: Optional[int] = None,
+    min_user_ratings: int = 3,
+) -> List[Pair]:
+    """Choose held-out rating pairs, keeping every user ≥2 visible ratings."""
+    rng = random.Random(seed)
+    rows = database.query(
+        "SELECT SuID, CourseID, Rating FROM Comments "
+        "WHERE Rating IS NOT NULL ORDER BY SuID, CourseID"
+    ).rows
+    by_user: Dict[int, List[Tuple[int, float]]] = {}
+    for suid, course_id, rating in rows:
+        by_user.setdefault(suid, []).append((course_id, rating))
+    held: List[Pair] = []
+    for suid in sorted(by_user):
+        ratings = by_user[suid]
+        if len(ratings) < min_user_ratings:
+            continue
+        budget = max(1, int(len(ratings) * fraction))
+        budget = min(budget, len(ratings) - 2)  # keep signal for neighbours
+        if budget <= 0:
+            continue
+        for course_id, rating in rng.sample(ratings, budget):
+            held.append((suid, course_id, rating))
+    if max_pairs is not None and len(held) > max_pairs:
+        held = rng.sample(held, max_pairs)
+        held.sort()
+    return held
+
+
+class HoldoutEvaluation:
+    """Hides the held-out ratings, evaluates predictors, restores."""
+
+    def __init__(self, database: Database, held_out: List[Pair]) -> None:
+        self.database = database
+        self.held_out = held_out
+
+    def __enter__(self) -> "HoldoutEvaluation":
+        table = self.database.table("Comments")
+        hidden = {(suid, course) for suid, course, _r in self.held_out}
+        table.update_where(
+            lambda row: (row[0], row[1]) in hidden,
+            lambda row: (row[0], row[1], row[2], row[3], row[4], None, row[6]),
+        )
+        return self
+
+    def __exit__(self, exc_type, exc, traceback) -> bool:
+        table = self.database.table("Comments")
+        restore = {
+            (suid, course): rating for suid, course, rating in self.held_out
+        }
+        table.update_where(
+            lambda row: (row[0], row[1]) in restore,
+            lambda row: (
+                row[0], row[1], row[2], row[3], row[4],
+                restore[(row[0], row[1])], row[6],
+            ),
+        )
+        return False
+
+    # -- predictors -----------------------------------------------------------
+
+    def predict_global_mean(self) -> Dict[Tuple[int, int], float]:
+        mean = self.database.query(
+            "SELECT AVG(Rating) FROM Comments WHERE Rating IS NOT NULL"
+        ).scalar()
+        if mean is None:
+            return {}
+        return {
+            (suid, course): mean for suid, course, _r in self.held_out
+        }
+
+    def predict_course_mean(self) -> Dict[Tuple[int, int], float]:
+        means = dict(
+            self.database.query(
+                "SELECT CourseID, AVG(Rating) FROM Comments "
+                "WHERE Rating IS NOT NULL GROUP BY CourseID"
+            ).rows
+        )
+        return {
+            (suid, course): means[course]
+            for suid, course, _r in self.held_out
+            if course in means
+        }
+
+    def predict_cf(
+        self, similar_students: int = 15
+    ) -> Dict[Tuple[int, int], float]:
+        """Figure 5(b) per held-out student; abstains where unscoreable."""
+        predictions: Dict[Tuple[int, int], float] = {}
+        wanted: Dict[int, List[int]] = {}
+        for suid, course, _r in self.held_out:
+            wanted.setdefault(suid, []).append(course)
+        for suid, courses in wanted.items():
+            workflow = strategies.collaborative_filtering(
+                suid, similar_students=similar_students, top_k=None
+            )
+            result = workflow.run(self.database)
+            scores = {row["CourseID"]: row["score"] for row in result.rows}
+            for course in courses:
+                if course in scores:
+                    predictions[(suid, course)] = scores[course]
+        return predictions
+
+    # -- scoring ------------------------------------------------------------
+
+    def score(
+        self, name: str, predictions: Dict[Tuple[int, int], float]
+    ) -> PredictorScore:
+        errors = []
+        for suid, course, true_rating in self.held_out:
+            predicted = predictions.get((suid, course))
+            if predicted is not None:
+                errors.append(predicted - true_rating)
+        if not errors:
+            return PredictorScore(
+                name=name, mae=None, rmse=None, coverage=0.0, predictions=0
+            )
+        mae = sum(abs(error) for error in errors) / len(errors)
+        rmse = math.sqrt(sum(error * error for error in errors) / len(errors))
+        return PredictorScore(
+            name=name,
+            mae=mae,
+            rmse=rmse,
+            coverage=len(errors) / len(self.held_out),
+            predictions=len(errors),
+        )
+
+
+def evaluate_predictors(
+    database: Database,
+    fraction: float = 0.2,
+    seed: int = 0,
+    max_pairs: Optional[int] = None,
+    similar_students: int = 15,
+) -> List[PredictorScore]:
+    """The full protocol: split, hide, predict with all three, restore."""
+    held_out = holdout_split(
+        database, fraction=fraction, seed=seed, max_pairs=max_pairs
+    )
+    if not held_out:
+        return []
+    with HoldoutEvaluation(database, held_out) as evaluation:
+        return [
+            evaluation.score("global_mean", evaluation.predict_global_mean()),
+            evaluation.score("course_mean", evaluation.predict_course_mean()),
+            evaluation.score(
+                "cf", evaluation.predict_cf(similar_students=similar_students)
+            ),
+        ]

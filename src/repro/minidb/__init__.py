@@ -1,0 +1,47 @@
+"""minidb — the in-memory relational substrate.
+
+A small but real SQL engine: typed tables with key and foreign-key
+constraints, hash and sorted secondary indexes, a recursive-descent SQL
+parser, a planner with predicate pushdown / index selection / hash joins,
+an iterator executor with SQL three-valued logic, snapshot transactions,
+and user-defined scalar functions (the hook FlexRecs uses for comparator
+functions that cannot be inlined into SQL).
+
+Quick start::
+
+    from repro.minidb import Database
+
+    db = Database()
+    db.execute("CREATE TABLE courses (id INTEGER PRIMARY KEY, title TEXT)")
+    db.execute("INSERT INTO courses VALUES (1, 'Intro to Programming')")
+    print(db.query("SELECT title FROM courses WHERE id = 1").scalar())
+"""
+
+from repro.minidb.catalog import Database, IndexInfo
+from repro.minidb.executor import Executor, ResultSet
+from repro.minidb.expressions import Expression
+from repro.minidb.functions import FunctionRegistry
+from repro.minidb.indexes import HashIndex, SortedIndex
+from repro.minidb.planner import QueryPlan, plan_select
+from repro.minidb.schema import Column, ForeignKey, TableSchema, make_schema
+from repro.minidb.table import Table
+from repro.minidb.types import DataType
+
+__all__ = [
+    "Database",
+    "IndexInfo",
+    "Executor",
+    "ResultSet",
+    "Expression",
+    "FunctionRegistry",
+    "HashIndex",
+    "SortedIndex",
+    "QueryPlan",
+    "plan_select",
+    "Column",
+    "ForeignKey",
+    "TableSchema",
+    "make_schema",
+    "Table",
+    "DataType",
+]

@@ -1,0 +1,400 @@
+"""The Database catalog: tables, indexes, functions, transactions.
+
+:class:`Database` is the single entry point applications use:
+
+>>> db = Database()
+>>> db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, name TEXT)")
+>>> db.execute("INSERT INTO t VALUES (1, 'intro')")
+1
+>>> db.query("SELECT name FROM t WHERE id = 1").scalar()
+'intro'
+
+Foreign keys are enforced on INSERT (referenced row must exist) and on
+DELETE (RESTRICT: a referenced row cannot be removed) unless
+``enforce_foreign_keys`` is switched off for bulk loading.
+
+Transactions are whole-database snapshots — ``begin`` / ``commit`` /
+``rollback`` — adequate for a single-process engine and sufficient to give
+CourseRank atomic multi-table updates (e.g. enroll + plan + points).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import (
+    IntegrityError,
+    MiniDBError,
+    SchemaError,
+    TransactionError,
+    UnknownTableError,
+)
+from repro.minidb.functions import FunctionRegistry
+from repro.minidb.indexes import create_index
+from repro.minidb.schema import Column, ForeignKey, TableSchema
+from repro.minidb.table import Row, Table
+
+
+class IndexInfo:
+    """Catalog record for one secondary index."""
+
+    def __init__(self, name: str, table: str, columns: Tuple[str, ...], kind: str) -> None:
+        self.name = name
+        self.table = table
+        self.columns = columns
+        self.kind = kind
+        self.index = create_index(kind)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"IndexInfo({self.name!r} ON {self.table}{self.columns} {self.kind})"
+
+
+class Database:
+    """An in-memory relational database with a SQL interface."""
+
+    def __init__(self, enforce_foreign_keys: bool = True) -> None:
+        self._tables: Dict[str, Table] = {}
+        self._indexes: Dict[str, IndexInfo] = {}
+        self._views: Dict[str, Any] = {}  # name -> SelectStatement
+        self.functions = FunctionRegistry()
+        self.enforce_foreign_keys = enforce_foreign_keys
+        self._snapshot: Optional[Dict[str, Tuple[Dict[int, Row], int]]] = None
+        # Executor is created lazily to avoid an import cycle.
+        self._executor = None
+
+    # -- table management ----------------------------------------------------
+
+    def create_table(self, schema: TableSchema) -> Table:
+        key = schema.name.lower()
+        if key in self._tables:
+            raise SchemaError(f"table {schema.name!r} already exists")
+        if key in self._views:
+            raise SchemaError(f"a view named {schema.name!r} already exists")
+        for fk in schema.foreign_keys:
+            referenced = self._tables.get(fk.ref_table.lower())
+            if referenced is None:
+                raise SchemaError(
+                    f"foreign key references unknown table {fk.ref_table!r}"
+                )
+            ref_pk = tuple(name.lower() for name in referenced.schema.primary_key)
+            if tuple(name.lower() for name in fk.ref_columns) != ref_pk:
+                raise SchemaError(
+                    f"foreign key must reference the primary key of "
+                    f"{fk.ref_table!r} ({referenced.schema.primary_key})"
+                )
+        table = _CatalogTable(schema, self)
+        self._tables[key] = table
+        return table
+
+    def drop_table(self, name: str, if_exists: bool = False) -> None:
+        key = name.lower()
+        if key not in self._tables:
+            if if_exists:
+                return
+            raise UnknownTableError(f"no such table {name!r}")
+        # Refuse to orphan foreign keys that point here.
+        for other in self._tables.values():
+            if other.name.lower() == key:
+                continue
+            for fk in other.schema.foreign_keys:
+                if fk.ref_table.lower() == key:
+                    raise SchemaError(
+                        f"cannot drop {name!r}: referenced by {other.name!r}"
+                    )
+        for view_name, statement in self._views.items():
+            if self._statement_references(statement, key):
+                raise SchemaError(
+                    f"cannot drop {name!r}: referenced by view {view_name!r}"
+                )
+        for index_name in [
+            info.name for info in self._indexes.values() if info.table.lower() == key
+        ]:
+            del self._indexes[index_name.lower()]
+        del self._tables[key]
+
+    def table(self, name: str) -> Table:
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise UnknownTableError(f"no such table {name!r}") from None
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def table_names(self) -> List[str]:
+        return [table.name for table in self._tables.values()]
+
+    # -- view management ---------------------------------------------------
+
+    def create_view(self, name: str, statement: Any) -> None:
+        """Register a named, unmaterialized SELECT.
+
+        The query is planned immediately so creation fails fast on
+        unknown tables or columns.
+        """
+        key = name.lower()
+        if key in self._tables:
+            raise SchemaError(f"a table named {name!r} already exists")
+        if key in self._views:
+            raise SchemaError(f"view {name!r} already exists")
+        from repro.minidb.planner import plan_select
+
+        plan_select(self, statement)  # validates
+        self._views[key] = statement
+
+    def drop_view(self, name: str, if_exists: bool = False) -> None:
+        key = name.lower()
+        if key not in self._views:
+            if if_exists:
+                return
+            raise SchemaError(f"no such view {name!r}")
+        del self._views[key]
+
+    def has_view(self, name: str) -> bool:
+        return name.lower() in self._views
+
+    def view(self, name: str) -> Any:
+        try:
+            return self._views[name.lower()]
+        except KeyError:
+            raise SchemaError(f"no such view {name!r}") from None
+
+    def view_names(self) -> List[str]:
+        return list(self._views)
+
+    @staticmethod
+    def _statement_references(statement: Any, table_key: str) -> bool:
+        """Does a SELECT reference ``table_key`` in any FROM position?"""
+        from repro.minidb.sql.ast import (
+            SelectStatement,
+            SubqueryRef,
+            TableRef,
+        )
+
+        def walk(select: SelectStatement) -> bool:
+            items = []
+            if select.from_item is not None:
+                items.append(select.from_item)
+                items.extend(join.table for join in select.joins)
+            for item in items:
+                if isinstance(item, TableRef):
+                    if item.name.lower() == table_key:
+                        return True
+                elif isinstance(item, SubqueryRef):
+                    if walk(item.query):
+                        return True
+            return False
+
+        return walk(statement)
+
+    # -- index management ----------------------------------------------------
+
+    def create_index(
+        self, name: str, table_name: str, columns: Sequence[str], kind: str = "hash"
+    ) -> IndexInfo:
+        key = name.lower()
+        if key in self._indexes:
+            raise SchemaError(f"index {name!r} already exists")
+        if kind not in ("hash", "sorted"):
+            raise SchemaError(f"unknown index kind {kind!r}")
+        table = self.table(table_name)
+        for column in columns:
+            table.schema.column_position(column)  # raises if unknown
+        info = IndexInfo(name, table.name, tuple(columns), kind)
+        table.attach_index(key, info.index, columns)
+        self._indexes[key] = info
+        return info
+
+    def drop_index(self, name: str) -> None:
+        key = name.lower()
+        info = self._indexes.pop(key, None)
+        if info is None:
+            raise SchemaError(f"no such index {name!r}")
+        self.table(info.table).detach_index(key)
+
+    def indexes_on(self, table_name: str) -> List[IndexInfo]:
+        key = table_name.lower()
+        return [info for info in self._indexes.values() if info.table.lower() == key]
+
+    # -- foreign keys ---------------------------------------------------------
+
+    def check_insert_fk(self, table: Table, row: Row) -> None:
+        if not self.enforce_foreign_keys:
+            return
+        for fk in table.schema.foreign_keys:
+            key = tuple(
+                row[table.schema.column_position(column)] for column in fk.columns
+            )
+            if any(part is None for part in key):
+                continue  # NULL FK values are permitted (MATCH SIMPLE)
+            referenced = self.table(fk.ref_table)
+            if not referenced.contains_pk(key):
+                raise IntegrityError(
+                    f"foreign key violation: {table.name}{fk.columns} = {key!r} "
+                    f"has no match in {fk.ref_table}"
+                )
+
+    def check_delete_fk(self, table: Table, row: Row) -> None:
+        if not self.enforce_foreign_keys:
+            return
+        pk_positions = tuple(
+            table.schema.column_position(name) for name in table.schema.primary_key
+        )
+        if not pk_positions:
+            return
+        pk_value = tuple(row[position] for position in pk_positions)
+        for other in self._tables.values():
+            for fk in other.schema.foreign_keys:
+                if fk.ref_table.lower() != table.name.lower():
+                    continue
+                positions = tuple(
+                    other.schema.column_position(column) for column in fk.columns
+                )
+                for candidate in other.rows():
+                    if tuple(candidate[p] for p in positions) == pk_value:
+                        raise IntegrityError(
+                            f"cannot delete from {table.name}: row {pk_value!r} "
+                            f"is referenced by {other.name}"
+                        )
+
+    # -- SQL interface -----------------------------------------------------
+
+    def _get_executor(self):
+        if self._executor is None:
+            from repro.minidb.executor import Executor
+
+            self._executor = Executor(self)
+        return self._executor
+
+    def execute(self, sql: str) -> Any:
+        """Execute one statement.
+
+        Returns a :class:`~repro.minidb.executor.ResultSet` for queries, an
+        affected-row count for DML, and ``None`` for DDL.
+        """
+        return self._get_executor().execute_sql(sql)
+
+    def query(self, sql: str):
+        """Execute a SELECT/UNION and return its ResultSet."""
+        result = self.execute(sql)
+        from repro.minidb.executor import ResultSet
+
+        if not isinstance(result, ResultSet):
+            raise MiniDBError("query() requires a SELECT statement")
+        return result
+
+    def execute_script(self, sql: str) -> List[Any]:
+        """Execute a ``;``-separated script, returning per-statement results."""
+        from repro.minidb.sql.parser import parse_script
+
+        return [
+            self._get_executor().execute_statement(statement)
+            for statement in parse_script(sql)
+        ]
+
+    def explain(self, sql: str) -> str:
+        """Render the physical plan chosen for a SELECT statement."""
+        return self._get_executor().explain(sql)
+
+    def profile(self, sql: str):
+        """EXPLAIN ANALYZE: run a SELECT, return (ResultSet, plan report
+        annotated with per-operator row counts)."""
+        return self._get_executor().profile(sql)
+
+    # -- transactions --------------------------------------------------------
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._snapshot is not None
+
+    def begin(self) -> None:
+        if self._snapshot is not None:
+            raise TransactionError("transaction already in progress")
+        self._snapshot = {
+            name: (table.snapshot(), table.next_rowid)
+            for name, table in self._tables.items()
+        }
+        self._view_snapshot = dict(self._views)
+
+    def commit(self) -> None:
+        if self._snapshot is None:
+            raise TransactionError("no transaction in progress")
+        self._snapshot = None
+
+    def rollback(self) -> None:
+        if self._snapshot is None:
+            raise TransactionError("no transaction in progress")
+        for name, (rows, next_rowid) in self._snapshot.items():
+            if name in self._tables:
+                self._tables[name].restore(rows, next_rowid)
+        # Tables created inside the transaction are dropped wholesale.
+        for name in list(self._tables):
+            if name not in self._snapshot:
+                for index_name in [
+                    info.name
+                    for info in self._indexes.values()
+                    if info.table.lower() == name
+                ]:
+                    del self._indexes[index_name.lower()]
+                del self._tables[name]
+        self._views = dict(getattr(self, "_view_snapshot", self._views))
+        self._snapshot = None
+
+    def transaction(self) -> "_TransactionContext":
+        """Context manager: commit on success, rollback on exception."""
+        return _TransactionContext(self)
+
+    # -- statistics -----------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        """Row counts per table (used by the evaluation reports)."""
+        return {table.name: len(table) for table in self._tables.values()}
+
+
+class _CatalogTable(Table):
+    """A Table wired to its catalog for foreign-key enforcement."""
+
+    def __init__(self, schema: TableSchema, database: Database) -> None:
+        super().__init__(schema)
+        self._database = database
+
+    def insert(self, values: Sequence[Any]) -> int:
+        row = self._normalize(values)
+        self._database.check_insert_fk(self, row)
+        return super().insert(row)
+
+    def delete_rowid(self, rowid: int) -> None:
+        self._database.check_delete_fk(self, self.get(rowid))
+        super().delete_rowid(rowid)
+
+    def update_rowid(self, rowid: int, new_values: Sequence[Any]) -> None:
+        new_row = self._normalize(new_values)
+        self._database.check_insert_fk(self, new_row)
+        old_row = self.get(rowid)
+        if self.schema.primary_key:
+            positions = tuple(
+                self.schema.column_position(name)
+                for name in self.schema.primary_key
+            )
+            old_pk = tuple(old_row[p] for p in positions)
+            new_pk = tuple(new_row[p] for p in positions)
+            if old_pk != new_pk:
+                # Changing a referenced key would orphan referencing rows.
+                self._database.check_delete_fk(self, old_row)
+        super().update_rowid(rowid, new_row)
+
+
+class _TransactionContext:
+    def __init__(self, database: Database) -> None:
+        self._database = database
+
+    def __enter__(self) -> Database:
+        self._database.begin()
+        return self._database
+
+    def __exit__(self, exc_type, exc, traceback) -> bool:
+        if exc_type is None:
+            self._database.commit()
+        else:
+            self._database.rollback()
+        return False

@@ -1,0 +1,103 @@
+"""CSV import/export for minidb tables.
+
+CourseRank's "official data" side arrives as bulk files (course catalogs,
+schedules, grade distributions); this module is the ETL entry point the
+paper's "It's the Data, Stupid" lesson calls for.  Values are parsed
+according to the target schema's column types.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Any, Iterable, List, Optional, TextIO, Union
+
+from repro.errors import SchemaError
+from repro.minidb.catalog import Database
+from repro.minidb.types import DataType, parse_date
+
+
+def _parse_cell(text: str, dtype: DataType) -> Any:
+    if text == "":
+        return None
+    if dtype is DataType.INTEGER:
+        return int(text)
+    if dtype is DataType.FLOAT:
+        return float(text)
+    if dtype is DataType.BOOLEAN:
+        lowered = text.strip().lower()
+        if lowered in ("true", "t", "1", "yes"):
+            return True
+        if lowered in ("false", "f", "0", "no"):
+            return False
+        raise SchemaError(f"cannot parse boolean from {text!r}")
+    if dtype is DataType.DATE:
+        return parse_date(text)
+    return text
+
+
+def load_csv(
+    database: Database,
+    table_name: str,
+    source: Union[str, TextIO],
+    has_header: bool = True,
+) -> int:
+    """Load CSV rows into an existing table; returns rows inserted.
+
+    ``source`` is CSV text or an open file object.  With a header, columns
+    are matched by name (any order, missing ones default to NULL); without
+    one, cells must match the schema's column order exactly.
+    """
+    table = database.table(table_name)
+    handle: TextIO = io.StringIO(source) if isinstance(source, str) else source
+    reader = csv.reader(handle)
+    rows = iter(reader)
+    count = 0
+    if has_header:
+        header = next(rows, None)
+        if header is None:
+            return 0
+        positions = [table.schema.column_position(name) for name in header]
+        dtypes = [table.schema.columns[position].dtype for position in positions]
+        for cells in rows:
+            if not cells:
+                continue
+            values: List[Any] = [None] * len(table.schema.columns)
+            for cell, position, dtype in zip(cells, positions, dtypes):
+                values[position] = _parse_cell(cell, dtype)
+            table.insert(values)
+            count += 1
+    else:
+        dtypes = [column.dtype for column in table.schema.columns]
+        for cells in rows:
+            if not cells:
+                continue
+            if len(cells) != len(dtypes):
+                raise SchemaError(
+                    f"CSV row has {len(cells)} cells, expected {len(dtypes)}"
+                )
+            table.insert(
+                [_parse_cell(cell, dtype) for cell, dtype in zip(cells, dtypes)]
+            )
+            count += 1
+    return count
+
+
+def dump_csv(database: Database, table_name: str, include_header: bool = True) -> str:
+    """Serialize a table to CSV text (NULL becomes the empty cell)."""
+    table = database.table(table_name)
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    if include_header:
+        writer.writerow(table.schema.column_names)
+    for row in table.rows():
+        writer.writerow(
+            ["" if value is None else _render(value) for value in row]
+        )
+    return buffer.getvalue()
+
+
+def _render(value: Any) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    return str(value)

@@ -1,0 +1,391 @@
+"""Statement execution: dispatch, DML, DDL, and result materialization.
+
+:class:`Executor` is owned by a :class:`~repro.minidb.catalog.Database` and
+is stateless between statements.  SELECT/UNION statements are planned by
+:mod:`repro.minidb.planner` and produce a :class:`ResultSet`; DML returns
+an affected-row count; DDL returns ``None``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import (
+    ExecutionError,
+    MiniDBError,
+    PlannerError,
+    SchemaError,
+    UnknownColumnError,
+)
+from repro.minidb.expressions import Env, Expression
+from repro.minidb.planner import QueryPlan, plan_select
+from repro.minidb.schema import Column, TableSchema
+from repro.minidb.sql.ast import (
+    CreateIndexStatement,
+    CreateTableStatement,
+    CreateViewStatement,
+    DeleteStatement,
+    DropIndexStatement,
+    DropTableStatement,
+    DropViewStatement,
+    InsertStatement,
+    SelectStatement,
+    Statement,
+    UnionStatement,
+    UpdateStatement,
+)
+from repro.minidb.sql.parser import parse_statement
+from repro.minidb.types import format_value
+
+Row = Tuple[Any, ...]
+
+
+class ResultSet:
+    """Materialized query output: ordered columns plus row tuples."""
+
+    def __init__(self, columns: List[str], rows: List[Row]) -> None:
+        self.columns = columns
+        self.rows = rows
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.rows)
+
+    def __bool__(self) -> bool:
+        return bool(self.rows)
+
+    def column_index(self, name: str) -> int:
+        lowered = name.lower()
+        for position, column in enumerate(self.columns):
+            if column.lower() == lowered:
+                return position
+        raise UnknownColumnError(f"result has no column {name!r}")
+
+    def column(self, name: str) -> List[Any]:
+        position = self.column_index(name)
+        return [row[position] for row in self.rows]
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def first(self) -> Optional[Dict[str, Any]]:
+        if not self.rows:
+            return None
+        return dict(zip(self.columns, self.rows[0]))
+
+    def scalar(self) -> Any:
+        """The single value of a one-row, one-column result."""
+        if len(self.rows) != 1 or len(self.columns) != 1:
+            raise MiniDBError(
+                f"scalar() requires a 1x1 result, got "
+                f"{len(self.rows)}x{len(self.columns)}"
+            )
+        return self.rows[0][0]
+
+    def pretty(self, max_rows: int = 20) -> str:
+        """A fixed-width text rendering (for examples and the REPL)."""
+        shown = self.rows[:max_rows]
+        cells = [[format_value(value) for value in row] for row in shown]
+        widths = [len(column) for column in self.columns]
+        for row in cells:
+            for position, cell in enumerate(row):
+                widths[position] = max(widths[position], len(cell))
+        header = " | ".join(
+            column.ljust(width) for column, width in zip(self.columns, widths)
+        )
+        rule = "-+-".join("-" * width for width in widths)
+        body = [
+            " | ".join(cell.ljust(width) for cell, width in zip(row, widths))
+            for row in cells
+        ]
+        lines = [header, rule] + body
+        if len(self.rows) > max_rows:
+            lines.append(f"... ({len(self.rows) - max_rows} more rows)")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<ResultSet {len(self.rows)} rows x {len(self.columns)} cols>"
+
+
+def _plan_children(node):
+    """Direct children of a physical plan node (incl. subquery roots)."""
+    from repro.minidb.planner import PlanNode, QueryPlan
+
+    for attribute in ("child", "left", "right"):
+        value = getattr(node, attribute, None)
+        if isinstance(value, PlanNode):
+            yield value
+    inner = getattr(node, "plan", None)
+    if isinstance(inner, QueryPlan):
+        yield inner.root
+
+
+def _walk_plan(node):
+    yield node
+    for child in _plan_children(node):
+        yield from _walk_plan(child)
+
+
+def _instrument_node(node, counters: Dict[int, int]) -> None:
+    """Wrap a node's rows() iterator to count produced rows."""
+    counters[id(node)] = 0
+    original = node.rows
+
+    def counted():
+        for env in original():
+            counters[id(node)] += 1
+            yield env
+
+    node.rows = counted
+
+
+def _profile_lines(node, counters: Dict[int, int], indent: int) -> List[str]:
+    own = node.describe()[0]
+    count = counters.get(id(node), 0)
+    lines = ["  " * indent + f"{own} -> {count} rows"]
+    for child in _plan_children(node):
+        lines.extend(_profile_lines(child, counters, indent + 1))
+    return lines
+
+
+class Executor:
+    """Executes parsed statements against one Database."""
+
+    def __init__(self, database: Any) -> None:
+        self.database = database
+
+    # -- entry points -----------------------------------------------------
+
+    def execute_sql(self, sql: str) -> Any:
+        return self.execute_statement(parse_statement(sql))
+
+    def execute_statement(self, statement: Statement) -> Any:
+        if isinstance(statement, SelectStatement):
+            return self._run_select(statement)
+        if isinstance(statement, UnionStatement):
+            return self._run_union(statement)
+        if isinstance(statement, InsertStatement):
+            return self._run_insert(statement)
+        if isinstance(statement, UpdateStatement):
+            return self._run_update(statement)
+        if isinstance(statement, DeleteStatement):
+            return self._run_delete(statement)
+        if isinstance(statement, CreateTableStatement):
+            return self._run_create_table(statement)
+        if isinstance(statement, CreateIndexStatement):
+            self.database.create_index(
+                statement.name, statement.table, statement.columns, statement.kind
+            )
+            return None
+        if isinstance(statement, CreateViewStatement):
+            self.database.create_view(statement.name, statement.query)
+            return None
+        if isinstance(statement, DropTableStatement):
+            self.database.drop_table(statement.name, if_exists=statement.if_exists)
+            return None
+        if isinstance(statement, DropIndexStatement):
+            self.database.drop_index(statement.name)
+            return None
+        if isinstance(statement, DropViewStatement):
+            self.database.drop_view(statement.name, if_exists=statement.if_exists)
+            return None
+        raise MiniDBError(f"unsupported statement {type(statement).__name__}")
+
+    def profile(self, sql: str) -> Tuple[ResultSet, str]:
+        """Execute a SELECT and report actual row counts per plan node.
+
+        The EXPLAIN ANALYZE of this engine: returns the result set plus a
+        rendering of the physical plan annotated with the number of rows
+        each operator produced.
+        """
+        statement = parse_statement(sql)
+        if not isinstance(statement, SelectStatement):
+            raise PlannerError("profile supports only SELECT statements")
+        plan = plan_select(self.database, statement)
+        counters: Dict[int, int] = {}
+        for node in _walk_plan(plan.root):
+            _instrument_node(node, counters)
+        columns, rows = plan.run()
+        lines = [f"Project -> {len(rows)} rows"]
+        lines.extend(_profile_lines(plan.root, counters, indent=1))
+        return ResultSet(columns, rows), "\n".join(lines)
+
+    def explain(self, sql: str) -> str:
+        statement = parse_statement(sql)
+        if isinstance(statement, SelectStatement):
+            return "\n".join(plan_select(self.database, statement).describe())
+        if isinstance(statement, UnionStatement):
+            lines: List[str] = [
+                "Union" + (" All" if statement.all else "")
+            ]
+            for part in statement.parts:
+                lines.extend(
+                    "  " + line
+                    for line in plan_select(self.database, part).describe()
+                )
+            return "\n".join(lines)
+        raise PlannerError("EXPLAIN supports only SELECT statements")
+
+    # -- queries -----------------------------------------------------------
+
+    def _run_select(self, statement: SelectStatement) -> ResultSet:
+        plan = plan_select(self.database, statement)
+        columns, rows = plan.run()
+        return ResultSet(columns, rows)
+
+    def _run_union(self, statement: UnionStatement) -> ResultSet:
+        results = [self._run_select(part) for part in statement.parts]
+        width = len(results[0].columns)
+        for result in results[1:]:
+            if len(result.columns) != width:
+                raise ExecutionError(
+                    "UNION parts have different column counts: "
+                    f"{width} vs {len(result.columns)}"
+                )
+        rows: List[Row] = []
+        if statement.all:
+            for result in results:
+                rows.extend(result.rows)
+        else:
+            seen = set()
+            for result in results:
+                for row in result.rows:
+                    if row not in seen:
+                        seen.add(row)
+                        rows.append(row)
+        columns = results[0].columns
+        if statement.order_by:
+            from repro.minidb.expressions import ColumnRef, order_key
+
+            positions = []
+            for item in statement.order_by:
+                expression = item.expression
+                if not isinstance(expression, ColumnRef) or expression.qualifier:
+                    raise PlannerError(
+                        "UNION ORDER BY must reference output column names"
+                    )
+                lowered = expression.column.lower()
+                matches = [
+                    index
+                    for index, column in enumerate(columns)
+                    if column.lower() == lowered
+                ]
+                if not matches:
+                    raise UnknownColumnError(
+                        f"UNION output has no column {expression.column!r}"
+                    )
+                positions.append((matches[0], item.descending))
+            rows.sort(
+                key=lambda row: order_key(
+                    [row[position] for position, _d in positions],
+                    [descending for _p, descending in positions],
+                )
+            )
+        if statement.limit is not None:
+            rows = rows[: statement.limit]
+        return ResultSet(columns, rows)
+
+    # -- DML ---------------------------------------------------------------
+
+    def _constant_env(self) -> Env:
+        return {"__functions__": self.database.functions}
+
+    def _run_insert(self, statement: InsertStatement) -> int:
+        table = self.database.table(statement.table)
+        if statement.select is not None:
+            source = self._run_select(statement.select)
+            count = 0
+            for row in source.rows:
+                if statement.columns is not None:
+                    if len(row) != len(statement.columns):
+                        raise SchemaError(
+                            f"INSERT SELECT yields {len(row)} values for "
+                            f"{len(statement.columns)} columns"
+                        )
+                    table.insert_dict(dict(zip(statement.columns, row)))
+                else:
+                    table.insert(list(row))
+                count += 1
+            return count
+        env = self._constant_env()
+        count = 0
+        for row_exprs in statement.rows:
+            values = [expression.evaluate(env) for expression in row_exprs]
+            if statement.columns is not None:
+                if len(values) != len(statement.columns):
+                    raise SchemaError(
+                        f"INSERT has {len(values)} values for "
+                        f"{len(statement.columns)} columns"
+                    )
+                record = dict(zip(statement.columns, values))
+                table.insert_dict(record)
+            else:
+                table.insert(values)
+            count += 1
+        return count
+
+    def _row_env(self, table: Any, row: Row) -> Env:
+        env = self._constant_env()
+        for column, value in zip(table.schema.columns, row):
+            lowered = column.name.lower()
+            env[lowered] = value
+            env[f"{table.name.lower()}.{lowered}"] = value
+        return env
+
+    def _run_update(self, statement: UpdateStatement) -> int:
+        table = self.database.table(statement.table)
+        positions = {
+            column.lower(): table.schema.column_position(column)
+            for column, _expression in statement.assignments
+        }
+
+        def matches(row: Row) -> bool:
+            if statement.where is None:
+                return True
+            return statement.where.evaluate(self._row_env(table, row)) is True
+
+        def transform(row: Row) -> Sequence[Any]:
+            env = self._row_env(table, row)
+            new_row = list(row)
+            for column, expression in statement.assignments:
+                new_row[positions[column.lower()]] = expression.evaluate(env)
+            return new_row
+
+        return table.update_where(matches, transform)
+
+    def _run_delete(self, statement: DeleteStatement) -> int:
+        table = self.database.table(statement.table)
+
+        def matches(row: Row) -> bool:
+            if statement.where is None:
+                return True
+            return statement.where.evaluate(self._row_env(table, row)) is True
+
+        return table.delete_where(matches)
+
+    # -- DDL ------------------------------------------------------------------
+
+    def _run_create_table(self, statement: CreateTableStatement) -> None:
+        if statement.if_not_exists and self.database.has_table(statement.name):
+            return None
+        pk_lower = {name.lower() for name in statement.primary_key}
+        columns = tuple(
+            Column(
+                definition.name,
+                definition.dtype,
+                nullable=not definition.not_null
+                and definition.name.lower() not in pk_lower,
+            )
+            for definition in statement.columns
+        )
+        schema = TableSchema(
+            name=statement.name,
+            columns=columns,
+            primary_key=statement.primary_key,
+            unique_keys=statement.unique_keys,
+            foreign_keys=statement.foreign_keys,
+        )
+        self.database.create_table(schema)
+        return None

@@ -1,0 +1,152 @@
+"""Secondary index structures.
+
+Two flavours:
+
+* :class:`HashIndex` — equality lookups, dict of key → set of rowids.
+* :class:`SortedIndex` — range lookups over a sorted key list, maintained
+  with ``bisect``; supports ``>=, >, <=, <`` scans and prefix ranges.
+
+Keys are tuples (one element per indexed column).  NULL-containing keys are
+indexed too — SQL predicates never match them (three-valued logic filters
+them out at evaluation), but the index must still track them for deletes.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.minidb.types import sort_key
+
+Key = Tuple[Any, ...]
+
+
+class HashIndex:
+    """Equality index: key tuple → set of rowids."""
+
+    kind = "hash"
+
+    def __init__(self) -> None:
+        self._buckets: Dict[Key, Set[int]] = {}
+
+    def insert(self, key: Key, rowid: int) -> None:
+        self._buckets.setdefault(key, set()).add(rowid)
+
+    def delete(self, key: Key, rowid: int) -> None:
+        bucket = self._buckets.get(key)
+        if bucket is not None:
+            bucket.discard(rowid)
+            if not bucket:
+                del self._buckets[key]
+
+    def find(self, key: Key) -> Iterator[int]:
+        yield from sorted(self._buckets.get(key, ()))
+
+    def clear(self) -> None:
+        self._buckets.clear()
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._buckets.values())
+
+    def distinct_keys(self) -> int:
+        return len(self._buckets)
+
+
+class SortedIndex:
+    """Ordered index supporting range scans.
+
+    Entries are kept as a sorted list of ``(orderable_key, key, rowid)``
+    where ``orderable_key`` maps NULLs below every value via
+    :func:`repro.minidb.types.sort_key` applied elementwise.
+    """
+
+    kind = "sorted"
+
+    def __init__(self) -> None:
+        self._entries: List[Tuple[Tuple, Key, int]] = []
+
+    @staticmethod
+    def _orderable(key: Key) -> Tuple:
+        return tuple(sort_key(part) for part in key)
+
+    def insert(self, key: Key, rowid: int) -> None:
+        entry = (self._orderable(key), key, rowid)
+        bisect.insort(self._entries, entry)
+
+    def delete(self, key: Key, rowid: int) -> None:
+        entry = (self._orderable(key), key, rowid)
+        position = bisect.bisect_left(self._entries, entry)
+        if position < len(self._entries) and self._entries[position] == entry:
+            del self._entries[position]
+
+    def find(self, key: Key) -> Iterator[int]:
+        orderable = self._orderable(key)
+        position = bisect.bisect_left(self._entries, (orderable,))
+        while position < len(self._entries):
+            entry_orderable, _entry_key, rowid = self._entries[position]
+            if entry_orderable != orderable:
+                break
+            yield rowid
+            position += 1
+
+    def range(
+        self,
+        low: Optional[Key] = None,
+        high: Optional[Key] = None,
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+    ) -> Iterator[int]:
+        """Rowids with low <= key <= high (bounds optional/exclusive)."""
+        if low is None:
+            start = 0
+        else:
+            low_orderable = self._orderable(low)
+            if low_inclusive:
+                start = bisect.bisect_left(self._entries, (low_orderable,))
+            else:
+                start = bisect.bisect_right(
+                    self._entries, (low_orderable, low, float("inf"))
+                )
+                # bisect_right with an inf rowid sentinel lands after all
+                # entries whose orderable key equals low_orderable.
+        for position in range(start, len(self._entries)):
+            entry_orderable, entry_key, rowid = self._entries[position]
+            if high is not None:
+                high_orderable = self._orderable(high)
+                if high_inclusive:
+                    if entry_orderable > high_orderable:
+                        break
+                else:
+                    if entry_orderable >= high_orderable:
+                        break
+            if low is not None and not low_inclusive:
+                if entry_orderable == self._orderable(low):
+                    continue
+            # SQL comparisons never match NULL: range scans (used for
+            # WHERE col < / > bounds) must skip NULL-keyed entries, which
+            # sort below every value and would otherwise slip under an
+            # upper bound with no lower bound.
+            if any(part is None for part in entry_key):
+                continue
+            yield rowid
+
+    def min_key(self) -> Optional[Key]:
+        return self._entries[0][1] if self._entries else None
+
+    def max_key(self) -> Optional[Key]:
+        return self._entries[-1][1] if self._entries else None
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+def create_index(kind: str):
+    """Factory used by the catalog's CREATE INDEX path."""
+    if kind == "hash":
+        return HashIndex()
+    if kind == "sorted":
+        return SortedIndex()
+    raise ValueError(f"unknown index kind {kind!r}")

@@ -1,0 +1,114 @@
+"""Saving and loading a Database to/from a directory.
+
+Layout::
+
+    <directory>/
+      schema.sql      -- CREATE TABLE / CREATE INDEX / CREATE VIEW script
+      <table>.csv     -- one CSV per table, header row included
+
+Tables are reloaded in foreign-key dependency order so constraints hold
+during the load.  The format is deliberately plain (SQL + CSV) so a
+saved CourseRank instance is inspectable with standard tools — the same
+"useful external data arrives as bulk files" posture as
+:mod:`repro.minidb.csvio`.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Dict, List, Set, Union
+
+from repro.errors import MiniDBError, SchemaError
+from repro.minidb.catalog import Database
+from repro.minidb.csvio import dump_csv, load_csv
+from repro.minidb.schema import TableSchema
+
+
+def render_create_table(schema: TableSchema) -> str:
+    """The CREATE TABLE statement reproducing a TableSchema."""
+    pieces: List[str] = []
+    for column in schema.columns:
+        text = f"{column.name} {column.dtype.value}"
+        if not column.nullable and not schema.is_pk_column(column.name):
+            text += " NOT NULL"
+        pieces.append(text)
+    if schema.primary_key:
+        pieces.append(f"PRIMARY KEY ({', '.join(schema.primary_key)})")
+    for key in schema.unique_keys:
+        pieces.append(f"UNIQUE ({', '.join(key)})")
+    for fk in schema.foreign_keys:
+        pieces.append(
+            f"FOREIGN KEY ({', '.join(fk.columns)}) REFERENCES "
+            f"{fk.ref_table} ({', '.join(fk.ref_columns)})"
+        )
+    return f"CREATE TABLE {schema.name} ({', '.join(pieces)})"
+
+
+def dependency_order(database: Database) -> List[str]:
+    """Table names ordered so every FK target precedes its referrers."""
+    names = database.table_names()
+    dependencies: Dict[str, Set[str]] = {}
+    for name in names:
+        schema = database.table(name).schema
+        dependencies[name.lower()] = {
+            fk.ref_table.lower()
+            for fk in schema.foreign_keys
+            if fk.ref_table.lower() != name.lower()
+        }
+    ordered: List[str] = []
+    emitted: Set[str] = set()
+    remaining = {name.lower(): name for name in names}
+    while remaining:
+        progress = False
+        for key in sorted(remaining):
+            if dependencies[key] <= emitted:
+                ordered.append(remaining.pop(key))
+                emitted.add(key)
+                progress = True
+        if not progress:
+            raise SchemaError(
+                f"foreign-key cycle among tables: {sorted(remaining)}"
+            )
+    return ordered
+
+
+def save_database(database: Database, directory: Union[str, pathlib.Path]) -> None:
+    """Write the full database (schema + data + indexes + views)."""
+    path = pathlib.Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+    statements: List[str] = []
+    ordered = dependency_order(database)
+    for name in ordered:
+        statements.append(render_create_table(database.table(name).schema))
+    for name in ordered:
+        for info in database.indexes_on(name):
+            statements.append(
+                f"CREATE INDEX {info.name} ON {info.table} "
+                f"({', '.join(info.columns)}) USING {info.kind}"
+            )
+    for view_name in database.view_names():
+        statements.append(
+            f"CREATE VIEW {view_name} AS {database.view(view_name).to_sql()}"
+        )
+    (path / "schema.sql").write_text(";\n".join(statements) + ";\n")
+    for name in ordered:
+        (path / f"{name}.csv").write_text(dump_csv(database, name))
+
+
+def load_database(
+    directory: Union[str, pathlib.Path],
+    enforce_foreign_keys: bool = True,
+) -> Database:
+    """Rebuild a Database saved by :func:`save_database`."""
+    path = pathlib.Path(directory)
+    schema_file = path / "schema.sql"
+    if not schema_file.exists():
+        raise MiniDBError(f"no schema.sql in {path}")
+    database = Database(enforce_foreign_keys=enforce_foreign_keys)
+    database.execute_script(schema_file.read_text())
+    for name in dependency_order(database):
+        csv_file = path / f"{name}.csv"
+        if csv_file.exists():
+            with csv_file.open() as handle:
+                load_csv(database, name, handle)
+    return database

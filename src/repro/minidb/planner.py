@@ -1,0 +1,1142 @@
+"""Physical planning for SELECT statements.
+
+The planner turns a parsed :class:`SelectStatement` into a tree of plan
+nodes, applying three classic optimizations:
+
+* **predicate pushdown** — WHERE conjuncts that reference a single base
+  table move into that table's scan (and can then use an index);
+* **index selection** — a pushed equality conjunct on an indexed column
+  becomes an index lookup; range conjuncts use a sorted index;
+* **hash joins** — INNER/LEFT joins whose ON condition contains
+  equi-conjuncts between the two sides build a hash table on the right
+  input instead of a nested loop.
+
+Rows flowing through the plan are *environments*: dicts mapping column
+names (``binding.column`` and, when unambiguous, bare ``column``) to
+values, plus the reserved ``__functions__`` registry entry.  This uniform
+representation keeps expression evaluation identical across scans, joins,
+aggregation and sorting.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.errors import (
+    AmbiguousColumnError,
+    PlannerError,
+    UnknownColumnError,
+)
+from repro.minidb.expressions import (
+    AMBIGUOUS,
+    Between,
+    BinaryOp,
+    Case,
+    ColumnRef,
+    Env,
+    ExistsSubquery,
+    Expression,
+    FunctionCall,
+    InList,
+    InSubquery,
+    IsNull,
+    Like,
+    Literal,
+    UnaryOp,
+    conjoin,
+    conjuncts,
+    order_key,
+)
+from repro.minidb.sql.ast import (
+    AggregateRef,
+    JoinClause,
+    OrderItem,
+    SelectItem,
+    SelectStatement,
+    SubqueryRef,
+    TableRef,
+)
+
+Row = Tuple[Any, ...]
+
+
+class Binding:
+    """One FROM-clause input: its name and the columns it exposes."""
+
+    def __init__(self, name: str, columns: Sequence[str]) -> None:
+        self.name = name
+        self.columns = list(columns)
+        self.column_set = {column.lower() for column in columns}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Binding({self.name!r}, {self.columns})"
+
+
+class PlanNode:
+    """Base class for physical plan operators."""
+
+    #: env keys this subtree contributes (used for LEFT-join NULL padding)
+    env_keys: List[str]
+
+    def rows(self) -> Iterator[Env]:
+        raise NotImplementedError
+
+    def describe(self) -> List[str]:
+        raise NotImplementedError
+
+
+class ScanNode(PlanNode):
+    """Sequential or index-assisted scan of a base table."""
+
+    def __init__(
+        self,
+        table: Any,
+        binding: Binding,
+        base_env: Env,
+        bare_columns: Set[str],
+        predicate: Optional[Expression] = None,
+        access: Optional["IndexAccess"] = None,
+    ) -> None:
+        self.table = table
+        self.binding = binding
+        self.base_env = base_env
+        self.predicate = predicate
+        self.access = access
+        prefix = binding.name.lower() + "."
+        self._keys = []
+        for column in table.schema.column_names:
+            lowered = column.lower()
+            bare = lowered if lowered in bare_columns else None
+            self._keys.append((prefix + lowered, bare))
+        self.env_keys = [qualified for qualified, _bare in self._keys] + [
+            bare for _qualified, bare in self._keys if bare
+        ]
+
+    def _emit(self, row: Row) -> Env:
+        env = dict(self.base_env)
+        for (qualified, bare), value in zip(self._keys, row):
+            env[qualified] = value
+            if bare:
+                env[bare] = value
+        return env
+
+    def rows(self) -> Iterator[Env]:
+        source = (
+            self.access.rows(self.table)
+            if self.access is not None
+            else self.table.rows()
+        )
+        if self.predicate is None:
+            for row in source:
+                yield self._emit(row)
+        else:
+            for row in source:
+                env = self._emit(row)
+                if self.predicate.evaluate(env) is True:
+                    yield env
+
+    def describe(self) -> List[str]:
+        if self.access is not None:
+            line = f"IndexScan({self.table.name} AS {self.binding.name} {self.access.describe()})"
+        else:
+            line = f"SeqScan({self.table.name} AS {self.binding.name})"
+        if self.predicate is not None:
+            line += f" filter={self.predicate.to_sql()}"
+        return [line]
+
+
+class IndexAccess:
+    """An access path through a secondary index."""
+
+    def __init__(
+        self,
+        index_info: Any,
+        equal_key: Optional[Tuple[Any, ...]] = None,
+        low: Optional[Tuple[Any, ...]] = None,
+        high: Optional[Tuple[Any, ...]] = None,
+        low_inclusive: bool = True,
+        high_inclusive: bool = True,
+    ) -> None:
+        self.index_info = index_info
+        self.equal_key = equal_key
+        self.low = low
+        self.high = high
+        self.low_inclusive = low_inclusive
+        self.high_inclusive = high_inclusive
+
+    def rows(self, table: Any) -> Iterator[Row]:
+        index = self.index_info.index
+        if self.equal_key is not None:
+            for rowid in list(index.find(self.equal_key)):
+                yield table.get(rowid)
+        else:
+            for rowid in list(
+                index.range(
+                    self.low, self.high, self.low_inclusive, self.high_inclusive
+                )
+            ):
+                yield table.get(rowid)
+
+    def describe(self) -> str:
+        name = self.index_info.name
+        if self.equal_key is not None:
+            return f"using {name} = {self.equal_key!r}"
+        bounds = []
+        if self.low is not None:
+            op = ">=" if self.low_inclusive else ">"
+            bounds.append(f"{op} {self.low!r}")
+        if self.high is not None:
+            op = "<=" if self.high_inclusive else "<"
+            bounds.append(f"{op} {self.high!r}")
+        return f"using {name} range {' and '.join(bounds)}"
+
+
+class PrimaryKeyAccess:
+    """Point lookup through the table's primary-key map."""
+
+    def __init__(self, key: Tuple[Any, ...]) -> None:
+        self.key = key
+
+    def rows(self, table: Any) -> Iterator[Row]:
+        row = table.lookup_pk(self.key)
+        if row is not None:
+            yield row
+
+    def describe(self) -> str:
+        return f"using primary key = {self.key!r}"
+
+
+class SubqueryScanNode(PlanNode):
+    """Executes a planned sub-select and streams its rows as env fragments."""
+
+    def __init__(
+        self,
+        plan: "QueryPlan",
+        binding: Binding,
+        base_env: Env,
+        bare_columns: Set[str],
+    ) -> None:
+        self.plan = plan
+        self.binding = binding
+        self.base_env = base_env
+        prefix = binding.name.lower() + "."
+        self._keys = []
+        for column in binding.columns:
+            lowered = column.lower()
+            bare = lowered if lowered in bare_columns else None
+            self._keys.append((prefix + lowered, bare))
+        self.env_keys = [qualified for qualified, _bare in self._keys] + [
+            bare for _qualified, bare in self._keys if bare
+        ]
+
+    def rows(self) -> Iterator[Env]:
+        _columns, rows = self.plan.run()
+        for row in rows:
+            env = dict(self.base_env)
+            for (qualified, bare), value in zip(self._keys, row):
+                env[qualified] = value
+                if bare:
+                    env[bare] = value
+            yield env
+
+    def describe(self) -> List[str]:
+        inner = ["  " + line for line in self.plan.describe()]
+        return [f"SubqueryScan(AS {self.binding.name})"] + inner
+
+
+class HashJoinNode(PlanNode):
+    """Equi-join: builds a hash table on the right, probes with the left."""
+
+    def __init__(
+        self,
+        left: PlanNode,
+        right: PlanNode,
+        left_keys: List[Expression],
+        right_keys: List[Expression],
+        residual: Optional[Expression],
+        left_outer: bool,
+    ) -> None:
+        self.left = left
+        self.right = right
+        self.left_keys = left_keys
+        self.right_keys = right_keys
+        self.residual = residual
+        self.left_outer = left_outer
+        self.env_keys = left.env_keys + right.env_keys
+
+    def rows(self) -> Iterator[Env]:
+        table: Dict[Tuple[Any, ...], List[Env]] = {}
+        for env in self.right.rows():
+            key = tuple(expr.evaluate(env) for expr in self.right_keys)
+            if any(part is None for part in key):
+                continue  # NULL never equi-joins
+            table.setdefault(key, []).append(env)
+        padding = {key: None for key in self.right.env_keys}
+        for left_env in self.left.rows():
+            key = tuple(expr.evaluate(left_env) for expr in self.left_keys)
+            matched = False
+            if not any(part is None for part in key):
+                for right_env in table.get(key, ()):
+                    merged = {**left_env, **right_env}
+                    if (
+                        self.residual is None
+                        or self.residual.evaluate(merged) is True
+                    ):
+                        matched = True
+                        yield merged
+            if not matched and self.left_outer:
+                yield {**left_env, **padding}
+
+    def describe(self) -> List[str]:
+        kind = "LeftHashJoin" if self.left_outer else "HashJoin"
+        keys = ", ".join(
+            f"{l.to_sql()}={r.to_sql()}"
+            for l, r in zip(self.left_keys, self.right_keys)
+        )
+        line = f"{kind}(on {keys})"
+        if self.residual is not None:
+            line += f" residual={self.residual.to_sql()}"
+        return [line] + [
+            "  " + inner for inner in self.left.describe() + self.right.describe()
+        ]
+
+
+class NestedLoopJoinNode(PlanNode):
+    """General join: materializes the right side, loops per left row."""
+
+    def __init__(
+        self,
+        left: PlanNode,
+        right: PlanNode,
+        condition: Optional[Expression],
+        left_outer: bool,
+    ) -> None:
+        self.left = left
+        self.right = right
+        self.condition = condition
+        self.left_outer = left_outer
+        self.env_keys = left.env_keys + right.env_keys
+
+    def rows(self) -> Iterator[Env]:
+        right_rows = list(self.right.rows())
+        padding = {key: None for key in self.right.env_keys}
+        for left_env in self.left.rows():
+            matched = False
+            for right_env in right_rows:
+                merged = {**left_env, **right_env}
+                if self.condition is None or self.condition.evaluate(merged) is True:
+                    matched = True
+                    yield merged
+            if not matched and self.left_outer:
+                yield {**left_env, **padding}
+
+    def describe(self) -> List[str]:
+        kind = "LeftNestedLoopJoin" if self.left_outer else "NestedLoopJoin"
+        line = kind + (
+            f"(on {self.condition.to_sql()})" if self.condition is not None else "(cross)"
+        )
+        return [line] + [
+            "  " + inner for inner in self.left.describe() + self.right.describe()
+        ]
+
+
+class FilterNode(PlanNode):
+    def __init__(self, child: PlanNode, predicate: Expression) -> None:
+        self.child = child
+        self.predicate = predicate
+        self.env_keys = child.env_keys
+
+    def rows(self) -> Iterator[Env]:
+        for env in self.child.rows():
+            if self.predicate.evaluate(env) is True:
+                yield env
+
+    def describe(self) -> List[str]:
+        return [f"Filter({self.predicate.to_sql()})"] + [
+            "  " + line for line in self.child.describe()
+        ]
+
+
+class SingleRowNode(PlanNode):
+    """FROM-less SELECT: one empty row carrying only the base env."""
+
+    def __init__(self, base_env: Env) -> None:
+        self.base_env = base_env
+        self.env_keys = []
+
+    def rows(self) -> Iterator[Env]:
+        yield dict(self.base_env)
+
+    def describe(self) -> List[str]:
+        return ["SingleRow"]
+
+
+class AggregateNode(PlanNode):
+    """Hash aggregation over optional GROUP BY expressions.
+
+    With no GROUP BY, a single global group is produced even over empty
+    input (COUNT(*) of an empty table is 0).  Non-aggregated select
+    expressions over grouped rows see a representative (first) row of each
+    group, MySQL-style; the application schemas never rely on this.
+    """
+
+    def __init__(
+        self,
+        child: PlanNode,
+        group_exprs: List[Expression],
+        aggregate_calls: List[Any],
+        base_env: Env,
+        functions: Any,
+    ) -> None:
+        self.child = child
+        self.group_exprs = group_exprs
+        self.aggregate_calls = aggregate_calls
+        self.base_env = base_env
+        self.functions = functions
+        self.env_keys = child.env_keys + [
+            f"__agg_{index}" for index in range(len(aggregate_calls))
+        ]
+
+    def rows(self) -> Iterator[Env]:
+        groups: Dict[Tuple[Any, ...], Dict[str, Any]] = {}
+        order: List[Tuple[Any, ...]] = []
+        for env in self.child.rows():
+            key = tuple(expr.evaluate(env) for expr in self.group_exprs)
+            state = groups.get(key)
+            if state is None:
+                state = {
+                    "env": env,
+                    "accumulators": [
+                        self.functions.aggregate(call.name)
+                        for call in self.aggregate_calls
+                    ],
+                    "distinct_seen": [
+                        set() if call.distinct else None
+                        for call in self.aggregate_calls
+                    ],
+                }
+                groups[key] = state
+                order.append(key)
+            for call, accumulator, seen in zip(
+                self.aggregate_calls,
+                state["accumulators"],
+                state["distinct_seen"],
+            ):
+                if call.argument is None:  # COUNT(*)
+                    value: Any = 1
+                else:
+                    value = call.argument.evaluate(env)
+                if seen is not None:
+                    if value is None or value in seen:
+                        continue
+                    seen.add(value)
+                accumulator.add(value)
+        if not groups and not self.group_exprs:
+            # Global aggregate over empty input.
+            env = dict(self.base_env)
+            for index, call in enumerate(self.aggregate_calls):
+                accumulator = self.functions.aggregate(call.name)
+                env[f"__agg_{index}"] = accumulator.result()
+            yield env
+            return
+        for key in order:
+            state = groups[key]
+            env = dict(state["env"])
+            for index, accumulator in enumerate(state["accumulators"]):
+                env[f"__agg_{index}"] = accumulator.result()
+            yield env
+
+    def describe(self) -> List[str]:
+        groups = ", ".join(expr.to_sql() for expr in self.group_exprs) or "<global>"
+        calls = ", ".join(call.to_sql() for call in self.aggregate_calls)
+        return [f"Aggregate(group by {groups}; {calls})"] + [
+            "  " + line for line in self.child.describe()
+        ]
+
+
+class SortNode(PlanNode):
+    def __init__(self, child: PlanNode, order_items: List[OrderItem]) -> None:
+        self.child = child
+        self.order_items = order_items
+        self.env_keys = child.env_keys
+
+    def rows(self) -> Iterator[Env]:
+        materialized = list(self.child.rows())
+        descending = [item.descending for item in self.order_items]
+        materialized.sort(
+            key=lambda env: order_key(
+                [item.expression.evaluate(env) for item in self.order_items],
+                descending,
+            )
+        )
+        return iter(materialized)
+
+    def describe(self) -> List[str]:
+        spec = ", ".join(item.to_sql() for item in self.order_items)
+        return [f"Sort({spec})"] + ["  " + line for line in self.child.describe()]
+
+
+class LimitNode(PlanNode):
+    def __init__(
+        self, child: PlanNode, limit: Optional[int], offset: Optional[int]
+    ) -> None:
+        self.child = child
+        self.limit = limit
+        self.offset = offset or 0
+        self.env_keys = child.env_keys
+
+    def rows(self) -> Iterator[Env]:
+        if self.limit is not None and self.limit <= 0:
+            return
+        produced = 0
+        skipped = 0
+        for env in self.child.rows():
+            if skipped < self.offset:
+                skipped += 1
+                continue
+            produced += 1
+            yield env
+            # Stop *before* pulling another row from the child, so scans
+            # under a LIMIT terminate as early as possible.
+            if self.limit is not None and produced >= self.limit:
+                return
+
+    def describe(self) -> List[str]:
+        return [f"Limit({self.limit} offset {self.offset})"] + [
+            "  " + line for line in self.child.describe()
+        ]
+
+
+class QueryPlan:
+    """A complete plan: the env pipeline plus the output projection."""
+
+    def __init__(
+        self,
+        root: PlanNode,
+        output: List[Tuple[str, Expression]],
+        distinct: bool,
+    ) -> None:
+        self.root = root
+        self.output = output
+        self.distinct = distinct
+
+    @property
+    def column_names(self) -> List[str]:
+        return [name for name, _expr in self.output]
+
+    def run(self) -> Tuple[List[str], List[Row]]:
+        rows: List[Row] = []
+        seen: Optional[Set[Row]] = set() if self.distinct else None
+        for env in self.root.rows():
+            row = tuple(expr.evaluate(env) for _name, expr in self.output)
+            if seen is not None:
+                if row in seen:
+                    continue
+                seen.add(row)
+            rows.append(row)
+        return self.column_names, rows
+
+    def describe(self) -> List[str]:
+        spec = ", ".join(
+            f"{expr.to_sql()} AS {name}" for name, expr in self.output
+        )
+        head = f"Project({spec})"
+        if self.distinct:
+            head = "Distinct " + head
+        return [head] + ["  " + line for line in self.root.describe()]
+
+
+# ---------------------------------------------------------------------------
+# planning
+# ---------------------------------------------------------------------------
+
+
+def plan_select(database: Any, statement: SelectStatement) -> QueryPlan:
+    """Build a :class:`QueryPlan` for a SELECT statement."""
+    return _Planner(database).plan(statement)
+
+
+class _Planner:
+    def __init__(self, database: Any) -> None:
+        self.database = database
+
+    # -- binding resolution -------------------------------------------------
+
+    def _binding_for(self, item: Union[TableRef, SubqueryRef]) -> Tuple[Binding, Any]:
+        """Resolve a FROM item to (binding, payload).
+
+        Payload is the Table for base tables, or a planned QueryPlan for
+        subqueries and views (a view behaves like an inlined subquery).
+        """
+        if isinstance(item, TableRef):
+            if self.database.has_view(item.name):
+                view_plan = _Planner(self.database).plan(
+                    self.database.view(item.name)
+                )
+                return Binding(item.binding, view_plan.column_names), view_plan
+            table = self.database.table(item.name)
+            return Binding(item.binding, table.schema.column_names), table
+        sub_plan = _Planner(self.database).plan(item.query)
+        return Binding(item.binding, sub_plan.column_names), sub_plan
+
+    def plan(self, statement: SelectStatement) -> QueryPlan:
+        base_env: Env = {"__functions__": self.database.functions}
+
+        # Uncorrelated IN/EXISTS subqueries are resolved once, here, into
+        # literal lists/booleans.  The statement itself is never mutated
+        # (views keep their stored form and re-resolve on every use).
+        where = self._resolve_subqueries(statement.where)
+        having = self._resolve_subqueries(statement.having)
+
+        from_items: List[Union[TableRef, SubqueryRef]] = []
+        join_specs: List[JoinClause] = []
+        if statement.from_item is not None:
+            from_items.append(statement.from_item)
+            join_specs = [
+                JoinClause(
+                    join_type=join.join_type,
+                    table=join.table,
+                    condition=self._resolve_subqueries(join.condition),
+                )
+                for join in statement.joins
+            ]
+            from_items.extend(join.table for join in join_specs)
+
+        resolved: List[Tuple[Binding, Any]] = [
+            self._binding_for(item) for item in from_items
+        ]
+        bindings = [binding for binding, _payload in resolved]
+
+        names_seen: Set[str] = set()
+        for binding in bindings:
+            lowered = binding.name.lower()
+            if lowered in names_seen:
+                raise PlannerError(
+                    f"duplicate table alias {binding.name!r}; use AS to rename"
+                )
+            names_seen.add(lowered)
+
+        # Bare column names usable without qualification.
+        column_owners: Dict[str, int] = {}
+        for binding in bindings:
+            for column in binding.column_set:
+                column_owners[column] = column_owners.get(column, 0) + 1
+        unambiguous = {
+            column for column, count in column_owners.items() if count == 1
+        }
+        for column, count in column_owners.items():
+            if count > 1:
+                base_env[column] = AMBIGUOUS
+
+        # Which bindings sit on the NULL-padded side of a LEFT join?
+        nullable_bindings: Set[str] = set()
+        for join in join_specs:
+            if join.join_type == "LEFT":
+                nullable_bindings.add(join.table.binding.lower())
+
+        # WHERE pushdown bookkeeping.
+        where_conjuncts = conjuncts(where)
+        pushed: Dict[str, List[Expression]] = {}
+        remaining: List[Expression] = []
+        for conjunct in where_conjuncts:
+            targets = self._referenced_bindings(conjunct, bindings, unambiguous)
+            if len(targets) == 1:
+                target = next(iter(targets))
+                if target not in nullable_bindings:
+                    pushed.setdefault(target, []).append(conjunct)
+                    continue
+            remaining.append(conjunct)
+
+        # Build leaf nodes.
+        leaves: Dict[str, PlanNode] = {}
+        for (binding, payload), item in zip(resolved, from_items):
+            key = binding.name.lower()
+            local = pushed.get(key, [])
+            if isinstance(payload, QueryPlan):
+                # Subquery or view: scan its planned output.
+                node: PlanNode = SubqueryScanNode(
+                    payload, binding, base_env, unambiguous
+                )
+                predicate = conjoin(local)
+                if predicate is not None:
+                    node = FilterNode(node, predicate)
+            else:
+                node = self._build_scan(
+                    payload, binding, base_env, unambiguous, local
+                )
+            leaves[key] = node
+
+        # Join tree, left-deep in syntactic order.
+        if not bindings:
+            current: PlanNode = SingleRowNode(base_env)
+        else:
+            current = leaves[bindings[0].name.lower()]
+            covered = {bindings[0].name.lower()}
+            for join in join_specs:
+                right_key = join.table.binding.lower()
+                right = leaves[right_key]
+                current = self._build_join(
+                    current, right, covered, right_key, join, bindings, unambiguous
+                )
+                covered.add(right_key)
+
+        predicate = conjoin(remaining)
+        if predicate is not None:
+            current = FilterNode(current, predicate)
+
+        # Aggregation.
+        if statement.aggregates or statement.group_by:
+            current = AggregateNode(
+                current,
+                statement.group_by,
+                statement.aggregates,
+                base_env,
+                self.database.functions,
+            )
+        if having is not None:
+            current = FilterNode(current, having)
+
+        # Output projection spec (before sort so aliases can be resolved).
+        output = self._output_spec(statement, bindings)
+
+        if statement.order_by:
+            items = [
+                OrderItem(
+                    self._resolve_order_expression(
+                        item.expression, output, bindings
+                    ),
+                    item.descending,
+                )
+                for item in statement.order_by
+            ]
+            current = SortNode(current, items)
+        if statement.limit is not None or statement.offset is not None:
+            current = LimitNode(current, statement.limit, statement.offset)
+
+        return QueryPlan(current, output, statement.distinct)
+
+    # -- scan construction ----------------------------------------------------
+
+    def _build_scan(
+        self,
+        table: Any,
+        binding: Binding,
+        base_env: Env,
+        unambiguous: Set[str],
+        local_conjuncts: List[Expression],
+    ) -> PlanNode:
+        access, residual = self._choose_access(table, binding, local_conjuncts)
+        predicate = conjoin(residual)
+        return ScanNode(
+            table,
+            binding,
+            base_env,
+            unambiguous,
+            predicate=predicate,
+            access=access,
+        )
+
+    def _choose_access(
+        self,
+        table: Any,
+        binding: Binding,
+        local_conjuncts: List[Expression],
+    ) -> Tuple[Optional[IndexAccess], List[Expression]]:
+        """Pick an index access path from pushed-down conjuncts."""
+        indexes = self.database.indexes_on(table.name)
+        single_column = {
+            info.columns[0].lower(): info
+            for info in indexes
+            if len(info.columns) == 1
+        }
+
+        def column_of(expr: Expression) -> Optional[str]:
+            if isinstance(expr, ColumnRef):
+                qualifier_ok = (
+                    expr.qualifier is None
+                    or expr.qualifier.lower() == binding.name.lower()
+                )
+                if qualifier_ok:
+                    return expr.column.lower()
+            return None
+
+        # Primary-key point lookup: equality literals covering the whole key.
+        pk = tuple(name.lower() for name in table.schema.primary_key)
+        if pk:
+            equalities: Dict[str, Tuple[int, Any]] = {}
+            for position, conjunct in enumerate(local_conjuncts):
+                if isinstance(conjunct, BinaryOp) and conjunct.op == "=":
+                    for lhs, rhs in (
+                        (conjunct.left, conjunct.right),
+                        (conjunct.right, conjunct.left),
+                    ):
+                        column = column_of(lhs)
+                        if (
+                            column in pk
+                            and isinstance(rhs, Literal)
+                            and rhs.value is not None
+                            and column not in equalities
+                        ):
+                            equalities[column] = (position, rhs.value)
+            if len(equalities) == len(pk):
+                used_positions = {position for position, _v in equalities.values()}
+                residual = [
+                    conjunct
+                    for position, conjunct in enumerate(local_conjuncts)
+                    if position not in used_positions
+                ]
+                key = tuple(equalities[column][1] for column in pk)
+                return PrimaryKeyAccess(key), residual
+
+        if not single_column:
+            return None, local_conjuncts
+
+        # Equality first: col = literal.
+        for position, conjunct in enumerate(local_conjuncts):
+            if isinstance(conjunct, BinaryOp) and conjunct.op == "=":
+                for lhs, rhs in (
+                    (conjunct.left, conjunct.right),
+                    (conjunct.right, conjunct.left),
+                ):
+                    column = column_of(lhs)
+                    if column in single_column and isinstance(rhs, Literal):
+                        if rhs.value is None:
+                            continue
+                        residual = (
+                            local_conjuncts[:position]
+                            + local_conjuncts[position + 1 :]
+                        )
+                        access = IndexAccess(
+                            single_column[column], equal_key=(rhs.value,)
+                        )
+                        return access, residual
+
+        # Then ranges over a sorted index.
+        for column, info in single_column.items():
+            if info.kind != "sorted":
+                continue
+            low = high = None
+            low_inclusive = high_inclusive = True
+            used: List[int] = []
+            for position, conjunct in enumerate(local_conjuncts):
+                if not (
+                    isinstance(conjunct, BinaryOp)
+                    and conjunct.op in (">", ">=", "<", "<=")
+                ):
+                    continue
+                operator = conjunct.op
+                lhs, rhs = conjunct.left, conjunct.right
+                target = column_of(lhs)
+                literal: Optional[Literal] = (
+                    rhs if isinstance(rhs, Literal) else None
+                )
+                if target != column or literal is None:
+                    # Try the flipped form: literal OP column.
+                    target = column_of(rhs)
+                    literal = lhs if isinstance(lhs, Literal) else None
+                    if target != column or literal is None:
+                        continue
+                    operator = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}[operator]
+                if literal.value is None:
+                    continue
+                if operator in (">", ">="):
+                    if low is None or (literal.value,) > low:
+                        low = (literal.value,)
+                        low_inclusive = operator == ">="
+                        used.append(position)
+                else:
+                    if high is None or (literal.value,) < high:
+                        high = (literal.value,)
+                        high_inclusive = operator == "<="
+                        used.append(position)
+            if low is not None or high is not None:
+                residual = [
+                    conjunct
+                    for position, conjunct in enumerate(local_conjuncts)
+                    if position not in used
+                ]
+                access = IndexAccess(
+                    info,
+                    low=low,
+                    high=high,
+                    low_inclusive=low_inclusive,
+                    high_inclusive=high_inclusive,
+                )
+                return access, residual
+        return None, local_conjuncts
+
+    # -- join construction ------------------------------------------------------
+
+    def _build_join(
+        self,
+        left: PlanNode,
+        right: PlanNode,
+        covered: Set[str],
+        right_key: str,
+        join: JoinClause,
+        bindings: List[Binding],
+        unambiguous: Set[str],
+    ) -> PlanNode:
+        left_outer = join.join_type == "LEFT"
+        if join.join_type == "CROSS" or join.condition is None:
+            return NestedLoopJoinNode(left, right, None, left_outer=False)
+        equi_left: List[Expression] = []
+        equi_right: List[Expression] = []
+        residual: List[Expression] = []
+        for conjunct in conjuncts(join.condition):
+            pair = self._equi_pair(
+                conjunct, covered, right_key, bindings, unambiguous
+            )
+            if pair is not None:
+                equi_left.append(pair[0])
+                equi_right.append(pair[1])
+            else:
+                residual.append(conjunct)
+        if equi_left:
+            return HashJoinNode(
+                left,
+                right,
+                equi_left,
+                equi_right,
+                conjoin(residual),
+                left_outer,
+            )
+        return NestedLoopJoinNode(left, right, join.condition, left_outer)
+
+    def _equi_pair(
+        self,
+        conjunct: Expression,
+        covered: Set[str],
+        right_key: str,
+        bindings: List[Binding],
+        unambiguous: Set[str],
+    ) -> Optional[Tuple[Expression, Expression]]:
+        """If ``conjunct`` is left_expr = right_expr across the join, split it."""
+        if not (isinstance(conjunct, BinaryOp) and conjunct.op == "="):
+            return None
+        left_refs = self._referenced_bindings(conjunct.left, bindings, unambiguous)
+        right_refs = self._referenced_bindings(conjunct.right, bindings, unambiguous)
+        if left_refs <= covered and right_refs == {right_key}:
+            return conjunct.left, conjunct.right
+        if right_refs <= covered and left_refs == {right_key}:
+            return conjunct.right, conjunct.left
+        return None
+
+    # -- helpers -----------------------------------------------------------
+
+    def _referenced_bindings(
+        self,
+        expression: Expression,
+        bindings: List[Binding],
+        unambiguous: Set[str],
+    ) -> Set[str]:
+        result: Set[str] = set()
+        for reference in expression.columns_referenced():
+            if "." in reference:
+                qualifier, column = reference.split(".", 1)
+                lowered = qualifier.lower()
+                match = next(
+                    (b for b in bindings if b.name.lower() == lowered), None
+                )
+                if match is None:
+                    raise UnknownColumnError(
+                        f"unknown table alias {qualifier!r} in {reference!r}"
+                    )
+                if column.lower() not in match.column_set:
+                    raise UnknownColumnError(
+                        f"table {qualifier!r} has no column {column!r}"
+                    )
+                result.add(lowered)
+            else:
+                lowered = reference.lower()
+                owners = [
+                    binding
+                    for binding in bindings
+                    if lowered in binding.column_set
+                ]
+                if not owners:
+                    raise UnknownColumnError(f"unknown column {reference!r}")
+                if len(owners) > 1:
+                    raise AmbiguousColumnError(
+                        f"column {reference!r} is ambiguous; qualify it"
+                    )
+                result.add(owners[0].name.lower())
+        return result
+
+    def _output_spec(
+        self,
+        statement: SelectStatement,
+        bindings: List[Binding],
+    ) -> List[Tuple[str, Expression]]:
+        output: List[Tuple[str, Expression]] = []
+        for item in statement.items:
+            if item.is_star:
+                targets = (
+                    bindings
+                    if item.star_qualifier == ""
+                    else [
+                        binding
+                        for binding in bindings
+                        if binding.name.lower() == item.star_qualifier.lower()
+                    ]
+                )
+                if item.star_qualifier != "" and not targets:
+                    raise PlannerError(
+                        f"unknown alias {item.star_qualifier!r} in select list"
+                    )
+                if not bindings:
+                    raise PlannerError("SELECT * requires a FROM clause")
+                for binding in targets:
+                    for column in binding.columns:
+                        output.append(
+                            (
+                                column,
+                                ColumnRef(column=column, qualifier=binding.name),
+                            )
+                        )
+                continue
+            # Validate column references now so bad selects fail at plan
+            # time (views rely on this for create-time validation).
+            self._referenced_bindings(item.expression, bindings, set())
+            name = item.alias
+            if name is None:
+                if isinstance(item.expression, ColumnRef):
+                    name = item.expression.column
+                elif isinstance(item.expression, AggregateRef):
+                    name = item.expression.call.name
+                else:
+                    name = item.expression.to_sql()
+            output.append((name, item.expression))
+        return output
+
+    def _resolve_subqueries(
+        self, expression: Optional[Expression]
+    ) -> Optional[Expression]:
+        """Replace uncorrelated IN/EXISTS subqueries with their values.
+
+        ``x IN (SELECT ...)`` becomes an :class:`InList` of literals (the
+        subquery must yield exactly one column) and ``EXISTS (SELECT
+        ...)`` becomes a boolean literal.  Nested occurrences inside
+        AND/OR/NOT/CASE/functions are handled; unchanged subtrees are
+        returned as-is (no needless copying).
+        """
+        if expression is None:
+            return None
+        if isinstance(expression, InSubquery):
+            sub_plan = _Planner(self.database).plan(expression.query)
+            columns, rows = sub_plan.run()
+            if len(columns) != 1:
+                raise PlannerError(
+                    "IN (SELECT ...) must yield exactly one column, got "
+                    f"{len(columns)}"
+                )
+            operand = self._resolve_subqueries(expression.operand)
+            return InList(
+                operand,
+                [Literal(row[0]) for row in rows],
+                negated=expression.negated,
+            ) if rows else InList(
+                operand, [], negated=expression.negated
+            )
+        if isinstance(expression, ExistsSubquery):
+            sub_plan = _Planner(self.database).plan(expression.query)
+            exists = False
+            for _env in sub_plan.root.rows():
+                exists = True
+                break
+            return Literal(exists != expression.negated)
+        if isinstance(expression, BinaryOp):
+            left = self._resolve_subqueries(expression.left)
+            right = self._resolve_subqueries(expression.right)
+            if left is expression.left and right is expression.right:
+                return expression
+            return BinaryOp(expression.op, left, right)
+        if isinstance(expression, UnaryOp):
+            operand = self._resolve_subqueries(expression.operand)
+            if operand is expression.operand:
+                return expression
+            return UnaryOp(expression.op, operand)
+        if isinstance(expression, IsNull):
+            operand = self._resolve_subqueries(expression.operand)
+            if operand is expression.operand:
+                return expression
+            return IsNull(operand, negated=expression.negated)
+        if isinstance(expression, InList):
+            operand = self._resolve_subqueries(expression.operand)
+            items = [self._resolve_subqueries(item) for item in expression.items]
+            if operand is expression.operand and all(
+                new is old for new, old in zip(items, expression.items)
+            ):
+                return expression
+            return InList(operand, items, negated=expression.negated)
+        if isinstance(expression, Between):
+            operand = self._resolve_subqueries(expression.operand)
+            low = self._resolve_subqueries(expression.low)
+            high = self._resolve_subqueries(expression.high)
+            if (
+                operand is expression.operand
+                and low is expression.low
+                and high is expression.high
+            ):
+                return expression
+            return Between(operand, low, high, negated=expression.negated)
+        if isinstance(expression, Like):
+            operand = self._resolve_subqueries(expression.operand)
+            pattern = self._resolve_subqueries(expression.pattern)
+            if operand is expression.operand and pattern is expression.pattern:
+                return expression
+            return Like(
+                operand,
+                pattern,
+                negated=expression.negated,
+                case_insensitive=expression.case_insensitive,
+            )
+        if isinstance(expression, Case):
+            branches = [
+                (
+                    self._resolve_subqueries(condition),
+                    self._resolve_subqueries(value),
+                )
+                for condition, value in expression.branches
+            ]
+            default = self._resolve_subqueries(expression.default)
+            return Case(branches, default)
+        if isinstance(expression, FunctionCall):
+            arguments = [
+                self._resolve_subqueries(argument)
+                for argument in expression.arguments
+            ]
+            if all(
+                new is old
+                for new, old in zip(arguments, expression.arguments)
+            ):
+                return expression
+            return FunctionCall(expression.name, arguments)
+        return expression
+
+    def _resolve_order_expression(
+        self,
+        expression: Expression,
+        output: List[Tuple[str, Expression]],
+        bindings: List[Binding],
+    ) -> Expression:
+        """ORDER BY may name a select alias or a 1-based output position.
+
+        A bare name that is also a base column resolves to the base column;
+        otherwise it resolves to the matching select-list expression.
+        """
+        if isinstance(expression, ColumnRef) and expression.qualifier is None:
+            lowered = expression.column.lower()
+            resolvable = any(
+                lowered in binding.column_set for binding in bindings
+            )
+            if not resolvable:
+                for name, expr in output:
+                    if name.lower() == lowered:
+                        return expr
+        if isinstance(expression, Literal) and isinstance(expression.value, int):
+            position = expression.value
+            if 1 <= position <= len(output):
+                return output[position - 1][1]
+            raise PlannerError(f"ORDER BY position {position} out of range")
+        return expression

@@ -1,0 +1,47 @@
+"""SQL front end: lexer, AST, and recursive-descent parser.
+
+The dialect is the subset a conventional mid-2000s DBMS application uses —
+exactly the target surface the FlexRecs compiler emits (SELECT with joins,
+grouping, ordering, limits, set operations, DML, and DDL with constraints).
+"""
+
+from repro.minidb.sql.ast import (
+    CreateIndexStatement,
+    CreateTableStatement,
+    DeleteStatement,
+    DropIndexStatement,
+    DropTableStatement,
+    InsertStatement,
+    JoinClause,
+    OrderItem,
+    SelectItem,
+    SelectStatement,
+    SubqueryRef,
+    TableRef,
+    UnionStatement,
+    UpdateStatement,
+)
+from repro.minidb.sql.lexer import Token, tokenize
+from repro.minidb.sql.parser import parse_expression, parse_statement, parse_script
+
+__all__ = [
+    "CreateIndexStatement",
+    "CreateTableStatement",
+    "DeleteStatement",
+    "DropIndexStatement",
+    "DropTableStatement",
+    "InsertStatement",
+    "JoinClause",
+    "OrderItem",
+    "SelectItem",
+    "SelectStatement",
+    "SubqueryRef",
+    "TableRef",
+    "UnionStatement",
+    "UpdateStatement",
+    "Token",
+    "tokenize",
+    "parse_expression",
+    "parse_statement",
+    "parse_script",
+]

@@ -1,0 +1,196 @@
+"""Hand-written SQL tokenizer.
+
+Produces a flat list of :class:`Token` with 1-based line/column positions so
+syntax errors point at the offending character.  Keywords are recognised
+case-insensitively and carried with type ``KEYWORD``; identifiers keep their
+original spelling.  Double-quoted identifiers are supported for names that
+collide with keywords.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.errors import SQLSyntaxError
+
+KEYWORDS = {
+    "SELECT", "DISTINCT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER",
+    "ASC", "DESC", "LIMIT", "OFFSET", "AS", "JOIN", "INNER", "LEFT", "RIGHT",
+    "OUTER", "CROSS", "ON", "AND", "OR", "NOT", "IN", "IS", "NULL", "LIKE",
+    "ILIKE", "BETWEEN", "CASE", "WHEN", "THEN", "ELSE", "END", "UNION", "ALL",
+    "INSERT", "INTO", "VALUES", "UPDATE", "SET", "DELETE", "CREATE", "TABLE",
+    "INDEX", "DROP", "PRIMARY", "KEY", "UNIQUE", "FOREIGN", "REFERENCES",
+    "USING", "TRUE", "FALSE", "INTEGER", "INT", "FLOAT", "REAL", "TEXT",
+    "VARCHAR", "BOOLEAN", "DATE", "EXISTS", "IF", "VIEW",
+}
+
+_PUNCT = {
+    "(", ")", ",", ".", ";", "*", "+", "-", "/", "%",
+    "=", "<", ">", "<=", ">=", "<>", "!=", "||",
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    type: str  # KEYWORD | IDENT | NUMBER | STRING | PUNCT | EOF
+    value: str
+    line: int
+    column: int
+
+    def matches(self, keyword: str) -> bool:
+        return self.type == "KEYWORD" and self.value == keyword.upper()
+
+
+class _Scanner:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.position = 0
+        self.line = 1
+        self.column = 1
+
+    def peek(self, offset: int = 0) -> str:
+        index = self.position + offset
+        return self.text[index] if index < len(self.text) else ""
+
+    def advance(self) -> str:
+        char = self.text[self.position]
+        self.position += 1
+        if char == "\n":
+            self.line += 1
+            self.column = 1
+        else:
+            self.column += 1
+        return char
+
+    def error(self, message: str) -> SQLSyntaxError:
+        return SQLSyntaxError(f"line {self.line}, col {self.column}: {message}")
+
+
+def tokenize(text: str) -> List[Token]:
+    """Tokenize SQL text; raises :class:`SQLSyntaxError` on bad input."""
+    scanner = _Scanner(text)
+    tokens: List[Token] = []
+    while scanner.position < len(scanner.text):
+        char = scanner.peek()
+        if char in " \t\r\n":
+            scanner.advance()
+            continue
+        if char == "-" and scanner.peek(1) == "-":
+            while scanner.position < len(scanner.text) and scanner.peek() != "\n":
+                scanner.advance()
+            continue
+        if char == "/" and scanner.peek(1) == "*":
+            _skip_block_comment(scanner)
+            continue
+        line, column = scanner.line, scanner.column
+        if char == "'":
+            tokens.append(Token("STRING", _read_string(scanner), line, column))
+            continue
+        if char == '"':
+            tokens.append(
+                Token("IDENT", _read_quoted_identifier(scanner), line, column)
+            )
+            continue
+        if char.isdigit() or (char == "." and scanner.peek(1).isdigit()):
+            tokens.append(Token("NUMBER", _read_number(scanner), line, column))
+            continue
+        if char.isalpha() or char == "_":
+            word = _read_word(scanner)
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token("KEYWORD", upper, line, column))
+            else:
+                tokens.append(Token("IDENT", word, line, column))
+            continue
+        two = char + scanner.peek(1)
+        if len(two) == 2 and two in _PUNCT:
+            scanner.advance()
+            scanner.advance()
+            tokens.append(Token("PUNCT", two, line, column))
+            continue
+        if char in _PUNCT:
+            scanner.advance()
+            tokens.append(Token("PUNCT", char, line, column))
+            continue
+        raise scanner.error(f"unexpected character {char!r}")
+    tokens.append(Token("EOF", "", scanner.line, scanner.column))
+    return tokens
+
+
+def _skip_block_comment(scanner: _Scanner) -> None:
+    start_line, start_column = scanner.line, scanner.column
+    scanner.advance()
+    scanner.advance()
+    while scanner.position < len(scanner.text):
+        if scanner.peek() == "*" and scanner.peek(1) == "/":
+            scanner.advance()
+            scanner.advance()
+            return
+        scanner.advance()
+    raise SQLSyntaxError(
+        f"line {start_line}, col {start_column}: unterminated block comment"
+    )
+
+
+def _read_string(scanner: _Scanner) -> str:
+    scanner.advance()  # opening quote
+    parts: List[str] = []
+    while True:
+        if scanner.position >= len(scanner.text):
+            raise scanner.error("unterminated string literal")
+        char = scanner.advance()
+        if char == "'":
+            if scanner.peek() == "'":  # escaped quote
+                scanner.advance()
+                parts.append("'")
+                continue
+            return "".join(parts)
+        parts.append(char)
+
+
+def _read_quoted_identifier(scanner: _Scanner) -> str:
+    scanner.advance()  # opening quote
+    parts: List[str] = []
+    while True:
+        if scanner.position >= len(scanner.text):
+            raise scanner.error("unterminated quoted identifier")
+        char = scanner.advance()
+        if char == '"':
+            return "".join(parts)
+        parts.append(char)
+
+
+def _read_number(scanner: _Scanner) -> str:
+    parts: List[str] = []
+    saw_dot = False
+    saw_exp = False
+    while scanner.position < len(scanner.text):
+        char = scanner.peek()
+        if char.isdigit():
+            parts.append(scanner.advance())
+        elif char == "." and not saw_dot and not saw_exp:
+            saw_dot = True
+            parts.append(scanner.advance())
+        elif char in "eE" and not saw_exp and parts and parts[-1].isdigit():
+            saw_exp = True
+            parts.append(scanner.advance())
+            if scanner.peek() in "+-":
+                parts.append(scanner.advance())
+        else:
+            break
+    text = "".join(parts)
+    if text.endswith((".", "e", "E", "+", "-")):
+        raise scanner.error(f"malformed number {text!r}")
+    return text
+
+
+def _read_word(scanner: _Scanner) -> str:
+    parts: List[str] = []
+    while scanner.position < len(scanner.text):
+        char = scanner.peek()
+        if char.isalnum() or char == "_":
+            parts.append(scanner.advance())
+        else:
+            break
+    return "".join(parts)

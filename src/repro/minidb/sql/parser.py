@@ -1,0 +1,793 @@
+"""Recursive-descent parser for the minidb SQL dialect.
+
+Entry points:
+
+* :func:`parse_statement` — one statement (trailing ``;`` optional).
+* :func:`parse_script` — a ``;``-separated list of statements.
+* :func:`parse_expression` — a standalone scalar expression (used by tests
+  and by FlexRecs when accepting predicate strings from strategy authors).
+
+Aggregate calls found while parsing a SELECT are hoisted into the
+statement's ``aggregates`` list and replaced in expression trees by
+:class:`~repro.minidb.sql.ast.AggregateRef` placeholders, so the executor
+computes each aggregate once per group and post-aggregation expressions
+evaluate uniformly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import SQLSyntaxError
+from repro.minidb.expressions import (
+    Between,
+    BinaryOp,
+    Case,
+    ColumnRef,
+    ExistsSubquery,
+    Expression,
+    FunctionCall,
+    InList,
+    InSubquery,
+    IsNull,
+    Like,
+    Literal,
+    UnaryOp,
+)
+from repro.minidb.schema import ForeignKey
+from repro.minidb.sql.ast import (
+    AggregateCall,
+    AggregateRef,
+    ColumnDef,
+    CreateIndexStatement,
+    CreateTableStatement,
+    CreateViewStatement,
+    DeleteStatement,
+    DropIndexStatement,
+    DropTableStatement,
+    DropViewStatement,
+    FromItem,
+    InsertStatement,
+    JoinClause,
+    OrderItem,
+    SelectItem,
+    SelectStatement,
+    Statement,
+    SubqueryRef,
+    TableRef,
+    UnionStatement,
+    UpdateStatement,
+)
+from repro.minidb.sql.lexer import Token, tokenize
+from repro.minidb.types import DataType
+
+_AGGREGATE_NAMES = {"count", "sum", "avg", "min", "max", "stddev", "group_concat"}
+
+# Keywords that may double as identifiers (column/alias names).
+_NONRESERVED = {
+    "INTEGER", "INT", "FLOAT", "REAL", "TEXT", "VARCHAR", "BOOLEAN", "DATE",
+}
+
+_TYPE_KEYWORDS = {
+    "INTEGER": DataType.INTEGER,
+    "INT": DataType.INTEGER,
+    "FLOAT": DataType.FLOAT,
+    "REAL": DataType.FLOAT,
+    "TEXT": DataType.TEXT,
+    "VARCHAR": DataType.TEXT,
+    "BOOLEAN": DataType.BOOLEAN,
+    "DATE": DataType.DATE,
+}
+
+
+class _Parser:
+    def __init__(self, tokens: List[Token]) -> None:
+        self.tokens = tokens
+        self.position = 0
+        # Aggregate collection context; None outside SELECT scopes.
+        self._aggregate_sink: Optional[List[AggregateCall]] = None
+
+    # -- token helpers -----------------------------------------------------
+
+    def peek(self, offset: int = 0) -> Token:
+        index = min(self.position + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.position]
+        if token.type != "EOF":
+            self.position += 1
+        return token
+
+    def error(self, message: str) -> SQLSyntaxError:
+        token = self.peek()
+        where = f"line {token.line}, col {token.column}"
+        shown = token.value or "<end of input>"
+        return SQLSyntaxError(f"{where}: {message} (near {shown!r})")
+
+    def accept_keyword(self, *keywords: str) -> Optional[Token]:
+        token = self.peek()
+        if token.type == "KEYWORD" and token.value in {k.upper() for k in keywords}:
+            return self.advance()
+        return None
+
+    def expect_keyword(self, keyword: str) -> Token:
+        token = self.accept_keyword(keyword)
+        if token is None:
+            raise self.error(f"expected {keyword.upper()}")
+        return token
+
+    def accept_punct(self, value: str) -> Optional[Token]:
+        token = self.peek()
+        if token.type == "PUNCT" and token.value == value:
+            return self.advance()
+        return None
+
+    def expect_punct(self, value: str) -> Token:
+        token = self.accept_punct(value)
+        if token is None:
+            raise self.error(f"expected {value!r}")
+        return token
+
+    def expect_identifier(self, what: str = "identifier") -> str:
+        token = self.peek()
+        if token.type == "IDENT":
+            return self.advance().value
+        # Type keywords are non-reserved: the paper's Comments relation has
+        # columns named Text, Date, Year — allow them as plain identifiers.
+        if token.type == "KEYWORD" and token.value in _NONRESERVED:
+            # The lexer uppercases keywords; names are case-insensitive, so
+            # normalize keyword-identifiers to lowercase for predictability.
+            return self.advance().value.lower()
+        raise self.error(f"expected {what}")
+
+    # -- statements -----------------------------------------------------------
+
+    def parse_statement(self) -> Statement:
+        token = self.peek()
+        if token.matches("SELECT") or (
+            token.type == "PUNCT" and token.value == "("
+        ):
+            return self.parse_select_or_union()
+        if token.matches("INSERT"):
+            return self.parse_insert()
+        if token.matches("UPDATE"):
+            return self.parse_update()
+        if token.matches("DELETE"):
+            return self.parse_delete()
+        if token.matches("CREATE"):
+            if self.peek(1).matches("TABLE"):
+                return self.parse_create_table()
+            if self.peek(1).matches("INDEX"):
+                return self.parse_create_index()
+            if self.peek(1).matches("VIEW"):
+                return self.parse_create_view()
+            raise self.error("expected TABLE, INDEX, or VIEW after CREATE")
+        if token.matches("DROP"):
+            if self.peek(1).matches("TABLE"):
+                return self.parse_drop_table()
+            if self.peek(1).matches("INDEX"):
+                return self.parse_drop_index()
+            if self.peek(1).matches("VIEW"):
+                return self.parse_drop_view()
+            raise self.error("expected TABLE, INDEX, or VIEW after DROP")
+        raise self.error("expected a statement")
+
+    def parse_select_or_union(self) -> Statement:
+        parts = [self.parse_select_core()]
+        is_union = False
+        union_all = False
+        while self.accept_keyword("UNION"):
+            is_union = True
+            union_all = bool(self.accept_keyword("ALL")) or union_all
+            parts.append(self.parse_select_core())
+        if not is_union:
+            select = parts[0]
+            self._parse_trailing_clauses(select)
+            return select
+        union = UnionStatement(parts=parts, all=union_all)
+        if self.accept_keyword("ORDER"):
+            self.expect_keyword("BY")
+            union.order_by = self.parse_order_items()
+        if self.accept_keyword("LIMIT"):
+            union.limit = self.parse_int_literal()
+        return union
+
+    def parse_select_core(self) -> SelectStatement:
+        if self.accept_punct("("):
+            select = self.parse_select_core()
+            self.expect_punct(")")
+            return select
+        self.expect_keyword("SELECT")
+        outer_sink = self._aggregate_sink
+        sink: List[AggregateCall] = []
+        self._aggregate_sink = sink
+        try:
+            distinct = bool(self.accept_keyword("DISTINCT"))
+            items = [self.parse_select_item()]
+            while self.accept_punct(","):
+                items.append(self.parse_select_item())
+            from_item: Optional[FromItem] = None
+            joins: List[JoinClause] = []
+            where = None
+            group_by: List[Expression] = []
+            having = None
+            if self.accept_keyword("FROM"):
+                from_item = self.parse_from_item()
+                joins = self.parse_joins()
+            if self.accept_keyword("WHERE"):
+                # Aggregates are illegal in WHERE.
+                saved = self._aggregate_sink
+                self._aggregate_sink = None
+                try:
+                    where = self.parse_expression()
+                finally:
+                    self._aggregate_sink = saved
+            if self.accept_keyword("GROUP"):
+                self.expect_keyword("BY")
+                saved = self._aggregate_sink
+                self._aggregate_sink = None
+                try:
+                    group_by.append(self.parse_expression())
+                    while self.accept_punct(","):
+                        group_by.append(self.parse_expression())
+                finally:
+                    self._aggregate_sink = saved
+            if self.accept_keyword("HAVING"):
+                having = self.parse_expression()
+            return SelectStatement(
+                items=items,
+                from_item=from_item,
+                joins=joins,
+                where=where,
+                group_by=group_by,
+                having=having,
+                distinct=distinct,
+                aggregates=sink,
+            )
+        finally:
+            self._aggregate_sink = outer_sink
+
+    def _parse_trailing_clauses(self, select: SelectStatement) -> None:
+        if self.accept_keyword("ORDER"):
+            self.expect_keyword("BY")
+            outer_sink = self._aggregate_sink
+            self._aggregate_sink = select.aggregates
+            try:
+                select.order_by = self.parse_order_items()
+            finally:
+                self._aggregate_sink = outer_sink
+        if self.accept_keyword("LIMIT"):
+            select.limit = self.parse_int_literal()
+        if self.accept_keyword("OFFSET"):
+            select.offset = self.parse_int_literal()
+
+    def parse_order_items(self) -> List[OrderItem]:
+        items = [self.parse_order_item()]
+        while self.accept_punct(","):
+            items.append(self.parse_order_item())
+        return items
+
+    def parse_order_item(self) -> OrderItem:
+        expression = self.parse_expression()
+        descending = False
+        if self.accept_keyword("DESC"):
+            descending = True
+        else:
+            self.accept_keyword("ASC")
+        return OrderItem(expression=expression, descending=descending)
+
+    def parse_int_literal(self) -> int:
+        token = self.peek()
+        if token.type != "NUMBER" or "." in token.value:
+            raise self.error("expected integer literal")
+        self.advance()
+        return int(token.value)
+
+    def parse_select_item(self) -> SelectItem:
+        token = self.peek()
+        if token.type == "PUNCT" and token.value == "*":
+            self.advance()
+            return SelectItem(expression=None, star_qualifier="")
+        if (
+            token.type == "IDENT"
+            and self.peek(1).type == "PUNCT"
+            and self.peek(1).value == "."
+            and self.peek(2).type == "PUNCT"
+            and self.peek(2).value == "*"
+        ):
+            qualifier = self.advance().value
+            self.advance()
+            self.advance()
+            return SelectItem(expression=None, star_qualifier=qualifier)
+        expression = self.parse_expression()
+        alias = None
+        if self.accept_keyword("AS"):
+            alias = self.expect_identifier("alias")
+        elif self.peek().type == "IDENT":
+            alias = self.advance().value
+        return SelectItem(expression=expression, alias=alias)
+
+    def parse_from_item(self) -> FromItem:
+        if self.accept_punct("("):
+            saved = self._aggregate_sink
+            self._aggregate_sink = None
+            try:
+                query = self.parse_select_core()
+                self._parse_trailing_clauses(query)
+            finally:
+                self._aggregate_sink = saved
+            self.expect_punct(")")
+            self.accept_keyword("AS")
+            alias = self.expect_identifier("subquery alias")
+            return SubqueryRef(query=query, alias=alias)
+        name = self.expect_identifier("table name")
+        alias = None
+        if self.accept_keyword("AS"):
+            alias = self.expect_identifier("alias")
+        elif self.peek().type == "IDENT":
+            alias = self.advance().value
+        return TableRef(name=name, alias=alias)
+
+    def parse_joins(self) -> List[JoinClause]:
+        joins: List[JoinClause] = []
+        while True:
+            join_type = None
+            if self.accept_keyword("CROSS"):
+                self.expect_keyword("JOIN")
+                join_type = "CROSS"
+            elif self.accept_keyword("INNER"):
+                self.expect_keyword("JOIN")
+                join_type = "INNER"
+            elif self.accept_keyword("LEFT"):
+                self.accept_keyword("OUTER")
+                self.expect_keyword("JOIN")
+                join_type = "LEFT"
+            elif self.accept_keyword("JOIN"):
+                join_type = "INNER"
+            else:
+                break
+            table = self.parse_from_item()
+            condition = None
+            if join_type != "CROSS":
+                self.expect_keyword("ON")
+                saved = self._aggregate_sink
+                self._aggregate_sink = None
+                try:
+                    condition = self.parse_expression()
+                finally:
+                    self._aggregate_sink = saved
+            joins.append(
+                JoinClause(join_type=join_type, table=table, condition=condition)
+            )
+        return joins
+
+    # -- DML ----------------------------------------------------------------
+
+    def parse_insert(self) -> InsertStatement:
+        self.expect_keyword("INSERT")
+        self.expect_keyword("INTO")
+        table = self.expect_identifier("table name")
+        columns = None
+        if self.accept_punct("("):
+            columns = [self.expect_identifier("column name")]
+            while self.accept_punct(","):
+                columns.append(self.expect_identifier("column name"))
+            self.expect_punct(")")
+        if self.peek().matches("SELECT"):
+            select = self.parse_select_core()
+            self._parse_trailing_clauses(select)
+            return InsertStatement(table=table, columns=columns, select=select)
+        self.expect_keyword("VALUES")
+        rows = [self.parse_value_row()]
+        while self.accept_punct(","):
+            rows.append(self.parse_value_row())
+        return InsertStatement(table=table, columns=columns, rows=rows)
+
+    def parse_value_row(self) -> List[Expression]:
+        self.expect_punct("(")
+        values = [self.parse_expression()]
+        while self.accept_punct(","):
+            values.append(self.parse_expression())
+        self.expect_punct(")")
+        return values
+
+    def parse_update(self) -> UpdateStatement:
+        self.expect_keyword("UPDATE")
+        table = self.expect_identifier("table name")
+        self.expect_keyword("SET")
+        assignments: List[Tuple[str, Expression]] = []
+        while True:
+            column = self.expect_identifier("column name")
+            self.expect_punct("=")
+            assignments.append((column, self.parse_expression()))
+            if not self.accept_punct(","):
+                break
+        where = None
+        if self.accept_keyword("WHERE"):
+            where = self.parse_expression()
+        return UpdateStatement(table=table, assignments=assignments, where=where)
+
+    def parse_delete(self) -> DeleteStatement:
+        self.expect_keyword("DELETE")
+        self.expect_keyword("FROM")
+        table = self.expect_identifier("table name")
+        where = None
+        if self.accept_keyword("WHERE"):
+            where = self.parse_expression()
+        return DeleteStatement(table=table, where=where)
+
+    # -- DDL --------------------------------------------------------------
+
+    def parse_create_table(self) -> CreateTableStatement:
+        self.expect_keyword("CREATE")
+        self.expect_keyword("TABLE")
+        if_not_exists = False
+        if self.accept_keyword("IF"):
+            self.expect_keyword("NOT")
+            self.expect_keyword("EXISTS")
+            if_not_exists = True
+        name = self.expect_identifier("table name")
+        self.expect_punct("(")
+        columns: List[ColumnDef] = []
+        primary_key: Tuple[str, ...] = ()
+        unique_keys: List[Tuple[str, ...]] = []
+        foreign_keys: List[ForeignKey] = []
+        while True:
+            token = self.peek()
+            if token.matches("PRIMARY"):
+                self.advance()
+                self.expect_keyword("KEY")
+                if primary_key:
+                    raise self.error("duplicate PRIMARY KEY clause")
+                primary_key = tuple(self.parse_name_list())
+            elif token.matches("UNIQUE"):
+                self.advance()
+                unique_keys.append(tuple(self.parse_name_list()))
+            elif token.matches("FOREIGN"):
+                self.advance()
+                self.expect_keyword("KEY")
+                local = tuple(self.parse_name_list())
+                self.expect_keyword("REFERENCES")
+                ref_table = self.expect_identifier("referenced table")
+                ref_columns = tuple(self.parse_name_list())
+                foreign_keys.append(
+                    ForeignKey(
+                        columns=local, ref_table=ref_table, ref_columns=ref_columns
+                    )
+                )
+            else:
+                columns.append(self.parse_column_def())
+            if not self.accept_punct(","):
+                break
+        self.expect_punct(")")
+        inline_pks = [c.name for c in columns if c.primary_key]
+        if inline_pks:
+            if primary_key:
+                raise self.error("both inline and table-level PRIMARY KEY given")
+            primary_key = tuple(inline_pks)
+        return CreateTableStatement(
+            name=name,
+            columns=columns,
+            primary_key=primary_key,
+            unique_keys=tuple(unique_keys),
+            foreign_keys=tuple(foreign_keys),
+            if_not_exists=if_not_exists,
+        )
+
+    def parse_name_list(self) -> List[str]:
+        self.expect_punct("(")
+        names = [self.expect_identifier("column name")]
+        while self.accept_punct(","):
+            names.append(self.expect_identifier("column name"))
+        self.expect_punct(")")
+        return names
+
+    def parse_column_def(self) -> ColumnDef:
+        name = self.expect_identifier("column name")
+        token = self.peek()
+        if token.type != "KEYWORD" or token.value not in _TYPE_KEYWORDS:
+            raise self.error("expected a column type")
+        dtype = _TYPE_KEYWORDS[self.advance().value]
+        # VARCHAR(100)-style length annotations are accepted and ignored.
+        if self.accept_punct("("):
+            self.parse_int_literal()
+            self.expect_punct(")")
+        not_null = False
+        primary_key = False
+        while True:
+            if self.accept_keyword("NOT"):
+                self.expect_keyword("NULL")
+                not_null = True
+            elif self.accept_keyword("PRIMARY"):
+                self.expect_keyword("KEY")
+                primary_key = True
+            else:
+                break
+        return ColumnDef(
+            name=name, dtype=dtype, not_null=not_null, primary_key=primary_key
+        )
+
+    def parse_create_index(self) -> CreateIndexStatement:
+        self.expect_keyword("CREATE")
+        self.expect_keyword("INDEX")
+        name = self.expect_identifier("index name")
+        self.expect_keyword("ON")
+        table = self.expect_identifier("table name")
+        columns = tuple(self.parse_name_list())
+        kind = "hash"
+        if self.accept_keyword("USING"):
+            kind = self.expect_identifier("index kind").lower()
+        return CreateIndexStatement(name=name, table=table, columns=columns, kind=kind)
+
+    def parse_create_view(self) -> CreateViewStatement:
+        self.expect_keyword("CREATE")
+        self.expect_keyword("VIEW")
+        name = self.expect_identifier("view name")
+        self.expect_keyword("AS")
+        query = self.parse_select_core()
+        self._parse_trailing_clauses(query)
+        return CreateViewStatement(name=name, query=query)
+
+    def parse_drop_view(self) -> DropViewStatement:
+        self.expect_keyword("DROP")
+        self.expect_keyword("VIEW")
+        if_exists = False
+        if self.accept_keyword("IF"):
+            self.expect_keyword("EXISTS")
+            if_exists = True
+        return DropViewStatement(
+            name=self.expect_identifier("view name"), if_exists=if_exists
+        )
+
+    def parse_drop_table(self) -> DropTableStatement:
+        self.expect_keyword("DROP")
+        self.expect_keyword("TABLE")
+        if_exists = False
+        if self.accept_keyword("IF"):
+            self.expect_keyword("EXISTS")
+            if_exists = True
+        return DropTableStatement(
+            name=self.expect_identifier("table name"), if_exists=if_exists
+        )
+
+    def parse_drop_index(self) -> DropIndexStatement:
+        self.expect_keyword("DROP")
+        self.expect_keyword("INDEX")
+        return DropIndexStatement(name=self.expect_identifier("index name"))
+
+    # -- expressions -----------------------------------------------------
+
+    def parse_expression(self) -> Expression:
+        return self.parse_or()
+
+    def parse_or(self) -> Expression:
+        left = self.parse_and()
+        while self.accept_keyword("OR"):
+            left = BinaryOp("OR", left, self.parse_and())
+        return left
+
+    def parse_and(self) -> Expression:
+        left = self.parse_not()
+        while self.accept_keyword("AND"):
+            left = BinaryOp("AND", left, self.parse_not())
+        return left
+
+    def parse_not(self) -> Expression:
+        if self.accept_keyword("NOT"):
+            return UnaryOp("NOT", self.parse_not())
+        return self.parse_predicate()
+
+    def parse_predicate(self) -> Expression:
+        left = self.parse_additive()
+        token = self.peek()
+        if token.type == "PUNCT" and token.value in ("=", "<>", "!=", "<", "<=", ">", ">="):
+            operator = self.advance().value
+            return BinaryOp(operator, left, self.parse_additive())
+        if token.matches("IS"):
+            self.advance()
+            negated = bool(self.accept_keyword("NOT"))
+            self.expect_keyword("NULL")
+            return IsNull(left, negated=negated)
+        negated = False
+        if token.matches("NOT"):
+            following = self.peek(1)
+            if following.matches("IN") or following.matches("LIKE") or \
+                    following.matches("ILIKE") or following.matches("BETWEEN"):
+                self.advance()
+                negated = True
+                token = self.peek()
+        if token.matches("IN"):
+            self.advance()
+            self.expect_punct("(")
+            if self.peek().matches("SELECT"):
+                query = self._parse_subselect()
+                self.expect_punct(")")
+                return InSubquery(left, query, negated=negated)
+            items = [self.parse_expression()]
+            while self.accept_punct(","):
+                items.append(self.parse_expression())
+            self.expect_punct(")")
+            return InList(left, items, negated=negated)
+        if token.matches("LIKE") or token.matches("ILIKE"):
+            case_insensitive = token.value == "ILIKE"
+            self.advance()
+            pattern = self.parse_additive()
+            return Like(
+                left, pattern, negated=negated, case_insensitive=case_insensitive
+            )
+        if token.matches("BETWEEN"):
+            self.advance()
+            low = self.parse_additive()
+            self.expect_keyword("AND")
+            high = self.parse_additive()
+            return Between(left, low, high, negated=negated)
+        return left
+
+    def parse_additive(self) -> Expression:
+        left = self.parse_multiplicative()
+        while True:
+            token = self.peek()
+            if token.type == "PUNCT" and token.value in ("+", "-", "||"):
+                operator = self.advance().value
+                left = BinaryOp(operator, left, self.parse_multiplicative())
+            else:
+                return left
+
+    def parse_multiplicative(self) -> Expression:
+        left = self.parse_unary()
+        while True:
+            token = self.peek()
+            if token.type == "PUNCT" and token.value in ("*", "/", "%"):
+                operator = self.advance().value
+                left = BinaryOp(operator, left, self.parse_unary())
+            else:
+                return left
+
+    def parse_unary(self) -> Expression:
+        if self.accept_punct("-"):
+            return UnaryOp("-", self.parse_unary())
+        if self.accept_punct("+"):
+            return self.parse_unary()
+        return self.parse_primary()
+
+    def parse_primary(self) -> Expression:
+        token = self.peek()
+        if token.type == "NUMBER":
+            self.advance()
+            if "." in token.value or "e" in token.value or "E" in token.value:
+                return Literal(float(token.value))
+            return Literal(int(token.value))
+        if token.type == "STRING":
+            self.advance()
+            return Literal(token.value)
+        if token.matches("NULL"):
+            self.advance()
+            return Literal(None)
+        if token.matches("TRUE"):
+            self.advance()
+            return Literal(True)
+        if token.matches("FALSE"):
+            self.advance()
+            return Literal(False)
+        if token.matches("DATE") and self.peek(1).type == "STRING":
+            self.advance()
+            literal = self.advance()
+            from repro.minidb.types import parse_date
+
+            return Literal(parse_date(literal.value))
+        if token.matches("CASE"):
+            return self.parse_case()
+        if token.matches("EXISTS"):
+            self.advance()
+            self.expect_punct("(")
+            query = self._parse_subselect()
+            self.expect_punct(")")
+            return ExistsSubquery(query)
+        if token.type == "PUNCT" and token.value == "(":
+            self.advance()
+            inner = self.parse_expression()
+            self.expect_punct(")")
+            return inner
+        if token.type == "IDENT" or (
+            token.type == "KEYWORD" and token.value in _NONRESERVED
+        ):
+            return self.parse_identifier_expression()
+        raise self.error("expected an expression")
+
+    def _parse_subselect(self):
+        """A SELECT used inside an expression (IN/EXISTS subquery)."""
+        saved = self._aggregate_sink
+        self._aggregate_sink = None
+        try:
+            query = self.parse_select_core()
+            self._parse_trailing_clauses(query)
+        finally:
+            self._aggregate_sink = saved
+        return query
+
+    def parse_case(self) -> Expression:
+        self.expect_keyword("CASE")
+        branches = []
+        while self.accept_keyword("WHEN"):
+            condition = self.parse_expression()
+            self.expect_keyword("THEN")
+            value = self.parse_expression()
+            branches.append((condition, value))
+        if not branches:
+            raise self.error("CASE requires at least one WHEN branch")
+        default = None
+        if self.accept_keyword("ELSE"):
+            default = self.parse_expression()
+        self.expect_keyword("END")
+        return Case(branches, default)
+
+    def parse_identifier_expression(self) -> Expression:
+        name = self.advance().value
+        token = self.peek()
+        if token.type == "PUNCT" and token.value == "(":
+            return self.parse_call(name)
+        if token.type == "PUNCT" and token.value == ".":
+            self.advance()
+            column = self.expect_identifier("column name")
+            return ColumnRef(column=column, qualifier=name)
+        return ColumnRef(column=name)
+
+    def parse_call(self, name: str) -> Expression:
+        self.expect_punct("(")
+        lowered = name.lower()
+        if lowered in _AGGREGATE_NAMES:
+            if self._aggregate_sink is None:
+                raise self.error(
+                    f"aggregate {name.upper()} is not allowed in this clause"
+                )
+            distinct = bool(self.accept_keyword("DISTINCT"))
+            if self.accept_punct("*"):
+                if lowered != "count":
+                    raise self.error("only COUNT accepts *")
+                argument: Optional[Expression] = None
+            else:
+                argument = self.parse_expression()
+            self.expect_punct(")")
+            call = AggregateCall(name=lowered, argument=argument, distinct=distinct)
+            self._aggregate_sink.append(call)
+            return AggregateRef(len(self._aggregate_sink) - 1, call)
+        arguments: List[Expression] = []
+        if not self.accept_punct(")"):
+            arguments.append(self.parse_expression())
+            while self.accept_punct(","):
+                arguments.append(self.parse_expression())
+            self.expect_punct(")")
+        return FunctionCall(name, arguments)
+
+
+def parse_statement(text: str) -> Statement:
+    """Parse exactly one SQL statement."""
+    parser = _Parser(tokenize(text))
+    statement = parser.parse_statement()
+    parser.accept_punct(";")
+    if parser.peek().type != "EOF":
+        raise parser.error("unexpected trailing input")
+    return statement
+
+
+def parse_script(text: str) -> List[Statement]:
+    """Parse a ``;``-separated sequence of statements."""
+    parser = _Parser(tokenize(text))
+    statements: List[Statement] = []
+    while parser.peek().type != "EOF":
+        statements.append(parser.parse_statement())
+        if not parser.accept_punct(";"):
+            break
+    if parser.peek().type != "EOF":
+        raise parser.error("unexpected trailing input")
+    return statements
+
+
+def parse_expression(text: str) -> Expression:
+    """Parse a standalone scalar expression (no aggregates)."""
+    parser = _Parser(tokenize(text))
+    expression = parser.parse_expression()
+    if parser.peek().type != "EOF":
+        raise parser.error("unexpected trailing input")
+    return expression

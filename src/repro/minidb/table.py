@@ -1,0 +1,290 @@
+"""Row storage for a single table.
+
+Rows are stored as Python lists in insertion order.  A primary-key hash map
+enforces uniqueness and gives O(1) point lookup; secondary indexes (see
+:mod:`repro.minidb.indexes`) are maintained incrementally on every mutation.
+
+Deletes use tombstone-free compaction semantics: a delete physically removes
+the row, and row identifiers (``rowid``) are stable handles that are never
+reused within a table's lifetime.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import IntegrityError, SchemaError
+from repro.minidb.schema import TableSchema
+from repro.minidb.types import coerce
+
+Row = Tuple[Any, ...]
+
+
+class Table:
+    """In-memory heap of rows conforming to a :class:`TableSchema`."""
+
+    def __init__(self, schema: TableSchema) -> None:
+        self.schema = schema
+        self._rows: Dict[int, Row] = {}
+        self._next_rowid = 0
+        self._pk_positions = tuple(
+            schema.column_position(name) for name in schema.primary_key
+        )
+        self._unique_positions = tuple(
+            tuple(schema.column_position(name) for name in key)
+            for key in schema.unique_keys
+        )
+        self._pk_map: Dict[Tuple[Any, ...], int] = {}
+        self._unique_maps: List[Dict[Tuple[Any, ...], int]] = [
+            {} for _ in self._unique_positions
+        ]
+        # Secondary indexes registered by the catalog: name -> (index, positions)
+        self._indexes: Dict[str, "_IndexHook"] = {}
+
+    # -- basic properties --------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.schema.name
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def rows(self) -> Iterator[Row]:
+        """Iterate rows in insertion order."""
+        return iter(self._rows.values())
+
+    def rows_with_ids(self) -> Iterator[Tuple[int, Row]]:
+        return iter(self._rows.items())
+
+    def get(self, rowid: int) -> Row:
+        return self._rows[rowid]
+
+    # -- validation ---------------------------------------------------------
+
+    def _normalize(self, values: Sequence[Any]) -> Row:
+        columns = self.schema.columns
+        if len(values) != len(columns):
+            raise SchemaError(
+                f"table {self.name!r} expects {len(columns)} values, "
+                f"got {len(values)}"
+            )
+        normalized = []
+        for value, column in zip(values, columns):
+            coerced = coerce(value, column.dtype)
+            if coerced is None and (
+                not column.nullable or self.schema.is_pk_column(column.name)
+            ):
+                raise IntegrityError(
+                    f"column {self.name}.{column.name} may not be NULL"
+                )
+            normalized.append(coerced)
+        return tuple(normalized)
+
+    def _pk_of(self, row: Row) -> Optional[Tuple[Any, ...]]:
+        if not self._pk_positions:
+            return None
+        return tuple(row[position] for position in self._pk_positions)
+
+    # -- mutation -----------------------------------------------------------
+
+    def insert(self, values: Sequence[Any]) -> int:
+        """Insert one row (positional values), returning its rowid."""
+        row = self._normalize(values)
+        pk = self._pk_of(row)
+        if pk is not None and pk in self._pk_map:
+            raise IntegrityError(
+                f"duplicate primary key {pk!r} in table {self.name!r}"
+            )
+        unique_hits = []
+        for positions, unique_map in zip(self._unique_positions, self._unique_maps):
+            key = tuple(row[position] for position in positions)
+            if None not in key and key in unique_map:
+                raise IntegrityError(
+                    f"unique constraint violated in {self.name!r}: {key!r}"
+                )
+            unique_hits.append(key)
+        rowid = self._next_rowid
+        self._next_rowid += 1
+        self._rows[rowid] = row
+        if pk is not None:
+            self._pk_map[pk] = rowid
+        for key, unique_map in zip(unique_hits, self._unique_maps):
+            if None not in key:
+                unique_map[key] = rowid
+        for hook in self._indexes.values():
+            hook.insert(rowid, row)
+        return rowid
+
+    def insert_dict(self, record: Dict[str, Any]) -> int:
+        """Insert a row given a column-name → value mapping.
+
+        Missing columns default to NULL; unknown names raise SchemaError.
+        """
+        values: List[Any] = [None] * len(self.schema.columns)
+        for column_name, value in record.items():
+            values[self.schema.column_position(column_name)] = value
+        return self.insert(values)
+
+    def delete_rowid(self, rowid: int) -> None:
+        self._remove_row(rowid)
+
+    def _remove_row(self, rowid: int) -> None:
+        """Physically remove a row, bypassing referential checks."""
+        row = self._rows.pop(rowid)
+        pk = self._pk_of(row)
+        if pk is not None:
+            self._pk_map.pop(pk, None)
+        for positions, unique_map in zip(self._unique_positions, self._unique_maps):
+            key = tuple(row[position] for position in positions)
+            if None not in key:
+                unique_map.pop(key, None)
+        for hook in self._indexes.values():
+            hook.delete(rowid, row)
+
+    def delete_where(self, predicate: Callable[[Row], bool]) -> int:
+        """Delete rows matching ``predicate``; return the count removed."""
+        doomed = [rowid for rowid, row in self._rows.items() if predicate(row)]
+        for rowid in doomed:
+            self.delete_rowid(rowid)
+        return len(doomed)
+
+    def update_rowid(self, rowid: int, new_values: Sequence[Any]) -> None:
+        """Replace the row at ``rowid`` with new (full) values."""
+        old = self._rows[rowid]
+        row = self._normalize(new_values)
+        pk = self._pk_of(row)
+        old_pk = self._pk_of(old)
+        if pk is not None and pk != old_pk and pk in self._pk_map:
+            raise IntegrityError(
+                f"duplicate primary key {pk!r} in table {self.name!r}"
+            )
+        for positions, unique_map in zip(self._unique_positions, self._unique_maps):
+            key = tuple(row[position] for position in positions)
+            old_key = tuple(old[position] for position in positions)
+            if None not in key and key != old_key and key in unique_map:
+                raise IntegrityError(
+                    f"unique constraint violated in {self.name!r}: {key!r}"
+                )
+        self._remove_row(rowid)
+        # Re-insert under the same rowid to keep handles stable.
+        self._rows[rowid] = row
+        if pk is not None:
+            self._pk_map[pk] = rowid
+        for positions, unique_map in zip(self._unique_positions, self._unique_maps):
+            key = tuple(row[position] for position in positions)
+            if None not in key:
+                unique_map[key] = rowid
+        for hook in self._indexes.values():
+            hook.insert(rowid, row)
+
+    def update_where(
+        self,
+        predicate: Callable[[Row], bool],
+        transform: Callable[[Row], Sequence[Any]],
+    ) -> int:
+        """Update all rows matching ``predicate`` via ``transform``."""
+        touched = [
+            (rowid, row) for rowid, row in list(self._rows.items()) if predicate(row)
+        ]
+        for rowid, row in touched:
+            self.update_rowid(rowid, transform(row))
+        return len(touched)
+
+    def clear(self) -> None:
+        self._rows.clear()
+        self._pk_map.clear()
+        for unique_map in self._unique_maps:
+            unique_map.clear()
+        for hook in self._indexes.values():
+            hook.clear()
+
+    # -- lookup ---------------------------------------------------------------
+
+    def lookup_pk(self, key: Sequence[Any]) -> Optional[Row]:
+        """Point lookup by primary key; None when absent."""
+        if not self._pk_positions:
+            raise SchemaError(f"table {self.name!r} has no primary key")
+        rowid = self._pk_map.get(tuple(key))
+        return None if rowid is None else self._rows[rowid]
+
+    def contains_pk(self, key: Sequence[Any]) -> bool:
+        return bool(self._pk_positions) and tuple(key) in self._pk_map
+
+    def scan_equal(self, column: str, value: Any) -> Iterator[Row]:
+        """All rows whose ``column`` equals ``value`` (uses index if present)."""
+        position = self.schema.column_position(column)
+        for hook in self._indexes.values():
+            if hook.positions == (position,):
+                for rowid in hook.index.find((value,)):
+                    yield self._rows[rowid]
+                return
+        for row in self._rows.values():
+            if row[position] == value:
+                yield row
+
+    # -- index plumbing (catalog-managed) -------------------------------------
+
+    def attach_index(self, name: str, index: "Any", columns: Sequence[str]) -> None:
+        positions = tuple(self.schema.column_position(c) for c in columns)
+        hook = _IndexHook(index, positions)
+        for rowid, row in self._rows.items():
+            hook.insert(rowid, row)
+        self._indexes[name] = hook
+
+    def detach_index(self, name: str) -> None:
+        self._indexes.pop(name, None)
+
+    def index_names(self) -> List[str]:
+        return list(self._indexes)
+
+    # -- snapshots (transactions) ----------------------------------------------
+
+    def snapshot(self) -> Dict[int, Row]:
+        """A shallow copy of the row map (rows are immutable tuples)."""
+        return dict(self._rows)
+
+    def restore(self, snap: Dict[int, Row], next_rowid: int) -> None:
+        """Restore a prior snapshot, rebuilding key maps and indexes."""
+        self._rows = dict(snap)
+        self._next_rowid = next_rowid
+        self._pk_map = {}
+        self._unique_maps = [{} for _ in self._unique_positions]
+        for rowid, row in self._rows.items():
+            pk = self._pk_of(row)
+            if pk is not None:
+                self._pk_map[pk] = rowid
+            for positions, unique_map in zip(
+                self._unique_positions, self._unique_maps
+            ):
+                key = tuple(row[position] for position in positions)
+                if None not in key:
+                    unique_map[key] = rowid
+        for hook in self._indexes.values():
+            hook.clear()
+            for rowid, row in self._rows.items():
+                hook.insert(rowid, row)
+
+    @property
+    def next_rowid(self) -> int:
+        return self._next_rowid
+
+
+class _IndexHook:
+    """Binds a secondary index to the column positions it covers."""
+
+    def __init__(self, index: Any, positions: Tuple[int, ...]) -> None:
+        self.index = index
+        self.positions = positions
+
+    def _key(self, row: Row) -> Tuple[Any, ...]:
+        return tuple(row[position] for position in self.positions)
+
+    def insert(self, rowid: int, row: Row) -> None:
+        self.index.insert(self._key(row), rowid)
+
+    def delete(self, rowid: int, row: Row) -> None:
+        self.index.delete(self._key(row), rowid)
+
+    def clear(self) -> None:
+        self.index.clear()

@@ -1,0 +1,285 @@
+"""The search engine: indexing entities and answering keyword queries.
+
+Matching is **conjunctive** by default (every query term must appear
+somewhere in the entity), which is what produces the paper's refinement
+behaviour: "American" matches 1160 courses, adding "African" narrows to
+123.  Disjunctive ("any") matching is available for recall-oriented uses.
+
+Queries support **quoted phrases**: ``"african american" history``
+requires the two quoted words to appear consecutively (in the same
+field), which is how clicking a multi-word cloud term refines.
+
+Two rankers are provided:
+
+* ``tfidf`` — weighted TF-IDF: ``sum_t idf(t) * sum_f w_f * (1+log tf)``;
+* ``bm25``  — a BM25F-style variant with per-field length normalization.
+
+Both respect the entity definition's field weights, answering Section
+3.1's ranking question (title hits beat comment hits).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import SearchError
+from repro.minidb.catalog import Database
+from repro.search.entity import EntityDefinition
+from repro.search.inverted_index import InvertedIndex
+from repro.search.tokenizer import Tokenizer
+
+DocId = Any
+
+_QUOTED = re.compile(r'"([^"]*)"')
+
+
+@dataclass(frozen=True)
+class SearchHit:
+    """One ranked entity."""
+
+    doc_id: DocId
+    score: float
+
+
+@dataclass
+class SearchResult:
+    """The outcome of one query: ranked hits plus query metadata."""
+
+    query: str
+    terms: List[str]  # all stemmed terms, phrase members included
+    hits: List[SearchHit]
+    mode: str
+    phrases: List[List[str]] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.hits)
+
+    def doc_ids(self) -> List[DocId]:
+        return [hit.doc_id for hit in self.hits]
+
+    def doc_id_set(self) -> Set[DocId]:
+        return {hit.doc_id for hit in self.hits}
+
+    def top(self, k: int) -> List[SearchHit]:
+        return self.hits[:k]
+
+
+class SearchEngine:
+    """Indexes one entity type from a database and answers queries."""
+
+    def __init__(
+        self,
+        database: Database,
+        entity: EntityDefinition,
+        tokenizer: Optional[Tokenizer] = None,
+        ranker: str = "bm25",
+        bm25_k1: float = 1.4,
+        bm25_b: float = 0.6,
+    ) -> None:
+        if ranker not in ("bm25", "tfidf"):
+            raise SearchError(f"unknown ranker {ranker!r}")
+        self.database = database
+        self.entity = entity
+        self.tokenizer = tokenizer or Tokenizer()
+        self.ranker = ranker
+        self.bm25_k1 = bm25_k1
+        self.bm25_b = bm25_b
+        self.index = InvertedIndex()
+        self.field_weights = entity.field_weights
+        # Raw text store per document (the naive cloud strategy re-reads it).
+        self._texts: Dict[DocId, Dict[str, str]] = {}
+        self._built = False
+
+    # -- indexing -----------------------------------------------------------
+
+    def build(self) -> int:
+        """(Re)build the index from the database; returns documents indexed."""
+        self.index.clear()
+        self._texts.clear()
+        collected = self.entity.collect_texts(self.database)
+        for doc_id, fields in collected.items():
+            joined = {name: " ".join(chunks) for name, chunks in fields.items()}
+            tokenized = {
+                name: self.tokenizer.tokens(text) for name, text in joined.items()
+            }
+            self.index.add_document(doc_id, tokenized)
+            self._texts[doc_id] = joined
+        self._built = True
+        return self.index.document_count
+
+    def refresh_document(self, doc_id: DocId) -> None:
+        """Re-index a single entity after its underlying rows changed.
+
+        Runs key-filtered field queries (not a full corpus re-read), so
+        the live site can refresh a course the moment a comment lands.
+        Removes the entity when it disappeared from the database.
+        """
+        fields = self.entity.collect_texts_for(self.database, doc_id)
+        if fields is None:
+            if self.index.has_document(doc_id):
+                self.index.remove_document(doc_id)
+                self._texts.pop(doc_id, None)
+            return
+        joined = {name: " ".join(chunks) for name, chunks in fields.items()}
+        self.index.add_document(
+            doc_id,
+            {name: self.tokenizer.tokens(text) for name, text in joined.items()},
+        )
+        self._texts[doc_id] = joined
+
+    def document_text(self, doc_id: DocId) -> Dict[str, str]:
+        """The stored raw text of an indexed entity (field → text)."""
+        if doc_id not in self._texts:
+            raise SearchError(f"document {doc_id!r} is not indexed")
+        return self._texts[doc_id]
+
+    @property
+    def document_count(self) -> int:
+        return self.index.document_count
+
+    def _require_built(self) -> None:
+        if not self._built:
+            raise SearchError("search index not built; call build() first")
+
+    # -- query parsing -------------------------------------------------------
+
+    def parse_query(self, query: str) -> Tuple[List[str], List[List[str]]]:
+        """Split a query into loose terms and quoted phrases (stemmed).
+
+        A quoted segment that reduces to a single token degenerates into
+        a loose term; empty quotes are ignored.
+        """
+        phrases: List[List[str]] = []
+        loose_text_parts: List[str] = []
+        cursor = 0
+        for match in _QUOTED.finditer(query):
+            loose_text_parts.append(query[cursor : match.start()])
+            tokens = self.tokenizer.query_tokens(match.group(1))
+            if len(tokens) >= 2:
+                phrases.append(tokens)
+            elif tokens:
+                loose_text_parts.append(" " + tokens[0] + " ")
+            cursor = match.end()
+        loose_text_parts.append(query[cursor:])
+        loose = self.tokenizer.query_tokens(" ".join(loose_text_parts))
+        return loose, phrases
+
+    # -- querying ------------------------------------------------------------
+
+    def search(
+        self,
+        query: str,
+        limit: Optional[int] = None,
+        mode: str = "all",
+        within: Optional[Set[DocId]] = None,
+    ) -> SearchResult:
+        """Answer a keyword query.
+
+        ``mode`` is ``"all"`` (conjunctive, default) or ``"any"``
+        (disjunctive; phrases still match as phrases).  ``within``
+        restricts candidates to a document subset — the data-cloud
+        refinement path uses it.
+        """
+        self._require_built()
+        if mode not in ("all", "any"):
+            raise SearchError(f"unknown match mode {mode!r}")
+        loose, phrases = self.parse_query(query)
+        all_terms = list(loose) + [term for phrase in phrases for term in phrase]
+        if not all_terms:
+            return SearchResult(
+                query=query, terms=[], hits=[], mode=mode, phrases=[]
+            )
+        candidates = self._candidates(loose, phrases, mode)
+        if within is not None:
+            candidates &= within
+        scored = self._score_candidates(candidates, all_terms)
+        scored.sort(key=lambda hit: (-hit.score, _tiebreak(hit.doc_id)))
+        if limit is not None:
+            scored = scored[:limit]
+        return SearchResult(
+            query=query,
+            terms=all_terms,
+            hits=scored,
+            mode=mode,
+            phrases=phrases,
+        )
+
+    def count(self, query: str, mode: str = "all") -> int:
+        """Number of matching entities without scoring (cheaper)."""
+        self._require_built()
+        loose, phrases = self.parse_query(query)
+        if not loose and not phrases:
+            return 0
+        return len(self._candidates(loose, phrases, mode))
+
+    def _candidates(
+        self,
+        loose: Sequence[str],
+        phrases: Sequence[Sequence[str]],
+        mode: str,
+    ) -> Set[DocId]:
+        sets = [self.index.matching_documents(term) for term in loose]
+        sets.extend(self.index.phrase_documents(phrase) for phrase in phrases)
+        if not sets:
+            return set()
+        if mode == "all":
+            sets.sort(key=len)  # intersect smallest-first
+            result = set(sets[0])
+            for other in sets[1:]:
+                result &= other
+                if not result:
+                    break
+            return result
+        result: Set[DocId] = set()
+        for other in sets:
+            result |= other
+        return result
+
+    # -- scoring ---------------------------------------------------------
+
+    def _score_candidates(
+        self, candidates: Set[DocId], terms: Sequence[str]
+    ) -> List[SearchHit]:
+        """Score all candidates, fetching each term's postings once."""
+        scores: Dict[DocId, float] = {doc_id: 0.0 for doc_id in candidates}
+        k1, b = self.bm25_k1, self.bm25_b
+        for term in terms:
+            postings = self.index.positional_postings(term)
+            idf = self.index.idf(term)
+            for doc_id in candidates:
+                entry = postings.get(doc_id)
+                if not entry:
+                    continue
+                if self.ranker == "bm25":
+                    pseudo_tf = 0.0
+                    for field_name, positions in entry.items():
+                        tf = len(positions)
+                        average = self.index.average_field_length(field_name)
+                        length = self.index.field_length(doc_id, field_name)
+                        normalizer = (
+                            1.0 - b + b * (length / average) if average else 1.0
+                        )
+                        pseudo_tf += (
+                            self.field_weights.get(field_name, 1.0)
+                            * tf
+                            / normalizer
+                        )
+                    scores[doc_id] += (
+                        idf * pseudo_tf * (k1 + 1.0) / (pseudo_tf + k1)
+                    )
+                else:
+                    weighted = sum(
+                        self.field_weights.get(field_name, 1.0)
+                        * (1.0 + math.log(len(positions)))
+                        for field_name, positions in entry.items()
+                    )
+                    scores[doc_id] += idf * weighted
+        return [SearchHit(doc_id, score) for doc_id, score in scores.items()]
+
+
+def _tiebreak(doc_id: DocId) -> Tuple[str, str]:
+    """Deterministic ordering for equal scores across mixed id types."""
+    return (type(doc_id).__name__, str(doc_id))

@@ -1,0 +1,218 @@
+"""Positional inverted index with per-field granularity.
+
+Documents are identified by an application-chosen hashable id (CourseRank
+uses the course primary key).  Each document is a mapping of *field name*
+to a token list; the index records, per term, the documents, fields, and
+token positions it occurs at.  Positions enable true phrase matching —
+the multi-word cloud terms of the paper's Figure 3 ("Latin American",
+"African American") refine as phrases, not as independent words.
+
+A forward index (doc → field → term counts) is kept alongside — the
+data-cloud scorers iterate it to gather term statistics over a result
+set without re-tokenizing source text.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.errors import SearchError
+
+DocId = Any
+
+#: per-document postings entry: field name -> sorted token positions
+FieldPositions = Dict[str, List[int]]
+
+
+class InvertedIndex:
+    """Term → postings with field-level positions."""
+
+    def __init__(self) -> None:
+        # term -> doc_id -> field -> [positions]
+        self._postings: Dict[str, Dict[DocId, FieldPositions]] = {}
+        # doc_id -> field -> Counter(term)
+        self._forward: Dict[DocId, Dict[str, Counter]] = {}
+        # field -> total token count (for average field length)
+        self._field_tokens: Dict[str, int] = {}
+
+    # -- building ----------------------------------------------------------
+
+    def add_document(self, doc_id: DocId, fields: Mapping[str, List[str]]) -> None:
+        """Index one document; re-adding an existing id replaces it."""
+        if doc_id in self._forward:
+            self.remove_document(doc_id)
+        forward: Dict[str, Counter] = {}
+        for field, tokens in fields.items():
+            if not tokens:
+                continue
+            counts = Counter(tokens)
+            forward[field] = counts
+            self._field_tokens[field] = (
+                self._field_tokens.get(field, 0) + len(tokens)
+            )
+            for position, term in enumerate(tokens):
+                by_doc = self._postings.setdefault(term, {})
+                by_doc.setdefault(doc_id, {}).setdefault(field, []).append(
+                    position
+                )
+        self._forward[doc_id] = forward
+
+    def remove_document(self, doc_id: DocId) -> None:
+        forward = self._forward.pop(doc_id, None)
+        if forward is None:
+            raise SearchError(f"document {doc_id!r} is not indexed")
+        for field, counts in forward.items():
+            self._field_tokens[field] -= sum(counts.values())
+            for term in counts:
+                by_doc = self._postings.get(term)
+                if by_doc is None:
+                    continue
+                entry = by_doc.get(doc_id)
+                if entry is not None:
+                    entry.pop(field, None)
+                    if not entry:
+                        del by_doc[doc_id]
+                if not by_doc:
+                    del self._postings[term]
+
+    def clear(self) -> None:
+        self._postings.clear()
+        self._forward.clear()
+        self._field_tokens.clear()
+
+    # -- statistics -----------------------------------------------------------
+
+    @property
+    def document_count(self) -> int:
+        return len(self._forward)
+
+    @property
+    def vocabulary_size(self) -> int:
+        return len(self._postings)
+
+    def document_frequency(self, term: str) -> int:
+        return len(self._postings.get(term, ()))
+
+    def idf(self, term: str) -> float:
+        """Smoothed inverse document frequency (never negative)."""
+        df = self.document_frequency(term)
+        n = self.document_count
+        return math.log(1.0 + (n - df + 0.5) / (df + 0.5)) if n else 0.0
+
+    def average_field_length(self, field: str) -> float:
+        total = self._field_tokens.get(field, 0)
+        if not total:
+            return 0.0
+        holders = sum(1 for forward in self._forward.values() if field in forward)
+        return total / holders if holders else 0.0
+
+    def field_length(self, doc_id: DocId, field: str) -> int:
+        forward = self._forward.get(doc_id)
+        if forward is None or field not in forward:
+            return 0
+        return sum(forward[field].values())
+
+    def document_length(self, doc_id: DocId) -> int:
+        forward = self._forward.get(doc_id, {})
+        return sum(sum(counts.values()) for counts in forward.values())
+
+    # -- access -------------------------------------------------------------
+
+    def postings(self, term: str) -> Dict[DocId, Dict[str, int]]:
+        """Documents containing ``term`` with per-field term frequencies."""
+        return {
+            doc_id: {field: len(positions) for field, positions in entry.items()}
+            for doc_id, entry in self._postings.get(term, {}).items()
+        }
+
+    def positional_postings(self, term: str) -> Dict[DocId, FieldPositions]:
+        """Documents containing ``term`` with per-field position lists."""
+        return self._postings.get(term, {})
+
+    def matching_documents(self, term: str) -> Set[DocId]:
+        return set(self._postings.get(term, ()))
+
+    def has_document(self, doc_id: DocId) -> bool:
+        return doc_id in self._forward
+
+    def document_ids(self) -> Iterator[DocId]:
+        return iter(self._forward)
+
+    def document_terms(self, doc_id: DocId) -> Dict[str, Counter]:
+        """Forward-index entry: field → Counter(term)."""
+        forward = self._forward.get(doc_id)
+        if forward is None:
+            raise SearchError(f"document {doc_id!r} is not indexed")
+        return forward
+
+    def term_frequency(self, doc_id: DocId, term: str) -> int:
+        """Total tf of ``term`` in the document, across fields."""
+        by_doc = self._postings.get(term, {})
+        entry = by_doc.get(doc_id)
+        if not entry:
+            return 0
+        return sum(len(positions) for positions in entry.values())
+
+    def terms(self) -> Iterator[str]:
+        return iter(self._postings)
+
+    def collection_frequency(self, term: str) -> int:
+        """Total occurrences of ``term`` across the whole collection."""
+        by_doc = self._postings.get(term, {})
+        return sum(
+            sum(len(positions) for positions in entry.values())
+            for entry in by_doc.values()
+        )
+
+    # -- phrases --------------------------------------------------------------
+
+    def phrase_match(self, doc_id: DocId, terms: Sequence[str]) -> bool:
+        """True when ``terms`` occur consecutively in some field.
+
+        Positions are indices into the *filtered* token stream, so
+        phrases are stopword-insensitive ("war peace" matches a document
+        saying "war and peace") — the same convention the cloud's bigram
+        extractor uses for its displayed phrases.
+        """
+        if not terms:
+            return False
+        if len(terms) == 1:
+            entry = self._postings.get(terms[0], {})
+            return doc_id in entry
+        entries = []
+        for term in terms:
+            entry = self._postings.get(term, {}).get(doc_id)
+            if not entry:
+                return False
+            entries.append(entry)
+        fields = set(entries[0])
+        for entry in entries[1:]:
+            fields &= set(entry)
+        for field in fields:
+            starts = set(entries[0][field])
+            for offset, entry in enumerate(entries[1:], start=1):
+                starts &= {
+                    position - offset for position in entry[field]
+                }
+                if not starts:
+                    break
+            if starts:
+                return True
+        return False
+
+    def phrase_documents(self, terms: Sequence[str]) -> Set[DocId]:
+        """All documents where ``terms`` occur as a phrase."""
+        if not terms:
+            return set()
+        candidates = self.matching_documents(terms[0])
+        for term in terms[1:]:
+            candidates &= self.matching_documents(term)
+            if not candidates:
+                return set()
+        return {
+            doc_id
+            for doc_id in candidates
+            if self.phrase_match(doc_id, terms)
+        }

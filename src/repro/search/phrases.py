@@ -1,0 +1,72 @@
+"""Bigram phrase extraction for data-cloud terms.
+
+The paper's example clouds contain multi-word terms ("Latin American",
+"African American").  Clouds built from unigrams alone cannot surface
+those, so the cloud pipeline extracts *bigrams of consecutive
+non-stopword tokens* from entity text and treats frequent ones as
+candidate cloud terms alongside unigrams.
+
+Bigrams are represented as ``"left right"`` strings of unstemmed
+lowercase tokens — clouds display human-readable phrases, not stems.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.search.tokenizer import STOPWORDS, Tokenizer
+
+
+def extract_bigrams(
+    text: str,
+    tokenizer: Optional[Tokenizer] = None,
+    stopwords: Optional[Set[str]] = None,
+) -> List[str]:
+    """All consecutive non-stopword bigrams in ``text`` (display form).
+
+    >>> extract_bigrams("History of Latin American politics")
+    ['latin american', 'american politics']
+    """
+    stop = STOPWORDS if stopwords is None else stopwords
+    raw = (tokenizer or _DEFAULT).raw_tokens(text)
+    bigrams: List[str] = []
+    previous: Optional[str] = None
+    for token in raw:
+        if len(token) < 2 or token in stop:
+            previous = None
+            continue
+        if previous is not None:
+            bigrams.append(f"{previous} {token}")
+        previous = token
+    return bigrams
+
+
+_DEFAULT = Tokenizer()
+
+
+def count_bigrams(
+    texts: Iterable[str],
+    tokenizer: Optional[Tokenizer] = None,
+    min_count: int = 1,
+) -> Counter:
+    """Aggregate bigram counts over many texts."""
+    counts: Counter = Counter()
+    for text in texts:
+        counts.update(extract_bigrams(text, tokenizer))
+    if min_count > 1:
+        counts = Counter(
+            {bigram: count for bigram, count in counts.items() if count >= min_count}
+        )
+    return counts
+
+
+def display_unigrams(
+    text: str,
+    tokenizer: Optional[Tokenizer] = None,
+    stopwords: Optional[Set[str]] = None,
+) -> List[str]:
+    """Unstemmed, stopword-filtered unigrams (cloud display form)."""
+    stop = STOPWORDS if stopwords is None else stopwords
+    raw = (tokenizer or _DEFAULT).raw_tokens(text)
+    return [token for token in raw if len(token) >= 2 and token not in stop]

@@ -1,0 +1,188 @@
+"""The Porter stemming algorithm (Porter, 1980), implemented from the paper.
+
+Only lowercase ASCII words are expected (the tokenizer guarantees this).
+Words of length <= 2 are returned unchanged, per the original definition.
+
+The implementation follows the step structure of the original article:
+1a/1b/1c (plurals and -ed/-ing), 2 and 3 (suffix mapping under measure
+conditions), 4 (suffix deletion), 5a/5b (final -e and -ll cleanup).
+"""
+
+from __future__ import annotations
+
+_VOWELS = set("aeiou")
+
+
+def _is_consonant(word: str, index: int) -> bool:
+    char = word[index]
+    if char in _VOWELS:
+        return False
+    if char == "y":
+        return index == 0 or not _is_consonant(word, index - 1)
+    return True
+
+
+def _measure(stem: str) -> int:
+    """The number of VC sequences in the stem (the 'm' of the paper)."""
+    forms = []
+    for index in range(len(stem)):
+        if _is_consonant(stem, index):
+            if not forms or forms[-1] != "c":
+                forms.append("c")
+        else:
+            if not forms or forms[-1] != "v":
+                forms.append("v")
+    return "".join(forms).count("vc")
+
+
+def _contains_vowel(stem: str) -> bool:
+    return any(not _is_consonant(stem, index) for index in range(len(stem)))
+
+
+def _ends_double_consonant(word: str) -> bool:
+    return (
+        len(word) >= 2
+        and word[-1] == word[-2]
+        and _is_consonant(word, len(word) - 1)
+    )
+
+
+def _ends_cvc(word: str) -> bool:
+    """*o of the paper: consonant-vowel-consonant, last not w/x/y."""
+    if len(word) < 3:
+        return False
+    if not (
+        _is_consonant(word, len(word) - 3)
+        and not _is_consonant(word, len(word) - 2)
+        and _is_consonant(word, len(word) - 1)
+    ):
+        return False
+    return word[-1] not in "wxy"
+
+
+def _step_1a(word: str) -> str:
+    if word.endswith("sses"):
+        return word[:-2]
+    if word.endswith("ies"):
+        return word[:-2]
+    if word.endswith("ss"):
+        return word
+    if word.endswith("s"):
+        return word[:-1]
+    return word
+
+
+def _step_1b(word: str) -> str:
+    if word.endswith("eed"):
+        stem = word[:-3]
+        if _measure(stem) > 0:
+            return word[:-1]
+        return word
+    flag = False
+    if word.endswith("ed"):
+        stem = word[:-2]
+        if _contains_vowel(stem):
+            word = stem
+            flag = True
+    elif word.endswith("ing"):
+        stem = word[:-3]
+        if _contains_vowel(stem):
+            word = stem
+            flag = True
+    if flag:
+        if word.endswith(("at", "bl", "iz")):
+            return word + "e"
+        if _ends_double_consonant(word) and not word.endswith(("l", "s", "z")):
+            return word[:-1]
+        if _measure(word) == 1 and _ends_cvc(word):
+            return word + "e"
+    return word
+
+
+def _step_1c(word: str) -> str:
+    if word.endswith("y") and _contains_vowel(word[:-1]):
+        return word[:-1] + "i"
+    return word
+
+
+_STEP2 = [
+    ("ational", "ate"), ("tional", "tion"), ("enci", "ence"), ("anci", "ance"),
+    ("izer", "ize"), ("abli", "able"), ("alli", "al"), ("entli", "ent"),
+    ("eli", "e"), ("ousli", "ous"), ("ization", "ize"), ("ation", "ate"),
+    ("ator", "ate"), ("alism", "al"), ("iveness", "ive"), ("fulness", "ful"),
+    ("ousness", "ous"), ("aliti", "al"), ("iviti", "ive"), ("biliti", "ble"),
+]
+
+_STEP3 = [
+    ("icate", "ic"), ("ative", ""), ("alize", "al"), ("iciti", "ic"),
+    ("ical", "ic"), ("ful", ""), ("ness", ""),
+]
+
+_STEP4 = [
+    "al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement",
+    "ment", "ent", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+]
+
+
+def _map_suffix(word: str, rules, min_measure: int) -> str:
+    for suffix, replacement in rules:
+        if word.endswith(suffix):
+            stem = word[: -len(suffix)]
+            if _measure(stem) > min_measure - 1:
+                return stem + replacement
+            return word
+    return word
+
+
+def _step_5a(word: str) -> str:
+    if word.endswith("e"):
+        stem = word[:-1]
+        measure = _measure(stem)
+        if measure > 1:
+            return stem
+        if measure == 1 and not _ends_cvc(stem):
+            return stem
+    return word
+
+
+def _step_5b(word: str) -> str:
+    if _measure(word) > 1 and word.endswith("ll"):
+        return word[:-1]
+    return word
+
+
+def porter_stem(word: str) -> str:
+    """Stem one lowercase word.
+
+    >>> porter_stem('caresses')
+    'caress'
+    >>> porter_stem('relational')
+    'relat'
+    """
+    if len(word) <= 2:
+        return word
+    word = _step_1a(word)
+    word = _step_1b(word)
+    word = _step_1c(word)
+    # Steps 2/3 try longer suffixes first: sort by suffix length desc.
+    word = _map_suffix(word, sorted(_STEP2, key=lambda r: -len(r[0])), 1)
+    word = _map_suffix(word, sorted(_STEP3, key=lambda r: -len(r[0])), 1)
+    word = _step4_ordered(word)
+    word = _step_5a(word)
+    word = _step_5b(word)
+    return word
+
+
+def _step4_ordered(word: str) -> str:
+    """Step 4 with longest-suffix-first matching."""
+    for suffix in sorted(_STEP4, key=len, reverse=True):
+        if word.endswith(suffix):
+            stem = word[: -len(suffix)]
+            if _measure(stem) > 1:
+                return stem
+            return word
+    if word.endswith("ion"):
+        stem = word[:-3]
+        if stem and stem[-1] in "st" and _measure(stem) > 1:
+            return stem
+    return word

@@ -1,0 +1,98 @@
+"""Tokenization for the search engine and the data-cloud term extractor.
+
+Tokens are maximal runs of letters/digits, lowercased.  Apostrophes inside
+words are dropped (``don't`` → ``dont``) so possessives and contractions
+don't fragment.  A small English stopword list (plus a handful of
+university-domain words like "course" and "units" that would otherwise
+dominate every cloud) can be filtered, and tokens can be Porter-stemmed.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, List, Optional, Sequence, Set
+
+from repro.search.stemmer import porter_stem
+
+_WORD = re.compile(r"[a-z0-9]+")
+
+STOPWORDS: Set[str] = {
+    # Standard English function words.
+    "a", "about", "above", "after", "again", "all", "also", "an", "and",
+    "any", "are", "as", "at", "be", "because", "been", "before", "being",
+    "below", "between", "both", "but", "by", "can", "cannot", "could",
+    "did", "do", "does", "doing", "down", "during", "each", "few", "for",
+    "from", "further", "had", "has", "have", "having", "he", "her", "here",
+    "hers", "him", "his", "how", "i", "if", "in", "into", "is", "it",
+    "its", "just", "may", "me", "more", "most", "my", "no", "nor", "not",
+    "now", "of", "off", "on", "once", "only", "or", "other", "our", "out",
+    "over", "own", "same", "she", "should", "so", "some", "such", "than",
+    "that", "the", "their", "them", "then", "there", "these", "they",
+    "this", "those", "through", "to", "too", "under", "until", "up",
+    "very", "was", "we", "were", "what", "when", "where", "which", "while",
+    "who", "whom", "why", "will", "with", "would", "you", "your",
+    # Domain words that appear in nearly every course record and would
+    # otherwise crowd out informative cloud terms.
+    "course", "courses", "class", "classes", "students", "student",
+    "introduction", "intro", "units", "unit", "quarter", "will", "topics",
+    "prerequisite", "prerequisites", "instructor", "offered", "study",
+    "prof", "professor", "took", "take",
+}
+
+
+class Tokenizer:
+    """Configurable tokenization pipeline.
+
+    >>> Tokenizer().tokens("The History of American Science")
+    ['histori', 'american', 'scienc']
+    >>> Tokenizer(stem=False).tokens("The History of American Science")
+    ['history', 'american', 'science']
+    """
+
+    def __init__(
+        self,
+        stem: bool = True,
+        remove_stopwords: bool = True,
+        stopwords: Optional[Set[str]] = None,
+        min_length: int = 2,
+    ) -> None:
+        self.stem = stem
+        self.remove_stopwords = remove_stopwords
+        self.stopwords = STOPWORDS if stopwords is None else stopwords
+        self.min_length = min_length
+        self._stem_cache: dict = {}
+
+    def raw_tokens(self, text: str) -> List[str]:
+        """Lowercased word tokens with no filtering or stemming."""
+        if not text:
+            return []
+        return _WORD.findall(text.replace("'", "").lower())
+
+    def tokens(self, text: str) -> List[str]:
+        """The full pipeline: tokenize, filter, stem."""
+        result: List[str] = []
+        for token in self.raw_tokens(text):
+            if len(token) < self.min_length:
+                continue
+            if self.remove_stopwords and token in self.stopwords:
+                continue
+            if self.stem:
+                token = self.stem_token(token)
+            result.append(token)
+        return result
+
+    def stem_token(self, token: str) -> str:
+        """Porter-stem one token, memoized (vocabularies are Zipfian)."""
+        cached = self._stem_cache.get(token)
+        if cached is None:
+            cached = porter_stem(token)
+            self._stem_cache[token] = cached
+        return cached
+
+    def query_tokens(self, text: str) -> List[str]:
+        """Tokenize a user query with the same pipeline as documents.
+
+        Kept separate so query-time behaviour can diverge later (e.g.
+        keeping stopwords inside quoted phrases) without touching indexing.
+        """
+        return self.tokens(text)

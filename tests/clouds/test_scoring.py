@@ -1,0 +1,145 @@
+"""Unit tests for cloud term gathering strategies and significance models."""
+
+import pytest
+
+from repro.errors import CloudError
+from repro.clouds.scoring import (
+    FrequencyScoring,
+    PopularityScoring,
+    TermSource,
+    TermStats,
+    TfIdfScoring,
+    get_scoring,
+)
+from repro.minidb import Database
+from repro.search.engine import SearchEngine
+from repro.search.entity import EntityDefinition, FieldSpec
+
+
+@pytest.fixture()
+def engine():
+    database = Database()
+    database.execute_script(
+        """
+        CREATE TABLE Docs (DocID INTEGER PRIMARY KEY, Title TEXT, Body TEXT);
+        INSERT INTO Docs VALUES
+         (1, 'American History', 'the american revolution and civil war'),
+         (2, 'Latin American Politics', 'elections in latin american states'),
+         (3, 'Databases', 'query processing and transactions'),
+         (4, 'American Music', 'jazz and american composers');
+        """
+    )
+    entity = EntityDefinition(
+        "doc",
+        (
+            FieldSpec("title", "SELECT DocID, Title FROM Docs", weight=3.0),
+            FieldSpec("body", "SELECT DocID, Body FROM Docs", weight=1.0),
+        ),
+    )
+    eng = SearchEngine(database, entity)
+    eng.build()
+    return eng
+
+
+class TestTermSource:
+    def test_unknown_strategy(self, engine):
+        with pytest.raises(CloudError):
+            TermSource(engine, strategy="magic")
+
+    def test_gather_requires_prepare(self, engine):
+        source = TermSource(engine)
+        with pytest.raises(CloudError):
+            source.gather([1])
+
+    def test_forward_gathers_weighted_counts(self, engine):
+        source = TermSource(engine, strategy="forward")
+        source.prepare()
+        stats = {s.term: s for s in source.gather([1])}
+        # "american" appears in title (w=3) and body (w=1) of doc 1.
+        assert stats["american"].occurrences == 4.0
+        assert stats["american"].result_df == 1
+
+    def test_corpus_df_counted(self, engine):
+        source = TermSource(engine, strategy="forward")
+        source.prepare()
+        stats = {s.term: s for s in source.gather([1, 2, 4])}
+        assert stats["american"].corpus_df == 3
+
+    def test_bigrams_included(self, engine):
+        source = TermSource(engine, strategy="forward")
+        source.prepare()
+        stats = {s.term: s for s in source.gather([2])}
+        assert "latin american" in stats
+
+    def test_bigrams_can_be_disabled(self, engine):
+        source = TermSource(engine, strategy="forward", include_bigrams=False)
+        source.prepare()
+        stats = {s.term: s for s in source.gather([2])}
+        assert "latin american" not in stats
+
+    def test_rescan_matches_forward_exactly(self, engine):
+        forward = TermSource(engine, strategy="forward")
+        forward.prepare()
+        rescan = TermSource(engine, strategy="rescan")
+        rescan.prepare()
+        doc_ids = [1, 2, 4]
+        left = {(s.term, s.occurrences, s.result_df) for s in forward.gather(doc_ids)}
+        right = {(s.term, s.occurrences, s.result_df) for s in rescan.gather(doc_ids)}
+        assert left == right
+
+    def test_topk_is_subset_of_forward(self, engine):
+        forward = TermSource(engine, strategy="forward")
+        forward.prepare()
+        topk = TermSource(engine, strategy="topk", topk_per_doc=3)
+        topk.prepare()
+        doc_ids = [1, 2, 4]
+        full_terms = {s.term for s in forward.gather(doc_ids)}
+        approx_terms = {s.term for s in topk.gather(doc_ids)}
+        assert approx_terms <= full_terms
+        assert approx_terms  # not empty
+
+    def test_corpus_size(self, engine):
+        source = TermSource(engine)
+        source.prepare()
+        assert source.corpus_size == 4
+
+
+class TestSignificanceModels:
+    def stats(self, occurrences=10.0, result_df=5, corpus_df=20):
+        return TermStats(
+            term="x",
+            occurrences=occurrences,
+            result_df=result_df,
+            corpus_df=corpus_df,
+        )
+
+    def test_frequency_is_occurrences(self):
+        assert FrequencyScoring().score(self.stats(), 10, 100) == 10.0
+
+    def test_tfidf_prefers_rare_in_corpus(self):
+        scoring = TfIdfScoring()
+        rare = scoring.score(self.stats(corpus_df=2), 10, 100)
+        common = scoring.score(self.stats(corpus_df=90), 10, 100)
+        assert rare > common
+
+    def test_popularity_prefers_coverage(self):
+        scoring = PopularityScoring()
+        broad = scoring.score(self.stats(result_df=9, occurrences=9), 10, 100)
+        narrow = scoring.score(self.stats(result_df=1, occurrences=9), 10, 100)
+        assert broad > narrow
+
+    def test_popularity_zero_on_empty(self):
+        assert PopularityScoring().score(self.stats(), 0, 100) == 0.0
+
+    def test_get_scoring_by_name(self):
+        assert isinstance(get_scoring("frequency"), FrequencyScoring)
+        assert isinstance(get_scoring("tfidf"), TfIdfScoring)
+        assert isinstance(get_scoring("popularity"), PopularityScoring)
+
+    def test_get_scoring_passthrough(self):
+        instance = TfIdfScoring()
+        assert get_scoring(instance) is instance
+
+    def test_get_scoring_unknown(self):
+        with pytest.raises(CloudError):
+            get_scoring("banana")

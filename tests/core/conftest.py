@@ -1,0 +1,81 @@
+"""Shared fixtures: a compact CourseRank-schema database for FlexRecs tests."""
+
+import pytest
+
+from repro.minidb import Database
+
+
+@pytest.fixture()
+def flexdb():
+    """A hand-built dataset with known similarity structure.
+
+    Students 444 and 445 rate alike (CF neighbours); 446 rates opposite;
+    447 overlaps nothing with 444.
+    """
+    db = Database()
+    db.execute_script(
+        """
+        CREATE TABLE Departments (DepID INTEGER PRIMARY KEY, Name TEXT);
+        CREATE TABLE Courses (CourseID INTEGER PRIMARY KEY, DepID INTEGER,
+          Title TEXT, Description TEXT, Units INTEGER, Url TEXT,
+          FOREIGN KEY (DepID) REFERENCES Departments (DepID));
+        CREATE TABLE Students (SuID INTEGER PRIMARY KEY, Name TEXT,
+          Class INTEGER, Major TEXT, GPA FLOAT);
+        CREATE TABLE Comments (SuID INTEGER, CourseID INTEGER, Year INTEGER,
+          Term TEXT, Text TEXT, Rating FLOAT, CommentDate DATE,
+          PRIMARY KEY (SuID, CourseID));
+        CREATE TABLE Enrollments (SuID INTEGER, CourseID INTEGER,
+          Year INTEGER, Term TEXT, Grade TEXT,
+          PRIMARY KEY (SuID, CourseID));
+        CREATE TABLE Offerings (CourseID INTEGER, Year INTEGER, Term TEXT,
+          PRIMARY KEY (CourseID, Year, Term));
+        """
+    )
+    db.execute(
+        "INSERT INTO Departments VALUES (1, 'Computer Science'), (2, 'History')"
+    )
+    db.execute(
+        "INSERT INTO Courses VALUES "
+        "(1, 1, 'Introduction to Programming', 'java basics', 5, ''),"
+        "(2, 1, 'Advanced Programming', 'more java', 3, ''),"
+        "(3, 1, 'Programming Languages', 'semantics', 4, ''),"
+        "(4, 2, 'American History', 'revolution', 4, ''),"
+        "(5, 2, 'Introduction to American Studies', 'culture', 4, ''),"
+        "(6, 1, 'Databases', 'relational systems', 4, '')"
+    )
+    db.execute(
+        "INSERT INTO Students VALUES "
+        "(444, 'Sally', 2010, 'Computer Science', 3.7),"
+        "(445, 'Bob', 2010, 'Computer Science', 3.65),"
+        "(446, 'Eve', 2011, 'History', 3.1),"
+        "(447, 'Joe', 2009, 'Computer Science', 2.9)"
+    )
+    db.execute(
+        "INSERT INTO Comments VALUES "
+        "(444, 1, 2008, 'Aut', 'great', 5.0, '2008-10-01'),"
+        "(444, 2, 2008, 'Win', 'good', 4.0, '2008-10-02'),"
+        "(445, 1, 2008, 'Aut', 'nice', 5.0, '2008-10-03'),"
+        "(445, 2, 2008, 'Win', 'ok', 4.0, '2008-10-04'),"
+        "(445, 3, 2008, 'Spr', 'deep', 4.5, '2008-10-05'),"
+        "(445, 6, 2008, 'Aut', 'useful', 5.0, '2008-10-06'),"
+        "(446, 1, 2008, 'Aut', 'hard', 1.0, '2008-10-07'),"
+        "(446, 2, 2008, 'Win', 'dull', 2.0, '2008-10-08'),"
+        "(446, 4, 2008, 'Aut', 'long', 4.0, '2008-10-09'),"
+        "(447, 3, 2008, 'Spr', 'fun', 5.0, '2008-10-10'),"
+        "(447, 5, 2008, 'Aut', 'broad', 3.0, '2008-10-11')"
+    )
+    db.execute(
+        "INSERT INTO Enrollments VALUES "
+        "(444, 1, 2008, 'Aut', 'A'), (444, 2, 2008, 'Win', 'B'),"
+        "(445, 1, 2008, 'Aut', 'A'), (445, 2, 2008, 'Win', 'B'),"
+        "(445, 3, 2008, 'Spr', 'A'), (445, 6, 2008, 'Aut', 'A'),"
+        "(446, 1, 2008, 'Aut', 'C'), (446, 4, 2008, 'Aut', 'B'),"
+        "(447, 3, 2008, 'Spr', 'A'), (447, 5, 2008, 'Aut', 'B')"
+    )
+    db.execute(
+        "INSERT INTO Offerings VALUES "
+        "(1, 2008, 'Aut'), (2, 2008, 'Win'), (3, 2008, 'Spr'),"
+        "(4, 2008, 'Aut'), (5, 2008, 'Aut'), (6, 2008, 'Aut'),"
+        "(1, 2009, 'Aut'), (6, 2009, 'Win')"
+    )
+    return db

@@ -1,0 +1,260 @@
+"""Tests for the direct (in-memory) workflow executor."""
+
+import pytest
+
+from repro.core import (
+    CommonCount,
+    EqualityMatch,
+    InverseEuclidean,
+    NumericCloseness,
+    PearsonCorrelation,
+    SetJaccard,
+    TextJaccard,
+    VectorLookup,
+    Workflow,
+)
+from repro.core.operators import (
+    Join,
+    Project,
+    Recommend,
+    Select,
+    Source,
+    SqlSource,
+    TopK,
+    extend,
+)
+
+
+def run(flexdb, root):
+    return Workflow(root).run(flexdb)
+
+
+class TestRelationalOperators:
+    def test_source(self, flexdb):
+        result = run(flexdb, Source("Students"))
+        assert len(result) == 4
+        assert result.columns == ["SuID", "Name", "Class", "Major", "GPA"]
+
+    def test_sql_source(self, flexdb):
+        result = run(flexdb, SqlSource("SELECT SuID FROM Students WHERE GPA > 3.5"))
+        assert sorted(result.column("SuID")) == [444, 445]
+
+    def test_select(self, flexdb):
+        result = run(flexdb, Select(Source("Students"), "Major = 'History'"))
+        assert result.column("SuID") == [446]
+
+    def test_select_with_function(self, flexdb):
+        result = run(
+            flexdb, Select(Source("Students"), "LOWER(Name) LIKE 's%'")
+        )
+        assert result.column("Name") == ["Sally"]
+
+    def test_project(self, flexdb):
+        result = run(flexdb, Project(Source("Students"), ("Name",)))
+        assert result.columns == ["Name"]
+
+    def test_project_distinct(self, flexdb):
+        result = run(
+            flexdb, Project(Source("Students"), ("Major",), distinct=True)
+        )
+        assert sorted(result.column("Major")) == ["Computer Science", "History"]
+
+    def test_join(self, flexdb):
+        root = Join(
+            Project(Source("Students"), ("SuID", "Name")),
+            Project(Source("Enrollments"), ("CourseID", "Grade")),
+            left_on="SuID",
+            right_on="CourseID",
+        )
+        # No enrollment has CourseID in the 444-447 range: empty join.
+        assert len(run(flexdb, root)) == 0
+
+    def test_join_matches(self, flexdb):
+        root = Join(
+            Project(Source("Courses"), ("CourseID", "Title")),
+            Project(
+                Select(Source("Enrollments"), "SuID = 444"),
+                ("SuID", "Grade", "CourseID"),
+            ),
+            left_on="CourseID",
+            right_on="CourseID",
+        )
+        with pytest.raises(Exception):
+            # CourseID collides across sides -> validation error.
+            run(flexdb, root)
+
+    def test_topk(self, flexdb):
+        result = run(flexdb, TopK(Source("Students"), 2, "GPA"))
+        assert result.column("SuID") == [444, 445]
+
+    def test_topk_ascending(self, flexdb):
+        result = run(
+            flexdb, TopK(Source("Students"), 1, "GPA", descending=False)
+        )
+        assert result.column("SuID") == [447]
+
+
+class TestRecommendDirect:
+    def test_figure_5a_related_courses(self, flexdb):
+        root = Recommend(
+            target=Source("Courses"),
+            reference=Select(Source("Courses"), "CourseID = 1"),
+            comparator=TextJaccard("Title", "Title"),
+            target_key="CourseID",
+            exclude_self=("CourseID", "CourseID"),
+        )
+        result = run(flexdb, root)
+        ids = result.column("CourseID")
+        assert 1 not in ids  # excluded itself
+        # Courses sharing "Programming" or "Introduction" rank first.
+        assert set(ids[:3]) == {2, 3, 5}
+
+    def test_inverse_euclidean_neighbours(self, flexdb):
+        everyone = extend(
+            Source("Students"), "ratings", "Comments", "SuID", "SuID",
+            "Rating", "CourseID",
+        )
+        me = Select(
+            extend(
+                Source("Students"), "ratings", "Comments", "SuID", "SuID",
+                "Rating", "CourseID",
+            ),
+            "SuID = 444",
+        )
+        root = Recommend(
+            target=everyone,
+            reference=me,
+            comparator=InverseEuclidean("ratings", "ratings"),
+            target_key="SuID",
+            exclude_self=("SuID", "SuID"),
+        )
+        result = run(flexdb, root)
+        # 445 rated courses 1,2 identically to 444 -> similarity 1.0 tops.
+        assert result.rows[0]["SuID"] == 445
+        assert result.rows[0]["score"] == pytest.approx(1.0)
+        # 447 shares no rated course with 444 -> dropped.
+        assert 447 not in result.column("SuID")
+
+    def test_lookup_average_rating(self, flexdb):
+        reference = Select(
+            extend(
+                Source("Students"), "ratings", "Comments", "SuID", "SuID",
+                "Rating", "CourseID",
+            ),
+            "SuID IN (444, 445)",
+        )
+        root = Recommend(
+            target=Source("Courses"),
+            reference=reference,
+            comparator=VectorLookup("CourseID", "ratings"),
+            target_key="CourseID",
+            aggregate="avg",
+        )
+        result = run(flexdb, root)
+        scores = {row["CourseID"]: row["score"] for row in result.rows}
+        assert scores[1] == pytest.approx(5.0)  # both rated 5.0
+        assert scores[2] == pytest.approx(4.0)
+        assert scores[3] == pytest.approx(4.5)  # only 445 rated it
+        assert 4 not in scores  # nobody in the reference rated course 4
+
+    def test_set_comparator(self, flexdb):
+        courses_with_takers = extend(
+            Source("Courses"), "takers", "Enrollments", "CourseID",
+            "CourseID", "SuID",
+        )
+        course_one = Select(
+            extend(
+                Source("Courses"), "takers", "Enrollments", "CourseID",
+                "CourseID", "SuID",
+            ),
+            "CourseID = 1",
+        )
+        root = Recommend(
+            target=courses_with_takers,
+            reference=course_one,
+            comparator=CommonCount("takers", "takers"),
+            target_key="CourseID",
+            exclude_self=("CourseID", "CourseID"),
+        )
+        result = run(flexdb, root)
+        scores = {row["CourseID"]: row["score"] for row in result.rows}
+        # Course 2 taken by 444 and 445, both of whom took course 1.
+        assert scores[2] == 2.0
+        # Course 4 taken only by 446 who took course 1 too.
+        assert scores[4] == 1.0
+
+    def test_aggregates(self, flexdb):
+        reference = Select(Source("Students"), "Major = 'Computer Science'")
+        base = dict(
+            target=Source("Students"),
+            reference=reference,
+            comparator=NumericCloseness("GPA", "GPA"),
+            target_key="SuID",
+        )
+        max_result = run(flexdb, Recommend(aggregate="max", **base))
+        avg_result = run(flexdb, Recommend(aggregate="avg", **base))
+        count_result = run(flexdb, Recommend(aggregate="count", **base))
+        suid = 446
+        max_score = {r["SuID"]: r["score"] for r in max_result.rows}[suid]
+        avg_score = {r["SuID"]: r["score"] for r in avg_result.rows}[suid]
+        count_score = {r["SuID"]: r["score"] for r in count_result.rows}[suid]
+        assert max_score >= avg_score
+        assert count_score == 3
+
+    def test_top_k_applied(self, flexdb):
+        root = Recommend(
+            target=Source("Students"),
+            reference=Select(Source("Students"), "SuID = 444"),
+            comparator=NumericCloseness("GPA", "GPA"),
+            target_key="SuID",
+            top_k=2,
+            exclude_self=("SuID", "SuID"),
+        )
+        result = run(flexdb, root)
+        assert len(result) == 2
+        assert result.rows[0]["SuID"] == 445  # GPA 3.65 closest to 3.7
+
+    def test_empty_reference_drops_all(self, flexdb):
+        root = Recommend(
+            target=Source("Students"),
+            reference=Select(Source("Students"), "SuID = 99999"),
+            comparator=NumericCloseness("GPA", "GPA"),
+            target_key="SuID",
+        )
+        assert len(run(flexdb, root)) == 0
+
+    def test_deterministic_tie_order(self, flexdb):
+        root = Recommend(
+            target=Source("Courses"),
+            reference=Select(Source("Courses"), "CourseID = 6"),
+            comparator=EqualityMatch("Units", "Units"),
+            target_key="CourseID",
+        )
+        first = run(flexdb, root).column("CourseID")
+        second = run(flexdb, root).column("CourseID")
+        assert first == second
+        # Ties (score 1.0 for all 4-unit courses) break by ascending key.
+        tied = [cid for cid, row in zip(first, run(flexdb, root).rows)
+                if row["score"] == 1.0]
+        assert tied == sorted(tied)
+
+
+class TestRecommendationResult:
+    def test_column_accessor(self, flexdb):
+        result = run(flexdb, Source("Students"))
+        assert result.column("suid") == result.column("SuID")
+        with pytest.raises(Exception):
+            result.column("nope")
+
+    def test_as_tuples(self, flexdb):
+        result = run(flexdb, Project(Source("Students"), ("SuID", "GPA")))
+        tuples = result.as_tuples("SuID", "GPA")
+        assert tuples[0] == (444, 3.7)
+
+    def test_stripped_extend_attrs(self, flexdb):
+        extended = extend(
+            Source("Students"), "ratings", "Comments", "SuID", "SuID",
+            "Rating", "CourseID",
+        )
+        result = run(flexdb, extended)
+        assert "ratings" not in result.rows[0]

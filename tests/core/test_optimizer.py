@@ -1,0 +1,315 @@
+"""Tests for the workflow optimizer: each rule, and semantics preservation."""
+
+import pytest
+
+from repro.core import (
+    InverseEuclidean,
+    NumericCloseness,
+    TextJaccard,
+    Workflow,
+    strategies,
+)
+from repro.core.operators import (
+    Extend,
+    Project,
+    Recommend,
+    Select,
+    Source,
+    TopK,
+    extend,
+)
+from repro.core.optimizer import describe_rewrites, optimize
+
+
+def students_with_ratings():
+    return extend(
+        Source("Students"), "ratings", "Comments", "SuID", "SuID",
+        "Rating", "CourseID",
+    )
+
+
+def assert_same_output(flexdb, before: Workflow, after: Workflow):
+    left = before.run(flexdb)
+    right = after.run(flexdb)
+    assert left.columns == right.columns
+    assert len(left) == len(right)
+    for a, b in zip(left.rows, right.rows):
+        for column in left.columns:
+            if isinstance(a[column], float):
+                assert a[column] == pytest.approx(b[column])
+            else:
+                assert a[column] == b[column]
+    # The compiled path agrees too.
+    sql_right = after.run_sql(flexdb)
+    assert [r[left.columns[0]] for r in right.rows] == [
+        r[left.columns[0]] for r in sql_right.rows
+    ]
+
+
+class TestRule1SelectMerge:
+    def test_adjacent_selects_merge(self, flexdb):
+        workflow = Workflow(
+            Select(Select(Source("Students"), "GPA > 3.0"), "Class = 2010")
+        )
+        optimized = optimize(workflow, flexdb)
+        root = optimized.root
+        assert isinstance(root, Select)
+        assert isinstance(root.child, Source)
+        assert "AND" in root.condition
+        assert_same_output(flexdb, workflow, optimized)
+
+
+class TestRule2SelectBelowExtend:
+    def test_select_pushes_below_extend(self, flexdb):
+        workflow = Workflow(
+            Select(students_with_ratings(), "SuID = 444")
+        )
+        optimized = optimize(workflow, flexdb)
+        assert isinstance(optimized.root, Extend)
+        assert isinstance(optimized.root.child, Select)
+        assert_same_output(flexdb, workflow, optimized)
+
+    def test_extend_metadata_preserved(self, flexdb):
+        workflow = Workflow(Select(students_with_ratings(), "SuID = 444"))
+        optimized = optimize(workflow, flexdb)
+        infos = optimized.root.extend_infos(flexdb)
+        assert [info.attribute for info in infos] == ["ratings"]
+
+
+class TestRule3SelectBelowProject:
+    def test_pushes_when_columns_survive(self, flexdb):
+        workflow = Workflow(
+            Select(Project(Source("Students"), ("SuID", "GPA")), "GPA > 3.0")
+        )
+        optimized = optimize(workflow, flexdb)
+        assert isinstance(optimized.root, Project)
+        assert isinstance(optimized.root.child, Select)
+        assert_same_output(flexdb, workflow, optimized)
+
+    def test_blocked_when_column_projected_away(self, flexdb):
+        workflow = Workflow(
+            Select(Project(Source("Students"), ("SuID", "GPA")), "SuID > 0")
+        )
+        # "SuID" survives, push ok; but "Name" would not:
+        blocked = Workflow(
+            Select(Project(Source("Students"), ("SuID",)), "SuID > 0")
+        )
+        optimized = optimize(blocked, flexdb)
+        assert isinstance(optimized.root, Project)
+
+    def test_blocked_on_distinct(self, flexdb):
+        # Pushing a filter below DISTINCT is safe for equality-preserving
+        # predicates but we stay conservative: no rewrite.
+        workflow = Workflow(
+            Select(
+                Project(Source("Students"), ("Major",), distinct=True),
+                "Major = 'Computer Science'",
+            )
+        )
+        optimized = optimize(workflow, flexdb)
+        assert isinstance(optimized.root, Select)
+        assert_same_output(flexdb, workflow, optimized)
+
+
+class TestRule4SelectIntoRecommendTarget:
+    def recommend(self, top_k=None):
+        return Recommend(
+            target=Source("Courses"),
+            reference=Select(Source("Courses"), "CourseID = 1"),
+            comparator=TextJaccard("Title", "Title"),
+            target_key="CourseID",
+            top_k=top_k,
+            exclude_self=("CourseID", "CourseID"),
+        )
+
+    def test_pushes_target_only_predicate(self, flexdb):
+        workflow = Workflow(Select(self.recommend(), "Units >= 4"))
+        optimized = optimize(workflow, flexdb)
+        assert isinstance(optimized.root, Recommend)
+        assert isinstance(optimized.root.target, Select)
+        assert_same_output(flexdb, workflow, optimized)
+
+    def test_blocked_when_score_referenced(self, flexdb):
+        workflow = Workflow(Select(self.recommend(), "score > 0.2"))
+        optimized = optimize(workflow, flexdb)
+        assert isinstance(optimized.root, Select)
+        assert_same_output(flexdb, workflow, optimized)
+
+    def test_blocked_when_top_k_set(self, flexdb):
+        # Filtering before a top-k cut changes which rows survive the cut.
+        workflow = Workflow(Select(self.recommend(top_k=2), "Units >= 4"))
+        optimized = optimize(workflow, flexdb)
+        assert isinstance(optimized.root, Select)
+        assert_same_output(flexdb, workflow, optimized)
+
+
+class TestRule5TopKFusion:
+    def test_topk_by_score_fuses(self, flexdb):
+        workflow = Workflow(
+            TopK(
+                Recommend(
+                    target=Source("Students"),
+                    reference=Source("Students"),
+                    comparator=NumericCloseness("GPA", "GPA"),
+                    target_key="SuID",
+                ),
+                3,
+                "score",
+            )
+        )
+        optimized = optimize(workflow, flexdb)
+        assert isinstance(optimized.root, Recommend)
+        assert optimized.root.top_k == 3
+        assert_same_output(flexdb, workflow, optimized)
+
+    def test_fusion_takes_minimum(self, flexdb):
+        workflow = Workflow(
+            TopK(
+                Recommend(
+                    target=Source("Students"),
+                    reference=Source("Students"),
+                    comparator=NumericCloseness("GPA", "GPA"),
+                    target_key="SuID",
+                    top_k=2,
+                ),
+                5,
+                "score",
+            )
+        )
+        optimized = optimize(workflow, flexdb)
+        assert optimized.root.top_k == 2
+
+    def test_ascending_topk_not_fused(self, flexdb):
+        workflow = Workflow(
+            TopK(
+                Recommend(
+                    target=Source("Students"),
+                    reference=Source("Students"),
+                    comparator=NumericCloseness("GPA", "GPA"),
+                    target_key="SuID",
+                ),
+                3,
+                "score",
+                descending=False,
+            )
+        )
+        optimized = optimize(workflow, flexdb)
+        assert isinstance(optimized.root, TopK)
+        assert_same_output(flexdb, workflow, optimized)
+
+    def test_topk_by_other_column_not_fused(self, flexdb):
+        workflow = Workflow(
+            TopK(
+                Recommend(
+                    target=Source("Students"),
+                    reference=Source("Students"),
+                    comparator=NumericCloseness("GPA", "GPA"),
+                    target_key="SuID",
+                ),
+                3,
+                "GPA",
+            )
+        )
+        optimized = optimize(workflow, flexdb)
+        assert isinstance(optimized.root, TopK)
+
+
+class TestEndToEnd:
+    def test_combined_rules_on_stacked_workflow(self, flexdb):
+        inner = strategies.collaborative_filtering(
+            444, similar_students=2, top_k=None
+        )
+        workflow = Workflow(TopK(Select(inner.root, "Units >= 4"), 2, "score"))
+        optimized = optimize(workflow, flexdb)
+        # TopK fused, Select pushed into the target.
+        assert isinstance(optimized.root, Recommend)
+        assert optimized.root.top_k == 2
+        assert isinstance(optimized.root.target, Select)
+        assert_same_output(flexdb, workflow, optimized)
+
+    def test_prebuilt_strategies_are_fixpoints_or_improve(self, flexdb):
+        for workflow in (
+            strategies.related_courses(1, top_k=5),
+            strategies.collaborative_filtering(444, similar_students=2),
+            strategies.recommended_majors(444),
+        ):
+            optimized = optimize(workflow, flexdb)
+            key = workflow.run(flexdb).columns[0]
+            assert (
+                optimized.run(flexdb).column(key)
+                == workflow.run(flexdb).column(key)
+            )
+
+    def test_describe_rewrites(self, flexdb):
+        workflow = Workflow(
+            Select(Select(Source("Students"), "GPA > 3.0"), "Class = 2010")
+        )
+        lines = describe_rewrites(workflow, flexdb)
+        text = "\n".join(lines)
+        assert "before:" in text and "after:" in text
+
+    def test_optimize_is_idempotent(self, flexdb):
+        workflow = Workflow(
+            TopK(
+                Select(students_with_ratings(), "GPA > 3.0"),
+                3,
+                "GPA",
+            )
+        )
+        once = optimize(workflow, flexdb)
+        twice = optimize(once, flexdb)
+        assert once.explain() == twice.explain()
+
+
+class TestRandomizedPreservation:
+    """Hypothesis: the rewrite rules never change a workflow's output."""
+
+    import pytest as _pytest
+
+    from hypothesis import HealthCheck as _HealthCheck
+    from hypothesis import given as _given, settings as _settings
+    from hypothesis import strategies as _st
+
+    PREDICATES = [
+        "Units >= 4",
+        "Units = 3",
+        "DepID = 1",
+        "Title LIKE '%Programming%'",
+        "Units > 2 AND DepID = 1",
+        "score > 0.1",
+        "Units >= 4 OR DepID = 2",
+    ]
+
+    # The workflow only reads flexdb, so fixture reuse across generated
+    # inputs is safe.
+    @_settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[_HealthCheck.function_scoped_fixture],
+    )
+    @_given(
+        predicate=_st.sampled_from(PREDICATES),
+        k=_st.integers(min_value=1, max_value=6),
+        wrap_topk=_st.booleans(),
+    )
+    def test_random_wrappers_preserved(self, flexdb, predicate, k, wrap_topk):
+        inner = Recommend(
+            target=Source("Courses"),
+            reference=Select(Source("Courses"), "CourseID = 1"),
+            comparator=TextJaccard("Title", "Title"),
+            target_key="CourseID",
+            exclude_self=("CourseID", "CourseID"),
+        )
+        root = Select(inner, predicate)
+        if wrap_topk:
+            root = TopK(root, k, "score")
+        workflow = Workflow(root)
+        optimized = optimize(workflow, flexdb)
+        left = workflow.run(flexdb)
+        right = optimized.run(flexdb)
+        assert left.column("CourseID") == right.column("CourseID")
+        for a, b in zip(left.rows, right.rows):
+            assert a["score"] == pytest.approx(b["score"])
+        # The compiled path of the optimized tree agrees too.
+        compiled = optimized.run_sql(flexdb)
+        assert left.column("CourseID") == compiled.column("CourseID")

@@ -1,0 +1,164 @@
+"""Unit + property tests for the similarity library."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import similarity as sim
+
+vectors = st.dictionaries(
+    st.integers(min_value=0, max_value=12),
+    st.floats(min_value=1.0, max_value=5.0, allow_nan=False),
+    max_size=8,
+)
+sets = st.frozensets(st.integers(min_value=0, max_value=20), max_size=10)
+
+
+class TestJaccard:
+    def test_basic(self):
+        assert sim.jaccard({1, 2, 3}, {2, 3, 4}) == 0.5
+
+    def test_identical(self):
+        assert sim.jaccard({1, 2}, {1, 2}) == 1.0
+
+    def test_disjoint(self):
+        assert sim.jaccard({1}, {2}) == 0.0
+
+    def test_both_empty_undefined(self):
+        assert sim.jaccard(set(), set()) is None
+
+    @given(sets, sets)
+    def test_symmetry_and_range(self, left, right):
+        value = sim.jaccard(left, right)
+        assert value == sim.jaccard(right, left)
+        if value is not None:
+            assert 0.0 <= value <= 1.0
+
+
+class TestOverlapAndCommon:
+    def test_overlap_coefficient(self):
+        assert sim.overlap_coefficient({1, 2}, {1, 2, 3, 4}) == 1.0
+
+    def test_overlap_empty_side(self):
+        assert sim.overlap_coefficient(set(), {1}) is None
+
+    def test_common_count(self):
+        assert sim.common_count({1, 2, 3}, {2, 3}) == 2.0
+        assert sim.common_count({1}, {2}) is None
+
+
+class TestInverseEuclidean:
+    def test_identical_vectors(self):
+        assert sim.inverse_euclidean({1: 5.0, 2: 3.0}, {1: 5.0, 2: 3.0}) == 1.0
+
+    def test_known_distance(self):
+        value = sim.inverse_euclidean({1: 1.0}, {1: 4.0})
+        assert value == pytest.approx(1.0 / 4.0)
+
+    def test_no_corated_undefined(self):
+        assert sim.inverse_euclidean({1: 1.0}, {2: 1.0}) is None
+
+    def test_uses_corated_only(self):
+        value = sim.inverse_euclidean({1: 2.0, 9: 5.0}, {1: 2.0, 8: 1.0})
+        assert value == 1.0
+
+    @given(vectors, vectors)
+    def test_symmetric_and_bounded(self, left, right):
+        value = sim.inverse_euclidean(left, right)
+        mirrored = sim.inverse_euclidean(right, left)
+        if value is None:
+            assert mirrored is None
+        else:
+            assert value == pytest.approx(mirrored)
+            assert 0.0 < value <= 1.0
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        left = {1: 1.0, 2: 2.0, 3: 3.0}
+        right = {1: 2.0, 2: 4.0, 3: 6.0}
+        assert sim.pearson(left, right) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        left = {1: 1.0, 2: 2.0, 3: 3.0}
+        right = {1: 3.0, 2: 2.0, 3: 1.0}
+        assert sim.pearson(left, right) == pytest.approx(-1.0)
+
+    def test_single_corated_undefined(self):
+        assert sim.pearson({1: 2.0}, {1: 2.0}) is None
+
+    def test_zero_variance_undefined(self):
+        assert sim.pearson({1: 3.0, 2: 3.0}, {1: 1.0, 2: 5.0}) is None
+
+    @given(vectors, vectors)
+    def test_bounded(self, left, right):
+        value = sim.pearson(left, right)
+        if value is not None:
+            assert -1.0 - 1e-9 <= value <= 1.0 + 1e-9
+
+
+class TestCosine:
+    def test_identical_direction(self):
+        assert sim.cosine({1: 2.0, 2: 4.0}, {1: 1.0, 2: 2.0}) == pytest.approx(1.0)
+
+    def test_no_overlap(self):
+        assert sim.cosine({1: 1.0}, {2: 1.0}) is None
+
+    @given(vectors, vectors)
+    def test_bounded_positive_ratings(self, left, right):
+        value = sim.cosine(left, right)
+        if value is not None:
+            assert 0.0 <= value <= 1.0 + 1e-9
+
+
+class TestScalarMeasures:
+    def test_numeric_closeness(self):
+        assert sim.numeric_closeness(3.0, 3.0) == 1.0
+        assert sim.numeric_closeness(3.0, 4.0) == 0.5
+        assert sim.numeric_closeness(3.0, 4.0, scale=2.0) == pytest.approx(2 / 3)
+        assert sim.numeric_closeness(None, 4.0) is None
+
+    def test_equality_match(self):
+        assert sim.equality_match("Aut", "Aut") == 1.0
+        assert sim.equality_match("Aut", "Win") == 0.0
+        assert sim.equality_match(None, "Aut") is None
+
+
+class TestTextMeasures:
+    def test_token_set(self):
+        assert sim.token_set("Introduction to Programming!") == frozenset(
+            {"introduction", "to", "programming"}
+        )
+
+    def test_text_jaccard(self):
+        value = sim.text_jaccard(
+            "Introduction to Programming", "Advanced Programming"
+        )
+        assert value == pytest.approx(1 / 4)
+
+    def test_text_jaccard_null_inputs(self):
+        assert sim.text_jaccard(None, "x y") is None
+        assert sim.text_jaccard("", "x y") is None
+
+    def test_levenshtein_distance(self):
+        assert sim.levenshtein("kitten", "sitting") == 3
+        assert sim.levenshtein("", "abc") == 3
+        assert sim.levenshtein("same", "same") == 0
+
+    def test_levenshtein_similarity(self):
+        assert sim.levenshtein_similarity("abc", "abc") == 1.0
+        assert sim.levenshtein_similarity("ABC", "abc") == 1.0
+        assert sim.levenshtein_similarity(None, "x") is None
+
+    @given(
+        st.text(alphabet="abcd", max_size=8), st.text(alphabet="abcd", max_size=8)
+    )
+    def test_levenshtein_triangle_inequality(self, a, b):
+        c = "abab"
+        assert sim.levenshtein(a, b) <= sim.levenshtein(a, c) + sim.levenshtein(c, b)
+
+    @given(st.text(alphabet="abcd", max_size=8), st.text(alphabet="abcd", max_size=8))
+    def test_levenshtein_symmetric(self, a, b):
+        assert sim.levenshtein(a, b) == sim.levenshtein(b, a)

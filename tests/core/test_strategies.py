@@ -1,0 +1,148 @@
+"""Tests for the prebuilt strategies against the hand-built dataset."""
+
+import pytest
+
+from repro.core import strategies
+
+
+class TestRelatedCourses:
+    def test_title_similarity_ranking(self, flexdb):
+        workflow = strategies.related_courses(1, top_k=10)
+        result = workflow.run(flexdb)
+        ids = result.column("CourseID")
+        assert 1 not in ids
+        # "Introduction to American Studies" and the Programming courses
+        # share title words with "Introduction to Programming".
+        assert set(ids[:3]) == {2, 3, 5}
+
+    def test_offered_year_filter(self, flexdb):
+        # Only courses 1 and 6 are offered in 2009.
+        workflow = strategies.related_courses(2, offered_year=2009)
+        result = workflow.run(flexdb)
+        assert set(result.column("CourseID")) <= {1, 6}
+
+    def test_both_paths(self, flexdb):
+        workflow = strategies.related_courses(1, top_k=5)
+        assert (
+            workflow.run(flexdb).as_tuples("CourseID")
+            == workflow.run_sql(flexdb).as_tuples("CourseID")
+        )
+
+
+class TestCollaborativeFiltering:
+    def test_neighbour_ratings_drive_scores(self, flexdb):
+        workflow = strategies.collaborative_filtering(
+            444, similar_students=1, top_k=10
+        )
+        result = workflow.run(flexdb)
+        scores = {row["CourseID"]: row["score"] for row in result.rows}
+        # 445 is the only neighbour; scores are 445's ratings.
+        assert scores[6] == pytest.approx(5.0)
+        assert scores[3] == pytest.approx(4.5)
+
+    def test_paths_agree(self, flexdb):
+        workflow = strategies.collaborative_filtering(444, similar_students=2)
+        direct = workflow.run(flexdb).as_tuples("CourseID")
+        compiled = workflow.run_sql(flexdb).as_tuples("CourseID")
+        assert direct == compiled
+
+
+class TestOtherStrategies:
+    def test_similar_grade_students(self, flexdb):
+        result = strategies.similar_grade_students(444, top_k=2).run(flexdb)
+        assert result.rows[0]["SuID"] == 445
+
+    def test_grade_based_filtering_runs(self, flexdb):
+        result = strategies.grade_based_filtering(
+            444, similar_students=2, top_k=5
+        ).run(flexdb)
+        assert len(result) > 0
+
+    def test_pearson_neighbours(self, flexdb):
+        result = strategies.similar_students_pearson(445, top_k=3).run(flexdb)
+        suids = result.column("SuID")
+        assert 445 not in suids
+        # 444 agrees with 445 on courses 1,2; 446 disagrees (negative r).
+        scores = {row["SuID"]: row["score"] for row in result.rows}
+        if 444 in scores and 446 in scores:
+            assert scores[444] > scores[446]
+
+    def test_recommended_majors(self, flexdb):
+        result = strategies.recommended_majors(444, top_k=2).run(flexdb)
+        # 444 took only CS courses: CS department must rank first.
+        assert result.rows[0]["DepID"] == 1
+
+    def test_recommended_quarters(self, flexdb):
+        result = strategies.recommended_quarters(1).run(flexdb)
+        scores = {row["Term"]: row["score"] for row in result.rows}
+        # Course 1 enrollments all happened in Autumn.
+        assert scores["Aut"] == max(scores.values())
+
+    def test_courses_taken_together(self, flexdb):
+        result = strategies.courses_taken_together(1, top_k=5).run(flexdb)
+        ids = result.column("CourseID")
+        assert 1 not in ids
+        assert 2 in ids  # 444 and 445 took 1 and 2 together
+
+    @pytest.mark.parametrize(
+        "factory,kwargs",
+        [
+            (strategies.related_courses, {"course_id": 1}),
+            (strategies.collaborative_filtering, {"student_id": 444}),
+            (strategies.similar_grade_students, {"student_id": 444}),
+            (strategies.grade_based_filtering, {"student_id": 444}),
+            (strategies.similar_students_pearson, {"student_id": 445}),
+            (strategies.recommended_majors, {"student_id": 444}),
+            (strategies.recommended_quarters, {"course_id": 1}),
+            (strategies.courses_taken_together, {"course_id": 1}),
+        ],
+    )
+    def test_every_strategy_dual_path(self, flexdb, factory, kwargs):
+        workflow = factory(**kwargs)
+        direct = workflow.run(flexdb)
+        compiled = workflow.run_sql(flexdb)
+        assert direct.columns == compiled.columns
+        assert len(direct) == len(compiled)
+        key = direct.columns[0]
+        assert direct.column(key) == compiled.column(key)
+
+
+class TestFreshCoursesStrategy:
+    def test_taken_courses_excluded_in_engine(self, flexdb):
+        workflow = strategies.collaborative_filtering_fresh(
+            444, similar_students=2, top_k=10
+        )
+        result = workflow.run(flexdb)
+        taken = {1, 2}  # 444's enrollments in the fixture
+        assert not taken & set(result.column("CourseID"))
+
+    def test_matches_plain_cf_minus_taken(self, flexdb):
+        fresh = strategies.collaborative_filtering_fresh(
+            444, similar_students=2, top_k=50
+        ).run(flexdb)
+        plain = strategies.collaborative_filtering(
+            444, similar_students=2, top_k=50
+        ).run(flexdb)
+        taken = {1, 2}
+        expected = [c for c in plain.column("CourseID") if c not in taken]
+        assert fresh.column("CourseID") == expected
+
+    def test_dual_path(self, flexdb):
+        workflow = strategies.collaborative_filtering_fresh(
+            444, similar_students=2, top_k=10
+        )
+        assert (
+            workflow.run(flexdb).column("CourseID")
+            == workflow.run_sql(flexdb).column("CourseID")
+        )
+
+    def test_staged_path(self, flexdb):
+        from repro.core.staged import run_staged
+
+        workflow = strategies.collaborative_filtering_fresh(
+            444, similar_students=2, top_k=10
+        )
+        assert (
+            run_staged(workflow, flexdb).column("CourseID")
+            == workflow.run(flexdb).column("CourseID")
+        )

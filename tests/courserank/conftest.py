@@ -1,0 +1,23 @@
+"""Shared fixtures for application-layer tests."""
+
+import pytest
+
+from repro.courserank.app import CourseRank
+from repro.datagen import generate_university
+
+
+@pytest.fixture(scope="module")
+def tiny_db():
+    """A generated tiny university, shared read-mostly per module."""
+    return generate_university(scale="tiny", seed=42)
+
+
+@pytest.fixture()
+def app():
+    """A fresh tiny CourseRank app (mutating tests get their own)."""
+    return CourseRank(generate_university(scale="tiny", seed=42))
+
+
+@pytest.fixture(scope="module")
+def shared_app(tiny_db):
+    return CourseRank(tiny_db)

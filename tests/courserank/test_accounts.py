@@ -1,0 +1,138 @@
+"""Tests for constituencies, registration, and authorization."""
+
+import pytest
+
+from repro.errors import AuthorizationError, CourseRankError
+from repro.courserank.accounts import PERMISSIONS, AccountManager, Role, User
+from repro.courserank.schema import new_database
+
+
+@pytest.fixture()
+def db():
+    database = new_database()
+    database.execute("INSERT INTO Departments VALUES (1, 'CS', 'Engineering', TRUE)")
+    database.execute("INSERT INTO Students VALUES (10, 'Ann', 2010, 'CS', 3.5)")
+    database.execute("INSERT INTO Instructors VALUES (7, 'Prof. X', 1)")
+    return database
+
+
+@pytest.fixture()
+def manager(db):
+    return AccountManager(db)
+
+
+class TestRegistration:
+    def test_student_registration(self, manager):
+        user = manager.register("ann", Role.STUDENT, person_id=10)
+        assert user.role is Role.STUDENT
+        assert user.person_id == 10
+
+    def test_student_requires_registry_row(self, manager):
+        with pytest.raises(AuthorizationError):
+            manager.register("ghost", Role.STUDENT, person_id=999)
+        with pytest.raises(AuthorizationError):
+            manager.register("ghost", Role.STUDENT, person_id=None)
+
+    def test_faculty_requires_instructor_row(self, manager):
+        user = manager.register("profx", Role.FACULTY, person_id=7)
+        assert user.role is Role.FACULTY
+        with pytest.raises(AuthorizationError):
+            manager.register("ghost", Role.FACULTY, person_id=999)
+
+    def test_staff_needs_no_person(self, manager):
+        user = manager.register("registrar", Role.STAFF)
+        assert user.person_id is None
+
+    def test_duplicate_username_rejected(self, manager):
+        manager.register("ann", Role.STUDENT, person_id=10)
+        with pytest.raises(Exception):
+            manager.register("ann", Role.STAFF)
+
+    def test_empty_username_rejected(self, manager):
+        with pytest.raises(CourseRankError):
+            manager.register("", Role.STAFF)
+
+
+class TestLookup:
+    def test_authenticate(self, manager):
+        manager.register("ann", Role.STUDENT, person_id=10)
+        user = manager.authenticate("ann")
+        assert user.username == "ann"
+        assert user.role is Role.STUDENT
+
+    def test_authenticate_unknown(self, manager):
+        with pytest.raises(AuthorizationError):
+            manager.authenticate("nobody")
+
+    def test_get_by_id(self, manager):
+        created = manager.register("ann", Role.STUDENT, person_id=10)
+        fetched = manager.get(created.user_id)
+        assert fetched == created
+
+    def test_get_unknown_id(self, manager):
+        with pytest.raises(AuthorizationError):
+            manager.get(12345)
+
+    def test_count_by_role(self, manager):
+        manager.register("ann", Role.STUDENT, person_id=10)
+        manager.register("profx", Role.FACULTY, person_id=7)
+        manager.register("reg", Role.STAFF)
+        assert manager.count_by_role() == {
+            "student": 1,
+            "faculty": 1,
+            "staff": 1,
+        }
+
+
+class TestAuthorization:
+    def make(self, manager, role):
+        if role is Role.STUDENT:
+            return manager.register("s", role, person_id=10)
+        if role is Role.FACULTY:
+            return manager.register("f", role, person_id=7)
+        return manager.register("t", role)
+
+    def test_students_comment_faculty_do_not(self, manager):
+        student = self.make(manager, Role.STUDENT)
+        faculty = self.make(manager, Role.FACULTY)
+        manager.authorize(student, "comment")
+        with pytest.raises(AuthorizationError):
+            manager.authorize(faculty, "comment")
+
+    def test_staff_define_requirements(self, manager):
+        staff = self.make(manager, Role.STAFF)
+        student = self.make(manager, Role.STUDENT)
+        manager.authorize(staff, "define_requirement")
+        with pytest.raises(AuthorizationError):
+            manager.authorize(student, "define_requirement")
+
+    def test_faculty_notes_faculty_only(self, manager):
+        faculty = self.make(manager, Role.FACULTY)
+        staff = self.make(manager, Role.STAFF)
+        manager.authorize(faculty, "faculty_note")
+        with pytest.raises(AuthorizationError):
+            manager.authorize(staff, "faculty_note")
+
+    def test_everyone_searches(self, manager):
+        for role in Role:
+            user = User(user_id=1, username="u", role=role)
+            manager.authorize(user, "search")
+
+    def test_unknown_action(self, manager):
+        user = self.make(manager, Role.STAFF)
+        with pytest.raises(CourseRankError):
+            manager.authorize(user, "launch_rockets")
+
+    def test_can_helper(self, manager):
+        student = self.make(manager, Role.STUDENT)
+        assert manager.can(student, "comment")
+        assert not manager.can(student, "seed_faq")
+
+    def test_every_action_has_some_allowed_role(self):
+        for action, roles in PERMISSIONS.items():
+            assert roles, f"action {action} allows nobody"
+
+    def test_role_parse(self):
+        assert Role.parse("student") is Role.STUDENT
+        with pytest.raises(CourseRankError):
+            Role.parse("superuser")

@@ -1,0 +1,109 @@
+"""Tests for the faculty/administrator analytics dashboards."""
+
+import pytest
+
+from repro.courserank.analytics import Analytics
+from repro.courserank.schema import new_database
+
+
+@pytest.fixture()
+def db():
+    database = new_database()
+    database.execute_script(
+        """
+        INSERT INTO Departments VALUES
+          (1, 'CS', 'Engineering', TRUE), (2, 'History', 'Humanities', FALSE);
+        INSERT INTO Courses VALUES
+          (1, 1, 'Intro', '', 5, ''), (2, 1, 'Adv', '', 3, ''),
+          (3, 2, 'Hist', '', 4, ''), (4, 1, 'Unloved', '', 2, '');
+        INSERT INTO Instructors VALUES
+          (7, 'Prof. Star', 1), (8, 'Prof. Meh', 1), (9, 'Prof. New', 2);
+        INSERT INTO Teaches VALUES (7, 1), (8, 2), (9, 3);
+        INSERT INTO Students VALUES
+          (10, 'A', 2010, 'CS', NULL), (11, 'B', 2010, 'CS', NULL),
+          (12, 'C', 2011, 'History', NULL), (13, 'D', 2011, 'CS', NULL);
+        INSERT INTO Enrollments VALUES
+          (10, 1, 2008, 'Aut', 'A'), (11, 1, 2008, 'Aut', 'B'),
+          (12, 3, 2008, 'Win', 'B'), (13, 2, 2008, 'Spr', 'C');
+        INSERT INTO Comments VALUES
+          (10, 1, 2008, 'Aut', 'great', 5.0, '2008-10-01'),
+          (11, 1, 2008, 'Aut', 'good', 4.5, '2008-10-02'),
+          (13, 1, 2008, 'Aut', 'fine', 4.0, '2008-10-03'),
+          (12, 3, 2008, 'Win', 'long', 2.0, '2008-10-04'),
+          (10, 2, 2008, 'Spr', 'ok', 3.0, '2008-10-05'),
+          (11, 2, 2008, 'Spr', 'meh', 2.5, '2008-10-06'),
+          (13, 2, 2008, 'Spr', 'nah', 2.0, '2008-10-07');
+        """
+    )
+    return database
+
+
+@pytest.fixture()
+def analytics(db):
+    return Analytics(db)
+
+
+class TestDepartmentReport:
+    def test_counts(self, analytics):
+        report = analytics.department_report(1)
+        assert report.courses == 3
+        assert report.rated_courses == 2  # course 4 has no comments
+        assert report.comments == 6
+        assert report.enrollments == 3
+
+    def test_average(self, analytics):
+        report = analytics.department_report(1)
+        assert report.average_rating == pytest.approx(
+            (5.0 + 4.5 + 4.0 + 3.0 + 2.5 + 2.0) / 6
+        )
+
+    def test_rating_coverage(self, analytics):
+        assert analytics.department_report(1).rating_coverage == pytest.approx(
+            2 / 3
+        )
+
+    def test_all_departments(self, analytics):
+        reports = analytics.all_departments()
+        assert [report.dep_id for report in reports] == [1, 2]
+
+
+class TestInstructorRatings:
+    def test_ranked_by_average(self, analytics):
+        ranked = analytics.instructor_ratings(min_ratings=3)
+        assert [row[0] for row in ranked] == [7, 8]
+        assert ranked[0][2] > ranked[1][2]
+
+    def test_min_ratings_suppression(self, analytics):
+        # Prof. New has one rating: suppressed at the default threshold.
+        ranked = analytics.instructor_ratings(min_ratings=3)
+        assert 9 not in [row[0] for row in ranked]
+        lenient = analytics.instructor_ratings(min_ratings=1)
+        assert 9 in [row[0] for row in lenient]
+
+    def test_department_filter(self, analytics):
+        ranked = analytics.instructor_ratings(dep_id=2, min_ratings=1)
+        assert [row[0] for row in ranked] == [9]
+
+
+class TestParticipation:
+    def test_by_class_year(self, analytics):
+        participation = analytics.participation_by_class_year()
+        assert participation[2010] == {
+            "students": 2, "commenters": 2, "comments": 4,
+        }
+        assert participation[2011]["commenters"] == 2
+
+
+class TestCourseViews:
+    def test_unrated_courses(self, analytics):
+        assert analytics.unrated_courses(1) == [4]
+        assert analytics.unrated_courses(2) == []
+
+    def test_rating_percentile(self, analytics):
+        # Course 1 avg 4.5, course 2 avg 2.5, course 3 avg 2.0.
+        assert analytics.course_rating_percentile(1) == pytest.approx(1.0)
+        assert analytics.course_rating_percentile(3) == pytest.approx(0.0)
+        assert analytics.course_rating_percentile(2) == pytest.approx(0.5)
+
+    def test_percentile_none_for_unrated(self, analytics):
+        assert analytics.course_rating_percentile(4) is None

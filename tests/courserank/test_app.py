@@ -1,0 +1,166 @@
+"""Tests for the CourseRank facade over generated data."""
+
+import pytest
+
+from repro.errors import AuthorizationError, CourseRankError
+from repro.courserank.accounts import Role
+
+
+class TestFacadeWiring:
+    def test_components_inventory(self, shared_app):
+        components = shared_app.components()
+        for expected in (
+            "search", "course_cloud", "flexrecs", "planner",
+            "requirement_tracker", "forum", "incentives", "privacy",
+        ):
+            assert expected in components
+
+    def test_site_statistics_match_generation(self, shared_app):
+        stats = shared_app.site_statistics()
+        assert stats["courses"] == 48
+        assert stats["comments"] == 150
+        assert stats["ratings"] == 100
+        assert stats["students"] == 30
+        assert stats["student_users"] == 24
+
+    def test_course_lookup(self, shared_app):
+        course = shared_app.course(1)
+        assert course.course_id == 1
+        assert course.title
+        with pytest.raises(CourseRankError):
+            shared_app.course(99999)
+
+    def test_course_page_sections(self, shared_app):
+        page = shared_app.course_page(1)
+        assert set(page) >= {
+            "course", "average_rating", "comments", "grade_distribution",
+            "planning_to_take", "offerings", "textbooks", "instructors",
+        }
+        assert page["instructors"]
+        assert page["offerings"]
+
+
+class TestSearchThroughFacade:
+    def test_search_returns_cloud(self, shared_app):
+        result, cloud = shared_app.search_courses("programming")
+        if len(result) > 0:
+            assert cloud.result_size == len(result)
+
+    def test_session_refinement(self, shared_app):
+        session = shared_app.search_session("circuits")
+        if session.cloud.terms:
+            before = len(session.result)
+            session.refine(session.cloud.terms[0].term)
+            assert len(session.result) <= before
+
+    def test_resolve_courses(self, shared_app):
+        result, _cloud = shared_app.search_courses("design")
+        resolved = shared_app.cloudsearch.resolve_courses(result, limit=5)
+        assert len(resolved) <= 5
+        for row in resolved:
+            assert "Title" in row and "score" in row
+
+
+class TestAuthenticatedActions:
+    def test_student_comment_awards_points(self, app):
+        user = app.accounts.authenticate("student1")
+        app.comment_on_course(user, 1, "solid intro", 4.0)
+        assert app.incentives.total(user.user_id) == 6  # comment 5 + rating 1
+
+    def test_faculty_cannot_comment(self, app):
+        faculty_username = app.db.query(
+            "SELECT Username FROM Users WHERE Role = 'faculty' LIMIT 1"
+        ).scalar()
+        user = app.accounts.authenticate(faculty_username)
+        with pytest.raises(AuthorizationError):
+            app.comment_on_course(user, 1, "nice", 4.0)
+
+    def test_faculty_note_own_course_only(self, app):
+        row = app.db.query(
+            "SELECT u.Username, t.CourseID FROM Users u "
+            "JOIN Teaches t ON u.PersonID = t.InstructorID "
+            "WHERE u.Role = 'faculty' LIMIT 1"
+        ).rows[0]
+        username, own_course = row
+        user = app.accounts.authenticate(username)
+        note_id = app.add_faculty_note(user, own_course, "syllabus updated")
+        assert note_id >= 1
+        other_course = app.db.query(
+            "SELECT c.CourseID FROM Courses c LEFT JOIN Teaches t "
+            f"ON c.CourseID = t.CourseID AND t.InstructorID = {user.person_id} "
+            "WHERE t.CourseID IS NULL LIMIT 1"
+        ).scalar()
+        with pytest.raises(AuthorizationError):
+            app.add_faculty_note(user, other_course, "not mine")
+
+    def test_staff_define_requirement(self, app):
+        user = app.accounts.authenticate("staff1")
+        req_id = app.define_requirement(user, 1, "Extra", "ANY(1, 2)")
+        assert req_id >= 1
+        student = app.accounts.authenticate("student1")
+        with pytest.raises(AuthorizationError):
+            app.define_requirement(student, 1, "Nope", "ANY(1)")
+
+    def test_report_textbook_dedupes(self, app):
+        user = app.accounts.authenticate("student1")
+        first = app.report_textbook(user, 1, "Custom Reader", "A. Author")
+        second = app.report_textbook(user, 1, "Custom Reader", "A. Author")
+        assert first == second
+        count = app.db.query(
+            "SELECT COUNT(*) FROM CourseTextbooks WHERE CourseID = 1 "
+            f"AND TextbookID = {first}"
+        ).scalar()
+        assert count == 1
+
+    def test_compare_course_to_department(self, app):
+        faculty_username = app.db.query(
+            "SELECT Username FROM Users WHERE Role = 'faculty' LIMIT 1"
+        ).scalar()
+        user = app.accounts.authenticate(faculty_username)
+        report = app.compare_course_to_department(user, 1)
+        assert "course_average" in report and "department_average" in report
+
+
+class TestRecommendationsThroughFacade:
+    def test_strategy_registry(self, shared_app):
+        names = shared_app.recommendations.available()
+        assert "collaborative_filtering" in names
+        assert "related_courses" in names
+
+    def test_custom_strategy_registration(self, app):
+        from repro.core import strategies
+
+        app.recommendations.register(
+            "my_related", lambda course_id, top_k=5: strategies.related_courses(
+                course_id, top_k=top_k
+            )
+        )
+        result = app.recommendations.run("my_related", course_id=1)
+        assert result is not None
+
+    def test_unknown_strategy(self, shared_app):
+        with pytest.raises(Exception):
+            shared_app.recommendations.run("astrology")
+
+    def test_courses_for_student_excludes_taken(self, shared_app):
+        suid = shared_app.db.query(
+            "SELECT SuID FROM Comments WHERE Rating IS NOT NULL LIMIT 1"
+        ).scalar()
+        taken = set(
+            shared_app.db.query(
+                f"SELECT CourseID FROM Enrollments WHERE SuID = {suid}"
+            ).column("CourseID")
+        )
+        recs = shared_app.recommendations.courses_for_student(suid, top_k=5)
+        for row in recs.rows:
+            assert row["CourseID"] not in taken
+            assert "missing_prerequisites" in row
+
+    def test_both_paths_available(self, shared_app):
+        direct = shared_app.recommendations.run(
+            "related_courses", course_id=1, path="direct"
+        )
+        compiled = shared_app.recommendations.run(
+            "related_courses", course_id=1, path="sql"
+        )
+        assert direct.column("CourseID") == compiled.column("CourseID")

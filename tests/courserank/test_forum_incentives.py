@@ -1,0 +1,184 @@
+"""Tests for the Q&A forum (routing, FAQ seeding) and the point ledger."""
+
+import datetime
+
+import pytest
+
+from repro.errors import CourseRankError
+from repro.courserank.forum import Forum
+from repro.courserank.incentives import POINT_SCHEDULE, IncentiveLedger
+from repro.courserank.schema import new_database
+
+
+@pytest.fixture()
+def db():
+    database = new_database()
+    database.execute(
+        "INSERT INTO Departments VALUES (1, 'CS', 'Engineering', TRUE)"
+    )
+    database.execute(
+        "INSERT INTO Courses VALUES (1, 1, 'Intro', '', 5, ''), "
+        "(2, 1, 'Adv', '', 3, '')"
+    )
+    database.execute(
+        "INSERT INTO Students VALUES "
+        "(10, 'Ann', 2010, 'CS', 3.5), (11, 'Bob', 2011, 'CS', 3.0), "
+        "(12, 'Eve', 2009, 'CS', 3.2), (13, 'Joe', 2009, 'CS', 2.2)"
+    )
+    # 10, 11, 12 took course 1; 11 commented on it (most engaged).
+    database.execute(
+        "INSERT INTO Enrollments VALUES "
+        "(10, 1, 2008, 'Aut', 'A'), (11, 1, 2008, 'Aut', 'B'), "
+        "(12, 1, 2008, 'Aut', 'A'), (13, 2, 2008, 'Win', 'C')"
+    )
+    database.execute(
+        "INSERT INTO Comments VALUES "
+        "(11, 1, 2008, 'Aut', 'tips inside', 4.0, '2008-10-01')"
+    )
+    database.execute(
+        "INSERT INTO Users VALUES (1, 'ann', 'student', 10)"
+    )
+    return database
+
+
+@pytest.fixture()
+def forum(db):
+    return Forum(db)
+
+
+class TestAsking:
+    def test_ask_routes_to_takers(self, forum):
+        question = forum.ask(13, "how are the exams?", course_id=1)
+        routed = forum.routed_to(11)
+        assert question.question_id in routed
+        # Commenter 11 is the most engaged -> routed first.
+        targets = forum.route_targets(course_id=1, dep_id=None)
+        assert targets[0] == 11
+
+    def test_asker_not_routed_to_self(self, forum):
+        forum.ask(10, "question", course_id=1)
+        assert forum.routed_to(10) == []
+
+    def test_department_routing(self, forum):
+        targets = forum.route_targets(course_id=None, dep_id=1)
+        assert set(targets) == {10, 11, 12, 13}
+
+    def test_route_cap(self, db):
+        forum = Forum(db, max_routes=2)
+        assert len(forum.route_targets(course_id=1, dep_id=None)) <= 2
+
+    def test_empty_question_rejected(self, forum):
+        with pytest.raises(CourseRankError):
+            forum.ask(10, "  ", course_id=1)
+
+
+class TestAnswering:
+    def test_answer_flow(self, forum):
+        question = forum.ask(10, "exams?", course_id=1)
+        answer = forum.answer(question.question_id, 11, "two midterms")
+        answers = forum.answers_for(question.question_id)
+        assert [a.answer_id for a in answers] == [answer.answer_id]
+
+    def test_answer_unknown_question(self, forum):
+        with pytest.raises(CourseRankError):
+            forum.answer(999, 11, "text")
+
+    def test_empty_answer_rejected(self, forum):
+        question = forum.ask(10, "exams?", course_id=1)
+        with pytest.raises(CourseRankError):
+            forum.answer(question.question_id, 11, "")
+
+    def test_best_answer_by_asker_only(self, forum):
+        question = forum.ask(10, "exams?", course_id=1)
+        answer = forum.answer(question.question_id, 11, "two midterms")
+        with pytest.raises(CourseRankError):
+            forum.mark_best(question.question_id, answer.answer_id, by_suid=11)
+        forum.mark_best(question.question_id, answer.answer_id, by_suid=10)
+        answers = forum.answers_for(question.question_id)
+        assert answers[0].best
+
+    def test_best_answer_is_single(self, forum):
+        question = forum.ask(10, "exams?", course_id=1)
+        first = forum.answer(question.question_id, 11, "a")
+        second = forum.answer(question.question_id, 12, "b")
+        forum.mark_best(question.question_id, first.answer_id, by_suid=10)
+        forum.mark_best(question.question_id, second.answer_id, by_suid=10)
+        best = [a for a in forum.answers_for(question.question_id) if a.best]
+        assert [a.answer_id for a in best] == [second.answer_id]
+
+    def test_best_answer_must_belong(self, forum):
+        q1 = forum.ask(10, "one", course_id=1)
+        q2 = forum.ask(10, "two", course_id=1)
+        answer = forum.answer(q2.question_id, 11, "for q2")
+        with pytest.raises(CourseRankError):
+            forum.mark_best(q1.question_id, answer.answer_id, by_suid=10)
+
+
+class TestSeedingAndStats:
+    def test_seed_faq(self, forum):
+        ids = forum.seed_faq(
+            [
+                ("Who approves my program?", "The department manager."),
+                ("Good intro for non-majors?", "Course 1."),
+            ],
+            dep_id=1,
+        )
+        assert len(ids) == 2
+        answers = forum.answers_for(ids[0])
+        assert answers[0].best  # official answers are pre-marked best
+        stats = forum.stats()
+        assert stats["official_seeded"] == 2
+        assert stats["unanswered"] == 0
+
+    def test_unanswered_listing(self, forum):
+        question = forum.ask(10, "lonely question", course_id=1)
+        assert forum.unanswered() == [question.question_id]
+        forum.answer(question.question_id, 11, "reply")
+        assert forum.unanswered() == []
+
+
+class TestIncentives:
+    @pytest.fixture()
+    def ledger(self, db):
+        return IncentiveLedger(db)
+
+    def test_award_matches_schedule(self, ledger):
+        for action, points in POINT_SCHEDULE.items():
+            if action == "daily_login":
+                continue
+            assert ledger.award(1, action) == points
+
+    def test_total_and_breakdown(self, ledger):
+        ledger.award(1, "comment")
+        ledger.award(1, "comment")
+        ledger.award(1, "rate_course")
+        assert ledger.total(1) == 11
+        assert ledger.breakdown(1) == {"comment": 10, "rate_course": 1}
+
+    def test_daily_login_idempotent_per_day(self, ledger):
+        day = datetime.date(2008, 10, 1)
+        assert ledger.award(1, "daily_login", day=day) == 1
+        assert ledger.award(1, "daily_login", day=day) == 0
+        next_day = datetime.date(2008, 10, 2)
+        assert ledger.award(1, "daily_login", day=next_day) == 1
+        assert ledger.total(1) == 2
+
+    def test_unknown_action(self, ledger):
+        with pytest.raises(CourseRankError):
+            ledger.award(1, "bribe")
+
+    def test_leaderboard(self, db, ledger):
+        db.execute("INSERT INTO Users VALUES (2, 'bob', 'student', 11)")
+        ledger.award(1, "comment")
+        ledger.award(2, "best_answer")
+        board = ledger.leaderboard()
+        assert board[0] == (2, 10)
+        assert board[1] == (1, 5)
+
+    def test_action_counts(self, ledger):
+        ledger.award(1, "comment")
+        ledger.award(1, "ask_question")
+        assert ledger.action_counts() == {"comment": 1, "ask_question": 1}
+
+    def test_total_of_unknown_user_is_zero(self, ledger):
+        assert ledger.total(999) == 0

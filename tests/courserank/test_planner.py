@@ -1,0 +1,236 @@
+"""Tests for the Planner: plans, conflicts, prerequisites, GPAs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CourseRankError, PlannerConflictError
+from repro.courserank.models import Offering
+from repro.courserank.planner import Planner, term_order
+from repro.courserank.schema import new_database
+
+
+@pytest.fixture()
+def db():
+    database = new_database()
+    database.execute(
+        "INSERT INTO Departments VALUES (1, 'CS', 'Engineering', TRUE)"
+    )
+    database.execute(
+        "INSERT INTO Courses VALUES "
+        "(1, 1, 'Intro', '', 5, ''), (2, 1, 'Adv', '', 3, ''), "
+        "(3, 1, 'Sem', '', 4, ''), (4, 1, 'Lab', '', 2, '')"
+    )
+    database.execute("INSERT INTO Prerequisites VALUES (2, 1)")
+    database.execute(
+        "INSERT INTO Students VALUES (10, 'Ann', 2010, 'CS', NULL)"
+    )
+    # Courses 1 and 2 overlap MWF mornings in Aut 2009; 3 is afternoons.
+    database.execute(
+        "INSERT INTO Offerings VALUES "
+        "(1, 2009, 'Aut', 'MWF', 540, 590), "
+        "(2, 2009, 'Aut', 'MWF', 560, 650), "
+        "(3, 2009, 'Aut', 'TTh', 780, 890), "
+        "(4, 2009, 'Win', 'MWF', 540, 590), "
+        "(1, 2008, 'Aut', 'MWF', 540, 590), "
+        "(2, 2008, 'Win', 'MWF', 540, 590)"
+    )
+    return database
+
+
+@pytest.fixture()
+def planner(db):
+    return Planner(db)
+
+
+class TestTermOrder:
+    def test_ordering(self):
+        assert term_order(2008, "Aut") < term_order(2009, "Aut")
+        assert term_order(2008, "Aut") < term_order(2008, "Win")
+        assert term_order(2008, "Win") < term_order(2008, "Spr")
+
+    def test_unknown_term(self):
+        with pytest.raises(CourseRankError):
+            term_order(2008, "Fall")
+
+
+class TestOfferingOverlap:
+    def make(self, days, start, end, term="Aut"):
+        return Offering(1, 2009, term, days, start, end)
+
+    def test_overlapping_times_same_days(self):
+        assert self.make("MWF", 540, 590).overlaps(self.make("MWF", 560, 650))
+
+    def test_disjoint_times(self):
+        assert not self.make("MWF", 540, 590).overlaps(self.make("MWF", 600, 650))
+
+    def test_back_to_back_not_conflict(self):
+        assert not self.make("MWF", 540, 590).overlaps(self.make("MWF", 590, 640))
+
+    def test_different_days(self):
+        assert not self.make("MWF", 540, 590).overlaps(self.make("TTh", 540, 590))
+
+    def test_shared_day_conflicts(self):
+        assert self.make("MW", 540, 590).overlaps(self.make("WF", 540, 590))
+
+    def test_different_terms(self):
+        assert not self.make("MWF", 540, 590).overlaps(
+            self.make("MWF", 540, 590, term="Win")
+        )
+
+    def test_missing_times_no_conflict(self):
+        silent = Offering(1, 2009, "Aut", None, None, None)
+        assert not silent.overlaps(self.make("MWF", 540, 590))
+
+
+class TestPlanning:
+    def test_plan_course(self, planner, db):
+        planner.plan_course(10, 3, 2009, "Aut")
+        assert db.query("SELECT COUNT(*) FROM Plans").scalar() == 1
+
+    def test_conflict_detected_and_rejected(self, planner):
+        planner.plan_course(10, 1, 2009, "Aut")
+        with pytest.raises(PlannerConflictError):
+            planner.plan_course(10, 2, 2009, "Aut")
+
+    def test_conflict_allowed_when_requested(self, planner):
+        planner.plan_course(10, 1, 2009, "Aut")
+        conflicts = planner.plan_course(10, 2, 2009, "Aut", allow_conflicts=True)
+        assert len(conflicts) == 1
+        assert {conflicts[0].course_a, conflicts[0].course_b} == {1, 2}
+
+    def test_check_quarter_reports_pairs(self, planner):
+        planner.plan_course(10, 1, 2009, "Aut")
+        planner.plan_course(10, 2, 2009, "Aut", allow_conflicts=True)
+        planner.plan_course(10, 3, 2009, "Aut")
+        conflicts = planner.check_quarter(10, 2009, "Aut")
+        assert len(conflicts) == 1
+
+    def test_unknown_course(self, planner):
+        with pytest.raises(CourseRankError):
+            planner.plan_course(10, 999, 2009, "Aut")
+
+    def test_already_taken_rejected(self, planner):
+        planner.record_taken(10, 1, 2008, "Aut", "A")
+        with pytest.raises(CourseRankError):
+            planner.plan_course(10, 1, 2009, "Aut")
+
+    def test_replan_moves_course(self, planner, db):
+        planner.plan_course(10, 4, 2009, "Win")
+        planner.plan_course(10, 4, 2009, "Win", shared=False)
+        assert db.query("SELECT COUNT(*) FROM Plans").scalar() == 1
+
+    def test_unplan(self, planner):
+        planner.plan_course(10, 3, 2009, "Aut")
+        assert planner.unplan_course(10, 3)
+        assert not planner.unplan_course(10, 3)
+
+    def test_sharing_toggle(self, planner, db):
+        planner.plan_course(10, 3, 2009, "Aut", shared=True)
+        planner.set_plan_sharing(10, 3, False)
+        assert db.query("SELECT Shared FROM Plans").scalar() is False
+        with pytest.raises(CourseRankError):
+            planner.set_plan_sharing(10, 999, True)
+
+
+class TestPrerequisites:
+    def test_missing_prereq_warned(self, planner):
+        planner.plan_course(10, 2, 2009, "Aut")
+        warnings = planner.prerequisite_warnings(10)
+        assert len(warnings) == 1
+        assert warnings[0].missing_prereq == 1
+
+    def test_prereq_taken_earlier_ok(self, planner):
+        planner.record_taken(10, 1, 2008, "Aut", "A")
+        planner.plan_course(10, 2, 2009, "Aut")
+        assert planner.prerequisite_warnings(10) == []
+
+    def test_prereq_planned_later_warned(self, planner):
+        planner.plan_course(10, 2, 2009, "Aut")
+        planner.plan_course(10, 1, 2009, "Aut", allow_conflicts=True)
+        warnings = planner.prerequisite_warnings(10)
+        # Prereq in the same quarter does not count as "earlier".
+        assert len(warnings) == 1
+
+
+class TestGpa:
+    def test_quarter_gpa_unit_weighted(self, planner):
+        planner.record_taken(10, 1, 2008, "Aut", "A")  # 5 units * 4.0
+        planner.record_taken(10, 2, 2008, "Win", "C")  # 3 units * 2.0
+        assert planner.quarter_gpa(10, 2008, "Aut") == 4.0
+        assert planner.cumulative_gpa(10) == pytest.approx((20 + 6) / 8)
+
+    def test_ungraded_courses_ignored(self, planner):
+        planner.record_taken(10, 1, 2008, "Aut", None)
+        assert planner.cumulative_gpa(10) is None
+
+    def test_student_gpa_column_refreshed(self, planner, db):
+        planner.record_taken(10, 1, 2008, "Aut", "B")
+        assert db.query(
+            "SELECT GPA FROM Students WHERE SuID = 10"
+        ).scalar() == pytest.approx(3.0)
+
+    def test_bad_grade_rejected(self, planner):
+        with pytest.raises(CourseRankError):
+            planner.record_taken(10, 1, 2008, "Aut", "A+")
+
+    def test_taking_course_removes_plan(self, planner, db):
+        planner.plan_course(10, 4, 2009, "Win")
+        planner.record_taken(10, 4, 2009, "Win", "B")
+        assert db.query("SELECT COUNT(*) FROM Plans").scalar() == 0
+
+
+class TestFourYearView:
+    def test_plan_structure(self, planner):
+        planner.record_taken(10, 1, 2008, "Aut", "A")
+        planner.plan_course(10, 3, 2009, "Aut")
+        plan = planner.four_year_plan(10)
+        assert list(plan) == [(2008, "Aut"), (2009, "Aut")]
+        assert plan[(2008, "Aut")][0]["status"] == "taken"
+        assert plan[(2009, "Aut")][0]["status"] == "planned"
+
+    def test_quarter_units(self, planner):
+        planner.plan_course(10, 3, 2009, "Aut")  # 4 units
+        planner.record_taken(10, 1, 2008, "Aut", "A")
+        assert planner.quarter_units(10, 2009, "Aut") == 4
+        assert planner.quarter_units(10, 2008, "Aut") == 5
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from([1, 2, 3, 4]),
+                st.sampled_from(["A", "B", "C", "D", "F"]),
+            ),
+            max_size=4,
+            unique_by=lambda pair: pair[0],
+        )
+    )
+    def test_gpa_matches_manual_computation(self, records):
+        database = new_database()
+        database.execute(
+            "INSERT INTO Departments VALUES (1, 'CS', 'Engineering', TRUE)"
+        )
+        database.execute(
+            "INSERT INTO Courses VALUES "
+            "(1, 1, 'A', '', 5, ''), (2, 1, 'B', '', 3, ''), "
+            "(3, 1, 'C', '', 4, ''), (4, 1, 'D', '', 2, '')"
+        )
+        database.execute(
+            "INSERT INTO Students VALUES (10, 'Ann', 2010, 'CS', NULL)"
+        )
+        planner = Planner(database)
+        from repro.courserank.schema import GRADE_POINTS
+
+        units_of = {1: 5, 2: 3, 3: 4, 4: 2}
+        for course_id, grade in records:
+            planner.record_taken(10, course_id, 2008, "Aut", grade)
+        expected_units = sum(units_of[c] for c, _g in records)
+        if expected_units == 0:
+            assert planner.cumulative_gpa(10) is None
+        else:
+            expected = (
+                sum(GRADE_POINTS[g] * units_of[c] for c, g in records)
+                / expected_units
+            )
+            assert planner.cumulative_gpa(10) == pytest.approx(expected)

@@ -1,0 +1,151 @@
+"""Tests for grade distributions and the privacy policies."""
+
+import pytest
+
+from repro.errors import PrivacyError
+from repro.courserank.gradebook import GradeBook
+from repro.courserank.privacy import PrivacyGuard, PrivacyPolicy
+from repro.courserank.schema import new_database
+
+
+@pytest.fixture()
+def db():
+    database = new_database()
+    database.execute_script(
+        """
+        INSERT INTO Departments VALUES
+          (1, 'Computer Science', 'Engineering', TRUE),
+          (2, 'History', 'Humanities', FALSE);
+        INSERT INTO Courses VALUES
+          (1, 1, 'Intro CS', '', 5, ''),
+          (2, 2, 'Intro History', '', 4, ''),
+          (3, 1, 'Tiny Seminar', '', 2, ''),
+          (4, 2, 'Unrated', '', 3, '');
+        """
+    )
+    for suid in range(10, 22):
+        database.execute(
+            f"INSERT INTO Students VALUES ({suid}, 'S{suid}', 2010, 'CS', NULL)"
+        )
+    # Course 1 (Engineering): 6 self-reports + official histogram.
+    grades = ["A", "A", "B", "B", "B", "C"]
+    for offset, grade in enumerate(grades):
+        database.execute(
+            f"INSERT INTO Enrollments VALUES ({10 + offset}, 1, 2008, 'Aut', '{grade}')"
+        )
+    database.execute(
+        "INSERT INTO OfficialGrades VALUES "
+        "(1, 2008, 'A', 4), (1, 2008, 'B', 6), (1, 2008, 'C', 2)"
+    )
+    # Course 2 (History, no official release): 6 self-reports.
+    for offset, grade in enumerate(["A", "B", "B", "C", "A", "B"]):
+        database.execute(
+            f"INSERT INTO Enrollments VALUES ({10 + offset}, 2, 2008, 'Win', '{grade}')"
+        )
+    # Course 3: only 2 reports (below the k threshold).
+    database.execute(
+        "INSERT INTO Enrollments VALUES (10, 3, 2008, 'Spr', 'A'), "
+        "(11, 3, 2008, 'Spr', 'B')"
+    )
+    # Plans on course 1: two shared, one private.
+    database.execute(
+        "INSERT INTO Plans VALUES "
+        "(19, 1, 2009, 'Aut', TRUE), (20, 1, 2009, 'Aut', TRUE), "
+        "(21, 1, 2009, 'Aut', FALSE)"
+    )
+    return database
+
+
+class TestGradeBook:
+    def test_official_distribution(self, db):
+        dist = GradeBook(db).official_distribution(1)
+        assert dist.source == "official"
+        assert dist.counts["B"] == 6
+        assert dist.total == 12
+
+    def test_official_missing(self, db):
+        assert GradeBook(db).official_distribution(2) is None
+
+    def test_self_reported(self, db):
+        dist = GradeBook(db).self_reported_distribution(2)
+        assert dist.source == "self-reported"
+        assert dist.counts == {"A": 2, "B": 3, "C": 1, "D": 0, "F": 0}
+
+    def test_self_reported_missing(self, db):
+        assert GradeBook(db).self_reported_distribution(4) is None
+
+    def test_department_release_flag(self, db):
+        book = GradeBook(db)
+        assert book.department_releases_official(1)
+        assert not book.department_releases_official(2)
+
+    def test_distribution_agreement_high_when_close(self, db):
+        agreement = GradeBook(db).distribution_agreement(1)
+        assert agreement is not None
+        assert agreement > 0.8  # official ~ self-reported, paper's claim
+
+    def test_agreement_none_without_official(self, db):
+        assert GradeBook(db).distribution_agreement(2) is None
+
+    def test_mean_points(self, db):
+        dist = GradeBook(db).self_reported_distribution(2)
+        # 2*4 + 3*3 + 1*2 = 19 over 6
+        assert dist.mean_points() == pytest.approx(19 / 6)
+
+    def test_fractions_sum_to_one(self, db):
+        dist = GradeBook(db).official_distribution(1)
+        assert sum(dist.fractions().values()) == pytest.approx(1.0)
+
+    def test_courses_with_official(self, db):
+        assert GradeBook(db).courses_with_official_grades() == [1]
+
+
+class TestPrivacyGuard:
+    def test_engineering_shows_official(self, db):
+        guard = PrivacyGuard(db)
+        dist = guard.visible_distribution(1)
+        assert dist.source == "official"
+
+    def test_non_release_department_shows_self_reported(self, db):
+        guard = PrivacyGuard(db)
+        dist = guard.visible_distribution(2)
+        assert dist.source == "self-reported"
+
+    def test_small_class_suppressed(self, db):
+        guard = PrivacyGuard(db)
+        with pytest.raises(PrivacyError, match="suppressed"):
+            guard.visible_distribution(3)
+
+    def test_no_data_suppressed(self, db):
+        guard = PrivacyGuard(db)
+        with pytest.raises(PrivacyError):
+            guard.visible_distribution(4)
+
+    def test_threshold_tunable(self, db):
+        lenient = PrivacyGuard(db, PrivacyPolicy(min_distribution_size=2))
+        assert lenient.visible_distribution(3).total == 2
+
+    def test_distribution_or_none(self, db):
+        guard = PrivacyGuard(db)
+        assert guard.distribution_or_none(3) is None
+        assert guard.distribution_or_none(1) is not None
+
+
+class TestPlanSharing:
+    def test_only_shared_visible(self, db):
+        guard = PrivacyGuard(db)
+        visible = guard.who_is_planning(1)
+        assert [suid for suid, _name in visible] == [19, 20]
+
+    def test_viewer_sees_own_private_entry(self, db):
+        guard = PrivacyGuard(db)
+        visible = guard.who_is_planning(1, viewer_suid=21)
+        assert 21 in [suid for suid, _name in visible]
+
+    def test_sharing_rate(self, db):
+        guard = PrivacyGuard(db)
+        assert guard.sharing_rate() == pytest.approx(2 / 3)
+
+    def test_sharing_rate_empty(self):
+        database = new_database()
+        assert PrivacyGuard(database).sharing_rate() is None

@@ -1,0 +1,118 @@
+"""Tests for comments, ratings, and helpfulness votes."""
+
+import pytest
+
+from repro.errors import CourseRankError
+from repro.courserank.ratings import RatingsService
+from repro.courserank.schema import new_database
+
+
+@pytest.fixture()
+def db():
+    database = new_database()
+    database.execute(
+        "INSERT INTO Departments VALUES (1, 'CS', 'Engineering', TRUE)"
+    )
+    database.execute(
+        "INSERT INTO Courses VALUES (1, 1, 'Intro', 'x', 5, ''), (2, 1, 'Adv', 'y', 3, '')"
+    )
+    database.execute(
+        "INSERT INTO Students VALUES (10, 'Ann', 2010, 'CS', 3.5), "
+        "(11, 'Bob', 2011, 'CS', 3.0), (12, 'Eve', 2009, 'CS', 3.2)"
+    )
+    return database
+
+
+@pytest.fixture()
+def service(db):
+    return RatingsService(db)
+
+
+class TestAddComment:
+    def test_basic(self, service):
+        comment = service.add_comment(10, 1, "great course", 4.5)
+        assert comment.rating == 4.5
+
+    def test_requires_content(self, service):
+        with pytest.raises(CourseRankError):
+            service.add_comment(10, 1, None, None)
+
+    def test_rating_range(self, service):
+        with pytest.raises(CourseRankError):
+            service.add_comment(10, 1, "x", 0.5)
+        with pytest.raises(CourseRankError):
+            service.add_comment(10, 1, "x", 5.5)
+
+    def test_rating_only_allowed(self, service):
+        comment = service.add_comment(10, 1, None, 3.0)
+        assert comment.text is None
+
+    def test_replaces_existing(self, service, db):
+        service.add_comment(10, 1, "first", 2.0)
+        service.add_comment(10, 1, "second", 4.0)
+        assert db.query("SELECT COUNT(*) FROM Comments").scalar() == 1
+        assert service.average_rating(1) == 4.0
+
+    def test_unknown_student_rejected_by_fk(self, service):
+        with pytest.raises(Exception):
+            service.add_comment(999, 1, "x", 3.0)
+
+
+class TestVotes:
+    def test_vote_and_tally(self, service):
+        service.add_comment(10, 1, "useful", 4.0)
+        service.vote_comment(11, 10, 1, helpful=True)
+        service.vote_comment(12, 10, 1, helpful=False)
+        comments = service.comments_for_course(1)
+        assert comments[0].helpful_votes == 1
+        assert comments[0].unhelpful_votes == 1
+        assert comments[0].helpfulness == 0.5
+
+    def test_revote_replaces(self, service):
+        service.add_comment(10, 1, "useful", 4.0)
+        service.vote_comment(11, 10, 1, helpful=False)
+        service.vote_comment(11, 10, 1, helpful=True)
+        comments = service.comments_for_course(1)
+        assert comments[0].helpful_votes == 1
+        assert comments[0].unhelpful_votes == 0
+
+    def test_self_vote_rejected(self, service):
+        service.add_comment(10, 1, "useful", 4.0)
+        with pytest.raises(CourseRankError):
+            service.vote_comment(10, 10, 1, helpful=True)
+
+    def test_vote_on_missing_comment(self, service):
+        with pytest.raises(CourseRankError):
+            service.vote_comment(11, 10, 1, helpful=True)
+
+    def test_ordering_by_helpfulness(self, service):
+        service.add_comment(10, 1, "meh", 3.0)
+        service.add_comment(11, 1, "helpful one", 3.0)
+        service.vote_comment(12, 11, 1, helpful=True)
+        comments = service.comments_for_course(1)
+        assert comments[0].suid == 11
+
+
+class TestDeleteAndAggregates:
+    def test_delete_comment_and_votes(self, service, db):
+        service.add_comment(10, 1, "x", 4.0)
+        service.vote_comment(11, 10, 1, helpful=True)
+        assert service.delete_comment(10, 1)
+        assert db.query("SELECT COUNT(*) FROM CommentVotes").scalar() == 0
+        assert not service.delete_comment(10, 1)
+
+    def test_average_and_count(self, service):
+        service.add_comment(10, 1, "a", 5.0)
+        service.add_comment(11, 1, "b", 3.0)
+        service.add_comment(12, 1, "c", None)
+        assert service.average_rating(1) == 4.0
+        assert service.rating_count(1) == 2
+        assert service.average_rating(2) is None
+
+    def test_top_rated_requires_minimum(self, service):
+        service.add_comment(10, 1, "a", 5.0)
+        service.add_comment(11, 1, "b", 5.0)
+        service.add_comment(12, 1, "c", 5.0)
+        service.add_comment(10, 2, "d", 5.0)
+        top = service.top_rated_courses(min_ratings=3)
+        assert [entry[0] for entry in top] == [1]

@@ -1,0 +1,193 @@
+"""Tests for the synthetic university generator."""
+
+import pytest
+
+from repro.errors import DataGenError
+from repro.courserank.schema import GRADE_BUCKETS, TERMS
+from repro.datagen import SCALES, ScaleConfig, generate_university, get_scale
+
+
+@pytest.fixture(scope="module")
+def generated():
+    db, report = generate_university(scale="tiny", seed=99, return_report=True)
+    return db, report
+
+
+class TestScaleConfig:
+    def test_presets_exist(self):
+        assert set(SCALES) == {"tiny", "small", "medium", "full"}
+
+    def test_full_matches_paper_numbers(self):
+        full = SCALES["full"]
+        assert full.courses == 18605
+        assert full.comments == 134000
+        assert full.ratings == 50300
+        assert full.students == 14000
+        assert full.registered_users == 9000
+
+    def test_get_scale_passthrough(self):
+        config = SCALES["tiny"]
+        assert get_scale(config) is config
+
+    def test_unknown_scale(self):
+        with pytest.raises(DataGenError):
+            get_scale("galactic")
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(DataGenError):
+            ScaleConfig(
+                name="bad", departments=2, courses=10, students=5,
+                registered_users=9, faculty_users=0, staff_users=0,
+                comments=10, ratings=20,
+            )
+
+
+class TestGeneratedCounts:
+    def test_exact_counts(self, generated):
+        db, report = generated
+        config = report.config
+        assert db.query("SELECT COUNT(*) FROM Courses").scalar() == config.courses
+        assert db.query("SELECT COUNT(*) FROM Students").scalar() == config.students
+        assert db.query("SELECT COUNT(*) FROM Comments").scalar() == config.comments
+        assert (
+            db.query(
+                "SELECT COUNT(*) FROM Comments WHERE Rating IS NOT NULL"
+            ).scalar()
+            == config.ratings
+        )
+        assert (
+            db.query("SELECT COUNT(*) FROM Departments").scalar()
+            == config.departments
+        )
+
+    def test_user_counts(self, generated):
+        db, report = generated
+        config = report.config
+        roles = dict(
+            db.query("SELECT Role, COUNT(*) FROM Users GROUP BY Role").rows
+        )
+        assert roles["student"] == config.registered_users
+        assert roles["staff"] == config.staff_users
+
+    def test_summary(self, generated):
+        _db, report = generated
+        summary = report.summary()
+        assert summary["scale"] == "tiny"
+        assert summary["comments"] == report.config.comments
+
+
+class TestDeterminism:
+    def test_same_seed_identical(self):
+        first = generate_university(scale="tiny", seed=5)
+        second = generate_university(scale="tiny", seed=5)
+        for table in ("Courses", "Students", "Comments", "Enrollments"):
+            assert (
+                list(first.table(table).rows())
+                == list(second.table(table).rows())
+            ), table
+
+    def test_different_seed_differs(self):
+        first = generate_university(scale="tiny", seed=5)
+        second = generate_university(scale="tiny", seed=6)
+        assert list(first.table("Comments").rows()) != list(
+            second.table("Comments").rows()
+        )
+
+
+class TestIntegrity:
+    def test_comments_reference_enrolled_students(self, generated):
+        db, _report = generated
+        dangling = db.query(
+            "SELECT COUNT(*) FROM Comments c LEFT JOIN Enrollments e "
+            "ON c.SuID = e.SuID AND c.CourseID = e.CourseID "
+            "WHERE e.SuID IS NULL"
+        ).scalar()
+        assert dangling == 0
+
+    def test_prerequisites_acyclic(self, generated):
+        db, _report = generated
+        rows = db.query("SELECT CourseID, PrereqID FROM Prerequisites").rows
+        assert all(prereq < course for course, prereq in rows)
+
+    def test_grades_are_valid_buckets(self, generated):
+        db, _report = generated
+        grades = set(
+            db.query(
+                "SELECT DISTINCT Grade FROM Enrollments WHERE Grade IS NOT NULL"
+            ).column("Grade")
+        )
+        assert grades <= set(GRADE_BUCKETS)
+
+    def test_terms_are_valid(self, generated):
+        db, _report = generated
+        terms = set(db.query("SELECT DISTINCT Term FROM Offerings").column("Term"))
+        assert terms <= set(TERMS)
+
+    def test_ratings_in_range(self, generated):
+        db, _report = generated
+        low, high = db.query(
+            "SELECT MIN(Rating), MAX(Rating) FROM Comments"
+        ).rows[0]
+        assert 1.0 <= low and high <= 5.0
+
+    def test_gpa_consistent_with_enrollments(self, generated):
+        db, _report = generated
+        from repro.courserank.planner import Planner
+
+        planner = Planner(db)
+        suids = db.query(
+            "SELECT SuID FROM Students WHERE GPA IS NOT NULL LIMIT 5"
+        ).column("SuID")
+        for suid in suids:
+            stored = db.query(
+                f"SELECT GPA FROM Students WHERE SuID = {suid}"
+            ).scalar()
+            assert stored == pytest.approx(
+                planner.cumulative_gpa(suid), abs=1e-3
+            )
+
+    def test_official_grades_engineering_only(self, generated):
+        db, _report = generated
+        rows = db.query(
+            "SELECT COUNT(*) FROM OfficialGrades og "
+            "JOIN Courses c ON og.CourseID = c.CourseID "
+            "JOIN Departments d ON c.DepID = d.DepID "
+            "WHERE d.School <> 'Engineering'"
+        ).scalar()
+        assert rows == 0
+
+    def test_plans_target_future_year(self, generated):
+        db, report = generated
+        years = set(db.query("SELECT DISTINCT Year FROM Plans").column("Year"))
+        assert years <= {report.config.plan_year}
+
+    def test_most_plans_shared(self, generated):
+        db, _report = generated
+        total = db.query("SELECT COUNT(*) FROM Plans").scalar()
+        shared = db.query(
+            "SELECT COUNT(*) FROM Plans WHERE Shared"
+        ).scalar()
+        if total >= 20:
+            assert shared / total > 0.7  # "the vast majority"
+
+    def test_requirements_parse(self, generated):
+        db, _report = generated
+        from repro.courserank.requirements import parse_rule
+
+        for rule in db.query("SELECT Rule FROM Requirements").column("Rule"):
+            parse_rule(rule)  # must not raise
+
+    def test_every_course_offered(self, generated):
+        db, _report = generated
+        unoffered = db.query(
+            "SELECT COUNT(*) FROM Courses c LEFT JOIN Offerings o "
+            "ON c.CourseID = o.CourseID WHERE o.CourseID IS NULL"
+        ).scalar()
+        assert unoffered == 0
+
+
+class TestGuards:
+    def test_refuses_non_empty_database(self):
+        db = generate_university(scale="tiny", seed=1)
+        with pytest.raises(DataGenError):
+            generate_university(scale="tiny", seed=2, database=db)

@@ -1,0 +1,92 @@
+"""Tests for evaluation metrics and report generation."""
+
+import pytest
+
+from repro.courserank.app import CourseRank
+from repro.datagen import generate_university
+from repro.evalkit.metrics import (
+    coverage,
+    jaccard_overlap,
+    kendall_tau,
+    narrowing_factor,
+    overlap_at_k,
+)
+from repro.evalkit.reports import (
+    PAPER_STATISTICS,
+    render_table1,
+    site_scale_report,
+    table1_report,
+)
+
+
+class TestMetrics:
+    def test_overlap_at_k(self):
+        assert overlap_at_k([1, 2, 3], [3, 2, 9], 2) == 0.5
+        assert overlap_at_k([1, 2], [1, 2], 2) == 1.0
+        with pytest.raises(ValueError):
+            overlap_at_k([1], [1], 0)
+
+    def test_jaccard_overlap(self):
+        assert jaccard_overlap({1, 2}, {2, 3}) == pytest.approx(1 / 3)
+        assert jaccard_overlap(set(), set()) == 1.0
+
+    def test_kendall_tau_perfect(self):
+        assert kendall_tau([1, 2, 3], [1, 2, 3]) == 1.0
+
+    def test_kendall_tau_reversed(self):
+        assert kendall_tau([1, 2, 3], [3, 2, 1]) == -1.0
+
+    def test_kendall_tau_partial_overlap(self):
+        value = kendall_tau([1, 2, 9], [2, 1])
+        assert value == -1.0  # only 1,2 common, inverted
+
+    def test_kendall_tau_degenerate(self):
+        assert kendall_tau([1], [1]) is None
+        assert kendall_tau([1, 2], [3, 4]) is None
+
+    def test_coverage(self):
+        assert coverage({1, 2, 3}, 10) == 0.3
+        with pytest.raises(ValueError):
+            coverage(set(), 0)
+
+    def test_narrowing_factor(self):
+        assert narrowing_factor(1160, 123) == pytest.approx(9.43, abs=0.01)
+        assert narrowing_factor(10, 0) is None
+
+
+class TestReports:
+    @pytest.fixture(scope="class")
+    def app(self):
+        return CourseRank(generate_university(scale="tiny", seed=42))
+
+    def test_table1_has_four_columns(self, app):
+        report = table1_report(app)
+        assert set(report) == {"DB", "Web", "Social Sites", "CourseRank"}
+
+    def test_courserank_column_derived_from_system(self, app):
+        report = table1_report(app)
+        column = report["CourseRank"]
+        # Hybrid provenance: both official and user data present.
+        assert "official" in column["data_provenance"]
+        assert "user contributed" in column["data_provenance"]
+        assert column["identities"] == "authorized, real ids"
+        assert column["access"] == "closed community"
+        assert column["data_structure"] == "both types"
+
+    def test_all_columns_share_rows(self, app):
+        report = table1_report(app)
+        row_sets = [set(column) for column in report.values()]
+        assert all(rows == row_sets[0] for rows in row_sets)
+
+    def test_render_table1(self, app):
+        text = render_table1(table1_report(app))
+        assert "CourseRank" in text
+        assert "closed community" in text
+
+    def test_site_scale_report(self, app):
+        rows = site_scale_report(app)
+        names = {row["statistic"] for row in rows}
+        assert names == set(PAPER_STATISTICS)
+        for row in rows:
+            assert row["measured"] >= 0
+            assert row["ratio"] is not None

@@ -1,0 +1,89 @@
+"""Tests for the evolution-over-time metrics."""
+
+import pytest
+
+from repro.courserank.schema import new_database
+from repro.datagen import generate_university
+from repro.evalkit.evolution import (
+    activity_timeline,
+    adoption_curve,
+    growth_summary,
+    render_timeline,
+)
+
+
+@pytest.fixture()
+def db():
+    database = new_database()
+    database.execute(
+        "INSERT INTO Departments VALUES (1, 'CS', 'Engineering', TRUE)"
+    )
+    database.execute(
+        "INSERT INTO Courses VALUES (1, 1, 'A', '', 4, ''), (2, 1, 'B', '', 4, '')"
+    )
+    database.execute(
+        "INSERT INTO Students VALUES "
+        "(10, 'a', 2010, 'CS', NULL), (11, 'b', 2010, 'CS', NULL), "
+        "(12, 'c', 2010, 'CS', NULL)"
+    )
+    database.execute(
+        "INSERT INTO Comments VALUES "
+        "(10, 1, 2008, 'Aut', 'x', 4.0, '2008-01-10'), "
+        "(11, 1, 2008, 'Aut', 'y', 3.0, '2008-01-20'), "
+        "(10, 2, 2008, 'Win', 'z', 5.0, '2008-02-05'), "
+        "(12, 2, 2008, 'Win', 'w', 2.0, '2008-03-15')"
+    )
+    return database
+
+
+class TestTimeline:
+    def test_months_in_order(self, db):
+        timeline = activity_timeline(db)
+        assert [point.month for point in timeline] == [
+            "2008-01", "2008-02", "2008-03",
+        ]
+
+    def test_counts_per_month(self, db):
+        timeline = activity_timeline(db)
+        assert [point.comments for point in timeline] == [2, 1, 1]
+
+    def test_new_vs_cumulative_contributors(self, db):
+        timeline = activity_timeline(db)
+        assert [point.new_contributors for point in timeline] == [2, 0, 1]
+        assert [point.cumulative_contributors for point in timeline] == [2, 2, 3]
+
+    def test_coverage_grows(self, db):
+        timeline = activity_timeline(db)
+        assert [point.cumulative_courses_covered for point in timeline] == [
+            1, 2, 2,
+        ]
+
+    def test_adoption_curve_monotone(self, db):
+        curve = [count for _month, count in adoption_curve(db)]
+        assert curve == sorted(curve)
+
+    def test_empty_database(self):
+        assert activity_timeline(new_database()) == []
+        summary = growth_summary(new_database())
+        assert summary["months"] == 0
+
+    def test_render(self, db):
+        text = render_timeline(activity_timeline(db))
+        assert "2008-01" in text and "#" in text
+        assert render_timeline([]) == "(no activity)"
+
+
+class TestGrowthOnGeneratedData:
+    def test_generated_site_accelerates(self):
+        db = generate_university(scale="tiny", seed=4)
+        summary = growth_summary(db)
+        assert summary["total_comments"] == 150
+        # Activity density grows over the site's first year.
+        assert summary["second_half_share"] > 0.5
+        # Everyone registered eventually contributes (closed community).
+        assert summary["final_contributors"] == 24
+
+    def test_adoption_monotone_on_generated_data(self):
+        db = generate_university(scale="tiny", seed=4)
+        curve = [count for _m, count in adoption_curve(db)]
+        assert curve == sorted(curve)

@@ -1,0 +1,112 @@
+"""Tests for the comment-quality metrics."""
+
+import dataclasses
+
+import pytest
+
+from repro.courserank.schema import new_database
+from repro.datagen import SCALES, generate_university
+from repro.evalkit.quality import comment_quality_report
+
+
+@pytest.fixture()
+def db():
+    database = new_database()
+    database.execute(
+        "INSERT INTO Departments VALUES (1, 'CS', 'Engineering', TRUE)"
+    )
+    database.execute(
+        "INSERT INTO Courses VALUES "
+        "(1, 1, 'Java Programming', 'programming in java', 5, ''), "
+        "(2, 1, 'Databases', 'relational systems', 4, '')"
+    )
+    database.execute(
+        "INSERT INTO Students VALUES "
+        "(10, 'A', 2010, 'CS', NULL), (11, 'B', 2010, 'CS', NULL), "
+        "(12, 'C', 2010, 'CS', NULL)"
+    )
+    database.execute(
+        "INSERT INTO Enrollments VALUES "
+        "(10, 1, 2008, 'Aut', 'A'), (11, 1, 2008, 'Aut', 'B'), "
+        "(10, 2, 2008, 'Win', 'C'), (11, 2, 2008, 'Win', 'D')"
+    )
+    return database
+
+
+class TestMetrics:
+    def test_topical_comment_detected(self, db):
+        db.execute(
+            "INSERT INTO Comments VALUES "
+            "(10, 1, 2008, 'Aut', 'great java content throughout', 4.0, NULL)"
+        )
+        report = comment_quality_report(db)
+        assert report.topical_fraction == 1.0
+
+    def test_offtopic_comment_detected(self, db):
+        db.execute(
+            "INSERT INTO Comments VALUES "
+            "(10, 1, 2008, 'Aut', 'lol', 5.0, NULL)"
+        )
+        report = comment_quality_report(db)
+        assert report.topical_fraction == 0.0
+
+    def test_extremity(self, db):
+        db.execute(
+            "INSERT INTO Comments VALUES "
+            "(10, 1, 2008, 'Aut', 'fine java class', 5.0, NULL), "
+            "(11, 1, 2008, 'Aut', 'decent java class', 3.0, NULL)"
+        )
+        report = comment_quality_report(db)
+        assert report.rating_extremity == 0.5
+
+    def test_empty_database(self):
+        report = comment_quality_report(new_database())
+        assert report.comments == 0
+        assert report.mean_words == 0.0
+        assert report.rating_extremity is None
+
+    def test_rating_signal_positive_when_ratings_track_grades(self, db):
+        # Course 1 (good grades) rated high, course 2 (bad grades) low —
+        # but Pearson needs variance over >= 2 courses, which we have.
+        db.execute(
+            "INSERT INTO Comments VALUES "
+            "(10, 1, 2008, 'Aut', 'java good', 4.5, NULL), "
+            "(11, 1, 2008, 'Aut', 'java fine', 4.0, NULL), "
+            "(10, 2, 2008, 'Win', 'db rough', 2.0, NULL), "
+            "(11, 2, 2008, 'Win', 'db hard', 1.5, NULL)"
+        )
+        report = comment_quality_report(db)
+        assert report.rating_signal == pytest.approx(1.0)
+
+    def test_as_dict_rounding(self, db):
+        db.execute(
+            "INSERT INTO Comments VALUES "
+            "(10, 1, 2008, 'Aut', 'java', 3.3333, NULL)"
+        )
+        as_dict = comment_quality_report(db).as_dict()
+        assert set(as_dict) == {
+            "comments", "mean_words", "lexical_diversity",
+            "topical_fraction", "rating_extremity", "rating_signal",
+        }
+
+
+class TestClosedVsOpenGeneration:
+    def test_open_community_lowers_quality(self):
+        base = SCALES["tiny"]
+        closed = comment_quality_report(generate_university(base, seed=3))
+        open_config = dataclasses.replace(
+            base, name="tiny-open", community="open"
+        )
+        opened = comment_quality_report(
+            generate_university(open_config, seed=3)
+        )
+        assert closed.topical_fraction > opened.topical_fraction
+        assert closed.rating_extremity < opened.rating_extremity
+
+    def test_invalid_community_rejected(self):
+        import pytest as _pytest
+
+        from repro.errors import DataGenError
+
+        with _pytest.raises(DataGenError):
+            dataclasses.replace(SCALES["tiny"], community="anarchic")

@@ -1,0 +1,126 @@
+"""Tests for the hold-out recommender evaluation harness."""
+
+import pytest
+
+from repro.datagen import generate_university
+from repro.evalkit.receval import (
+    HoldoutEvaluation,
+    evaluate_predictors,
+    holdout_split,
+)
+
+
+@pytest.fixture(scope="module")
+def db():
+    return generate_university(scale="tiny", seed=42)
+
+
+class TestHoldoutSplit:
+    def test_pairs_are_rated_comments(self, db):
+        held = holdout_split(db, fraction=0.2, seed=1)
+        assert held
+        for suid, course_id, rating in held:
+            stored = db.query(
+                f"SELECT Rating FROM Comments WHERE SuID = {suid} "
+                f"AND CourseID = {course_id}"
+            ).scalar()
+            assert stored == rating
+
+    def test_every_user_keeps_visible_ratings(self, db):
+        held = holdout_split(db, fraction=0.5, seed=1)
+        hidden_by_user = {}
+        for suid, _course, _rating in held:
+            hidden_by_user[suid] = hidden_by_user.get(suid, 0) + 1
+        for suid, hidden in hidden_by_user.items():
+            total = db.query(
+                f"SELECT COUNT(Rating) FROM Comments WHERE SuID = {suid}"
+            ).scalar()
+            assert total - hidden >= 2
+
+    def test_max_pairs_cap(self, db):
+        held = holdout_split(db, fraction=0.5, seed=1, max_pairs=5)
+        assert len(held) == 5
+
+    def test_deterministic(self, db):
+        assert holdout_split(db, seed=7) == holdout_split(db, seed=7)
+        assert holdout_split(db, seed=7) != holdout_split(db, seed=8)
+
+
+class TestHiddenStateAndRestore:
+    def test_ratings_hidden_inside_context(self, db):
+        held = holdout_split(db, fraction=0.2, seed=2, max_pairs=4)
+        suid, course_id, _rating = held[0]
+        with HoldoutEvaluation(db, held):
+            hidden = db.query(
+                f"SELECT Rating FROM Comments WHERE SuID = {suid} "
+                f"AND CourseID = {course_id}"
+            ).scalar()
+            assert hidden is None
+        restored = db.query(
+            f"SELECT Rating FROM Comments WHERE SuID = {suid} "
+            f"AND CourseID = {course_id}"
+        ).scalar()
+        assert restored == held[0][2]
+
+    def test_restore_on_exception(self, db):
+        held = holdout_split(db, fraction=0.2, seed=3, max_pairs=3)
+        total_before = db.query(
+            "SELECT COUNT(Rating) FROM Comments"
+        ).scalar()
+        with pytest.raises(RuntimeError):
+            with HoldoutEvaluation(db, held):
+                raise RuntimeError("boom")
+        assert (
+            db.query("SELECT COUNT(Rating) FROM Comments").scalar()
+            == total_before
+        )
+
+
+class TestPredictors:
+    def test_global_mean_covers_everything(self, db):
+        held = holdout_split(db, fraction=0.2, seed=4, max_pairs=10)
+        with HoldoutEvaluation(db, held) as evaluation:
+            score = evaluation.score(
+                "global", evaluation.predict_global_mean()
+            )
+        assert score.coverage == 1.0
+        assert 1.0 <= score.mae <= 4.0 or score.mae < 1.0
+
+    def test_cf_predictions_in_rating_range(self, db):
+        held = holdout_split(db, fraction=0.2, seed=5, max_pairs=10)
+        with HoldoutEvaluation(db, held) as evaluation:
+            predictions = evaluation.predict_cf(similar_students=5)
+        for value in predictions.values():
+            assert 1.0 <= value <= 5.0
+
+    def test_score_with_no_predictions(self, db):
+        held = holdout_split(db, fraction=0.2, seed=6, max_pairs=3)
+        with HoldoutEvaluation(db, held) as evaluation:
+            score = evaluation.score("empty", {})
+        assert score.mae is None
+        assert score.coverage == 0.0
+
+
+class TestFullProtocol:
+    def test_evaluate_predictors_shapes(self, db):
+        scores = evaluate_predictors(db, fraction=0.2, seed=1, max_pairs=30)
+        names = [score.name for score in scores]
+        assert names == ["global_mean", "course_mean", "cf"]
+        by_name = {score.name: score for score in scores}
+        assert by_name["global_mean"].coverage == 1.0
+        # Personalization helps where it applies: CF (when it can
+        # predict) is at least as accurate as the global floor.
+        if by_name["cf"].predictions >= 5:
+            assert by_name["cf"].mae <= by_name["global_mean"].mae + 0.15
+
+    def test_database_untouched_after_protocol(self, db):
+        before = db.query("SELECT COUNT(Rating) FROM Comments").scalar()
+        evaluate_predictors(db, fraction=0.2, seed=2, max_pairs=10)
+        assert (
+            db.query("SELECT COUNT(Rating) FROM Comments").scalar() == before
+        )
+
+    def test_empty_database_yields_no_scores(self):
+        from repro.courserank.schema import new_database
+
+        assert evaluate_predictors(new_database()) == []

@@ -1,0 +1,178 @@
+"""End-to-end scenarios across every subsystem, on generated data."""
+
+import pytest
+
+from repro.courserank.accounts import Role
+from repro.courserank.app import CourseRank
+from repro.datagen import generate_university
+
+
+@pytest.fixture(scope="module")
+def app():
+    return CourseRank(generate_university(scale="small", seed=7))
+
+
+class TestSearchToRefinementJourney:
+    """The Figure 3 → Figure 4 user journey on generated data."""
+
+    def test_search_refine_narrow(self, app):
+        session = app.search_session("american")
+        initial = len(session.result)
+        assert initial > 0
+        # Pick a multi-word cloud term containing the query word, like
+        # "african american" in the paper.
+        candidates = [
+            term.term
+            for term in session.cloud.terms
+            if " " in term.term and "american" in term.term
+        ]
+        assert candidates, "cloud should surface american-phrases"
+        session.refine(candidates[0])
+        refined = len(session.result)
+        assert 0 < refined < initial
+        # The cloud recomputes over the refined results.
+        assert session.cloud.result_size == refined
+
+    def test_cloud_terms_span_relations(self, app):
+        _result, cloud = app.search_courses("american")
+        names = set(cloud.term_names())
+        # Comment-borne vocabulary (quality words) can only enter the
+        # cloud through the Comments relation.
+        comment_only = {"excellent", "outstanding", "mediocre", "decent"}
+        assert names & comment_only or len(names) > 10
+
+
+class TestStudentLifecycle:
+    def test_full_student_journey(self, app):
+        user = app.accounts.authenticate("student3")
+        suid = user.person_id
+        # 1. search for a course
+        result, _cloud = app.search_courses("introduction")
+        # 2. plan an untaken course in the plan year
+        taken = set(
+            app.db.query(
+                f"SELECT CourseID FROM Enrollments WHERE SuID = {suid}"
+            ).column("CourseID")
+        )
+        planned = set(
+            app.db.query(
+                f"SELECT CourseID FROM Plans WHERE SuID = {suid}"
+            ).column("CourseID")
+        )
+        candidate = app.db.query(
+            "SELECT CourseID FROM Offerings WHERE Year = 2009 "
+            "ORDER BY CourseID LIMIT 50"
+        ).column("CourseID")
+        target = next(
+            course
+            for course in candidate
+            if course not in taken and course not in planned
+        )
+        term = app.db.query(
+            f"SELECT Term FROM Offerings WHERE CourseID = {target} "
+            "AND Year = 2009 LIMIT 1"
+        ).scalar()
+        app.planner.plan_course(suid, target, 2009, term, allow_conflicts=True)
+        # 3. comment on a taken course
+        commented = app.comment_on_course(
+            user, next(iter(taken)), "integration test comment", 4.0
+        )
+        assert commented.rating == 4.0
+        # 4. requirement check against their major's department
+        dep_id = app.db.query(
+            "SELECT DepID FROM Departments d JOIN Students s "
+            f"ON d.Name = s.Major WHERE s.SuID = {suid}"
+        ).scalar()
+        statuses = app.tracker.check(suid, dep_id)
+        assert statuses  # every department got requirements
+        # 5. personalized recommendations exclude taken courses
+        recs = app.recommendations.courses_for_student(suid, top_k=5)
+        for row in recs.rows:
+            assert row["CourseID"] not in taken
+
+    def test_points_accumulate_over_actions(self, app):
+        user = app.accounts.authenticate("student5")
+        before = app.incentives.total(user.user_id)
+        app.comment_on_course(user, 1, "another data point", 3.5)
+        after = app.incentives.total(user.user_id)
+        assert after == before + 6
+
+
+class TestFlexRecsOnGeneratedData:
+    def test_dual_path_on_generated_population(self, app):
+        suid = app.db.query(
+            "SELECT SuID FROM Comments WHERE Rating IS NOT NULL "
+            "GROUP BY SuID HAVING COUNT(*) >= 3 ORDER BY SuID LIMIT 1"
+        ).scalar()
+        from repro.core import strategies
+
+        workflow = strategies.collaborative_filtering(
+            suid, similar_students=5, top_k=10
+        )
+        direct = workflow.run(app.db)
+        compiled = workflow.run_sql(app.db)
+        assert direct.column("CourseID") == compiled.column("CourseID")
+        for left, right in zip(direct.rows, compiled.rows):
+            assert left["score"] == pytest.approx(right["score"])
+
+    def test_popularity_vs_cf_differ(self, app):
+        """CF must not reduce to global popularity (who-wins shape)."""
+        suid = app.db.query(
+            "SELECT SuID FROM Comments WHERE Rating IS NOT NULL "
+            "GROUP BY SuID HAVING COUNT(*) >= 3 ORDER BY SuID LIMIT 1"
+        ).scalar()
+        popularity = app.db.query(
+            "SELECT CourseID FROM Enrollments GROUP BY CourseID "
+            "ORDER BY COUNT(*) DESC, CourseID LIMIT 10"
+        ).column("CourseID")
+        recs = app.recommendations.courses_for_student(
+            suid, top_k=10, exclude_taken=False
+        )
+        cf_courses = [row["CourseID"] for row in recs.rows]
+        assert cf_courses != popularity
+
+
+class TestPrivacyOnGeneratedData:
+    def test_small_courses_suppressed(self, app):
+        course_id = app.db.query(
+            "SELECT CourseID FROM Enrollments WHERE Grade IS NOT NULL "
+            "GROUP BY CourseID HAVING COUNT(*) < 3 ORDER BY CourseID LIMIT 1"
+        ).rows
+        if course_id:
+            assert app.privacy.distribution_or_none(course_id[0][0]) is None
+
+    def test_engineering_official_close_to_self_reported(self, app):
+        course_ids = app.gradebook.courses_with_official_grades()
+        agreements = [
+            app.gradebook.distribution_agreement(course_id)
+            for course_id in course_ids[:20]
+        ]
+        agreements = [value for value in agreements if value is not None]
+        assert agreements
+        # The paper: official distributions "very close" to self-reported.
+        assert sum(agreements) / len(agreements) > 0.8
+
+
+class TestForumColdStartFix:
+    def test_seed_faq_and_route(self, app):
+        staff = app.accounts.authenticate("staff1")
+        app.accounts.authorize(staff, "seed_faq")
+        before = app.forum.stats()["questions"]
+        app.forum.seed_faq(
+            [("Who approves my program?", "Your department manager.")],
+            dep_id=1,
+        )
+        assert app.forum.stats()["questions"] == before + 1
+        # Routing: a course question reaches students who took it.
+        course_id = app.db.query(
+            "SELECT CourseID FROM Enrollments GROUP BY CourseID "
+            "ORDER BY COUNT(*) DESC LIMIT 1"
+        ).scalar()
+        targets = app.forum.route_targets(course_id=course_id, dep_id=None)
+        assert targets
+        takers = set(
+            app.db.query(
+                f"SELECT SuID FROM Enrollments WHERE CourseID = {course_id}"
+            ).column("SuID")
+        )
+        assert set(targets) <= takers

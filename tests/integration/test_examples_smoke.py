@@ -1,0 +1,45 @@
+"""Smoke tests: every example script runs cleanly end to end."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=180,
+    )
+    assert completed.returncode == 0, completed.stderr[-2000:]
+    return completed.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        output = run_example("quickstart.py", "tiny")
+        assert "Site statistics" in output
+        assert "direct evaluation == compiled SQL: True" in output
+
+    def test_course_discovery(self):
+        output = run_example("course_discovery.py", "tiny")
+        assert "Term-significance models" in output
+
+    def test_flexible_recommendations(self):
+        output = run_example("flexible_recommendations.py", "tiny")
+        assert "rank-identical across paths: True" in output
+        assert "single-statement == staged sequence: True" in output
+        assert "semantics preserved: True" in output
+
+    def test_academic_planning(self):
+        output = run_example("academic_planning.py", "tiny")
+        assert "Requirement Tracker" in output
+
+    def test_corporate_site(self):
+        output = run_example("corporate_site.py")
+        assert "direct == compiled SQL: True" in output

@@ -1,0 +1,96 @@
+"""Unit tests for CSV import/export."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.minidb import Database
+from repro.minidb.csvio import dump_csv, load_csv
+
+
+@pytest.fixture()
+def db():
+    database = Database()
+    database.execute(
+        "CREATE TABLE courses (id INTEGER PRIMARY KEY, title TEXT, "
+        "units FLOAT, active BOOLEAN, start DATE)"
+    )
+    return database
+
+
+class TestLoad:
+    def test_load_with_header_any_order(self, db):
+        count = load_csv(
+            db,
+            "courses",
+            "title,id\nIntro,1\nJava,2\n",
+        )
+        assert count == 2
+        assert db.query("SELECT title FROM courses WHERE id = 2").scalar() == "Java"
+
+    def test_load_without_header_positional(self, db):
+        load_csv(
+            db,
+            "courses",
+            "1,Intro,4.5,true,2008-09-01\n",
+            has_header=False,
+        )
+        row = db.query("SELECT * FROM courses").first()
+        assert row["units"] == 4.5
+        assert row["active"] is True
+        assert str(row["start"]) == "2008-09-01"
+
+    def test_empty_cells_become_null(self, db):
+        load_csv(db, "courses", "id,title,units\n1,,\n")
+        row = db.query("SELECT * FROM courses").first()
+        assert row["title"] is None
+        assert row["units"] is None
+
+    def test_boolean_spellings(self, db):
+        load_csv(
+            db,
+            "courses",
+            "id,active\n1,yes\n2,0\n3,TRUE\n",
+        )
+        assert db.query("SELECT active FROM courses ORDER BY id").column("active") == [
+            True,
+            False,
+            True,
+        ]
+
+    def test_bad_boolean(self, db):
+        with pytest.raises(SchemaError):
+            load_csv(db, "courses", "id,active\n1,maybe\n")
+
+    def test_positional_arity_mismatch(self, db):
+        with pytest.raises(SchemaError):
+            load_csv(db, "courses", "1,Intro\n", has_header=False)
+
+    def test_empty_input(self, db):
+        assert load_csv(db, "courses", "") == 0
+
+
+class TestRoundtrip:
+    def test_dump_then_load(self, db):
+        load_csv(
+            db,
+            "courses",
+            "id,title,units,active,start\n"
+            "1,Intro,4.5,true,2008-09-01\n"
+            "2,\"has,comma\",,false,\n",
+        )
+        text = dump_csv(db, "courses")
+        other = Database()
+        other.execute(
+            "CREATE TABLE courses (id INTEGER PRIMARY KEY, title TEXT, "
+            "units FLOAT, active BOOLEAN, start DATE)"
+        )
+        load_csv(other, "courses", text)
+        assert (
+            db.query("SELECT * FROM courses ORDER BY id").rows
+            == other.query("SELECT * FROM courses ORDER BY id").rows
+        )
+
+    def test_dump_without_header(self, db):
+        load_csv(db, "courses", "id,title\n1,Intro\n")
+        text = dump_csv(db, "courses", include_header=False)
+        assert text.splitlines()[0].startswith("1,")

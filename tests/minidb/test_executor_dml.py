@@ -1,0 +1,238 @@
+"""Integration tests: DML, DDL, constraints, and transactions."""
+
+import pytest
+
+from repro.errors import (
+    IntegrityError,
+    SchemaError,
+    TransactionError,
+    UnknownTableError,
+)
+from repro.minidb import Database
+
+
+@pytest.fixture()
+def db():
+    database = Database()
+    database.execute("CREATE TABLE deps (code TEXT PRIMARY KEY, name TEXT)")
+    database.execute(
+        "CREATE TABLE courses (id INTEGER PRIMARY KEY, dep TEXT, title TEXT, "
+        "FOREIGN KEY (dep) REFERENCES deps (code))"
+    )
+    database.execute("INSERT INTO deps VALUES ('CS', 'Computer Science')")
+    return database
+
+
+class TestInsert:
+    def test_insert_count(self, db):
+        count = db.execute("INSERT INTO courses VALUES (1, 'CS', 'A'), (2, 'CS', 'B')")
+        assert count == 2
+
+    def test_insert_named_columns_any_order(self, db):
+        db.execute("INSERT INTO courses (title, id, dep) VALUES ('X', 3, 'CS')")
+        assert db.query("SELECT title FROM courses WHERE id = 3").scalar() == "X"
+
+    def test_insert_missing_columns_default_null(self, db):
+        db.execute("INSERT INTO courses (id) VALUES (4)")
+        assert db.query("SELECT dep FROM courses WHERE id = 4").scalar() is None
+
+    def test_insert_arity_mismatch(self, db):
+        with pytest.raises(SchemaError):
+            db.execute("INSERT INTO courses (id, dep) VALUES (1)")
+
+    def test_insert_expression_values(self, db):
+        db.execute("INSERT INTO courses VALUES (1 + 4, UPPER('cs'), 'T' || 'itle')")
+        assert db.query("SELECT title FROM courses WHERE id = 5").scalar() == "Title"
+
+    def test_fk_enforced(self, db):
+        with pytest.raises(IntegrityError):
+            db.execute("INSERT INTO courses VALUES (1, 'NOPE', 'X')")
+
+    def test_null_fk_allowed(self, db):
+        db.execute("INSERT INTO courses VALUES (1, NULL, 'X')")
+        assert db.query("SELECT COUNT(*) FROM courses").scalar() == 1
+
+    def test_fk_enforcement_can_be_disabled(self):
+        database = Database(enforce_foreign_keys=False)
+        database.execute("CREATE TABLE a (id INTEGER PRIMARY KEY)")
+        database.execute(
+            "CREATE TABLE b (id INTEGER PRIMARY KEY, aid INTEGER, "
+            "FOREIGN KEY (aid) REFERENCES a (id))"
+        )
+        database.execute("INSERT INTO b VALUES (1, 42)")  # dangling, allowed
+
+
+class TestUpdateDelete:
+    def test_update_where(self, db):
+        db.execute("INSERT INTO courses VALUES (1, 'CS', 'Old')")
+        count = db.execute("UPDATE courses SET title = 'New' WHERE id = 1")
+        assert count == 1
+        assert db.query("SELECT title FROM courses WHERE id = 1").scalar() == "New"
+
+    def test_update_all_rows(self, db):
+        db.execute("INSERT INTO courses VALUES (1, 'CS', 'A'), (2, 'CS', 'B')")
+        assert db.execute("UPDATE courses SET title = 'Z'") == 2
+
+    def test_update_self_referencing_expression(self, db):
+        db.execute("INSERT INTO courses VALUES (1, 'CS', 'A')")
+        db.execute("UPDATE courses SET title = title || '!' WHERE id = 1")
+        assert db.query("SELECT title FROM courses WHERE id = 1").scalar() == "A!"
+
+    def test_update_fk_checked(self, db):
+        db.execute("INSERT INTO courses VALUES (1, 'CS', 'A')")
+        with pytest.raises(IntegrityError):
+            db.execute("UPDATE courses SET dep = 'NOPE' WHERE id = 1")
+
+    def test_update_nonkey_of_referenced_row_allowed(self, db):
+        db.execute("INSERT INTO courses VALUES (1, 'CS', 'A')")
+        db.execute("UPDATE deps SET name = 'CompSci' WHERE code = 'CS'")
+        assert db.query("SELECT name FROM deps").scalar() == "CompSci"
+
+    def test_update_pk_of_referenced_row_rejected(self, db):
+        db.execute("INSERT INTO courses VALUES (1, 'CS', 'A')")
+        with pytest.raises(IntegrityError):
+            db.execute("UPDATE deps SET code = 'EE' WHERE code = 'CS'")
+
+    def test_delete_where(self, db):
+        db.execute("INSERT INTO courses VALUES (1, 'CS', 'A'), (2, 'CS', 'B')")
+        assert db.execute("DELETE FROM courses WHERE id = 1") == 1
+        assert db.query("SELECT COUNT(*) FROM courses").scalar() == 1
+
+    def test_delete_restrict_on_referenced_row(self, db):
+        db.execute("INSERT INTO courses VALUES (1, 'CS', 'A')")
+        with pytest.raises(IntegrityError):
+            db.execute("DELETE FROM deps WHERE code = 'CS'")
+
+    def test_delete_referencing_then_referenced(self, db):
+        db.execute("INSERT INTO courses VALUES (1, 'CS', 'A')")
+        db.execute("DELETE FROM courses")
+        db.execute("DELETE FROM deps")
+        assert db.query("SELECT COUNT(*) FROM deps").scalar() == 0
+
+
+class TestDdl:
+    def test_create_duplicate_table(self, db):
+        with pytest.raises(SchemaError):
+            db.execute("CREATE TABLE deps (x INTEGER)")
+
+    def test_create_if_not_exists(self, db):
+        db.execute("CREATE TABLE IF NOT EXISTS deps (x INTEGER)")  # no error
+
+    def test_fk_must_reference_pk(self, db):
+        with pytest.raises(SchemaError):
+            db.execute(
+                "CREATE TABLE bad (id INTEGER, dep TEXT, "
+                "FOREIGN KEY (dep) REFERENCES deps (name))"
+            )
+
+    def test_fk_unknown_table(self, db):
+        with pytest.raises(SchemaError):
+            db.execute(
+                "CREATE TABLE bad (id INTEGER, "
+                "FOREIGN KEY (id) REFERENCES nothing (id))"
+            )
+
+    def test_drop_table(self, db):
+        db.execute("CREATE TABLE scratch (x INTEGER)")
+        db.execute("DROP TABLE scratch")
+        with pytest.raises(UnknownTableError):
+            db.query("SELECT * FROM scratch")
+
+    def test_drop_missing_table(self, db):
+        with pytest.raises(UnknownTableError):
+            db.execute("DROP TABLE nothing")
+        db.execute("DROP TABLE IF EXISTS nothing")  # silent
+
+    def test_drop_referenced_table_rejected(self, db):
+        with pytest.raises(SchemaError):
+            db.execute("DROP TABLE deps")
+
+    def test_drop_table_removes_its_indexes(self, db):
+        db.execute("CREATE TABLE scratch (x INTEGER)")
+        db.execute("CREATE INDEX idx_scratch ON scratch (x)")
+        db.execute("DROP TABLE scratch")
+        assert db.indexes_on("scratch") == []
+
+    def test_create_index_unknown_column(self, db):
+        with pytest.raises(Exception):
+            db.execute("CREATE INDEX i ON deps (nope)")
+
+    def test_drop_index(self, db):
+        db.execute("CREATE INDEX i ON deps (name)")
+        db.execute("DROP INDEX i")
+        with pytest.raises(SchemaError):
+            db.execute("DROP INDEX i")
+
+    def test_index_backfills_existing_rows(self, db):
+        db.execute("INSERT INTO deps VALUES ('EE', 'Electrical')")
+        db.execute("CREATE INDEX i ON deps (name)")
+        plan = db.explain("SELECT code FROM deps WHERE name = 'Electrical'")
+        assert "IndexScan" in plan
+        result = db.query("SELECT code FROM deps WHERE name = 'Electrical'")
+        assert result.scalar() == "EE"
+
+
+class TestTransactions:
+    def test_rollback_restores_rows(self, db):
+        db.begin()
+        db.execute("INSERT INTO courses VALUES (1, 'CS', 'A')")
+        db.rollback()
+        assert db.query("SELECT COUNT(*) FROM courses").scalar() == 0
+
+    def test_commit_keeps_rows(self, db):
+        db.begin()
+        db.execute("INSERT INTO courses VALUES (1, 'CS', 'A')")
+        db.commit()
+        assert db.query("SELECT COUNT(*) FROM courses").scalar() == 1
+
+    def test_rollback_restores_updates_and_deletes(self, db):
+        db.execute("INSERT INTO courses VALUES (1, 'CS', 'A')")
+        db.begin()
+        db.execute("UPDATE courses SET title = 'B'")
+        db.execute("DELETE FROM deps WHERE code = 'NOPE'")
+        db.rollback()
+        assert db.query("SELECT title FROM courses").scalar() == "A"
+
+    def test_rollback_drops_tables_created_inside(self, db):
+        db.begin()
+        db.execute("CREATE TABLE temp_t (x INTEGER)")
+        db.rollback()
+        assert not db.has_table("temp_t")
+
+    def test_nested_begin_rejected(self, db):
+        db.begin()
+        with pytest.raises(TransactionError):
+            db.begin()
+        db.rollback()
+
+    def test_commit_without_begin(self, db):
+        with pytest.raises(TransactionError):
+            db.commit()
+
+    def test_context_manager_commits(self, db):
+        with db.transaction():
+            db.execute("INSERT INTO courses VALUES (1, 'CS', 'A')")
+        assert db.query("SELECT COUNT(*) FROM courses").scalar() == 1
+
+    def test_context_manager_rolls_back_on_error(self, db):
+        with pytest.raises(IntegrityError):
+            with db.transaction():
+                db.execute("INSERT INTO courses VALUES (1, 'CS', 'A')")
+                db.execute("INSERT INTO courses VALUES (1, 'CS', 'dup')")
+        assert db.query("SELECT COUNT(*) FROM courses").scalar() == 0
+
+
+class TestScriptsAndStats:
+    def test_execute_script(self, db):
+        results = db.execute_script(
+            "INSERT INTO courses VALUES (1, 'CS', 'A');"
+            "SELECT COUNT(*) FROM courses;"
+        )
+        assert results[0] == 1
+        assert results[1].scalar() == 1
+
+    def test_stats(self, db):
+        db.execute("INSERT INTO courses VALUES (1, 'CS', 'A')")
+        stats = db.stats()
+        assert stats["courses"] == 1
+        assert stats["deps"] == 1

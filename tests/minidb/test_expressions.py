@@ -1,0 +1,312 @@
+"""Unit and property tests for scalar expressions and three-valued logic."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import (
+    AmbiguousColumnError,
+    ExecutionError,
+    UnknownColumnError,
+)
+from repro.minidb.expressions import (
+    AMBIGUOUS,
+    Between,
+    BinaryOp,
+    Case,
+    ColumnRef,
+    FunctionCall,
+    InList,
+    IsNull,
+    Like,
+    Literal,
+    UnaryOp,
+    conjoin,
+    conjuncts,
+    kleene_and,
+    kleene_not,
+    kleene_or,
+    like_to_regex,
+    order_key,
+)
+from repro.minidb.functions import FunctionRegistry
+
+FUNCTIONS = FunctionRegistry()
+
+
+def env(**values):
+    mapping = {"__functions__": FUNCTIONS}
+    mapping.update({key.lower(): value for key, value in values.items()})
+    return mapping
+
+
+class TestLiteralsAndColumns:
+    def test_literal(self):
+        assert Literal(5).evaluate(env()) == 5
+
+    def test_column_lookup(self):
+        assert ColumnRef("x").evaluate(env(x=3)) == 3
+
+    def test_qualified_column(self):
+        expr = ColumnRef("gpa", qualifier="S")
+        assert expr.evaluate({"s.gpa": 3.5}) == 3.5
+
+    def test_unknown_column(self):
+        with pytest.raises(UnknownColumnError):
+            ColumnRef("missing").evaluate(env())
+
+    def test_ambiguous_column(self):
+        mapping = env()
+        mapping["id"] = AMBIGUOUS
+        with pytest.raises(AmbiguousColumnError):
+            ColumnRef("id").evaluate(mapping)
+
+
+class TestArithmetic:
+    def test_basic_ops(self):
+        e = env(a=7, b=2)
+        assert BinaryOp("+", ColumnRef("a"), ColumnRef("b")).evaluate(e) == 9
+        assert BinaryOp("-", ColumnRef("a"), ColumnRef("b")).evaluate(e) == 5
+        assert BinaryOp("*", ColumnRef("a"), ColumnRef("b")).evaluate(e) == 14
+        assert BinaryOp("/", ColumnRef("a"), ColumnRef("b")).evaluate(e) == 3.5
+        assert BinaryOp("%", ColumnRef("a"), ColumnRef("b")).evaluate(e) == 1
+
+    def test_null_propagates(self):
+        assert BinaryOp("+", Literal(None), Literal(1)).evaluate(env()) is None
+
+    def test_division_by_zero(self):
+        with pytest.raises(ExecutionError):
+            BinaryOp("/", Literal(1), Literal(0)).evaluate(env())
+
+    def test_unary_minus(self):
+        assert UnaryOp("-", Literal(4)).evaluate(env()) == -4
+        assert UnaryOp("-", Literal(None)).evaluate(env()) is None
+
+    def test_concat_operator(self):
+        assert BinaryOp("||", Literal("a"), Literal("b")).evaluate(env()) == "ab"
+        assert BinaryOp("||", Literal("a"), Literal(None)).evaluate(env()) is None
+
+
+class TestComparisons:
+    def test_equality(self):
+        assert BinaryOp("=", Literal(1), Literal(1)).evaluate(env()) is True
+        assert BinaryOp("<>", Literal(1), Literal(2)).evaluate(env()) is True
+
+    def test_null_comparison_is_unknown(self):
+        assert BinaryOp("=", Literal(None), Literal(None)).evaluate(env()) is None
+        assert BinaryOp("<", Literal(None), Literal(5)).evaluate(env()) is None
+
+    def test_incomparable_types_raise(self):
+        with pytest.raises(ExecutionError):
+            BinaryOp("<", Literal("a"), Literal(1)).evaluate(env())
+
+
+class TestKleeneLogic:
+    TRUTH = [True, False, None]
+
+    def test_and_truth_table(self):
+        assert kleene_and(True, True) is True
+        assert kleene_and(True, None) is None
+        assert kleene_and(False, None) is False
+        assert kleene_and(None, None) is None
+
+    def test_or_truth_table(self):
+        assert kleene_or(False, False) is False
+        assert kleene_or(False, None) is None
+        assert kleene_or(True, None) is True
+
+    def test_not(self):
+        assert kleene_not(True) is False
+        assert kleene_not(None) is None
+
+    @given(
+        st.sampled_from(TRUTH),
+        st.sampled_from(TRUTH),
+    )
+    def test_de_morgan(self, a, b):
+        assert kleene_not(kleene_and(a, b)) == kleene_or(
+            kleene_not(a), kleene_not(b)
+        )
+
+    def test_and_short_circuit_skips_rhs_error(self):
+        # FALSE AND (1/0) must not raise.
+        expr = BinaryOp(
+            "AND",
+            Literal(False),
+            BinaryOp("=", BinaryOp("/", Literal(1), Literal(0)), Literal(1)),
+        )
+        assert expr.evaluate(env()) is False
+
+    def test_or_short_circuit(self):
+        expr = BinaryOp(
+            "OR",
+            Literal(True),
+            BinaryOp("=", BinaryOp("/", Literal(1), Literal(0)), Literal(1)),
+        )
+        assert expr.evaluate(env()) is True
+
+    def test_and_requires_boolean(self):
+        with pytest.raises(ExecutionError):
+            BinaryOp("AND", Literal(1), Literal(True)).evaluate(env())
+
+
+class TestPredicates:
+    def test_is_null(self):
+        assert IsNull(Literal(None)).evaluate(env()) is True
+        assert IsNull(Literal(1)).evaluate(env()) is False
+        assert IsNull(Literal(None), negated=True).evaluate(env()) is False
+
+    def test_in_list(self):
+        expr = InList(ColumnRef("x"), [Literal(1), Literal(2)])
+        assert expr.evaluate(env(x=2)) is True
+        assert expr.evaluate(env(x=3)) is False
+        assert expr.evaluate(env(x=None)) is None
+
+    def test_in_list_with_null_member(self):
+        expr = InList(ColumnRef("x"), [Literal(1), Literal(None)])
+        assert expr.evaluate(env(x=1)) is True
+        assert expr.evaluate(env(x=9)) is None  # unknown, not false
+
+    def test_not_in(self):
+        expr = InList(ColumnRef("x"), [Literal(1)], negated=True)
+        assert expr.evaluate(env(x=2)) is True
+        assert expr.evaluate(env(x=1)) is False
+
+    def test_between(self):
+        expr = Between(ColumnRef("x"), Literal(1), Literal(5))
+        assert expr.evaluate(env(x=3)) is True
+        assert expr.evaluate(env(x=9)) is False
+        assert expr.evaluate(env(x=None)) is None
+
+    def test_not_between(self):
+        expr = Between(ColumnRef("x"), Literal(1), Literal(5), negated=True)
+        assert expr.evaluate(env(x=9)) is True
+
+
+class TestLike:
+    def test_percent_wildcard(self):
+        expr = Like(ColumnRef("t"), Literal("%Java%"))
+        assert expr.evaluate(env(t="Advanced Java Programming")) is True
+        assert expr.evaluate(env(t="Python")) is False
+
+    def test_underscore_wildcard(self):
+        expr = Like(ColumnRef("t"), Literal("CS10_"))
+        assert expr.evaluate(env(t="CS106")) is True
+        assert expr.evaluate(env(t="CS1066")) is False
+
+    def test_case_sensitivity(self):
+        sensitive = Like(ColumnRef("t"), Literal("java%"))
+        insensitive = Like(ColumnRef("t"), Literal("java%"), case_insensitive=True)
+        assert sensitive.evaluate(env(t="Java")) is False
+        assert insensitive.evaluate(env(t="Java")) is True
+
+    def test_null_operands(self):
+        assert Like(Literal(None), Literal("%")).evaluate(env()) is None
+
+    def test_regex_special_chars_escaped(self):
+        expr = Like(ColumnRef("t"), Literal("a.b%"))
+        assert expr.evaluate(env(t="a.bcd")) is True
+        assert expr.evaluate(env(t="aXbcd")) is False
+
+    @given(st.text(alphabet="ab%_", max_size=8), st.text(alphabet="ab", max_size=8))
+    def test_like_matches_python_reference(self, pattern, text):
+        """LIKE agrees with a simple backtracking reference implementation."""
+
+        def reference(pattern, text):
+            if not pattern:
+                return not text
+            head, rest = pattern[0], pattern[1:]
+            if head == "%":
+                return any(
+                    reference(rest, text[i:]) for i in range(len(text) + 1)
+                )
+            if not text:
+                return False
+            if head == "_" or head == text[0]:
+                return reference(rest, text[1:])
+            return False
+
+        assert (like_to_regex(pattern).match(text) is not None) == reference(
+            pattern, text
+        )
+
+
+class TestCase:
+    def test_branches(self):
+        expr = Case(
+            branches=[
+                (BinaryOp(">", ColumnRef("x"), Literal(10)), Literal("big")),
+                (BinaryOp(">", ColumnRef("x"), Literal(0)), Literal("small")),
+            ],
+            default=Literal("neg"),
+        )
+        assert expr.evaluate(env(x=50)) == "big"
+        assert expr.evaluate(env(x=5)) == "small"
+        assert expr.evaluate(env(x=-1)) == "neg"
+
+    def test_no_default_yields_null(self):
+        expr = Case(branches=[(Literal(False), Literal(1))])
+        assert expr.evaluate(env()) is None
+
+
+class TestFunctionCalls:
+    def test_scalar_function(self):
+        expr = FunctionCall("upper", [ColumnRef("t")])
+        assert expr.evaluate(env(t="abc")) == "ABC"
+
+    def test_unknown_function(self):
+        with pytest.raises(ExecutionError):
+            FunctionCall("nope", []).evaluate(env())
+
+    def test_missing_registry(self):
+        with pytest.raises(ExecutionError):
+            FunctionCall("upper", [Literal("x")]).evaluate({})
+
+
+class TestHelpers:
+    def test_conjuncts_flattens_ands(self):
+        a = BinaryOp("=", ColumnRef("a"), Literal(1))
+        b = BinaryOp("=", ColumnRef("b"), Literal(2))
+        c = BinaryOp("=", ColumnRef("c"), Literal(3))
+        combined = BinaryOp("AND", BinaryOp("AND", a, b), c)
+        assert conjuncts(combined) == [a, b, c]
+
+    def test_conjoin_roundtrip(self):
+        a = BinaryOp("=", ColumnRef("a"), Literal(1))
+        b = BinaryOp("=", ColumnRef("b"), Literal(2))
+        assert conjuncts(conjoin([a, b])) == [a, b]
+        assert conjoin([]) is None
+
+    def test_order_key_desc_inverts(self):
+        ascending = sorted([3, 1, 2], key=lambda v: order_key([v], [False]))
+        descending = sorted([3, 1, 2], key=lambda v: order_key([v], [True]))
+        assert ascending == [1, 2, 3]
+        assert descending == [3, 2, 1]
+
+    def test_order_key_nulls_first_even_desc(self):
+        values = [3, None, 1]
+        descending = sorted(values, key=lambda v: order_key([v], [True]))
+        # NULLs first ascending; with DESC the reversal puts them last.
+        assert descending == [3, 1, None]
+
+    def test_columns_referenced(self):
+        expr = BinaryOp(
+            "AND",
+            BinaryOp("=", ColumnRef("a", "t"), Literal(1)),
+            IsNull(ColumnRef("b")),
+        )
+        assert expr.columns_referenced() == ["t.a", "b"]
+
+
+class TestToSql:
+    def test_roundtrip_shapes(self):
+        expr = BinaryOp(
+            "AND",
+            Like(ColumnRef("title"), Literal("%Java%")),
+            Between(ColumnRef("units"), Literal(3), Literal(5)),
+        )
+        text = expr.to_sql()
+        assert "LIKE" in text and "BETWEEN" in text
+
+    def test_string_literal_escaping(self):
+        assert Literal("it's").to_sql() == "'it''s'"

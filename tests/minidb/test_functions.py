@@ -1,0 +1,148 @@
+"""Unit tests for the scalar/aggregate function registry."""
+
+import math
+
+import pytest
+
+from repro.errors import ExecutionError
+from repro.minidb import Database
+from repro.minidb.functions import (
+    AvgAccumulator,
+    CountAccumulator,
+    FunctionRegistry,
+    GroupConcatAccumulator,
+    MaxAccumulator,
+    MinAccumulator,
+    StdDevAccumulator,
+    SumAccumulator,
+)
+
+REGISTRY = FunctionRegistry()
+
+
+def call(name, *args):
+    return REGISTRY.scalar(name)(*args)
+
+
+class TestScalarBuiltins:
+    def test_math(self):
+        assert call("abs", -3) == 3
+        assert call("floor", 2.7) == 2
+        assert call("ceil", 2.2) == 3
+        assert call("sqrt", 9.0) == 3.0
+        assert call("power", 2, 10) == 1024.0
+        assert call("sign", -7) == -1
+        assert call("mod", 7, 3) == 1
+        assert call("exp", 0) == 1.0
+        assert call("ln", math.e) == pytest.approx(1.0)
+
+    def test_round_half_away_from_zero(self):
+        assert call("round", 2.5) == 3.0
+        assert call("round", -2.5) == -3.0
+        assert call("round", 2.345, 2) == 2.35
+
+    def test_sqrt_negative(self):
+        with pytest.raises(ExecutionError):
+            call("sqrt", -1.0)
+
+    def test_ln_nonpositive(self):
+        with pytest.raises(ExecutionError):
+            call("ln", 0.0)
+
+    def test_strings(self):
+        assert call("length", "abc") == 3
+        assert call("lower", "ABC") == "abc"
+        assert call("upper", "abc") == "ABC"
+        assert call("trim", "  x  ") == "x"
+        assert call("substr", "CourseRank", 1, 6) == "Course"
+        assert call("substr", "CourseRank", 7) == "Rank"
+        assert call("replace", "a-b", "-", "_") == "a_b"
+        assert call("concat", "a", 1, "b") == "a1b"
+
+    def test_substr_negative_length(self):
+        with pytest.raises(ExecutionError):
+            call("substr", "abc", 1, -1)
+
+    def test_dates(self):
+        import datetime
+
+        assert call("year", datetime.date(2008, 9, 1)) == 2008
+        assert call("month", datetime.date(2008, 9, 1)) == 9
+
+    def test_null_propagation(self):
+        assert call("upper", None) is None
+        assert call("power", None, 2) is None
+
+    def test_coalesce_and_nullif(self):
+        assert call("coalesce", None, None, 3) == 3
+        assert call("coalesce", None) is None
+        assert call("nullif", 1, 1) is None
+        assert call("nullif", 1, 2) == 1
+
+    def test_least_greatest(self):
+        assert call("least", 3, 1, 2) == 1
+        assert call("greatest", 3, 1, 2) == 3
+
+    def test_casts(self):
+        assert call("cast_float", 3) == 3.0
+        assert call("cast_int", 3.9) == 3
+        assert call("cast_text", 42) == "42"
+
+
+class TestRegistry:
+    def test_register_udf(self):
+        registry = FunctionRegistry()
+        registry.register_scalar("double_it", lambda v: None if v is None else v * 2)
+        assert registry.scalar("DOUBLE_IT")(4) == 8
+        assert registry.has_scalar("double_it")
+
+    def test_unknown_scalar(self):
+        with pytest.raises(ExecutionError):
+            FunctionRegistry().scalar("nope")
+
+    def test_unknown_aggregate(self):
+        with pytest.raises(ExecutionError):
+            FunctionRegistry().aggregate("nope")
+
+    def test_udf_usable_from_sql(self):
+        db = Database()
+        db.functions.register_scalar(
+            "shout", lambda s: None if s is None else s.upper() + "!"
+        )
+        db.execute("CREATE TABLE t (x TEXT)")
+        db.execute("INSERT INTO t VALUES ('hi')")
+        assert db.query("SELECT SHOUT(x) FROM t").scalar() == "HI!"
+
+
+class TestAccumulators:
+    def feed(self, accumulator, values):
+        for value in values:
+            accumulator.add(value)
+        return accumulator.result()
+
+    def test_count_skips_nulls(self):
+        assert self.feed(CountAccumulator(), [1, None, 2]) == 2
+
+    def test_sum_empty_is_null(self):
+        assert self.feed(SumAccumulator(), []) is None
+        assert self.feed(SumAccumulator(), [None]) is None
+
+    def test_sum(self):
+        assert self.feed(SumAccumulator(), [1, 2, None, 3]) == 6
+
+    def test_avg(self):
+        assert self.feed(AvgAccumulator(), [1.0, 2.0, None]) == 1.5
+        assert self.feed(AvgAccumulator(), []) is None
+
+    def test_min_max(self):
+        assert self.feed(MinAccumulator(), [3, 1, None, 2]) == 1
+        assert self.feed(MaxAccumulator(), [3, 1, None, 2]) == 3
+        assert self.feed(MinAccumulator(), []) is None
+
+    def test_stddev_matches_population_formula(self):
+        values = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+        assert self.feed(StdDevAccumulator(), values) == pytest.approx(2.0)
+
+    def test_group_concat(self):
+        assert self.feed(GroupConcatAccumulator(), ["a", None, "b"]) == "a,b"
+        assert self.feed(GroupConcatAccumulator(), []) is None

@@ -1,0 +1,130 @@
+"""Unit tests for hash and sorted secondary indexes."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.minidb.indexes import HashIndex, SortedIndex, create_index
+
+
+class TestHashIndex:
+    def test_insert_find(self):
+        index = HashIndex()
+        index.insert(("CS",), 1)
+        index.insert(("CS",), 2)
+        index.insert(("HIST",), 3)
+        assert list(index.find(("CS",))) == [1, 2]
+        assert list(index.find(("MATH",))) == []
+
+    def test_delete(self):
+        index = HashIndex()
+        index.insert(("CS",), 1)
+        index.delete(("CS",), 1)
+        assert list(index.find(("CS",))) == []
+
+    def test_delete_missing_is_noop(self):
+        index = HashIndex()
+        index.delete(("CS",), 1)  # must not raise
+
+    def test_len_and_distinct(self):
+        index = HashIndex()
+        index.insert(("a",), 1)
+        index.insert(("a",), 2)
+        index.insert(("b",), 3)
+        assert len(index) == 3
+        assert index.distinct_keys() == 2
+
+    def test_null_keys_tracked(self):
+        index = HashIndex()
+        index.insert((None,), 1)
+        assert list(index.find((None,))) == [1]
+
+
+class TestSortedIndex:
+    def build(self):
+        index = SortedIndex()
+        for rowid, value in enumerate([5, 1, 3, 3, 9]):
+            index.insert((value,), rowid)
+        return index
+
+    def test_find_equal(self):
+        index = self.build()
+        assert sorted(index.find((3,))) == [2, 3]
+
+    def test_range_inclusive(self):
+        index = self.build()
+        rowids = list(index.range(low=(3,), high=(5,)))
+        values = sorted(rowids)
+        assert values == [0, 2, 3]  # rows holding 3,3,5
+
+    def test_range_exclusive_low(self):
+        index = self.build()
+        rowids = list(index.range(low=(3,), high=(9,), low_inclusive=False))
+        assert sorted(rowids) == [0, 4]  # 5 and 9
+
+    def test_range_exclusive_high(self):
+        index = self.build()
+        rowids = list(index.range(low=(1,), high=(5,), high_inclusive=False))
+        assert sorted(rowids) == [1, 2, 3]  # 1, 3, 3
+
+    def test_open_ranges(self):
+        index = self.build()
+        assert len(list(index.range(low=(5,)))) == 2
+        assert len(list(index.range(high=(3,)))) == 3
+        assert len(list(index.range())) == 5
+
+    def test_delete(self):
+        index = self.build()
+        index.delete((3,), 2)
+        assert sorted(index.find((3,))) == [3]
+
+    def test_min_max(self):
+        index = self.build()
+        assert index.min_key() == (1,)
+        assert index.max_key() == (9,)
+        index.clear()
+        assert index.min_key() is None
+
+    def test_nulls_sort_low(self):
+        index = SortedIndex()
+        index.insert((None,), 0)
+        index.insert((1,), 1)
+        assert index.min_key() == (None,)
+
+    @given(st.lists(st.integers(min_value=-50, max_value=50), max_size=60))
+    def test_range_matches_filter_semantics(self, values):
+        index = SortedIndex()
+        for rowid, value in enumerate(values):
+            index.insert((value,), rowid)
+        low, high = -10, 10
+        expected = sorted(
+            rowid for rowid, value in enumerate(values) if low <= value <= high
+        )
+        assert sorted(index.range(low=(low,), high=(high,))) == expected
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(min_value=0, max_value=9), st.booleans()),
+            max_size=40,
+        )
+    )
+    def test_insert_delete_roundtrip(self, operations):
+        """Inserting then deleting everything leaves the index empty."""
+        index = SortedIndex()
+        live = set()
+        for rowid, (value, _flag) in enumerate(operations):
+            index.insert((value,), rowid)
+            live.add((value, rowid))
+        for value, rowid in list(live):
+            index.delete((value,), rowid)
+        assert len(index) == 0
+
+
+class TestFactory:
+    def test_create_known_kinds(self):
+        assert isinstance(create_index("hash"), HashIndex)
+        assert isinstance(create_index("sorted"), SortedIndex)
+
+    def test_create_unknown_kind(self):
+        with pytest.raises(ValueError):
+            create_index("btree")

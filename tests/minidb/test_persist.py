@@ -1,0 +1,126 @@
+"""Tests for database save/load round-trips."""
+
+import pytest
+
+from repro.errors import MiniDBError, SchemaError
+from repro.minidb import Database
+from repro.minidb.persist import (
+    dependency_order,
+    load_database,
+    render_create_table,
+    save_database,
+)
+
+
+@pytest.fixture()
+def db():
+    database = Database()
+    database.execute_script(
+        """
+        CREATE TABLE deps (code TEXT PRIMARY KEY, name TEXT NOT NULL);
+        CREATE TABLE courses (id INTEGER PRIMARY KEY, dep TEXT,
+          title TEXT, units FLOAT, active BOOLEAN, start DATE,
+          UNIQUE (title),
+          FOREIGN KEY (dep) REFERENCES deps (code));
+        CREATE INDEX idx_dep ON courses (dep);
+        CREATE INDEX idx_units ON courses (units) USING sorted;
+        CREATE VIEW active_courses AS SELECT id, title FROM courses WHERE active;
+        INSERT INTO deps VALUES ('CS', 'Computer Science');
+        INSERT INTO courses VALUES
+          (1, 'CS', 'Intro', 4.5, TRUE, '2008-09-01'),
+          (2, 'CS', 'With, comma', NULL, FALSE, NULL),
+          (3, NULL, 'It''s quoted', 3.0, TRUE, '2009-01-04');
+        """
+    )
+    return database
+
+
+class TestRenderDdl:
+    def test_create_table_roundtrips(self, db):
+        ddl = render_create_table(db.table("courses").schema)
+        fresh = Database()
+        fresh.execute(render_create_table(db.table("deps").schema))
+        fresh.execute(ddl)
+        rebuilt = fresh.table("courses").schema
+        original = db.table("courses").schema
+        assert rebuilt.column_names == original.column_names
+        assert rebuilt.primary_key == original.primary_key
+        assert rebuilt.unique_keys == original.unique_keys
+        assert [fk.ref_table for fk in rebuilt.foreign_keys] == ["deps"]
+
+    def test_not_null_preserved(self, db):
+        ddl = render_create_table(db.table("deps").schema)
+        assert "NOT NULL" in ddl
+
+
+class TestDependencyOrder:
+    def test_referenced_tables_first(self, db):
+        order = dependency_order(db)
+        assert order.index("deps") < order.index("courses")
+
+    def test_all_tables_present(self, db):
+        assert set(dependency_order(db)) == {"deps", "courses"}
+
+
+class TestRoundTrip:
+    def test_save_load_preserves_everything(self, db, tmp_path):
+        save_database(db, tmp_path / "dump")
+        loaded = load_database(tmp_path / "dump")
+        for table in ("deps", "courses"):
+            assert (
+                sorted(loaded.table(table).rows())
+                == sorted(db.table(table).rows())
+            ), table
+        # Indexes restored.
+        assert {info.name for info in loaded.indexes_on("courses")} == {
+            "idx_dep", "idx_units",
+        }
+        # Views restored and functional.
+        assert loaded.has_view("active_courses")
+        assert len(loaded.query("SELECT * FROM active_courses")) == 2
+
+    def test_constraints_live_after_load(self, db, tmp_path):
+        save_database(db, tmp_path / "dump")
+        loaded = load_database(tmp_path / "dump")
+        with pytest.raises(Exception):
+            loaded.execute("INSERT INTO courses VALUES (1, 'CS', 'dup', 1.0, TRUE, NULL)")
+        with pytest.raises(Exception):
+            loaded.execute(
+                "INSERT INTO courses VALUES (9, 'NOPE', 'x', 1.0, TRUE, NULL)"
+            )
+
+    def test_types_preserved(self, db, tmp_path):
+        import datetime
+
+        save_database(db, tmp_path / "dump")
+        loaded = load_database(tmp_path / "dump")
+        row = loaded.query("SELECT * FROM courses WHERE id = 1").first()
+        assert row["units"] == 4.5
+        assert row["active"] is True
+        assert row["start"] == datetime.date(2008, 9, 1)
+
+    def test_nulls_preserved(self, db, tmp_path):
+        save_database(db, tmp_path / "dump")
+        loaded = load_database(tmp_path / "dump")
+        row = loaded.query("SELECT * FROM courses WHERE id = 2").first()
+        assert row["units"] is None
+        assert row["start"] is None
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(MiniDBError):
+            load_database(tmp_path / "nothing")
+
+    def test_generated_university_roundtrip(self, tmp_path):
+        from repro.datagen import generate_university
+
+        db = generate_university(scale="tiny", seed=9)
+        save_database(db, tmp_path / "uni")
+        loaded = load_database(tmp_path / "uni")
+        assert loaded.stats() == db.stats()
+        # The application stack works on the reloaded database.
+        from repro.courserank import CourseRank
+
+        app = CourseRank(loaded)
+        result, _cloud = app.search_courses("design")
+        recs = app.recommendations.run("related_courses", course_id=1, top_k=3)
+        assert recs is not None

@@ -1,0 +1,69 @@
+"""Tests for Database.profile (EXPLAIN ANALYZE)."""
+
+import pytest
+
+from repro.errors import PlannerError
+from repro.minidb import Database
+
+
+@pytest.fixture()
+def db():
+    database = Database()
+    database.execute("CREATE TABLE t (id INTEGER PRIMARY KEY, g TEXT, x INTEGER)")
+    for i in range(20):
+        database.execute(f"INSERT INTO t VALUES ({i}, '{'ab'[i % 2]}', {i % 5})")
+    return database
+
+
+class TestProfile:
+    def test_returns_result_and_report(self, db):
+        result, report = db.profile("SELECT id FROM t WHERE x > 2")
+        assert len(result) == len(
+            db.query("SELECT id FROM t WHERE x > 2")
+        )
+        assert "SeqScan" in report
+        assert "rows" in report
+
+    def test_scan_count_reflects_filter(self, db):
+        _result, report = db.profile("SELECT id FROM t WHERE g = 'a'")
+        assert "-> 10 rows" in report
+
+    def test_aggregate_counts(self, db):
+        result, report = db.profile(
+            "SELECT g, COUNT(*) FROM t GROUP BY g"
+        )
+        assert "Aggregate" in report
+        assert "-> 2 rows" in report
+        assert len(result) == 2
+
+    def test_join_nodes_counted(self, db):
+        _result, report = db.profile(
+            "SELECT a.id FROM t a JOIN t b ON a.x = b.x"
+        )
+        assert "HashJoin" in report
+        lines = [line for line in report.splitlines() if "SeqScan" in line]
+        assert len(lines) == 2
+
+    def test_limit_shows_early_termination(self, db):
+        _result, report = db.profile("SELECT id FROM t LIMIT 3")
+        assert "Limit(3 offset 0) -> 3 rows" in report
+        # The scan under the limit produced only the rows that were pulled.
+        scan_line = next(l for l in report.splitlines() if "SeqScan" in l)
+        assert "-> 3 rows" in scan_line
+
+    def test_subquery_plans_included(self, db):
+        _result, report = db.profile(
+            "SELECT * FROM (SELECT id FROM t WHERE x = 1) s"
+        )
+        assert "SubqueryScan" in report
+
+    def test_profile_rejects_non_select(self, db):
+        with pytest.raises(PlannerError):
+            db.profile("DELETE FROM t")
+
+    def test_profile_matches_query_output(self, db):
+        sql = "SELECT g, SUM(x) AS s FROM t GROUP BY g ORDER BY s DESC"
+        profiled, _report = db.profile(sql)
+        plain = db.query(sql)
+        assert profiled.rows == plain.rows
+        assert profiled.columns == plain.columns

@@ -1,0 +1,100 @@
+"""Unit tests for table schemas and constraint declarations."""
+
+import pytest
+
+from repro.errors import SchemaError, UnknownColumnError
+from repro.minidb.schema import Column, ForeignKey, TableSchema, make_schema
+from repro.minidb.types import DataType
+
+
+def simple_schema():
+    return make_schema(
+        "courses",
+        [("CourseID", DataType.INTEGER), ("Title", DataType.TEXT)],
+        primary_key=["CourseID"],
+    )
+
+
+class TestColumn:
+    def test_rejects_empty_name(self):
+        with pytest.raises(SchemaError):
+            Column("", DataType.TEXT)
+
+    def test_rejects_leading_digit(self):
+        with pytest.raises(SchemaError):
+            Column("1abc", DataType.TEXT)
+
+    def test_rejects_punctuation(self):
+        with pytest.raises(SchemaError):
+            Column("a-b", DataType.TEXT)
+
+
+class TestTableSchema:
+    def test_requires_columns(self):
+        with pytest.raises(SchemaError):
+            TableSchema(name="t", columns=())
+
+    def test_duplicate_columns_rejected_case_insensitively(self):
+        with pytest.raises(SchemaError):
+            TableSchema(
+                name="t",
+                columns=(Column("id", DataType.INTEGER), Column("ID", DataType.TEXT)),
+            )
+
+    def test_primary_key_must_exist(self):
+        with pytest.raises(SchemaError):
+            make_schema("t", [("a", DataType.INTEGER)], primary_key=["missing"])
+
+    def test_unique_key_must_exist(self):
+        with pytest.raises(SchemaError):
+            make_schema("t", [("a", DataType.INTEGER)], unique_keys=[["missing"]])
+
+    def test_column_lookup_case_insensitive(self):
+        schema = simple_schema()
+        assert schema.column_position("courseid") == 0
+        assert schema.column_position("TITLE") == 1
+
+    def test_unknown_column_raises(self):
+        with pytest.raises(UnknownColumnError):
+            simple_schema().column_position("nope")
+
+    def test_pk_columns_not_nullable(self):
+        schema = simple_schema()
+        assert not schema.column("CourseID").nullable
+        assert schema.column("Title").nullable
+
+    def test_not_null_flag(self):
+        schema = make_schema(
+            "t",
+            [("a", DataType.INTEGER), ("b", DataType.TEXT)],
+            not_null=["b"],
+        )
+        assert not schema.column("b").nullable
+
+    def test_is_pk_column(self):
+        schema = simple_schema()
+        assert schema.is_pk_column("courseid")
+        assert not schema.is_pk_column("title")
+
+    def test_renamed_keeps_columns(self):
+        renamed = simple_schema().renamed("c2")
+        assert renamed.name == "c2"
+        assert renamed.column_names == ["CourseID", "Title"]
+
+
+class TestForeignKey:
+    def test_count_mismatch(self):
+        with pytest.raises(SchemaError):
+            ForeignKey(("a", "b"), "t", ("x",))
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchemaError):
+            ForeignKey((), "t", ())
+
+    def test_fk_columns_must_exist_in_schema(self):
+        with pytest.raises(SchemaError):
+            make_schema(
+                "t",
+                [("a", DataType.INTEGER)],
+                foreign_keys=[ForeignKey(("missing",), "other", ("id",))],
+            )

@@ -1,0 +1,310 @@
+"""Unit tests for the SQL lexer and parser."""
+
+import pytest
+
+from repro.errors import SQLSyntaxError
+from repro.minidb.expressions import BinaryOp, ColumnRef, Like, Literal
+from repro.minidb.sql import (
+    CreateIndexStatement,
+    CreateTableStatement,
+    DeleteStatement,
+    InsertStatement,
+    SelectStatement,
+    UnionStatement,
+    UpdateStatement,
+    parse_expression,
+    parse_script,
+    parse_statement,
+    tokenize,
+)
+from repro.minidb.types import DataType
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("select FROM Where")
+        assert [token.value for token in tokens[:-1]] == ["SELECT", "FROM", "WHERE"]
+
+    def test_string_with_escaped_quote(self):
+        tokens = tokenize("'it''s'")
+        assert tokens[0].value == "it's"
+
+    def test_quoted_identifier(self):
+        tokens = tokenize('"select"')
+        assert tokens[0].type == "IDENT"
+        assert tokens[0].value == "select"
+
+    def test_numbers(self):
+        tokens = tokenize("1 2.5 1e3 2.5e-2")
+        assert [token.value for token in tokens[:-1]] == ["1", "2.5", "1e3", "2.5e-2"]
+
+    def test_line_comment(self):
+        tokens = tokenize("SELECT -- comment\n1")
+        assert [token.type for token in tokens] == ["KEYWORD", "NUMBER", "EOF"]
+
+    def test_block_comment(self):
+        tokens = tokenize("SELECT /* hi\nthere */ 1")
+        assert [token.type for token in tokens] == ["KEYWORD", "NUMBER", "EOF"]
+
+    def test_unterminated_string(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("'oops")
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("/* oops")
+
+    def test_unexpected_character(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("SELECT @")
+
+    def test_two_char_operators(self):
+        tokens = tokenize("<= >= <> != ||")
+        assert [token.value for token in tokens[:-1]] == ["<=", ">=", "<>", "!=", "||"]
+
+    def test_trailing_single_punct(self):
+        tokens = tokenize("f(x)")
+        assert tokens[-2].value == ")"
+
+    def test_error_reports_position(self):
+        with pytest.raises(SQLSyntaxError, match="line 2"):
+            tokenize("SELECT\n  $")
+
+
+class TestExpressionParsing:
+    def test_precedence_mul_over_add(self):
+        expr = parse_expression("1 + 2 * 3")
+        assert isinstance(expr, BinaryOp) and expr.op == "+"
+
+    def test_parentheses(self):
+        expr = parse_expression("(1 + 2) * 3")
+        assert isinstance(expr, BinaryOp) and expr.op == "*"
+
+    def test_and_or_precedence(self):
+        expr = parse_expression("a = 1 OR b = 2 AND c = 3")
+        assert expr.op == "OR"
+        assert expr.right.op == "AND"
+
+    def test_not_binds_tighter_than_and(self):
+        expr = parse_expression("NOT a = 1 AND b = 2")
+        assert expr.op == "AND"
+
+    def test_like_ilike(self):
+        expr = parse_expression("title LIKE '%x%'")
+        assert isinstance(expr, Like) and not expr.case_insensitive
+        expr = parse_expression("title ILIKE '%x%'")
+        assert expr.case_insensitive
+
+    def test_not_like(self):
+        expr = parse_expression("title NOT LIKE '%x%'")
+        assert expr.negated
+
+    def test_in_and_between(self):
+        parse_expression("x IN (1, 2, 3)")
+        parse_expression("x NOT IN (1)")
+        parse_expression("x BETWEEN 1 AND 5")
+        parse_expression("x NOT BETWEEN 1 AND 5")
+
+    def test_is_null(self):
+        parse_expression("x IS NULL")
+        parse_expression("x IS NOT NULL")
+
+    def test_case_expression(self):
+        expr = parse_expression("CASE WHEN x > 1 THEN 'a' ELSE 'b' END")
+        assert expr.evaluate({"x": 5, "__functions__": None}) == "a"
+
+    def test_case_requires_when(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_expression("CASE ELSE 1 END")
+
+    def test_function_call(self):
+        expr = parse_expression("LOWER(name)")
+        assert expr.name == "lower"
+
+    def test_date_literal(self):
+        import datetime
+
+        expr = parse_expression("DATE '2009-01-04'")
+        assert expr.value == datetime.date(2009, 1, 4)
+
+    def test_qualified_column(self):
+        expr = parse_expression("c.title")
+        assert isinstance(expr, ColumnRef) and expr.qualifier == "c"
+
+    def test_aggregate_rejected_outside_select(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_expression("COUNT(*)")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_expression("1 + 2 banana oops(")
+
+
+class TestSelectParsing:
+    def test_minimal(self):
+        statement = parse_statement("SELECT 1")
+        assert isinstance(statement, SelectStatement)
+        assert statement.from_item is None
+
+    def test_star_and_qualified_star(self):
+        statement = parse_statement("SELECT *, c.* FROM courses c")
+        assert statement.items[0].is_star
+        assert statement.items[1].star_qualifier == "c"
+
+    def test_aliases(self):
+        statement = parse_statement("SELECT title AS t, units u FROM courses")
+        assert statement.items[0].alias == "t"
+        assert statement.items[1].alias == "u"
+
+    def test_joins(self):
+        statement = parse_statement(
+            "SELECT * FROM a JOIN b ON a.x = b.x "
+            "LEFT JOIN c ON b.y = c.y CROSS JOIN d"
+        )
+        kinds = [join.join_type for join in statement.joins]
+        assert kinds == ["INNER", "LEFT", "CROSS"]
+
+    def test_group_having_order_limit(self):
+        statement = parse_statement(
+            "SELECT dep, COUNT(*) AS n FROM courses "
+            "GROUP BY dep HAVING COUNT(*) > 2 ORDER BY n DESC LIMIT 5 OFFSET 2"
+        )
+        assert len(statement.group_by) == 1
+        assert statement.having is not None
+        assert statement.order_by[0].descending
+        assert statement.limit == 5
+        assert statement.offset == 2
+
+    def test_aggregates_hoisted(self):
+        statement = parse_statement(
+            "SELECT COUNT(*), AVG(score), COUNT(DISTINCT sid) FROM r"
+        )
+        names = [call.name for call in statement.aggregates]
+        assert names == ["count", "avg", "count"]
+        assert statement.aggregates[2].distinct
+
+    def test_count_star_only(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_statement("SELECT SUM(*) FROM r")
+
+    def test_aggregate_in_where_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_statement("SELECT 1 FROM r WHERE COUNT(*) > 1")
+
+    def test_subquery_in_from(self):
+        statement = parse_statement(
+            "SELECT t.x FROM (SELECT x FROM inner_table LIMIT 3) AS t"
+        )
+        assert statement.from_item.alias == "t"
+        assert statement.from_item.query.limit == 3
+
+    def test_union(self):
+        statement = parse_statement("SELECT 1 UNION SELECT 2 UNION SELECT 3")
+        assert isinstance(statement, UnionStatement)
+        assert len(statement.parts) == 3
+        assert not statement.all
+
+    def test_union_all_with_order(self):
+        statement = parse_statement(
+            "SELECT x FROM a UNION ALL SELECT x FROM b ORDER BY x LIMIT 2"
+        )
+        assert statement.all
+        assert statement.limit == 2
+
+    def test_distinct(self):
+        assert parse_statement("SELECT DISTINCT dep FROM courses").distinct
+
+    def test_trailing_semicolon_ok(self):
+        parse_statement("SELECT 1;")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_statement("SELECT 1 SELECT 2")
+
+
+class TestDmlParsing:
+    def test_insert_values(self):
+        statement = parse_statement(
+            "INSERT INTO t (a, b) VALUES (1, 'x'), (2, 'y')"
+        )
+        assert isinstance(statement, InsertStatement)
+        assert statement.columns == ["a", "b"]
+        assert len(statement.rows) == 2
+
+    def test_insert_without_columns(self):
+        statement = parse_statement("INSERT INTO t VALUES (1)")
+        assert statement.columns is None
+
+    def test_update(self):
+        statement = parse_statement("UPDATE t SET a = 1, b = b + 1 WHERE id = 3")
+        assert isinstance(statement, UpdateStatement)
+        assert len(statement.assignments) == 2
+        assert statement.where is not None
+
+    def test_delete(self):
+        statement = parse_statement("DELETE FROM t WHERE x IS NULL")
+        assert isinstance(statement, DeleteStatement)
+
+
+class TestDdlParsing:
+    def test_create_table_full(self):
+        statement = parse_statement(
+            "CREATE TABLE comments ("
+            "  suid INTEGER, courseid INTEGER, year INTEGER, term TEXT,"
+            "  text TEXT NOT NULL, rating FLOAT,"
+            "  PRIMARY KEY (suid, courseid, year, term),"
+            "  UNIQUE (text),"
+            "  FOREIGN KEY (courseid) REFERENCES courses (courseid)"
+            ")"
+        )
+        assert isinstance(statement, CreateTableStatement)
+        assert statement.primary_key == ("suid", "courseid", "year", "term")
+        assert statement.unique_keys == (("text",),)
+        assert statement.foreign_keys[0].ref_table == "courses"
+
+    def test_inline_primary_key(self):
+        statement = parse_statement("CREATE TABLE t (id INTEGER PRIMARY KEY, x TEXT)")
+        assert statement.primary_key == ("id",)
+
+    def test_double_primary_key_rejected(self):
+        with pytest.raises(SQLSyntaxError):
+            parse_statement(
+                "CREATE TABLE t (id INTEGER PRIMARY KEY, PRIMARY KEY (id))"
+            )
+
+    def test_varchar_length_ignored(self):
+        statement = parse_statement("CREATE TABLE t (name VARCHAR(100))")
+        assert statement.columns[0].dtype is DataType.TEXT
+
+    def test_if_not_exists(self):
+        statement = parse_statement("CREATE TABLE IF NOT EXISTS t (x INTEGER)")
+        assert statement.if_not_exists
+
+    def test_create_index(self):
+        statement = parse_statement("CREATE INDEX i ON t (a, b) USING sorted")
+        assert isinstance(statement, CreateIndexStatement)
+        assert statement.columns == ("a", "b")
+        assert statement.kind == "sorted"
+
+    def test_drop_statements(self):
+        parse_statement("DROP TABLE t")
+        parse_statement("DROP TABLE IF EXISTS t")
+        parse_statement("DROP INDEX i")
+
+
+class TestScripts:
+    def test_multiple_statements(self):
+        statements = parse_script(
+            "CREATE TABLE t (x INTEGER); INSERT INTO t VALUES (1); SELECT * FROM t;"
+        )
+        assert len(statements) == 3
+
+    def test_to_sql_roundtrip(self):
+        text = (
+            "SELECT c.title AS t, COUNT(*) AS n FROM courses AS c "
+            "JOIN ratings AS r ON c.id = r.cid WHERE c.units > 3 "
+            "GROUP BY c.title HAVING COUNT(*) > 1 ORDER BY n DESC LIMIT 10"
+        )
+        first = parse_statement(text)
+        second = parse_statement(first.to_sql())
+        assert first.to_sql() == second.to_sql()

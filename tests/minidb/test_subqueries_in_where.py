@@ -1,0 +1,158 @@
+"""Tests for uncorrelated IN/EXISTS subqueries in predicates."""
+
+import pytest
+
+from repro.errors import ExecutionError, PlannerError
+from repro.minidb import Database
+
+
+@pytest.fixture()
+def db():
+    database = Database()
+    database.execute_script(
+        """
+        CREATE TABLE courses (id INTEGER PRIMARY KEY, dep TEXT, units INTEGER);
+        CREATE TABLE taken (sid INTEGER, cid INTEGER, PRIMARY KEY (sid, cid));
+        INSERT INTO courses VALUES
+          (1, 'CS', 5), (2, 'CS', 3), (3, 'H', 4), (4, 'H', 2);
+        INSERT INTO taken VALUES (10, 1), (10, 3), (11, 2);
+        """
+    )
+    return database
+
+
+class TestInSubquery:
+    def test_in(self, db):
+        result = db.query(
+            "SELECT id FROM courses WHERE id IN "
+            "(SELECT cid FROM taken WHERE sid = 10) ORDER BY id"
+        )
+        assert result.column("id") == [1, 3]
+
+    def test_not_in_is_the_anti_join(self, db):
+        result = db.query(
+            "SELECT id FROM courses WHERE id NOT IN "
+            "(SELECT cid FROM taken WHERE sid = 10) ORDER BY id"
+        )
+        assert result.column("id") == [2, 4]
+
+    def test_empty_subquery(self, db):
+        assert (
+            len(
+                db.query(
+                    "SELECT id FROM courses WHERE id IN "
+                    "(SELECT cid FROM taken WHERE sid = 99)"
+                )
+            )
+            == 0
+        )
+        assert (
+            len(
+                db.query(
+                    "SELECT id FROM courses WHERE id NOT IN "
+                    "(SELECT cid FROM taken WHERE sid = 99)"
+                )
+            )
+            == 4
+        )
+
+    def test_subquery_with_expressions(self, db):
+        result = db.query(
+            "SELECT id FROM courses WHERE units IN "
+            "(SELECT units FROM courses WHERE dep = 'CS') ORDER BY id"
+        )
+        assert result.column("id") == [1, 2]
+
+    def test_one_column_required(self, db):
+        with pytest.raises(PlannerError):
+            db.query(
+                "SELECT id FROM courses WHERE id IN (SELECT sid, cid FROM taken)"
+            )
+
+    def test_in_subquery_inside_boolean_tree(self, db):
+        result = db.query(
+            "SELECT id FROM courses WHERE dep = 'H' AND "
+            "(id IN (SELECT cid FROM taken) OR units > 3) ORDER BY id"
+        )
+        assert result.column("id") == [3]
+
+    def test_subquery_in_join_condition(self, db):
+        result = db.query(
+            "SELECT c.id FROM courses c JOIN taken t ON c.id = t.cid "
+            "AND c.id IN (SELECT cid FROM taken WHERE sid = 10) ORDER BY c.id"
+        )
+        assert result.column("id") == [1, 3]
+
+    def test_view_re_resolves_on_each_use(self, db):
+        db.execute(
+            "CREATE VIEW untaken AS SELECT id FROM courses "
+            "WHERE id NOT IN (SELECT cid FROM taken)"
+        )
+        assert sorted(db.query("SELECT * FROM untaken").column("id")) == [4]
+        db.execute("INSERT INTO taken VALUES (12, 4)")
+        assert db.query("SELECT * FROM untaken").column("id") == []
+
+    def test_null_semantics_preserved(self, db):
+        db.execute("CREATE TABLE vals (v INTEGER)")
+        db.execute("INSERT INTO vals VALUES (1), (NULL)")
+        # NOT IN against a set containing NULL is UNKNOWN for non-members.
+        result = db.query(
+            "SELECT id FROM courses WHERE id NOT IN (SELECT v FROM vals)"
+        )
+        assert len(result) == 0
+
+
+class TestExistsSubquery:
+    def test_exists_true(self, db):
+        assert (
+            db.query(
+                "SELECT COUNT(*) FROM courses WHERE EXISTS "
+                "(SELECT cid FROM taken WHERE sid = 10)"
+            ).scalar()
+            == 4
+        )
+
+    def test_exists_false(self, db):
+        assert (
+            db.query(
+                "SELECT COUNT(*) FROM courses WHERE EXISTS "
+                "(SELECT cid FROM taken WHERE sid = 99)"
+            ).scalar()
+            == 0
+        )
+
+    def test_not_exists(self, db):
+        assert (
+            db.query(
+                "SELECT COUNT(*) FROM courses WHERE NOT EXISTS "
+                "(SELECT cid FROM taken WHERE sid = 99)"
+            ).scalar()
+            == 4
+        )
+
+    def test_exists_combined(self, db):
+        result = db.query(
+            "SELECT id FROM courses WHERE dep = 'CS' AND EXISTS "
+            "(SELECT sid FROM taken) ORDER BY id"
+        )
+        assert result.column("id") == [1, 2]
+
+
+class TestUnresolvedSubqueryErrors:
+    def test_raw_evaluation_rejected(self):
+        from repro.minidb.expressions import ColumnRef, InSubquery
+        from repro.minidb.sql.parser import parse_statement
+
+        query = parse_statement("SELECT 1")
+        node = InSubquery(ColumnRef("x"), query)
+        with pytest.raises(ExecutionError):
+            node.evaluate({"x": 1})
+
+    def test_to_sql_roundtrip(self):
+        from repro.minidb.sql.parser import parse_statement
+
+        statement = parse_statement(
+            "SELECT id FROM c WHERE id IN (SELECT cid FROM t WHERE sid = 1)"
+        )
+        again = parse_statement(statement.to_sql())
+        assert statement.to_sql() == again.to_sql()

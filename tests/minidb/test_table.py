@@ -1,0 +1,186 @@
+"""Unit tests for row storage, keys, and incremental index maintenance."""
+
+import pytest
+
+from repro.errors import IntegrityError, SchemaError
+from repro.minidb.indexes import HashIndex
+from repro.minidb.schema import make_schema
+from repro.minidb.table import Table
+from repro.minidb.types import DataType
+
+
+def students_table():
+    schema = make_schema(
+        "students",
+        [
+            ("SuID", DataType.INTEGER),
+            ("Name", DataType.TEXT),
+            ("GPA", DataType.FLOAT),
+        ],
+        primary_key=["SuID"],
+        unique_keys=[["Name"]],
+    )
+    return Table(schema)
+
+
+class TestInsert:
+    def test_insert_returns_increasing_rowids(self):
+        table = students_table()
+        first = table.insert([1, "ann", 3.5])
+        second = table.insert([2, "bob", 3.0])
+        assert second > first
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(SchemaError):
+            students_table().insert([1, "ann"])
+
+    def test_duplicate_pk_rejected(self):
+        table = students_table()
+        table.insert([1, "ann", 3.5])
+        with pytest.raises(IntegrityError):
+            table.insert([1, "other", 2.0])
+
+    def test_null_pk_rejected(self):
+        with pytest.raises(IntegrityError):
+            students_table().insert([None, "ann", 3.5])
+
+    def test_unique_constraint(self):
+        table = students_table()
+        table.insert([1, "ann", 3.5])
+        with pytest.raises(IntegrityError):
+            table.insert([2, "ann", 2.0])
+
+    def test_null_in_unique_key_allowed_repeatedly(self):
+        table = students_table()
+        table.insert([1, None, 3.5])
+        table.insert([2, None, 2.0])  # two NULL names are fine
+        assert len(table) == 2
+
+    def test_insert_dict_defaults_missing_to_null(self):
+        table = students_table()
+        table.insert_dict({"SuID": 1, "Name": "ann"})
+        assert table.lookup_pk((1,)) == (1, "ann", None)
+
+    def test_int_promoted_to_float_column(self):
+        table = students_table()
+        table.insert([1, "ann", 4])
+        assert table.lookup_pk((1,))[2] == 4.0
+
+
+class TestLookup:
+    def test_lookup_pk_found_and_missing(self):
+        table = students_table()
+        table.insert([1, "ann", 3.5])
+        assert table.lookup_pk((1,)) == (1, "ann", 3.5)
+        assert table.lookup_pk((99,)) is None
+
+    def test_scan_equal_without_index(self):
+        table = students_table()
+        table.insert([1, "ann", 3.5])
+        table.insert([2, "bob", 3.5])
+        rows = list(table.scan_equal("GPA", 3.5))
+        assert len(rows) == 2
+
+    def test_scan_equal_with_index(self):
+        table = students_table()
+        table.attach_index("by_gpa", HashIndex(), ["GPA"])
+        table.insert([1, "ann", 3.5])
+        table.insert([2, "bob", 3.0])
+        rows = list(table.scan_equal("GPA", 3.0))
+        assert rows == [(2, "bob", 3.0)]
+
+
+class TestDelete:
+    def test_delete_where(self):
+        table = students_table()
+        table.insert([1, "ann", 3.5])
+        table.insert([2, "bob", 2.5])
+        removed = table.delete_where(lambda row: row[2] < 3.0)
+        assert removed == 1
+        assert table.lookup_pk((2,)) is None
+
+    def test_delete_frees_pk_for_reuse(self):
+        table = students_table()
+        table.insert([1, "ann", 3.5])
+        table.delete_where(lambda row: True)
+        table.insert([1, "ann2", 3.0])
+        assert table.lookup_pk((1,)) == (1, "ann2", 3.0)
+
+    def test_delete_updates_index(self):
+        table = students_table()
+        index = HashIndex()
+        table.attach_index("by_gpa", index, ["GPA"])
+        table.insert([1, "ann", 3.5])
+        table.delete_where(lambda row: True)
+        assert list(index.find((3.5,))) == []
+
+
+class TestUpdate:
+    def test_update_where_transform(self):
+        table = students_table()
+        table.insert([1, "ann", 3.5])
+        touched = table.update_where(
+            lambda row: row[0] == 1,
+            lambda row: (row[0], row[1], 4.0),
+        )
+        assert touched == 1
+        assert table.lookup_pk((1,))[2] == 4.0
+
+    def test_update_pk_collision_rejected(self):
+        table = students_table()
+        table.insert([1, "ann", 3.5])
+        table.insert([2, "bob", 2.5])
+        with pytest.raises(IntegrityError):
+            table.update_where(
+                lambda row: row[0] == 2,
+                lambda row: (1, row[1], row[2]),
+            )
+
+    def test_update_keeps_rowid_stable(self):
+        table = students_table()
+        rowid = table.insert([1, "ann", 3.5])
+        table.update_rowid(rowid, (1, "ann", 3.9))
+        assert table.get(rowid) == (1, "ann", 3.9)
+
+    def test_update_maintains_unique_map(self):
+        table = students_table()
+        table.insert([1, "ann", 3.5])
+        table.update_where(lambda row: True, lambda row: (1, "anna", 3.5))
+        table.insert([2, "ann", 3.0])  # old name released
+        with pytest.raises(IntegrityError):
+            table.insert([3, "anna", 3.0])
+
+
+class TestSnapshotRestore:
+    def test_restore_rebuilds_state(self):
+        table = students_table()
+        table.insert([1, "ann", 3.5])
+        snap = table.snapshot()
+        next_rowid = table.next_rowid
+        table.insert([2, "bob", 2.5])
+        table.restore(snap, next_rowid)
+        assert len(table) == 1
+        assert table.lookup_pk((2,)) is None
+        table.insert([2, "bob", 2.5])  # pk map was rebuilt correctly
+        with pytest.raises(IntegrityError):
+            table.insert([1, "dup", 1.0])
+
+    def test_restore_rebuilds_indexes(self):
+        table = students_table()
+        index = HashIndex()
+        table.attach_index("by_gpa", index, ["GPA"])
+        table.insert([1, "ann", 3.5])
+        snap = table.snapshot()
+        next_rowid = table.next_rowid
+        table.insert([2, "bob", 3.5])
+        table.restore(snap, next_rowid)
+        assert len(list(index.find((3.5,)))) == 1
+
+
+class TestClear:
+    def test_clear_empties_everything(self):
+        table = students_table()
+        table.insert([1, "ann", 3.5])
+        table.clear()
+        assert len(table) == 0
+        table.insert([1, "ann", 3.5])  # keys were cleared

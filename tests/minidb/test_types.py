@@ -1,0 +1,140 @@
+"""Unit tests for the minidb type system."""
+
+import datetime
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import TypeMismatchError
+from repro.minidb.types import (
+    DataType,
+    coerce,
+    common_type,
+    format_value,
+    infer_type,
+    is_numeric,
+    parse_date,
+    sort_key,
+)
+
+
+class TestCoerce:
+    def test_none_passes_through_every_type(self):
+        for dtype in DataType:
+            assert coerce(None, dtype) is None
+
+    def test_integer_accepts_int(self):
+        assert coerce(42, DataType.INTEGER) == 42
+
+    def test_integer_rejects_bool(self):
+        with pytest.raises(TypeMismatchError):
+            coerce(True, DataType.INTEGER)
+
+    def test_integer_rejects_float(self):
+        with pytest.raises(TypeMismatchError):
+            coerce(1.5, DataType.INTEGER)
+
+    def test_integer_rejects_numeric_string(self):
+        with pytest.raises(TypeMismatchError):
+            coerce("42", DataType.INTEGER)
+
+    def test_float_promotes_int(self):
+        value = coerce(3, DataType.FLOAT)
+        assert value == 3.0
+        assert isinstance(value, float)
+
+    def test_float_rejects_bool(self):
+        with pytest.raises(TypeMismatchError):
+            coerce(True, DataType.FLOAT)
+
+    def test_text_accepts_str(self):
+        assert coerce("abc", DataType.TEXT) == "abc"
+
+    def test_text_rejects_int(self):
+        with pytest.raises(TypeMismatchError):
+            coerce(5, DataType.TEXT)
+
+    def test_boolean_accepts_bool(self):
+        assert coerce(False, DataType.BOOLEAN) is False
+
+    def test_boolean_rejects_int(self):
+        with pytest.raises(TypeMismatchError):
+            coerce(1, DataType.BOOLEAN)
+
+    def test_date_accepts_date(self):
+        today = datetime.date(2008, 9, 1)
+        assert coerce(today, DataType.DATE) == today
+
+    def test_date_parses_iso_string(self):
+        assert coerce("2008-09-01", DataType.DATE) == datetime.date(2008, 9, 1)
+
+    def test_date_rejects_datetime(self):
+        with pytest.raises(TypeMismatchError):
+            coerce(datetime.datetime(2008, 9, 1, 12, 0), DataType.DATE)
+
+    def test_date_rejects_malformed_string(self):
+        with pytest.raises(TypeMismatchError):
+            coerce("September 1", DataType.DATE)
+
+
+class TestParseDate:
+    def test_valid(self):
+        assert parse_date("2009-01-04") == datetime.date(2009, 1, 4)
+
+    def test_invalid_raises_type_mismatch(self):
+        with pytest.raises(TypeMismatchError):
+            parse_date("01/04/2009")
+
+
+class TestInference:
+    def test_infer_each_type(self):
+        assert infer_type(1) is DataType.INTEGER
+        assert infer_type(1.0) is DataType.FLOAT
+        assert infer_type("x") is DataType.TEXT
+        assert infer_type(True) is DataType.BOOLEAN
+        assert infer_type(datetime.date(2009, 1, 1)) is DataType.DATE
+        assert infer_type(None) is None
+
+    def test_common_type_same(self):
+        assert common_type(DataType.TEXT, DataType.TEXT) is DataType.TEXT
+
+    def test_common_type_numeric_promotion(self):
+        assert common_type(DataType.INTEGER, DataType.FLOAT) is DataType.FLOAT
+
+    def test_common_type_incompatible(self):
+        assert common_type(DataType.TEXT, DataType.INTEGER) is None
+
+    def test_is_numeric(self):
+        assert is_numeric(DataType.INTEGER)
+        assert is_numeric(DataType.FLOAT)
+        assert not is_numeric(DataType.TEXT)
+
+
+class TestSortKey:
+    def test_null_sorts_first(self):
+        values = [3, None, 1, None, 2]
+        ordered = sorted(values, key=sort_key)
+        assert ordered == [None, None, 1, 2, 3]
+
+    @given(st.lists(st.one_of(st.none(), st.integers())))
+    def test_sort_key_total_order_on_ints_with_nulls(self, values):
+        ordered = sorted(values, key=sort_key)
+        nulls = [value for value in ordered if value is None]
+        rest = [value for value in ordered if value is not None]
+        assert ordered == nulls + sorted(rest)
+
+
+class TestFormatValue:
+    def test_null(self):
+        assert format_value(None) == "NULL"
+
+    def test_booleans(self):
+        assert format_value(True) == "TRUE"
+        assert format_value(False) == "FALSE"
+
+    def test_float_compact(self):
+        assert format_value(4.75) == "4.75"
+
+    def test_date_iso(self):
+        assert format_value(datetime.date(2008, 9, 1)) == "2008-09-01"

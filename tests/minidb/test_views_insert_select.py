@@ -1,0 +1,168 @@
+"""Tests for views and INSERT ... SELECT."""
+
+import pytest
+
+from repro.errors import SchemaError, UnknownColumnError, UnknownTableError
+from repro.minidb import Database
+
+
+@pytest.fixture()
+def db():
+    database = Database()
+    database.execute(
+        "CREATE TABLE courses (id INTEGER PRIMARY KEY, dep TEXT, units INTEGER)"
+    )
+    database.execute(
+        "INSERT INTO courses VALUES (1, 'CS', 5), (2, 'CS', 3), (3, 'HIST', 4)"
+    )
+    return database
+
+
+class TestViews:
+    def test_create_and_query(self, db):
+        db.execute("CREATE VIEW cs AS SELECT id, units FROM courses WHERE dep = 'CS'")
+        result = db.query("SELECT * FROM cs ORDER BY id")
+        assert result.rows == [(1, 5), (2, 3)]
+        assert result.columns == ["id", "units"]
+
+    def test_view_reflects_base_table_changes(self, db):
+        db.execute("CREATE VIEW cs AS SELECT id FROM courses WHERE dep = 'CS'")
+        db.execute("INSERT INTO courses VALUES (4, 'CS', 2)")
+        assert len(db.query("SELECT * FROM cs")) == 3
+
+    def test_view_with_aggregation(self, db):
+        db.execute(
+            "CREATE VIEW per_dep AS SELECT dep, COUNT(*) AS n, SUM(units) AS u "
+            "FROM courses GROUP BY dep"
+        )
+        result = db.query("SELECT * FROM per_dep ORDER BY dep")
+        assert result.rows == [("CS", 2, 8), ("HIST", 1, 4)]
+
+    def test_view_joins_with_tables(self, db):
+        db.execute("CREATE VIEW cs AS SELECT id FROM courses WHERE dep = 'CS'")
+        result = db.query(
+            "SELECT c.units FROM cs v JOIN courses c ON v.id = c.id ORDER BY c.id"
+        )
+        assert result.column("units") == [5, 3]
+
+    def test_view_on_view(self, db):
+        db.execute("CREATE VIEW cs AS SELECT id, units FROM courses WHERE dep = 'CS'")
+        db.execute("CREATE VIEW heavy_cs AS SELECT id FROM cs WHERE units > 4")
+        assert db.query("SELECT * FROM heavy_cs").rows == [(1,)]
+
+    def test_view_alias(self, db):
+        db.execute("CREATE VIEW cs AS SELECT id FROM courses WHERE dep = 'CS'")
+        result = db.query("SELECT v.id FROM cs AS v ORDER BY v.id")
+        assert result.column("id") == [1, 2]
+
+    def test_create_view_validates_immediately(self, db):
+        with pytest.raises(UnknownTableError):
+            db.execute("CREATE VIEW bad AS SELECT * FROM nothing")
+        with pytest.raises(UnknownColumnError):
+            db.execute("CREATE VIEW bad AS SELECT nope FROM courses")
+
+    def test_duplicate_names_rejected(self, db):
+        db.execute("CREATE VIEW cs AS SELECT id FROM courses")
+        with pytest.raises(SchemaError):
+            db.execute("CREATE VIEW cs AS SELECT id FROM courses")
+        with pytest.raises(SchemaError):
+            db.execute("CREATE TABLE cs (x INTEGER)")
+        with pytest.raises(SchemaError):
+            db.execute("CREATE VIEW courses AS SELECT id FROM courses")
+
+    def test_drop_view(self, db):
+        db.execute("CREATE VIEW cs AS SELECT id FROM courses")
+        db.execute("DROP VIEW cs")
+        with pytest.raises(UnknownTableError):
+            db.query("SELECT * FROM cs")
+        with pytest.raises(SchemaError):
+            db.execute("DROP VIEW cs")
+        db.execute("DROP VIEW IF EXISTS cs")  # silent
+
+    def test_drop_table_referenced_by_view_blocked(self, db):
+        db.execute("CREATE VIEW cs AS SELECT id FROM courses")
+        with pytest.raises(SchemaError, match="view"):
+            db.execute("DROP TABLE courses")
+        db.execute("DROP VIEW cs")
+        db.execute("DROP TABLE courses")
+
+    def test_view_names_listing(self, db):
+        db.execute("CREATE VIEW cs AS SELECT id FROM courses")
+        assert db.view_names() == ["cs"]
+
+    def test_dml_on_view_rejected(self, db):
+        db.execute("CREATE VIEW cs AS SELECT id FROM courses")
+        with pytest.raises(UnknownTableError):
+            db.execute("INSERT INTO cs VALUES (9)")
+        with pytest.raises(UnknownTableError):
+            db.execute("DELETE FROM cs")
+
+
+class TestInsertSelect:
+    def test_positional(self, db):
+        db.execute("CREATE TABLE archive (id INTEGER PRIMARY KEY, dep TEXT, units INTEGER)")
+        count = db.execute("INSERT INTO archive SELECT * FROM courses WHERE dep = 'CS'")
+        assert count == 2
+        assert db.query("SELECT COUNT(*) FROM archive").scalar() == 2
+
+    def test_named_columns_reorder(self, db):
+        db.execute("CREATE TABLE small (a INTEGER PRIMARY KEY, b TEXT)")
+        db.execute("INSERT INTO small (b, a) SELECT dep, id FROM courses")
+        assert db.query("SELECT b FROM small WHERE a = 3").scalar() == "HIST"
+
+    def test_expressions_in_select(self, db):
+        db.execute("CREATE TABLE doubled (id INTEGER PRIMARY KEY, u INTEGER)")
+        db.execute("INSERT INTO doubled SELECT id, units * 2 FROM courses")
+        assert db.query("SELECT u FROM doubled WHERE id = 1").scalar() == 10
+
+    def test_arity_mismatch(self, db):
+        db.execute("CREATE TABLE narrow (a INTEGER)")
+        with pytest.raises(SchemaError):
+            db.execute("INSERT INTO narrow SELECT id, dep FROM courses")
+
+    def test_named_arity_mismatch(self, db):
+        db.execute("CREATE TABLE narrow (a INTEGER, b TEXT)")
+        with pytest.raises(SchemaError):
+            db.execute("INSERT INTO narrow (a) SELECT id, dep FROM courses")
+
+    def test_constraints_enforced(self, db):
+        db.execute("CREATE TABLE unique_ids (id INTEGER PRIMARY KEY)")
+        db.execute("INSERT INTO unique_ids SELECT id FROM courses")
+        with pytest.raises(Exception):
+            db.execute("INSERT INTO unique_ids SELECT id FROM courses")
+
+    def test_insert_from_view(self, db):
+        db.execute("CREATE VIEW cs AS SELECT id FROM courses WHERE dep = 'CS'")
+        db.execute("CREATE TABLE ids (id INTEGER PRIMARY KEY)")
+        assert db.execute("INSERT INTO ids SELECT id FROM cs") == 2
+
+    def test_roundtrip_to_sql(self, db):
+        from repro.minidb.sql.parser import parse_statement
+
+        statement = parse_statement(
+            "INSERT INTO t (a, b) SELECT x, y FROM s WHERE x > 1"
+        )
+        again = parse_statement(statement.to_sql())
+        assert again.to_sql() == statement.to_sql()
+
+
+class TestViewsAndTransactions:
+    def test_view_created_in_rolled_back_transaction_vanishes(self, db):
+        db.begin()
+        db.execute("CREATE VIEW temp_v AS SELECT id FROM courses")
+        db.rollback()
+        assert not db.has_view("temp_v")
+
+    def test_view_dropped_in_rolled_back_transaction_returns(self, db):
+        db.execute("CREATE VIEW keeper AS SELECT id FROM courses")
+        db.begin()
+        db.execute("DROP VIEW keeper")
+        db.rollback()
+        assert db.has_view("keeper")
+        assert len(db.query("SELECT * FROM keeper")) == 3
+
+    def test_view_survives_commit(self, db):
+        db.begin()
+        db.execute("CREATE VIEW committed_v AS SELECT id FROM courses")
+        db.commit()
+        assert db.has_view("committed_v")

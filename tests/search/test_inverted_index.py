@@ -1,0 +1,136 @@
+"""Unit tests for the inverted index."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SearchError
+from repro.search.inverted_index import InvertedIndex
+
+
+def build_sample():
+    index = InvertedIndex()
+    index.add_document(1, {"title": ["american", "histori"], "comments": ["great"]})
+    index.add_document(2, {"title": ["american", "polit"]})
+    index.add_document(3, {"comments": ["histori", "histori", "boring"]})
+    return index
+
+
+class TestBuild:
+    def test_document_count(self):
+        assert build_sample().document_count == 3
+
+    def test_vocabulary(self):
+        index = build_sample()
+        assert index.vocabulary_size == 5
+        assert set(index.terms()) == {
+            "american", "histori", "great", "polit", "boring",
+        }
+
+    def test_empty_fields_skipped(self):
+        index = InvertedIndex()
+        index.add_document(1, {"title": [], "comments": ["x"]})
+        assert index.field_length(1, "title") == 0
+        assert index.field_length(1, "comments") == 1
+
+    def test_readding_replaces(self):
+        index = build_sample()
+        index.add_document(1, {"title": ["new"]})
+        assert index.document_frequency("american") == 1
+        assert index.document_frequency("new") == 1
+        assert index.document_count == 3
+
+
+class TestStatistics:
+    def test_document_frequency(self):
+        index = build_sample()
+        assert index.document_frequency("american") == 2
+        assert index.document_frequency("histori") == 2
+        assert index.document_frequency("missing") == 0
+
+    def test_term_frequency_across_fields(self):
+        index = build_sample()
+        assert index.term_frequency(3, "histori") == 2
+        assert index.term_frequency(1, "histori") == 1
+        assert index.term_frequency(1, "missing") == 0
+
+    def test_collection_frequency(self):
+        assert build_sample().collection_frequency("histori") == 3
+
+    def test_idf_decreases_with_df(self):
+        index = build_sample()
+        assert index.idf("boring") > index.idf("american")
+
+    def test_idf_empty_index(self):
+        assert InvertedIndex().idf("x") == 0.0
+
+    def test_field_lengths(self):
+        index = build_sample()
+        assert index.field_length(1, "title") == 2
+        assert index.field_length(3, "comments") == 3
+        assert index.document_length(1) == 3
+
+    def test_average_field_length(self):
+        index = build_sample()
+        # title fields: lengths 2 and 2
+        assert index.average_field_length("title") == 2.0
+        assert index.average_field_length("nope") == 0.0
+
+
+class TestAccess:
+    def test_postings_shape(self):
+        index = build_sample()
+        postings = index.postings("american")
+        assert postings == {1: {"title": 1}, 2: {"title": 1}}
+
+    def test_matching_documents(self):
+        index = build_sample()
+        assert index.matching_documents("histori") == {1, 3}
+
+    def test_document_terms_forward(self):
+        index = build_sample()
+        forward = index.document_terms(3)
+        assert forward["comments"]["histori"] == 2
+
+    def test_document_terms_missing(self):
+        with pytest.raises(SearchError):
+            build_sample().document_terms(99)
+
+
+class TestRemove:
+    def test_remove_document(self):
+        index = build_sample()
+        index.remove_document(1)
+        assert index.document_count == 2
+        assert index.document_frequency("great") == 0
+        assert index.matching_documents("american") == {2}
+
+    def test_remove_missing(self):
+        with pytest.raises(SearchError):
+            build_sample().remove_document(99)
+
+    def test_remove_then_stats_consistent(self):
+        index = build_sample()
+        index.remove_document(3)
+        assert index.term_frequency(3, "histori") == 0
+        assert index.average_field_length("comments") == 1.0
+
+    @given(
+        st.dictionaries(
+            st.integers(min_value=0, max_value=20),
+            st.lists(
+                st.sampled_from(["alpha", "beta", "gamma"]),
+                min_size=1,
+                max_size=5,
+            ),
+            max_size=10,
+        )
+    )
+    def test_add_remove_all_leaves_empty(self, docs):
+        index = InvertedIndex()
+        for doc_id, tokens in docs.items():
+            index.add_document(doc_id, {"body": tokens})
+        for doc_id in docs:
+            index.remove_document(doc_id)
+        assert index.document_count == 0
+        assert index.vocabulary_size == 0

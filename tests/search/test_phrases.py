@@ -1,0 +1,54 @@
+"""Unit tests for bigram phrase extraction."""
+
+from repro.search.phrases import count_bigrams, display_unigrams, extract_bigrams
+
+
+class TestExtractBigrams:
+    def test_basic(self):
+        assert extract_bigrams("History of Latin American politics") == [
+            "latin american",
+            "american politics",
+        ]
+
+    def test_stopwords_break_chains(self):
+        # "war" and "peace" are separated by a stopword; no bigram forms.
+        assert extract_bigrams("war and peace") == []
+
+    def test_short_tokens_break_chains(self):
+        assert extract_bigrams("vitamin c supplements") == []
+
+    def test_empty(self):
+        assert extract_bigrams("") == []
+        assert extract_bigrams("the of and") == []
+
+    def test_case_normalized(self):
+        assert extract_bigrams("African AMERICAN studies") == [
+            "african american",
+            "american studies",
+        ]
+
+
+class TestCountBigrams:
+    def test_aggregates(self):
+        counts = count_bigrams(
+            ["latin american politics", "latin american culture"]
+        )
+        assert counts["latin american"] == 2
+        assert counts["american politics"] == 1
+
+    def test_min_count_filter(self):
+        counts = count_bigrams(
+            ["latin american politics", "latin american culture"],
+            min_count=2,
+        )
+        assert list(counts) == ["latin american"]
+
+
+class TestDisplayUnigrams:
+    def test_unstemmed(self):
+        # Display forms keep full words (the cloud shows "politics",
+        # not the stem "polit").
+        assert display_unigrams("American politics") == ["american", "politics"]
+
+    def test_stopwords_filtered(self):
+        assert display_unigrams("the war of the worlds") == ["war", "worlds"]

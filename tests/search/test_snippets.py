@@ -1,0 +1,84 @@
+"""Tests for result snippets."""
+
+import pytest
+
+from repro.minidb import Database
+from repro.search.engine import SearchEngine
+from repro.search.entity import EntityDefinition, FieldSpec
+from repro.search.snippets import annotate_hits, best_snippet
+
+
+@pytest.fixture()
+def engine():
+    database = Database()
+    database.execute_script(
+        """
+        CREATE TABLE Docs (DocID INTEGER PRIMARY KEY, Title TEXT, Body TEXT);
+        INSERT INTO Docs VALUES
+          (1, 'American History',
+           'This long survey course covers the american revolution and then the civil war and finally reconstruction in exhaustive detail'),
+          (2, 'Music Theory', 'harmony counterpoint and american jazz forms'),
+          (3, 'Plain Algebra', 'groups rings and fields');
+        """
+    )
+    entity = EntityDefinition(
+        "doc",
+        (
+            FieldSpec("title", "SELECT DocID, Title FROM Docs", weight=3.0),
+            FieldSpec("body", "SELECT DocID, Body FROM Docs", weight=1.0),
+        ),
+    )
+    eng = SearchEngine(database, entity)
+    eng.build()
+    return eng
+
+
+class TestBestSnippet:
+    def test_marks_matches(self, engine):
+        result = engine.search("american")
+        snippet = best_snippet(engine, 1, result.terms)
+        assert "**American**" in snippet or "**american**" in snippet
+
+    def test_prefers_high_weight_field(self, engine):
+        result = engine.search("american")
+        # Doc 1 has "American" in the title; the snippet comes from there.
+        snippet = best_snippet(engine, 1, result.terms)
+        assert "History" in snippet
+
+    def test_falls_back_to_body(self, engine):
+        result = engine.search("jazz")
+        snippet = best_snippet(engine, 2, result.terms)
+        assert "**jazz**" in snippet
+
+    def test_window_width_respected(self, engine):
+        result = engine.search("revolution")
+        snippet = best_snippet(engine, 1, result.terms, width=5)
+        # 5 words plus ellipses and markers.
+        bare = snippet.replace("...", "").replace("**", "")
+        assert len(bare.split()) <= 5
+
+    def test_ellipses_mark_truncation(self, engine):
+        result = engine.search("reconstruction")
+        snippet = best_snippet(engine, 1, result.terms, width=4)
+        assert snippet.startswith("...")
+
+    def test_none_when_no_match(self, engine):
+        assert best_snippet(engine, 3, ["american"]) is None
+
+    def test_stemmed_matching(self, engine):
+        # Query "wars" stems to the same root as "war" in the text.
+        result = engine.search("wars")
+        snippet = best_snippet(engine, 1, result.terms)
+        assert "**war**" in snippet
+
+
+class TestAnnotateHits:
+    def test_pairs_in_rank_order(self, engine):
+        result = engine.search("american")
+        annotated = annotate_hits(engine, result, limit=5)
+        assert [doc_id for doc_id, _s in annotated] == result.doc_ids()[:5]
+        assert all(snippet for _d, snippet in annotated)
+
+    def test_limit(self, engine):
+        result = engine.search("american")
+        assert len(annotate_hits(engine, result, limit=1)) == 1

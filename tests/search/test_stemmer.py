@@ -1,0 +1,126 @@
+"""Unit tests for the Porter stemmer against the classic reference cases."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.search.stemmer import porter_stem
+
+# Representative vocabulary from Porter's 1980 article, step by step.
+REFERENCE = {
+    # step 1a
+    "caresses": "caress",
+    "ponies": "poni",
+    "caress": "caress",
+    "cats": "cat",
+    # step 1b
+    "feed": "feed",
+    "agreed": "agre",
+    "plastered": "plaster",
+    "bled": "bled",
+    "motoring": "motor",
+    "sing": "sing",
+    "conflated": "conflat",
+    "troubled": "troubl",
+    "sized": "size",
+    "hopping": "hop",
+    "tanned": "tan",
+    "falling": "fall",
+    "hissing": "hiss",
+    "fizzed": "fizz",
+    "failing": "fail",
+    "filing": "file",
+    # step 1c
+    "happy": "happi",
+    "sky": "sky",
+    # step 2
+    "relational": "relat",
+    "conditional": "condit",
+    "rational": "ration",
+    "valenci": "valenc",
+    "hesitanci": "hesit",
+    "digitizer": "digit",
+    "conformabli": "conform",
+    "radicalli": "radic",
+    "differentli": "differ",
+    "vileli": "vile",
+    "analogousli": "analog",
+    "vietnamization": "vietnam",
+    "predication": "predic",
+    "operator": "oper",
+    "feudalism": "feudal",
+    "decisiveness": "decis",
+    "hopefulness": "hope",
+    "callousness": "callous",
+    "formaliti": "formal",
+    "sensitiviti": "sensit",
+    "sensibiliti": "sensibl",
+    # step 3
+    "triplicate": "triplic",
+    "formative": "form",
+    "formalize": "formal",
+    "electriciti": "electr",
+    "electrical": "electr",
+    "hopeful": "hope",
+    "goodness": "good",
+    # step 4
+    "revival": "reviv",
+    "allowance": "allow",
+    "inference": "infer",
+    "airliner": "airlin",
+    "gyroscopic": "gyroscop",
+    "adjustable": "adjust",
+    "defensible": "defens",
+    "irritant": "irrit",
+    "replacement": "replac",
+    "adjustment": "adjust",
+    "dependent": "depend",
+    "adoption": "adopt",
+    "homologou": "homolog",
+    "communism": "commun",
+    "activate": "activ",
+    "angulariti": "angular",
+    "homologous": "homolog",
+    "effective": "effect",
+    "bowdlerize": "bowdler",
+    # step 5
+    "probate": "probat",
+    "rate": "rate",
+    "cease": "ceas",
+    "controll": "control",
+    "roll": "roll",
+}
+
+
+class TestReferenceVocabulary:
+    @pytest.mark.parametrize("word,expected", sorted(REFERENCE.items()))
+    def test_reference_word(self, word, expected):
+        assert porter_stem(word) == expected
+
+
+class TestEdgeCases:
+    def test_short_words_unchanged(self):
+        assert porter_stem("a") == "a"
+        assert porter_stem("is") == "is"
+        assert porter_stem("it") == "it"
+
+    def test_domain_words(self):
+        assert porter_stem("programming") == "program"
+        assert porter_stem("databases") == "databas"
+        assert porter_stem("american") == "american"
+        assert porter_stem("histories") == "histori"
+        assert porter_stem("history") == "histori"
+
+    def test_related_forms_conflate(self):
+        assert porter_stem("recommendation") == porter_stem("recommend")
+        assert porter_stem("ratings") == porter_stem("rating")
+
+    @given(st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1, max_size=15))
+    def test_never_longer_and_always_lowercase(self, word):
+        stem = porter_stem(word)
+        assert len(stem) <= len(word)
+        assert stem == stem.lower()
+
+    @given(st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=3, max_size=12))
+    def test_deterministic(self, word):
+        assert porter_stem(word) == porter_stem(word)

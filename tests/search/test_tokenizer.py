@@ -1,0 +1,88 @@
+"""Unit tests for tokenization."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.search.tokenizer import STOPWORDS, Tokenizer
+
+
+class TestRawTokens:
+    def test_lowercases_and_splits(self):
+        tokens = Tokenizer().raw_tokens("Latin-American Politics 101")
+        assert tokens == ["latin", "american", "politics", "101"]
+
+    def test_apostrophes_collapse(self):
+        assert Tokenizer().raw_tokens("don't") == ["dont"]
+
+    def test_empty(self):
+        assert Tokenizer().raw_tokens("") == []
+        assert Tokenizer().raw_tokens("  ...  ") == []
+
+
+class TestPipeline:
+    def test_stopwords_removed(self):
+        tokens = Tokenizer(stem=False).tokens("the history of the war")
+        assert tokens == ["history", "war"]
+
+    def test_domain_stopwords(self):
+        tokens = Tokenizer(stem=False).tokens("introduction to the course units")
+        assert tokens == []
+
+    def test_min_length(self):
+        tokens = Tokenizer(stem=False).tokens("a b cd")
+        assert tokens == ["cd"]
+
+    def test_stemming_applied(self):
+        tokens = Tokenizer().tokens("programming databases")
+        assert tokens == ["program", "databas"]
+
+    def test_stemming_off(self):
+        tokens = Tokenizer(stem=False).tokens("programming")
+        assert tokens == ["programming"]
+
+    def test_custom_stopwords(self):
+        tokens = Tokenizer(stem=False, stopwords={"banana"}).tokens(
+            "banana the apple"
+        )
+        assert tokens == ["the", "apple"]
+
+    def test_stopword_filter_disabled(self):
+        tokens = Tokenizer(stem=False, remove_stopwords=False).tokens(
+            "the war"
+        )
+        assert tokens == ["the", "war"]
+
+    def test_query_matches_document_pipeline(self):
+        tokenizer = Tokenizer()
+        assert tokenizer.query_tokens("American History") == tokenizer.tokens(
+            "American History"
+        )
+
+    def test_stem_cache_consistency(self):
+        tokenizer = Tokenizer()
+        first = tokenizer.stem_token("running")
+        second = tokenizer.stem_token("running")
+        assert first == second == "run"
+
+    @given(st.text(max_size=60))
+    def test_tokens_never_contain_uppercase_or_spaces(self, text):
+        for token in Tokenizer().tokens(text):
+            assert token == token.lower()
+            assert " " not in token
+
+    @given(st.text(alphabet="abc XYZ,.'", max_size=40))
+    def test_pipeline_idempotent_on_own_output(self, text):
+        tokenizer = Tokenizer(stem=False)
+        once = tokenizer.tokens(text)
+        again = tokenizer.tokens(" ".join(once))
+        assert once == again
+
+
+class TestStopwordList:
+    def test_common_words_present(self):
+        for word in ("the", "and", "of"):
+            assert word in STOPWORDS
+
+    def test_content_words_absent(self):
+        for word in ("american", "history", "java"):
+            assert word not in STOPWORDS

@@ -1,0 +1,43 @@
+"""Tests for the exception hierarchy contract."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_everything_derives_from_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                assert issubclass(obj, errors.ReproError), name
+
+    def test_substrate_bases(self):
+        assert issubclass(errors.SQLSyntaxError, errors.MiniDBError)
+        assert issubclass(errors.IntegrityError, errors.MiniDBError)
+        assert issubclass(errors.WorkflowValidationError, errors.FlexRecsError)
+        assert issubclass(errors.CompilationError, errors.FlexRecsError)
+        assert issubclass(errors.AuthorizationError, errors.CourseRankError)
+        assert issubclass(errors.PrivacyError, errors.CourseRankError)
+        assert issubclass(errors.PlannerConflictError, errors.CourseRankError)
+
+    def test_facade_boundary_catch(self):
+        """Application code can catch one base class at the boundary."""
+        from repro.minidb import Database
+
+        db = Database()
+        with pytest.raises(errors.ReproError):
+            db.execute("SELEC broken")
+        with pytest.raises(errors.MiniDBError):
+            db.execute("SELECT * FROM missing_table")
+
+    def test_distinct_failure_modes_distinguishable(self):
+        from repro.minidb import Database
+
+        db = Database()
+        db.execute("CREATE TABLE t (id INTEGER PRIMARY KEY)")
+        db.execute("INSERT INTO t VALUES (1)")
+        with pytest.raises(errors.IntegrityError):
+            db.execute("INSERT INTO t VALUES (1)")
+        with pytest.raises(errors.UnknownColumnError):
+            db.query("SELECT nope FROM t")
