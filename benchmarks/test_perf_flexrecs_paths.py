@@ -20,6 +20,8 @@ import pytest
 from conftest import write_report
 
 from repro.core import strategies
+from repro.minidb import planner as planner_module
+from repro.minidb.plancache import clear_statement_cache
 
 NEIGHBOURS = 10
 TOP_K = 10
@@ -88,22 +90,55 @@ def test_all_three_paths_agree(benchmark, bench_db, workflow, active_student):
         assert row["score"] == pytest.approx(hand_score)
 
 
-def test_report_path_timings(bench_db, workflow, active_student, benchmark):
+def test_report_path_timings(bench_db, active_student, benchmark):
     sql = hand_written_cf_sql(active_student, NEIGHBOURS, TOP_K)
-    runners = {
-        "direct": lambda: workflow.run(bench_db),
-        "compiled SQL": lambda: workflow.run_sql(bench_db),
-        "hand-written SQL": lambda: bench_db.query(sql),
-    }
+
+    def cold_interpreted():
+        """Pre-fast-path behaviour: no caches, no compiled closures.
+
+        Flipping the planner kill-switch off rebuilds the plan the way
+        every run used to execute — tree-walking evaluation, no subquery
+        flattening, no itemgetter emission — so this row is the faithful
+        "current cold path" the warm repeat is measured against.
+        """
+        planner_module.COMPILE_EXPRESSIONS = False
+        try:
+            samples = []
+            for _ in range(3):
+                fresh = strategies.collaborative_filtering(
+                    active_student, similar_students=NEIGHBOURS, top_k=TOP_K
+                )
+                bench_db.clear_plan_cache()
+                clear_statement_cache()
+                start = time.perf_counter()
+                fresh.run_sql(bench_db)
+                samples.append(time.perf_counter() - start)
+            # min-of-N: the least-disturbed sample estimates true cost
+            return min(samples)
+        finally:
+            planner_module.COMPILE_EXPRESSIONS = True
+            bench_db.clear_plan_cache()
+            clear_statement_cache()
 
     def measure():
         timings = {}
+        timings["compiled SQL (cold, no caches)"] = cold_interpreted()
+        warmed = strategies.collaborative_filtering(
+            active_student, similar_students=NEIGHBOURS, top_k=TOP_K
+        )
+        runners = {
+            "direct": lambda: warmed.run(bench_db),
+            "compiled SQL (warm)": lambda: warmed.run_sql(bench_db),
+            "hand-written SQL": lambda: bench_db.query(sql),
+        }
         for name, runner in runners.items():
             runner()  # warm (UDF registration, caches)
-            start = time.perf_counter()
-            for _ in range(3):
+            samples = []
+            for _ in range(5):
+                start = time.perf_counter()
                 runner()
-            timings[name] = (time.perf_counter() - start) / 3
+                samples.append(time.perf_counter() - start)
+            timings[name] = min(samples)
         return timings
 
     timings = benchmark.pedantic(measure, rounds=1, iterations=1)
@@ -112,11 +147,21 @@ def test_report_path_timings(bench_db, workflow, active_student, benchmark):
         f"(student {active_student}):"
     ]
     for name, seconds in sorted(timings.items(), key=lambda kv: kv[1]):
-        lines.append(f"  {name:>17}: {seconds * 1000:8.1f} ms")
-    overhead = timings["compiled SQL"] / timings["hand-written SQL"]
+        lines.append(f"  {name:>19}: {seconds * 1000:8.1f} ms")
+    overhead = timings["compiled SQL (warm)"] / timings["hand-written SQL"]
+    warm_speedup = (
+        timings["compiled SQL (cold, no caches)"] / timings["compiled SQL (warm)"]
+    )
     lines.append(
         f"declarativeness overhead (compiled vs hand-written): {overhead:.2f}x"
     )
+    lines.append(
+        f"fast-path speedup (cold interpreted run vs warm repeat): "
+        f"{warm_speedup:.1f}x"
+    )
     write_report("perf_flexrecs_paths", lines)
-    # Shape: the generated SQL costs at most a small factor over hand SQL.
-    assert overhead < 10.0
+    # Shape: a warm repeat skips compile/parse/plan entirely and runs the
+    # compiled/pruned pipeline, and the generated SQL costs at most a
+    # small factor over hand SQL.
+    assert warm_speedup >= 3.0
+    assert overhead < 1.5

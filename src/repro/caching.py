@@ -1,0 +1,53 @@
+"""Shared bounded caches.
+
+One small LRU implementation used across layers: the minidb statement and
+plan caches, the search tokenizer's token-stream memo, and the data-cloud
+term-statistics memo.  Deliberately dependency-free so every layer can
+import it.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Optional
+
+
+class LRUCache:
+    """A small bounded mapping with least-recently-used eviction."""
+
+    def __init__(self, maxsize: int) -> None:
+        if maxsize <= 0:
+            raise ValueError("LRU cache size must be positive")
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[Any, Any]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: Any) -> Optional[Any]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: Any, value: Any) -> None:
+        entries = self._entries
+        if key in entries:
+            entries.move_to_end(key)
+        entries[key] = value
+        if len(entries) > self.maxsize:
+            entries.popitem(last=False)
+
+    def pop(self, key: Any) -> Optional[Any]:
+        return self._entries.pop(key, None)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._entries

@@ -33,6 +33,7 @@ from collections import Counter
 from dataclasses import dataclass
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Set, Tuple
 
+from repro.caching import LRUCache
 from repro.errors import CloudError
 from repro.search.engine import SearchEngine
 from repro.search.phrases import display_unigrams, extract_bigrams
@@ -75,6 +76,9 @@ class TermSource:
         self._doc_terms: Dict[DocId, Counter] = {}
         self._corpus_df: Counter = Counter()
         self._prepared = False
+        # Result sets repeat across a session (identical searches, cloud
+        # refinement back()); memoize the merged statistics per doc set.
+        self._gather_cache = LRUCache(maxsize=64)
 
     # -- build-time work -----------------------------------------------------
 
@@ -82,6 +86,7 @@ class TermSource:
         """Precompute whatever the strategy needs (called once per build)."""
         self._doc_terms.clear()
         self._corpus_df.clear()
+        self._gather_cache.clear()
         for doc_id in self.engine.index.document_ids():
             counts = self._extract(doc_id)
             self._corpus_df.update(counts.keys())
@@ -112,9 +117,18 @@ class TermSource:
         """Term statistics over ``doc_ids`` according to the strategy."""
         if not self._prepared:
             raise CloudError("TermSource.prepare() must run before gather()")
+        ordered = tuple(doc_ids)
+        key: Optional[Tuple[DocId, ...]] = ordered
+        try:
+            cached = self._gather_cache.get(ordered)
+        except TypeError:  # unhashable doc ids
+            cached = None
+            key = None
+        if cached is not None:
+            return cached
         occurrences: Counter = Counter()
         result_df: Counter = Counter()
-        for doc_id in doc_ids:
+        for doc_id in ordered:
             if self.strategy == "rescan":
                 counts = self._extract(doc_id)
             else:
@@ -122,7 +136,7 @@ class TermSource:
             for term, count in counts.items():
                 occurrences[term] += count
                 result_df[term] += 1
-        return [
+        stats = [
             TermStats(
                 term=term,
                 occurrences=occurrences[term],
@@ -131,6 +145,9 @@ class TermSource:
             )
             for term in occurrences
         ]
+        if key is not None:
+            self._gather_cache.put(key, stats)
+        return stats
 
     @property
     def corpus_size(self) -> int:

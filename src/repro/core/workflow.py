@@ -10,8 +10,9 @@ front end — the paper's deployment model.  Both return a
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
-from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import WorkflowValidationError
 from repro.core.library import Comparator
@@ -64,6 +65,9 @@ class Workflow:
     def __init__(self, root: Operator, name: str = "workflow") -> None:
         self.root = root
         self.name = name
+        # Memoized (validate + compile) artifact for one database; see
+        # _compiled_for.  Holds a weakref so caching never pins a Database.
+        self._compiled: Optional[Tuple[Any, int, int, Any]] = None
 
     # -- validation --------------------------------------------------------
 
@@ -161,22 +165,48 @@ class Workflow:
         self.validate(database)
         return execute_workflow(self, database)
 
-    def run_sql(self, database: Database) -> Recommendation:
-        """Compile to SQL and execute through the minidb SQL engine."""
+    def _compiled_for(self, database: Database) -> Any:
+        """Validate + compile once per (database, schema, functions) state.
+
+        The compiler emits deterministic SQL (its alias counter restarts
+        per compilation), so the memoized text also keys straight into the
+        database's statement and plan caches: a repeated ``run_sql`` skips
+        validation, compilation, parsing, and planning entirely.  The
+        version vector is captured *after* compiling because a first
+        compile may register comparator UDFs and bump the function
+        registry's version.
+        """
+        cached = self._compiled
+        if cached is not None:
+            db_ref, epoch, functions_version, compiled = cached
+            if (
+                db_ref() is database
+                and epoch == database.schema_epoch
+                and functions_version == database.functions.version
+            ):
+                return compiled
         from repro.core.compiler import compile_workflow
 
         self.validate(database)
         compiled = compile_workflow(self, database)
+        self._compiled = (
+            weakref.ref(database),
+            database.schema_epoch,
+            database.functions.version,
+            compiled,
+        )
+        return compiled
+
+    def run_sql(self, database: Database) -> Recommendation:
+        """Compile to SQL and execute through the minidb SQL engine."""
+        compiled = self._compiled_for(database)
         result = database.query(compiled.sql)
         rows = [dict(zip(result.columns, row)) for row in result.rows]
         return Recommendation(columns=list(result.columns), rows=rows)
 
     def to_sql(self, database: Database) -> str:
         """The SQL this workflow compiles to (for inspection/EXPLAIN)."""
-        from repro.core.compiler import compile_workflow
-
-        self.validate(database)
-        return compile_workflow(self, database).sql
+        return self._compiled_for(database).sql
 
     def explain(self) -> str:
         """Render the operator tree."""

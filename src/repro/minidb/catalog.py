@@ -31,6 +31,7 @@ from repro.errors import (
 )
 from repro.minidb.functions import FunctionRegistry
 from repro.minidb.indexes import create_index
+from repro.minidb.plancache import LRUCache, PreparedStatement
 from repro.minidb.schema import Column, ForeignKey, TableSchema
 from repro.minidb.table import Row, Table
 
@@ -61,6 +62,10 @@ class Database:
         self._snapshot: Optional[Dict[str, Tuple[Dict[int, Row], int]]] = None
         # Executor is created lazily to avoid an import cycle.
         self._executor = None
+        # Bumped on every DDL change (and rollback); cached plans whose
+        # epoch no longer matches are transparently re-planned.
+        self.schema_epoch = 0
+        self._plan_cache = LRUCache(maxsize=256)
 
     # -- table management ----------------------------------------------------
 
@@ -84,6 +89,7 @@ class Database:
                 )
         table = _CatalogTable(schema, self)
         self._tables[key] = table
+        self.schema_epoch += 1
         return table
 
     def drop_table(self, name: str, if_exists: bool = False) -> None:
@@ -111,6 +117,7 @@ class Database:
         ]:
             del self._indexes[index_name.lower()]
         del self._tables[key]
+        self.schema_epoch += 1
 
     def table(self, name: str) -> Table:
         try:
@@ -141,6 +148,7 @@ class Database:
 
         plan_select(self, statement)  # validates
         self._views[key] = statement
+        self.schema_epoch += 1
 
     def drop_view(self, name: str, if_exists: bool = False) -> None:
         key = name.lower()
@@ -149,6 +157,7 @@ class Database:
                 return
             raise SchemaError(f"no such view {name!r}")
         del self._views[key]
+        self.schema_epoch += 1
 
     def has_view(self, name: str) -> bool:
         return name.lower() in self._views
@@ -203,6 +212,7 @@ class Database:
         info = IndexInfo(name, table.name, tuple(columns), kind)
         table.attach_index(key, info.index, columns)
         self._indexes[key] = info
+        self.schema_epoch += 1
         return info
 
     def drop_index(self, name: str) -> None:
@@ -211,6 +221,7 @@ class Database:
         if info is None:
             raise SchemaError(f"no such index {name!r}")
         self.table(info.table).detach_index(key)
+        self.schema_epoch += 1
 
     def indexes_on(self, table_name: str) -> List[IndexInfo]:
         key = table_name.lower()
@@ -266,22 +277,36 @@ class Database:
             self._executor = Executor(self)
         return self._executor
 
-    def execute(self, sql: str) -> Any:
+    def execute(self, sql: str, params: Optional[Sequence[Any]] = None) -> Any:
         """Execute one statement.
 
         Returns a :class:`~repro.minidb.executor.ResultSet` for queries, an
-        affected-row count for DML, and ``None`` for DDL.
+        affected-row count for DML, and ``None`` for DDL.  ``params`` binds
+        ``?`` placeholders left-to-right.
         """
-        return self._get_executor().execute_sql(sql)
+        return self._get_executor().execute_sql(sql, params=params)
 
-    def query(self, sql: str):
+    def query(self, sql: str, params: Optional[Sequence[Any]] = None):
         """Execute a SELECT/UNION and return its ResultSet."""
-        result = self.execute(sql)
+        result = self.execute(sql, params=params)
         from repro.minidb.executor import ResultSet
 
         if not isinstance(result, ResultSet):
             raise MiniDBError("query() requires a SELECT statement")
         return result
+
+    def prepare(self, sql: str) -> PreparedStatement:
+        """Parse (and for SELECTs, plan) once; execute many times.
+
+        The handle binds ``?`` parameters per execution and routes through
+        this database's plan cache, so repeated executions skip the lexer,
+        parser, and planner entirely.
+        """
+        return PreparedStatement(self, sql)
+
+    def clear_plan_cache(self) -> None:
+        """Drop all cached query plans (testing / memory-pressure hook)."""
+        self._plan_cache.clear()
 
     def execute_script(self, sql: str) -> List[Any]:
         """Execute a ``;``-separated script, returning per-statement results."""
@@ -339,6 +364,8 @@ class Database:
                 del self._tables[name]
         self._views = dict(getattr(self, "_view_snapshot", self._views))
         self._snapshot = None
+        # Rollback may have undone DDL; invalidate all cached plans.
+        self.schema_epoch += 1
 
     def transaction(self) -> "_TransactionContext":
         """Context manager: commit on success, rollback on exception."""

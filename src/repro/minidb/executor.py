@@ -18,6 +18,7 @@ from repro.errors import (
     UnknownColumnError,
 )
 from repro.minidb.expressions import Env, Expression
+from repro.minidb.plancache import parsed_statement, snapshot_plan
 from repro.minidb.planner import QueryPlan, plan_select
 from repro.minidb.schema import Column, TableSchema
 from repro.minidb.sql.ast import (
@@ -28,6 +29,7 @@ from repro.minidb.sql.ast import (
     DropIndexStatement,
     DropTableStatement,
     DropViewStatement,
+    ExplainStatement,
     InsertStatement,
     SelectStatement,
     Statement,
@@ -158,20 +160,32 @@ class Executor:
 
     # -- entry points -----------------------------------------------------
 
-    def execute_sql(self, sql: str) -> Any:
-        return self.execute_statement(parse_statement(sql))
+    def execute_sql(
+        self, sql: str, params: Optional[Sequence[Any]] = None
+    ) -> Any:
+        statement, canonical, _count = parsed_statement(sql)
+        return self.execute_statement(
+            statement, params=params, canonical=canonical
+        )
 
-    def execute_statement(self, statement: Statement) -> Any:
+    def execute_statement(
+        self,
+        statement: Statement,
+        params: Optional[Sequence[Any]] = None,
+        canonical: Optional[str] = None,
+    ) -> Any:
         if isinstance(statement, SelectStatement):
-            return self._run_select(statement)
+            return self._run_select(statement, params=params, canonical=canonical)
+        if isinstance(statement, ExplainStatement):
+            return self._run_explain(statement)
         if isinstance(statement, UnionStatement):
-            return self._run_union(statement)
+            return self._run_union(statement, params=params)
         if isinstance(statement, InsertStatement):
-            return self._run_insert(statement)
+            return self._run_insert(statement, params=params)
         if isinstance(statement, UpdateStatement):
-            return self._run_update(statement)
+            return self._run_update(statement, params=params)
         if isinstance(statement, DeleteStatement):
-            return self._run_delete(statement)
+            return self._run_delete(statement, params=params)
         if isinstance(statement, CreateTableStatement):
             return self._run_create_table(statement)
         if isinstance(statement, CreateIndexStatement):
@@ -230,13 +244,53 @@ class Executor:
 
     # -- queries -----------------------------------------------------------
 
-    def _run_select(self, statement: SelectStatement) -> ResultSet:
-        plan = plan_select(self.database, statement)
+    def plan_for(
+        self, statement: SelectStatement, canonical: Optional[str] = None
+    ) -> Tuple[QueryPlan, bool]:
+        """Fetch a valid cached plan for ``statement``, or plan and cache it.
+
+        Returns ``(plan, was_cached)``.  Cache entries are keyed by the
+        statement's canonical SQL text and validated against the database's
+        schema epoch and table/function version counters; a stale entry is
+        transparently re-planned here.
+        """
+        database = self.database
+        if canonical is None:
+            canonical = statement.to_sql()
+        entry = database._plan_cache.get(canonical)
+        if entry is not None and entry.is_valid(database):
+            return entry.plan, True
+        plan = plan_select(database, statement)
+        database._plan_cache.put(canonical, snapshot_plan(database, plan))
+        return plan, False
+
+    def _run_select(
+        self,
+        statement: SelectStatement,
+        params: Optional[Sequence[Any]] = None,
+        canonical: Optional[str] = None,
+    ) -> ResultSet:
+        plan, _cached = self.plan_for(statement, canonical)
+        plan.bind_parameters(params or ())
         columns, rows = plan.run()
         return ResultSet(columns, rows)
 
-    def _run_union(self, statement: UnionStatement) -> ResultSet:
-        results = [self._run_select(part) for part in statement.parts]
+    def _run_explain(self, statement: ExplainStatement) -> ResultSet:
+        plan, cached = self.plan_for(statement.query)
+        lines = plan.describe()
+        head = lines[0] + (" [cached]" if cached else "") + " [compiled-expr]"
+        return ResultSet(
+            ["QUERY PLAN"], [(line,) for line in [head] + lines[1:]]
+        )
+
+    def _run_union(
+        self,
+        statement: UnionStatement,
+        params: Optional[Sequence[Any]] = None,
+    ) -> ResultSet:
+        results = [
+            self._run_select(part, params=params) for part in statement.parts
+        ]
         width = len(results[0].columns)
         for result in results[1:]:
             if len(result.columns) != width:
@@ -289,13 +343,20 @@ class Executor:
 
     # -- DML ---------------------------------------------------------------
 
-    def _constant_env(self) -> Env:
-        return {"__functions__": self.database.functions}
+    def _constant_env(self, params: Optional[Sequence[Any]] = None) -> Env:
+        env: Env = {"__functions__": self.database.functions}
+        if params is not None:
+            env["__params__"] = tuple(params)
+        return env
 
-    def _run_insert(self, statement: InsertStatement) -> int:
+    def _run_insert(
+        self,
+        statement: InsertStatement,
+        params: Optional[Sequence[Any]] = None,
+    ) -> int:
         table = self.database.table(statement.table)
         if statement.select is not None:
-            source = self._run_select(statement.select)
+            source = self._run_select(statement.select, params=params)
             count = 0
             for row in source.rows:
                 if statement.columns is not None:
@@ -309,7 +370,7 @@ class Executor:
                     table.insert(list(row))
                 count += 1
             return count
-        env = self._constant_env()
+        env = self._constant_env(params)
         count = 0
         for row_exprs in statement.rows:
             values = [expression.evaluate(env) for expression in row_exprs]
@@ -326,15 +387,21 @@ class Executor:
             count += 1
         return count
 
-    def _row_env(self, table: Any, row: Row) -> Env:
-        env = self._constant_env()
+    def _row_env(
+        self, table: Any, row: Row, params: Optional[Sequence[Any]] = None
+    ) -> Env:
+        env = self._constant_env(params)
         for column, value in zip(table.schema.columns, row):
             lowered = column.name.lower()
             env[lowered] = value
             env[f"{table.name.lower()}.{lowered}"] = value
         return env
 
-    def _run_update(self, statement: UpdateStatement) -> int:
+    def _run_update(
+        self,
+        statement: UpdateStatement,
+        params: Optional[Sequence[Any]] = None,
+    ) -> int:
         table = self.database.table(statement.table)
         positions = {
             column.lower(): table.schema.column_position(column)
@@ -344,10 +411,11 @@ class Executor:
         def matches(row: Row) -> bool:
             if statement.where is None:
                 return True
-            return statement.where.evaluate(self._row_env(table, row)) is True
+            env = self._row_env(table, row, params)
+            return statement.where.evaluate(env) is True
 
         def transform(row: Row) -> Sequence[Any]:
-            env = self._row_env(table, row)
+            env = self._row_env(table, row, params)
             new_row = list(row)
             for column, expression in statement.assignments:
                 new_row[positions[column.lower()]] = expression.evaluate(env)
@@ -355,13 +423,18 @@ class Executor:
 
         return table.update_where(matches, transform)
 
-    def _run_delete(self, statement: DeleteStatement) -> int:
+    def _run_delete(
+        self,
+        statement: DeleteStatement,
+        params: Optional[Sequence[Any]] = None,
+    ) -> int:
         table = self.database.table(statement.table)
 
         def matches(row: Row) -> bool:
             if statement.where is None:
                 return True
-            return statement.where.evaluate(self._row_env(table, row)) is True
+            env = self._row_env(table, row, params)
+            return statement.where.evaluate(env) is True
 
         return table.delete_where(matches)
 

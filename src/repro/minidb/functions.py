@@ -99,13 +99,24 @@ class FunctionRegistry:
     def __init__(self) -> None:
         self._scalars: Dict[str, Callable[..., Any]] = {}
         self._aggregates: Dict[str, Callable[[], "Accumulator"]] = {}
+        # Bumped whenever a name starts resolving to a different function,
+        # so cached query plans that baked in function results revalidate.
+        self.version = 0
         self._install_builtins()
 
     # -- scalar ------------------------------------------------------------
 
     def register_scalar(self, name: str, function: Callable[..., Any]) -> None:
-        """Register (or replace) a scalar function / UDF."""
-        self._scalars[name.lower()] = function
+        """Register (or replace) a scalar function / UDF.
+
+        Re-registering the *same* function object is a no-op for the
+        version counter: the FlexRecs compiler re-registers workflow UDFs
+        on every compile, and that must not invalidate cached plans.
+        """
+        key = name.lower()
+        if self._scalars.get(key) is not function:
+            self.version += 1
+        self._scalars[key] = function
 
     def scalar(self, name: str) -> Callable[..., Any]:
         try:
@@ -121,7 +132,10 @@ class FunctionRegistry:
     def register_aggregate(
         self, name: str, factory: Callable[[], "Accumulator"]
     ) -> None:
-        self._aggregates[name.lower()] = factory
+        key = name.lower()
+        if self._aggregates.get(key) is not factory:
+            self.version += 1
+        self._aggregates[key] = factory
 
     def aggregate(self, name: str) -> "Accumulator":
         try:

@@ -1,0 +1,183 @@
+"""Prepared statements and the plan/statement caches.
+
+This is the statement-to-execution fast path: repeated SQL skips the
+lexer, the parser, and the planner.
+
+Two cache layers cooperate:
+
+* a **statement cache** (module-level, parse is pure) mapping raw SQL text
+  to its parsed statement, its canonical rendering, and its ``?`` count;
+* a **plan cache** (one per :class:`~repro.minidb.catalog.Database`)
+  mapping a SELECT's canonical text to a :class:`CachedPlan`.
+
+A cached plan is *validated* on every hit against the database's schema
+epoch (bumped by all DDL), each referenced table's ``indexed_version``
+(bumped by DML that touches indexed state), the function-registry version,
+and — for plans whose IN/EXISTS subqueries were snapshotted at plan time —
+each table's ``data_version``.  A stale entry is transparently re-planned
+from the already-parsed statement, so callers never observe staleness.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Tuple
+
+from repro.caching import LRUCache
+from repro.errors import ExecutionError
+
+__all__ = [
+    "LRUCache",
+    "CachedPlan",
+    "PreparedStatement",
+    "snapshot_plan",
+    "parsed_statement",
+    "clear_statement_cache",
+]
+
+
+class CachedPlan:
+    """A planned SELECT plus the version vector it was planned under."""
+
+    __slots__ = (
+        "plan",
+        "schema_epoch",
+        "functions_version",
+        "index_versions",
+        "data_versions",
+    )
+
+    def __init__(
+        self,
+        plan: Any,
+        schema_epoch: int,
+        functions_version: int,
+        index_versions: Tuple[Tuple[Any, int], ...],
+        data_versions: Tuple[Tuple[Any, int], ...],
+    ) -> None:
+        self.plan = plan
+        self.schema_epoch = schema_epoch
+        self.functions_version = functions_version
+        self.index_versions = index_versions
+        self.data_versions = data_versions
+
+    def is_valid(self, database: Any) -> bool:
+        if self.schema_epoch != database.schema_epoch:
+            return False
+        if self.functions_version != database.functions.version:
+            return False
+        for table, version in self.index_versions:
+            if table.indexed_version != version:
+                return False
+        for table, version in self.data_versions:
+            if table.data_version != version:
+                return False
+        return True
+
+
+def snapshot_plan(database: Any, plan: Any) -> CachedPlan:
+    """Capture the validation vector for a freshly built plan."""
+    tables = getattr(plan, "tables", ())
+    uses_snapshot = getattr(plan, "uses_snapshot", False)
+    return CachedPlan(
+        plan=plan,
+        schema_epoch=database.schema_epoch,
+        functions_version=database.functions.version,
+        index_versions=tuple(
+            (table, table.indexed_version) for table in tables
+        ),
+        # Plans that resolved IN/EXISTS subqueries baked row data into
+        # literals; they additionally pin every referenced table's data.
+        data_versions=tuple(
+            (table, table.data_version) for table in tables
+        )
+        if uses_snapshot
+        else (),
+    )
+
+
+# Parsing is pure, so parsed statements are shared across databases.
+_STATEMENT_CACHE = LRUCache(maxsize=512)
+
+
+def parsed_statement(sql: str) -> Tuple[Any, Optional[str], int]:
+    """Parse (with caching) one statement.
+
+    Returns ``(statement, canonical, parameter_count)`` where
+    ``canonical`` is the statement's ``to_sql()`` rendering for SELECTs
+    (the plan-cache key — equivalent queries that differ only in
+    formatting share one plan) and ``None`` for everything else.
+    """
+    cached = _STATEMENT_CACHE.get(sql)
+    if cached is not None:
+        return cached
+    from repro.minidb.sql.ast import SelectStatement
+    from repro.minidb.sql.parser import parse_statement
+
+    statement = parse_statement(sql)
+    canonical = (
+        statement.to_sql() if isinstance(statement, SelectStatement) else None
+    )
+    entry = (statement, canonical, getattr(statement, "parameter_count", 0))
+    _STATEMENT_CACHE.put(sql, entry)
+    return entry
+
+
+def clear_statement_cache() -> None:
+    _STATEMENT_CACHE.clear()
+
+
+class PreparedStatement:
+    """A re-executable handle for one SQL statement with ``?`` binding.
+
+    >>> statement = db.prepare("SELECT Title FROM Courses WHERE CourseID = ?")
+    >>> statement.execute(210).scalar()
+
+    Execution routes through the owning database's plan cache, so the
+    plan is built once and transparently re-planned after DDL or after
+    DML that invalidates it.  Bindings are re-installed fresh on every
+    ``execute`` and never leak between executions.
+    """
+
+    def __init__(self, database: Any, sql: str) -> None:
+        self.database = database
+        self.sql = sql
+        statement, canonical, parameter_count = parsed_statement(sql)
+        self.statement = statement
+        self.canonical = canonical
+        self.parameter_count = parameter_count
+        # Plan SELECTs eagerly: prepare() fails fast on bad references and
+        # the first execute() is already warm.
+        if canonical is not None:
+            database._get_executor().plan_for(statement, canonical)
+
+    def execute(self, *params: Any) -> Any:
+        if len(params) != self.parameter_count:
+            raise ExecutionError(
+                f"prepared statement expects {self.parameter_count} "
+                f"parameter(s), got {len(params)}"
+            )
+        executor = self.database._get_executor()
+        return executor.execute_statement(
+            self.statement, params=params, canonical=self.canonical
+        )
+
+    def query(self, *params: Any) -> Any:
+        """Execute and require a ResultSet (SELECT/UNION statements)."""
+        from repro.minidb.executor import ResultSet
+
+        result = self.execute(*params)
+        if not isinstance(result, ResultSet):
+            raise ExecutionError("query() requires a SELECT statement")
+        return result
+
+    def explain(self) -> str:
+        """Render the plan this statement would execute right now."""
+        if self.canonical is None:
+            raise ExecutionError("explain() requires a SELECT statement")
+        plan, _cached = self.database._get_executor().plan_for(
+            self.statement, self.canonical
+        )
+        return "\n".join(plan.describe())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<PreparedStatement {self.sql!r}>"

@@ -20,6 +20,7 @@ aggregation and sorting.
 
 from __future__ import annotations
 
+from operator import itemgetter
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.errors import (
@@ -59,6 +60,47 @@ from repro.minidb.sql.ast import (
 
 Row = Tuple[Any, ...]
 
+#: Kill-switch for the execution fast path: closure-compiled
+#: expressions, trivial-subquery flattening, single-key join/group
+#: hashing, and itemgetter row emission.  Flipping it off makes newly
+#: built plans use the tree-walking interpreted pipeline — the benchmarks
+#: use that to measure the pre-fast-path baseline, and it is an escape
+#: hatch if a compiled closure misbehaves.  Cached plans built under the
+#: previous setting keep their shape; call ``Database.clear_plan_cache()``
+#: after changing it.
+COMPILE_EXPRESSIONS = True
+
+
+def compile_expression(expression: Expression) -> Any:
+    if COMPILE_EXPRESSIONS:
+        return expression.compile()
+    return expression.evaluate
+
+
+def _row_emitter(
+    keys: List[Tuple[int, str, Optional[str]]]
+) -> Tuple[List[str], Any]:
+    """(env keys, row picker) for emitting a row tuple into an env dict.
+
+    ``keys`` holds ``(row_index, qualified_name, bare_name_or_None)``
+    triples; row indices need not be contiguous (pruned scans skip
+    columns nothing references).  The picker pulls the qualified values
+    followed by the duplicated bare-name values out of a row tuple in one
+    C-level call, so emitting is a dict copy plus a single ``update``.
+    """
+    emit_keys = [qualified for _index, qualified, _bare in keys] + [
+        bare for _index, _qualified, bare in keys if bare
+    ]
+    indices = [index for index, _qualified, _bare in keys] + [
+        index for index, _qualified, bare in keys if bare
+    ]
+    if not indices:
+        return emit_keys, lambda row: ()
+    if len(indices) == 1:
+        only = indices[0]
+        return emit_keys, lambda row: (row[only],)
+    return emit_keys, itemgetter(*indices)
+
 
 class Binding:
     """One FROM-clause input: its name and the columns it exposes."""
@@ -96,25 +138,46 @@ class ScanNode(PlanNode):
         bare_columns: Set[str],
         predicate: Optional[Expression] = None,
         access: Optional["IndexAccess"] = None,
+        needed: Optional[Set[str]] = None,
     ) -> None:
         self.table = table
         self.binding = binding
         self.base_env = base_env
         self.predicate = predicate
+        self._predicate = (
+            compile_expression(predicate) if predicate is not None else None
+        )
         self.access = access
         prefix = binding.name.lower() + "."
         self._keys = []
-        for column in table.schema.column_names:
+        for index, column in enumerate(table.schema.column_names):
             lowered = column.lower()
+            qualified = prefix + lowered
+            if (
+                needed is not None
+                and qualified not in needed
+                and lowered not in needed
+            ):
+                continue  # nothing in the statement can touch this column
             bare = lowered if lowered in bare_columns else None
-            self._keys.append((prefix + lowered, bare))
-        self.env_keys = [qualified for qualified, _bare in self._keys] + [
-            bare for _qualified, bare in self._keys if bare
+            if bare and needed is not None and lowered not in needed:
+                bare = None  # only qualified references exist
+            self._keys.append((index, qualified, bare))
+        self.env_keys = [qualified for _index, qualified, _bare in self._keys] + [
+            bare for _index, _qualified, bare in self._keys if bare
         ]
+        # Hot path: one C-level itemgetter + dict update per row instead
+        # of a Python loop over columns.
+        self._emit_keys, self._pick = _row_emitter(self._keys)
+        self._fast_emit = COMPILE_EXPRESSIONS
 
     def _emit(self, row: Row) -> Env:
         env = dict(self.base_env)
-        for (qualified, bare), value in zip(self._keys, row):
+        if self._fast_emit:
+            env.update(zip(self._emit_keys, self._pick(row)))
+            return env
+        for index, qualified, bare in self._keys:
+            value = row[index]
             env[qualified] = value
             if bare:
                 env[bare] = value
@@ -126,13 +189,31 @@ class ScanNode(PlanNode):
             if self.access is not None
             else self.table.rows()
         )
-        if self.predicate is None:
+        predicate = self._predicate
+        if self._fast_emit:
+            # Inlined _emit: per-row function-call overhead matters here.
+            base_env = self.base_env
+            emit_keys = self._emit_keys
+            pick = self._pick
+            if predicate is None:
+                for row in source:
+                    env = dict(base_env)
+                    env.update(zip(emit_keys, pick(row)))
+                    yield env
+            else:
+                for row in source:
+                    env = dict(base_env)
+                    env.update(zip(emit_keys, pick(row)))
+                    if predicate(env) is True:
+                        yield env
+            return
+        if predicate is None:
             for row in source:
                 yield self._emit(row)
         else:
             for row in source:
                 env = self._emit(row)
-                if self.predicate.evaluate(env) is True:
+                if predicate(env) is True:
                     yield env
 
     def describe(self) -> List[str]:
@@ -221,19 +302,31 @@ class SubqueryScanNode(PlanNode):
         self.base_env = base_env
         prefix = binding.name.lower() + "."
         self._keys = []
-        for column in binding.columns:
+        for index, column in enumerate(binding.columns):
             lowered = column.lower()
             bare = lowered if lowered in bare_columns else None
-            self._keys.append((prefix + lowered, bare))
-        self.env_keys = [qualified for qualified, _bare in self._keys] + [
-            bare for _qualified, bare in self._keys if bare
+            self._keys.append((index, prefix + lowered, bare))
+        self.env_keys = [qualified for _index, qualified, _bare in self._keys] + [
+            bare for _index, _qualified, bare in self._keys if bare
         ]
+        self._emit_keys, self._pick = _row_emitter(self._keys)
+        self._fast_emit = COMPILE_EXPRESSIONS
 
     def rows(self) -> Iterator[Env]:
         _columns, rows = self.plan.run()
+        base_env = self.base_env
+        if self._fast_emit:
+            emit_keys = self._emit_keys
+            pick = self._pick
+            for row in rows:
+                env = dict(base_env)
+                env.update(zip(emit_keys, pick(row)))
+                yield env
+            return
         for row in rows:
-            env = dict(self.base_env)
-            for (qualified, bare), value in zip(self._keys, row):
+            env = dict(base_env)
+            for index, qualified, bare in self._keys:
+                value = row[index]
                 env[qualified] = value
                 if bare:
                     env[bare] = value
@@ -262,26 +355,85 @@ class HashJoinNode(PlanNode):
         self.right_keys = right_keys
         self.residual = residual
         self.left_outer = left_outer
+        self._left_keys = [compile_expression(expr) for expr in left_keys]
+        self._right_keys = [compile_expression(expr) for expr in right_keys]
+        self._residual = (
+            compile_expression(residual) if residual is not None else None
+        )
+        self._single_key = COMPILE_EXPRESSIONS and len(self._right_keys) == 1
         self.env_keys = left.env_keys + right.env_keys
 
     def rows(self) -> Iterator[Env]:
+        # Single-column equi-joins (the overwhelmingly common case) hash
+        # the bare value, skipping per-row tuple construction.
+        if self._single_key:
+            yield from self._rows_single_key()
+            return
         table: Dict[Tuple[Any, ...], List[Env]] = {}
+        right_keys = self._right_keys
         for env in self.right.rows():
-            key = tuple(expr.evaluate(env) for expr in self.right_keys)
+            key = tuple(expr(env) for expr in right_keys)
             if any(part is None for part in key):
                 continue  # NULL never equi-joins
             table.setdefault(key, []).append(env)
         padding = {key: None for key in self.right.env_keys}
+        left_keys = self._left_keys
+        residual = self._residual
         for left_env in self.left.rows():
-            key = tuple(expr.evaluate(left_env) for expr in self.left_keys)
+            key = tuple(expr(left_env) for expr in left_keys)
             matched = False
             if not any(part is None for part in key):
                 for right_env in table.get(key, ()):
                     merged = {**left_env, **right_env}
-                    if (
-                        self.residual is None
-                        or self.residual.evaluate(merged) is True
-                    ):
+                    if residual is None or residual(merged) is True:
+                        matched = True
+                        yield merged
+            if not matched and self.left_outer:
+                yield {**left_env, **padding}
+
+    def _rows_single_key(self) -> Iterator[Env]:
+        table: Dict[Any, List[Env]] = {}
+        right_key = self._right_keys[0]
+        for env in self.right.rows():
+            key = right_key(env)
+            if key is None:
+                continue  # NULL never equi-joins
+            bucket = table.get(key)
+            if bucket is None:
+                table[key] = [env]
+            else:
+                bucket.append(env)
+        left_key = self._left_keys[0]
+        residual = self._residual
+        table_get = table.get
+        if not self.left_outer:
+            # Inner join: no match bookkeeping, no NULL padding.
+            if residual is None:
+                for left_env in self.left.rows():
+                    bucket = table_get(left_key(left_env))
+                    if bucket is None:
+                        continue
+                    for right_env in bucket:
+                        yield {**left_env, **right_env}
+                return
+            for left_env in self.left.rows():
+                bucket = table_get(left_key(left_env))
+                if bucket is None:
+                    continue
+                for right_env in bucket:
+                    merged = {**left_env, **right_env}
+                    if residual(merged) is True:
+                        yield merged
+            return
+        padding = {key: None for key in self.right.env_keys}
+        empty: List[Env] = []
+        for left_env in self.left.rows():
+            key = left_key(left_env)
+            matched = False
+            if key is not None:
+                for right_env in table.get(key, empty):
+                    merged = {**left_env, **right_env}
+                    if residual is None or residual(merged) is True:
                         matched = True
                         yield merged
             if not matched and self.left_outer:
@@ -315,16 +467,20 @@ class NestedLoopJoinNode(PlanNode):
         self.right = right
         self.condition = condition
         self.left_outer = left_outer
+        self._condition = (
+            compile_expression(condition) if condition is not None else None
+        )
         self.env_keys = left.env_keys + right.env_keys
 
     def rows(self) -> Iterator[Env]:
         right_rows = list(self.right.rows())
         padding = {key: None for key in self.right.env_keys}
+        condition = self._condition
         for left_env in self.left.rows():
             matched = False
             for right_env in right_rows:
                 merged = {**left_env, **right_env}
-                if self.condition is None or self.condition.evaluate(merged) is True:
+                if condition is None or condition(merged) is True:
                     matched = True
                     yield merged
             if not matched and self.left_outer:
@@ -344,11 +500,13 @@ class FilterNode(PlanNode):
     def __init__(self, child: PlanNode, predicate: Expression) -> None:
         self.child = child
         self.predicate = predicate
+        self._predicate = compile_expression(predicate)
         self.env_keys = child.env_keys
 
     def rows(self) -> Iterator[Env]:
+        predicate = self._predicate
         for env in self.child.rows():
-            if self.predicate.evaluate(env) is True:
+            if predicate(env) is True:
                 yield env
 
     def describe(self) -> List[str]:
@@ -393,39 +551,55 @@ class AggregateNode(PlanNode):
         self.aggregate_calls = aggregate_calls
         self.base_env = base_env
         self.functions = functions
+        self._group = [compile_expression(expr) for expr in group_exprs]
+        self._single_group = (
+            self._group[0]
+            if COMPILE_EXPRESSIONS and len(self._group) == 1
+            else None
+        )
+        self._arguments = [
+            compile_expression(call.argument) if call.argument is not None else None
+            for call in aggregate_calls
+        ]
         self.env_keys = child.env_keys + [
             f"__agg_{index}" for index in range(len(aggregate_calls))
         ]
 
     def rows(self) -> Iterator[Env]:
-        groups: Dict[Tuple[Any, ...], Dict[str, Any]] = {}
-        order: List[Tuple[Any, ...]] = []
+        groups: Dict[Any, Dict[str, Any]] = {}
+        order: List[Any] = []
+        group_exprs = self._group
+        arguments = self._arguments
+        # Single-expression GROUP BY keys on the bare value; multi-column
+        # (and the global group's empty tuple) keys on a tuple.
+        single = self._single_group
         for env in self.child.rows():
-            key = tuple(expr.evaluate(env) for expr in self.group_exprs)
+            if single is not None:
+                key: Any = single(env)
+            else:
+                key = tuple(expr(env) for expr in group_exprs)
             state = groups.get(key)
             if state is None:
-                state = {
-                    "env": env,
-                    "accumulators": [
+                state = (
+                    env,
+                    [
                         self.functions.aggregate(call.name)
                         for call in self.aggregate_calls
                     ],
-                    "distinct_seen": [
+                    [
                         set() if call.distinct else None
                         for call in self.aggregate_calls
                     ],
-                }
+                )
                 groups[key] = state
                 order.append(key)
-            for call, accumulator, seen in zip(
-                self.aggregate_calls,
-                state["accumulators"],
-                state["distinct_seen"],
+            for argument, accumulator, seen in zip(
+                arguments, state[1], state[2]
             ):
-                if call.argument is None:  # COUNT(*)
+                if argument is None:  # COUNT(*)
                     value: Any = 1
                 else:
-                    value = call.argument.evaluate(env)
+                    value = argument(env)
                 if seen is not None:
                     if value is None or value in seen:
                         continue
@@ -440,9 +614,9 @@ class AggregateNode(PlanNode):
             yield env
             return
         for key in order:
-            state = groups[key]
-            env = dict(state["env"])
-            for index, accumulator in enumerate(state["accumulators"]):
+            first_env, accumulators, _seen = groups[key]
+            env = dict(first_env)
+            for index, accumulator in enumerate(accumulators):
                 env[f"__agg_{index}"] = accumulator.result()
             yield env
 
@@ -458,14 +632,16 @@ class SortNode(PlanNode):
     def __init__(self, child: PlanNode, order_items: List[OrderItem]) -> None:
         self.child = child
         self.order_items = order_items
+        self._keys = [compile_expression(item.expression) for item in order_items]
         self.env_keys = child.env_keys
 
     def rows(self) -> Iterator[Env]:
         materialized = list(self.child.rows())
         descending = [item.descending for item in self.order_items]
+        keys = self._keys
         materialized.sort(
             key=lambda env: order_key(
-                [item.expression.evaluate(env) for item in self.order_items],
+                [expr(env) for expr in keys],
                 descending,
             )
         )
@@ -508,32 +684,117 @@ class LimitNode(PlanNode):
 
 
 class QueryPlan:
-    """A complete plan: the env pipeline plus the output projection."""
+    """A complete plan: the env pipeline plus the output projection.
+
+    Plans are reusable: the plan cache hands the same instance back for
+    repeated executions of one query, and :meth:`bind_parameters` installs
+    fresh ``?`` bindings into every scope's base env before each run.
+    """
 
     def __init__(
         self,
         root: PlanNode,
         output: List[Tuple[str, Expression]],
         distinct: bool,
+        base_env: Optional[Env] = None,
     ) -> None:
         self.root = root
         self.output = output
         self.distinct = distinct
+        self.base_env = base_env if base_env is not None else {}
+        self._output = [compile_expression(expr) for _name, expr in output]
+        self._project = self._build_projector()
+        #: base tables referenced anywhere in this plan tree (cache keys)
+        self.tables: Tuple[Any, ...] = ()
+        #: True when planning baked IN/EXISTS subquery *data* into literals
+        self.uses_snapshot = False
+        self._param_envs: Optional[List[Env]] = None
+
+    def _build_projector(self) -> Any:
+        """env -> output row tuple, in one C-level call when possible.
+
+        A projection made purely of column/aggregate references (the
+        common case) becomes an ``itemgetter`` over validated env keys.
+        Bare columns that resolve to the AMBIGUOUS sentinel keep the
+        compiled path so the runtime error is preserved.
+        """
+        keys: Optional[List[str]] = [] if COMPILE_EXPRESSIONS else None
+        if keys is not None:
+            for _name, expression in self.output:
+                if isinstance(expression, (ColumnRef, AggregateRef)):
+                    key = expression.key
+                    if self.base_env.get(key) is AMBIGUOUS:
+                        keys = None
+                        break
+                    keys.append(key)
+                else:
+                    keys = None
+                    break
+        if keys is None or not keys:
+            compiled = tuple(self._output)
+
+            def project(env: Env) -> Row:
+                return tuple(expression(env) for expression in compiled)
+
+            return project
+        if len(keys) == 1:
+            only = keys[0]
+            return lambda env: (env[only],)
+        return itemgetter(*keys)
 
     @property
     def column_names(self) -> List[str]:
         return [name for name, _expr in self.output]
 
+    def bind_parameters(self, params: Sequence[Any]) -> None:
+        """Install ``?`` bindings into every scope of the plan tree.
+
+        Nodes within one planner scope share a single base-env dict, so
+        one write reaches every row env copied from it; nested subquery
+        plans carry their own.  Called on *every* execution (with ``()``
+        when no parameters were supplied) so bindings never leak from a
+        prior run.
+        """
+        if self._param_envs is None:
+            envs: List[Env] = []
+            seen_ids: Set[int] = set()
+
+            def record(env: Optional[Env]) -> None:
+                if env is not None and id(env) not in seen_ids:
+                    seen_ids.add(id(env))
+                    envs.append(env)
+
+            def walk(node: Any) -> None:
+                record(getattr(node, "base_env", None))
+                for attribute in ("child", "left", "right"):
+                    branch = getattr(node, attribute, None)
+                    if branch is not None:
+                        walk(branch)
+                inner = getattr(node, "plan", None)
+                if inner is not None:
+                    record(inner.base_env)
+                    walk(inner.root)
+
+            record(self.base_env)
+            walk(self.root)
+            self._param_envs = envs
+        bound = tuple(params)
+        for env in self._param_envs:
+            env["__params__"] = bound
+
     def run(self) -> Tuple[List[str], List[Row]]:
-        rows: List[Row] = []
-        seen: Optional[Set[Row]] = set() if self.distinct else None
-        for env in self.root.rows():
-            row = tuple(expr.evaluate(env) for _name, expr in self.output)
-            if seen is not None:
+        project = self._project
+        if self.distinct:
+            rows: List[Row] = []
+            seen: Set[Row] = set()
+            for env in self.root.rows():
+                row = project(env)
                 if row in seen:
                     continue
                 seen.add(row)
-            rows.append(row)
+                rows.append(row)
+        else:
+            rows = [project(env) for env in self.root.rows()]
         return self.column_names, rows
 
     def describe(self) -> List[str]:
@@ -552,13 +813,39 @@ class QueryPlan:
 
 
 def plan_select(database: Any, statement: SelectStatement) -> QueryPlan:
-    """Build a :class:`QueryPlan` for a SELECT statement."""
-    return _Planner(database).plan(statement)
+    """Build a :class:`QueryPlan` for a SELECT statement.
+
+    The returned plan carries the metadata the plan cache validates on
+    every hit: the base tables it touches and whether planning snapshotted
+    subquery data into literals.
+    """
+    context = _PlanContext()
+    plan = _Planner(database, context).plan(statement)
+    plan.tables = tuple(context.tables)
+    plan.uses_snapshot = context.uses_snapshot
+    return plan
+
+
+class _PlanContext:
+    """Metadata accumulated across a whole plan tree (incl. subplans)."""
+
+    def __init__(self) -> None:
+        self.tables: List[Any] = []
+        self._table_ids: Set[int] = set()
+        self.uses_snapshot = False
+
+    def record_table(self, table: Any) -> None:
+        if id(table) not in self._table_ids:
+            self._table_ids.add(id(table))
+            self.tables.append(table)
 
 
 class _Planner:
-    def __init__(self, database: Any) -> None:
+    def __init__(
+        self, database: Any, context: Optional[_PlanContext] = None
+    ) -> None:
         self.database = database
+        self._context = context if context is not None else _PlanContext()
 
     # -- binding resolution -------------------------------------------------
 
@@ -570,14 +857,68 @@ class _Planner:
         """
         if isinstance(item, TableRef):
             if self.database.has_view(item.name):
-                view_plan = _Planner(self.database).plan(
+                view_plan = _Planner(self.database, self._context).plan(
                     self.database.view(item.name)
                 )
                 return Binding(item.binding, view_plan.column_names), view_plan
             table = self.database.table(item.name)
+            self._context.record_table(table)
             return Binding(item.binding, table.schema.column_names), table
-        sub_plan = _Planner(self.database).plan(item.query)
+        flattened = self._flatten_subquery(item.query)
+        if flattened is not None:
+            self._context.record_table(flattened)
+            return (
+                Binding(item.binding, flattened.schema.column_names),
+                flattened,
+            )
+        sub_plan = _Planner(self.database, self._context).plan(item.query)
         return Binding(item.binding, sub_plan.column_names), sub_plan
+
+    def _flatten_subquery(self, query: SelectStatement) -> Optional[Any]:
+        """The base table behind a trivial ``SELECT <all columns> FROM t``.
+
+        The FlexRecs compiler wraps every table access in exactly this
+        shape; scanning the table directly skips a SubqueryScan
+        re-materialization per row (and lets pushed predicates reach the
+        table's indexes).  Returns None when the subquery is anything
+        more than a full-width, order-preserving projection.
+        """
+        if (
+            not COMPILE_EXPRESSIONS
+            or not isinstance(query, SelectStatement)
+            or query.distinct
+            or query.joins
+            or query.where is not None
+            or query.group_by
+            or query.having is not None
+            or query.order_by
+            or query.limit is not None
+            or query.offset is not None
+            or query.aggregates
+            or not isinstance(query.from_item, TableRef)
+            or self.database.has_view(query.from_item.name)
+            or not self.database.has_table(query.from_item.name)
+        ):
+            return None
+        table = self.database.table(query.from_item.name)
+        schema_columns = table.schema.column_names
+        if len(query.items) != len(schema_columns):
+            return None
+        binding_name = query.from_item.binding.lower()
+        for item, column in zip(query.items, schema_columns):
+            expression = item.expression
+            if (
+                item.star_qualifier is not None
+                or not isinstance(expression, ColumnRef)
+                or expression.column.lower() != column.lower()
+                or (
+                    expression.qualifier is not None
+                    and expression.qualifier.lower() != binding_name
+                )
+                or (item.alias is not None and item.alias.lower() != column.lower())
+            ):
+                return None
+        return table
 
     def plan(self, statement: SelectStatement) -> QueryPlan:
         base_env: Env = {"__functions__": self.database.functions}
@@ -648,6 +989,7 @@ class _Planner:
             remaining.append(conjunct)
 
         # Build leaf nodes.
+        needed = self._pruned_columns(statement, where, having, join_specs)
         leaves: Dict[str, PlanNode] = {}
         for (binding, payload), item in zip(resolved, from_items):
             key = binding.name.lower()
@@ -662,7 +1004,7 @@ class _Planner:
                     node = FilterNode(node, predicate)
             else:
                 node = self._build_scan(
-                    payload, binding, base_env, unambiguous, local
+                    payload, binding, base_env, unambiguous, local, needed
                 )
             leaves[key] = node
 
@@ -713,7 +1055,7 @@ class _Planner:
         if statement.limit is not None or statement.offset is not None:
             current = LimitNode(current, statement.limit, statement.offset)
 
-        return QueryPlan(current, output, statement.distinct)
+        return QueryPlan(current, output, statement.distinct, base_env=base_env)
 
     # -- scan construction ----------------------------------------------------
 
@@ -724,6 +1066,7 @@ class _Planner:
         base_env: Env,
         unambiguous: Set[str],
         local_conjuncts: List[Expression],
+        needed: Optional[Set[str]] = None,
     ) -> PlanNode:
         access, residual = self._choose_access(table, binding, local_conjuncts)
         predicate = conjoin(residual)
@@ -734,7 +1077,45 @@ class _Planner:
             unambiguous,
             predicate=predicate,
             access=access,
+            needed=needed,
         )
+
+    def _pruned_columns(
+        self,
+        statement: SelectStatement,
+        where: Optional[Expression],
+        having: Optional[Expression],
+        join_specs: List[JoinClause],
+    ) -> Optional[Set[str]]:
+        """Every column name the statement can touch, or None to keep all.
+
+        Scans then emit only the columns something references.  ``SELECT
+        *`` (or the interpreted baseline) disables pruning; collection is
+        conservative — a bare name keeps that column in every table that
+        has it.
+        """
+        if not COMPILE_EXPRESSIONS:
+            return None
+        refs: List[str] = []
+        for item in statement.items:
+            if item.is_star:
+                return None
+            item.expression._collect_columns(refs)
+        for call in statement.aggregates:
+            if call.argument is not None:
+                call.argument._collect_columns(refs)
+        for expression in statement.group_by:
+            expression._collect_columns(refs)
+        if where is not None:
+            where._collect_columns(refs)
+        if having is not None:
+            having._collect_columns(refs)
+        for join in join_specs:
+            if join.condition is not None:
+                join.condition._collect_columns(refs)
+        for order in statement.order_by:
+            order.expression._collect_columns(refs)
+        return {name.lower() for name in refs}
 
     def _choose_access(
         self,
@@ -1023,7 +1404,10 @@ class _Planner:
         if expression is None:
             return None
         if isinstance(expression, InSubquery):
-            sub_plan = _Planner(self.database).plan(expression.query)
+            sub_plan = _Planner(self.database, self._context).plan(
+                expression.query
+            )
+            self._context.uses_snapshot = True
             columns, rows = sub_plan.run()
             if len(columns) != 1:
                 raise PlannerError(
@@ -1039,7 +1423,10 @@ class _Planner:
                 operand, [], negated=expression.negated
             )
         if isinstance(expression, ExistsSubquery):
-            sub_plan = _Planner(self.database).plan(expression.query)
+            sub_plan = _Planner(self.database, self._context).plan(
+                expression.query
+            )
+            self._context.uses_snapshot = True
             exists = False
             for _env in sub_plan.root.rows():
                 exists = True

@@ -138,6 +138,10 @@ class AggregateRef(Expression):
     def evaluate(self, env):
         return env[self.key]
 
+    def compile(self):
+        key = self.key
+        return lambda env: env[key]
+
     def to_sql(self) -> str:
         return self.call.to_sql()
 
@@ -347,6 +351,16 @@ class DropViewStatement:
         return f"DROP VIEW {clause}{self.name}"
 
 
+@dataclass
+class ExplainStatement:
+    """EXPLAIN <select>: renders the (possibly cached) physical plan."""
+
+    query: "SelectStatement"
+
+    def to_sql(self) -> str:
+        return f"EXPLAIN {self.query.to_sql()}"
+
+
 Statement = Union[
     SelectStatement,
     UnionStatement,
@@ -359,4 +373,5 @@ Statement = Union[
     DropTableStatement,
     DropIndexStatement,
     DropViewStatement,
+    ExplainStatement,
 ]

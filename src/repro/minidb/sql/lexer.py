@@ -22,12 +22,12 @@ KEYWORDS = {
     "INSERT", "INTO", "VALUES", "UPDATE", "SET", "DELETE", "CREATE", "TABLE",
     "INDEX", "DROP", "PRIMARY", "KEY", "UNIQUE", "FOREIGN", "REFERENCES",
     "USING", "TRUE", "FALSE", "INTEGER", "INT", "FLOAT", "REAL", "TEXT",
-    "VARCHAR", "BOOLEAN", "DATE", "EXISTS", "IF", "VIEW",
+    "VARCHAR", "BOOLEAN", "DATE", "EXISTS", "IF", "VIEW", "EXPLAIN",
 }
 
 _PUNCT = {
     "(", ")", ",", ".", ";", "*", "+", "-", "/", "%",
-    "=", "<", ">", "<=", ">=", "<>", "!=", "||",
+    "=", "<", ">", "<=", ">=", "<>", "!=", "||", "?",
 }
 
 

@@ -32,6 +32,7 @@ from repro.minidb.expressions import (
     IsNull,
     Like,
     Literal,
+    Parameter,
     UnaryOp,
 )
 from repro.minidb.schema import ForeignKey
@@ -46,6 +47,7 @@ from repro.minidb.sql.ast import (
     DropIndexStatement,
     DropTableStatement,
     DropViewStatement,
+    ExplainStatement,
     FromItem,
     InsertStatement,
     JoinClause,
@@ -86,6 +88,8 @@ class _Parser:
         self.position = 0
         # Aggregate collection context; None outside SELECT scopes.
         self._aggregate_sink: Optional[List[AggregateCall]] = None
+        # ``?`` placeholders seen so far, numbered left-to-right.
+        self._parameters = 0
 
     # -- token helpers -----------------------------------------------------
 
@@ -144,7 +148,21 @@ class _Parser:
     # -- statements -----------------------------------------------------------
 
     def parse_statement(self) -> Statement:
+        self._parameters = 0
+        statement = self._parse_statement_inner()
+        # Statement nodes are plain dataclasses; the placeholder count is
+        # carried as an extra attribute for prepared-statement validation.
+        statement.parameter_count = self._parameters
+        return statement
+
+    def _parse_statement_inner(self) -> Statement:
         token = self.peek()
+        if token.matches("EXPLAIN"):
+            self.advance()
+            query = self.parse_select_or_union()
+            if not isinstance(query, SelectStatement):
+                raise self.error("EXPLAIN supports only SELECT statements")
+            return ExplainStatement(query=query)
         if token.matches("SELECT") or (
             token.type == "PUNCT" and token.value == "("
         ):
@@ -684,6 +702,11 @@ class _Parser:
             query = self._parse_subselect()
             self.expect_punct(")")
             return ExistsSubquery(query)
+        if token.type == "PUNCT" and token.value == "?":
+            self.advance()
+            parameter = Parameter(self._parameters)
+            self._parameters += 1
+            return parameter
         if token.type == "PUNCT" and token.value == "(":
             self.advance()
             inner = self.parse_expression()

@@ -40,6 +40,25 @@ class Table:
         ]
         # Secondary indexes registered by the catalog: name -> (index, positions)
         self._indexes: Dict[str, "_IndexHook"] = {}
+        # Monotonic version counters consumed by the plan cache.
+        # ``data_version`` moves on every mutation; ``indexed_version``
+        # moves only when indexed state changes (DML while secondary
+        # indexes exist, or index attach/detach).
+        self._data_version = 0
+        self._indexed_version = 0
+
+    def _bump_versions(self) -> None:
+        self._data_version += 1
+        if self._indexes:
+            self._indexed_version += 1
+
+    @property
+    def data_version(self) -> int:
+        return self._data_version
+
+    @property
+    def indexed_version(self) -> int:
+        return self._indexed_version
 
     # -- basic properties --------------------------------------------------
 
@@ -114,6 +133,7 @@ class Table:
                 unique_map[key] = rowid
         for hook in self._indexes.values():
             hook.insert(rowid, row)
+        self._bump_versions()
         return rowid
 
     def insert_dict(self, record: Dict[str, Any]) -> int:
@@ -141,6 +161,7 @@ class Table:
                 unique_map.pop(key, None)
         for hook in self._indexes.values():
             hook.delete(rowid, row)
+        self._bump_versions()
 
     def delete_where(self, predicate: Callable[[Row], bool]) -> int:
         """Delete rows matching ``predicate``; return the count removed."""
@@ -177,6 +198,7 @@ class Table:
                 unique_map[key] = rowid
         for hook in self._indexes.values():
             hook.insert(rowid, row)
+        self._bump_versions()
 
     def update_where(
         self,
@@ -198,6 +220,7 @@ class Table:
             unique_map.clear()
         for hook in self._indexes.values():
             hook.clear()
+        self._bump_versions()
 
     # -- lookup ---------------------------------------------------------------
 
@@ -231,9 +254,11 @@ class Table:
         for rowid, row in self._rows.items():
             hook.insert(rowid, row)
         self._indexes[name] = hook
+        self._indexed_version += 1
 
     def detach_index(self, name: str) -> None:
         self._indexes.pop(name, None)
+        self._indexed_version += 1
 
     def index_names(self) -> List[str]:
         return list(self._indexes)
@@ -264,6 +289,7 @@ class Table:
             hook.clear()
             for rowid, row in self._rows.items():
                 hook.insert(rowid, row)
+        self._bump_versions()
 
     @property
     def next_rowid(self) -> int:

@@ -10,6 +10,8 @@ conditions), 4 (suffix deletion), 5a/5b (final -e and -ll cleanup).
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 _VOWELS = set("aeiou")
 
 
@@ -123,6 +125,12 @@ _STEP4 = [
     "ment", "ent", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
 ]
 
+# Steps 2/3/4 try longer suffixes first; the orderings are fixed, so sort
+# once at import instead of on every call.
+_STEP2_ORDERED = sorted(_STEP2, key=lambda rule: -len(rule[0]))
+_STEP3_ORDERED = sorted(_STEP3, key=lambda rule: -len(rule[0]))
+_STEP4_ORDERED = sorted(_STEP4, key=len, reverse=True)
+
 
 def _map_suffix(word: str, rules, min_measure: int) -> str:
     for suffix, replacement in rules:
@@ -151,8 +159,9 @@ def _step_5b(word: str) -> str:
     return word
 
 
+@lru_cache(maxsize=8192)
 def porter_stem(word: str) -> str:
-    """Stem one lowercase word.
+    """Stem one lowercase word (memoized: corpora repeat words heavily).
 
     >>> porter_stem('caresses')
     'caress'
@@ -164,9 +173,8 @@ def porter_stem(word: str) -> str:
     word = _step_1a(word)
     word = _step_1b(word)
     word = _step_1c(word)
-    # Steps 2/3 try longer suffixes first: sort by suffix length desc.
-    word = _map_suffix(word, sorted(_STEP2, key=lambda r: -len(r[0])), 1)
-    word = _map_suffix(word, sorted(_STEP3, key=lambda r: -len(r[0])), 1)
+    word = _map_suffix(word, _STEP2_ORDERED, 1)
+    word = _map_suffix(word, _STEP3_ORDERED, 1)
     word = _step4_ordered(word)
     word = _step_5a(word)
     word = _step_5b(word)
@@ -175,7 +183,7 @@ def porter_stem(word: str) -> str:
 
 def _step4_ordered(word: str) -> str:
     """Step 4 with longest-suffix-first matching."""
-    for suffix in sorted(_STEP4, key=len, reverse=True):
+    for suffix in _STEP4_ORDERED:
         if word.endswith(suffix):
             stem = word[: -len(suffix)]
             if _measure(stem) > 1:

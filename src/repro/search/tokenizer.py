@@ -12,6 +12,7 @@ from __future__ import annotations
 import re
 from typing import Iterable, List, Optional, Sequence, Set
 
+from repro.caching import LRUCache
 from repro.search.stemmer import porter_stem
 
 _WORD = re.compile(r"[a-z0-9]+")
@@ -61,6 +62,9 @@ class Tokenizer:
         self.stopwords = STOPWORDS if stopwords is None else stopwords
         self.min_length = min_length
         self._stem_cache: dict = {}
+        # Queries and cloud refinements re-tokenize the same strings;
+        # memoize full token streams (bounded, per-tokenizer).
+        self._token_cache = LRUCache(maxsize=1024)
 
     def raw_tokens(self, text: str) -> List[str]:
         """Lowercased word tokens with no filtering or stemming."""
@@ -70,6 +74,9 @@ class Tokenizer:
 
     def tokens(self, text: str) -> List[str]:
         """The full pipeline: tokenize, filter, stem."""
+        cached = self._token_cache.get(text)
+        if cached is not None:
+            return list(cached)
         result: List[str] = []
         for token in self.raw_tokens(text):
             if len(token) < self.min_length:
@@ -79,6 +86,7 @@ class Tokenizer:
             if self.stem:
                 token = self.stem_token(token)
             result.append(token)
+        self._token_cache.put(text, tuple(result))
         return result
 
     def stem_token(self, token: str) -> str:

@@ -46,6 +46,11 @@ def assert_paths_agree(db, workflow, tolerance=1e-9):
                 )
             else:
                 assert a == b, f"{column}: {a!r} != {b!r}"
+    # A second compiled run reuses the memoized compilation and the
+    # database's cached plan; it must be rank-identical to the cold run.
+    warm = workflow.run_sql(db)
+    assert warm.columns == compiled.columns
+    assert warm.rows == compiled.rows
     return direct
 
 
@@ -196,6 +201,52 @@ class TestFixedWorkflows:
             )
         )
         assert_paths_agree(flexdb, workflow)
+
+
+class TestWarmCompiledPath:
+    """Repeated run_sql must hit the statement/plan caches, not re-plan."""
+
+    def workflow(self):
+        return Workflow(
+            Recommend(
+                target=students_with_ratings(),
+                reference=Select(students_with_ratings(), "SuID = 444"),
+                comparator=InverseEuclidean("ratings", "ratings"),
+                target_key="SuID",
+                exclude_self=("SuID", "SuID"),
+            )
+        )
+
+    def test_warm_run_hits_plan_cache(self, flexdb):
+        workflow = self.workflow()
+        cold = workflow.run_sql(flexdb)
+        hits = flexdb._plan_cache.hits
+        warm = workflow.run_sql(flexdb)
+        assert flexdb._plan_cache.hits > hits
+        assert warm.rows == cold.rows
+
+    def test_compile_memo_reused_and_invalidated(self, flexdb):
+        workflow = self.workflow()
+        workflow.run_sql(flexdb)
+        memo = workflow._compiled
+        workflow.run_sql(flexdb)
+        assert workflow._compiled is memo  # no recompilation
+        flexdb.execute("CREATE TABLE Scratch (X INTEGER PRIMARY KEY)")
+        workflow.run_sql(flexdb)  # schema epoch moved: recompiles
+        assert workflow._compiled is not memo
+
+    def test_warm_run_sees_new_data(self, flexdb):
+        workflow = self.workflow()
+        workflow.run_sql(flexdb)
+        flexdb.execute(
+            "INSERT INTO Comments VALUES "
+            "(447, 6, 2008, 'Aut', 'late', 5.0, '2008-06-01')"
+        )
+        warm = workflow.run_sql(flexdb)
+        fresh = self.workflow().run(flexdb)
+        assert warm.rows and len(warm.rows) == len(fresh.rows)
+        for left, right in zip(warm.rows, fresh.rows):
+            assert left["SuID"] == right["SuID"]
 
 
 # ---------------------------------------------------------------------------
