@@ -125,7 +125,9 @@ class TermSource:
             cached = None
             key = None
         if cached is not None:
-            return cached
+            # The cache holds an immutable tuple; hand each caller a fresh
+            # list so in-place sorts/mutations cannot corrupt the cache.
+            return list(cached)
         occurrences: Counter = Counter()
         result_df: Counter = Counter()
         for doc_id in ordered:
@@ -146,7 +148,7 @@ class TermSource:
             for term in occurrences
         ]
         if key is not None:
-            self._gather_cache.put(key, stats)
+            self._gather_cache.put(key, tuple(stats))
         return stats
 
     @property

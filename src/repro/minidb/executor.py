@@ -250,18 +250,21 @@ class Executor:
         """Fetch a valid cached plan for ``statement``, or plan and cache it.
 
         Returns ``(plan, was_cached)``.  Cache entries are keyed by the
-        statement's canonical SQL text and validated against the database's
-        schema epoch and table/function version counters; a stale entry is
-        transparently re-planned here.
+        statement's canonical SQL text plus its parameter base (a UNION
+        arm's ``?`` placeholders are numbered after the preceding arms',
+        so identical text can carry different parameter indices) and
+        validated against the database's schema epoch and table/function
+        version counters; a stale entry is transparently re-planned here.
         """
         database = self.database
         if canonical is None:
             canonical = statement.to_sql()
-        entry = database._plan_cache.get(canonical)
+        key = (canonical, getattr(statement, "parameter_base", 0))
+        entry = database._plan_cache.get(key)
         if entry is not None and entry.is_valid(database):
             return entry.plan, True
         plan = plan_select(database, statement)
-        database._plan_cache.put(canonical, snapshot_plan(database, plan))
+        database._plan_cache.put(key, snapshot_plan(database, plan))
         return plan, False
 
     def _run_select(
@@ -278,7 +281,9 @@ class Executor:
     def _run_explain(self, statement: ExplainStatement) -> ResultSet:
         plan, cached = self.plan_for(statement.query)
         lines = plan.describe()
-        head = lines[0] + (" [cached]" if cached else "") + " [compiled-expr]"
+        head = lines[0] + (" [cached]" if cached else "")
+        if getattr(plan, "compiled", False):
+            head += " [compiled-expr]"
         return ResultSet(
             ["QUERY PLAN"], [(line,) for line in [head] + lines[1:]]
         )

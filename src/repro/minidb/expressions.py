@@ -855,6 +855,11 @@ class InSubquery(Expression):
     database references.
     """
 
+    #: set by the parser when the subquery text contains ``?`` placeholders;
+    #: the planner rejects such subqueries (they are resolved at plan time,
+    #: before any bindings exist).
+    has_parameters = False
+
     def __init__(self, operand: Expression, query: Any, negated: bool = False) -> None:
         self.operand = operand
         self.query = query  # a SelectStatement (kept opaque here)
@@ -878,6 +883,9 @@ class InSubquery(Expression):
 
 class ExistsSubquery(Expression):
     """``[NOT] EXISTS (SELECT ...)`` — uncorrelated, planner-resolved."""
+
+    #: see :attr:`InSubquery.has_parameters`
+    has_parameters = False
 
     def __init__(self, query: Any, negated: bool = False) -> None:
         self.query = query

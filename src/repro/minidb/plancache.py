@@ -8,7 +8,10 @@ Two cache layers cooperate:
 * a **statement cache** (module-level, parse is pure) mapping raw SQL text
   to its parsed statement, its canonical rendering, and its ``?`` count;
 * a **plan cache** (one per :class:`~repro.minidb.catalog.Database`)
-  mapping a SELECT's canonical text to a :class:`CachedPlan`.
+  mapping a SELECT's ``(canonical text, parameter base)`` to a
+  :class:`CachedPlan` — the base distinguishes UNION arms whose text
+  matches a standalone statement but whose ``?`` placeholders are
+  numbered after the preceding arms'.
 
 A cached plan is *validated* on every hit against the database's schema
 epoch (bumped by all DDL), each referenced table's ``indexed_version``
@@ -104,8 +107,9 @@ def parsed_statement(sql: str) -> Tuple[Any, Optional[str], int]:
 
     Returns ``(statement, canonical, parameter_count)`` where
     ``canonical`` is the statement's ``to_sql()`` rendering for SELECTs
-    (the plan-cache key — equivalent queries that differ only in
-    formatting share one plan) and ``None`` for everything else.
+    (the text component of the plan-cache key — equivalent queries that
+    differ only in formatting share one plan) and ``None`` for
+    everything else.
     """
     cached = _STATEMENT_CACHE.get(sql)
     if cached is not None:

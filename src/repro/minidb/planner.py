@@ -702,6 +702,10 @@ class QueryPlan:
         self.output = output
         self.distinct = distinct
         self.base_env = base_env if base_env is not None else {}
+        #: whether this plan was built under the compiled-expression
+        #: pipeline (EXPLAIN reports it; cached plans keep their shape
+        #: even if COMPILE_EXPRESSIONS is flipped later)
+        self.compiled = COMPILE_EXPRESSIONS
         self._output = [compile_expression(expr) for _name, expr in output]
         self._project = self._build_projector()
         #: base tables referenced anywhere in this plan tree (cache keys)
@@ -1404,6 +1408,13 @@ class _Planner:
         if expression is None:
             return None
         if isinstance(expression, InSubquery):
+            if expression.has_parameters:
+                raise PlannerError(
+                    "parameters (?) are not supported inside IN (SELECT ...) "
+                    "subqueries: the subquery is resolved at plan time, "
+                    "before bindings exist; inline the value or rewrite as "
+                    "a join"
+                )
             sub_plan = _Planner(self.database, self._context).plan(
                 expression.query
             )
@@ -1423,6 +1434,13 @@ class _Planner:
                 operand, [], negated=expression.negated
             )
         if isinstance(expression, ExistsSubquery):
+            if expression.has_parameters:
+                raise PlannerError(
+                    "parameters (?) are not supported inside EXISTS "
+                    "(SELECT ...) subqueries: the subquery is resolved at "
+                    "plan time, before bindings exist; inline the value or "
+                    "rewrite as a join"
+                )
             sub_plan = _Planner(self.database, self._context).plan(
                 expression.query
             )

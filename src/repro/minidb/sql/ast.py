@@ -163,6 +163,12 @@ class SelectStatement:
     offset: Optional[int] = None
     distinct: bool = False
     aggregates: List[AggregateCall] = field(default_factory=list)
+    #: index of this statement's first ``?`` placeholder.  Parameters are
+    #: numbered left-to-right across the whole parsed statement, so a
+    #: UNION arm's parameters start where the previous arm's ended; the
+    #: plan cache keys on (canonical SQL, parameter_base) because the same
+    #: text carries different parameter numbers at different bases.
+    parameter_base: int = 0
 
     def to_sql(self) -> str:
         parts = ["SELECT"]

@@ -212,6 +212,7 @@ class _Parser:
         return union
 
     def parse_select_core(self) -> SelectStatement:
+        parameter_base = self._parameters
         if self.accept_punct("("):
             select = self.parse_select_core()
             self.expect_punct(")")
@@ -262,6 +263,7 @@ class _Parser:
                 having=having,
                 distinct=distinct,
                 aggregates=sink,
+                parameter_base=parameter_base,
             )
         finally:
             self._aggregate_sink = outer_sink
@@ -619,9 +621,12 @@ class _Parser:
             self.advance()
             self.expect_punct("(")
             if self.peek().matches("SELECT"):
+                before = self._parameters
                 query = self._parse_subselect()
                 self.expect_punct(")")
-                return InSubquery(left, query, negated=negated)
+                subquery = InSubquery(left, query, negated=negated)
+                subquery.has_parameters = self._parameters > before
+                return subquery
             items = [self.parse_expression()]
             while self.accept_punct(","):
                 items.append(self.parse_expression())
@@ -699,9 +704,12 @@ class _Parser:
         if token.matches("EXISTS"):
             self.advance()
             self.expect_punct("(")
+            before = self._parameters
             query = self._parse_subselect()
             self.expect_punct(")")
-            return ExistsSubquery(query)
+            subquery = ExistsSubquery(query)
+            subquery.has_parameters = self._parameters > before
+            return subquery
         if token.type == "PUNCT" and token.value == "?":
             self.advance()
             parameter = Parameter(self._parameters)

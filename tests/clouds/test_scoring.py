@@ -103,6 +103,16 @@ class TestTermSource:
         source.prepare()
         assert source.corpus_size == 4
 
+    def test_gather_result_mutation_does_not_corrupt_cache(self, engine):
+        source = TermSource(engine, strategy="forward")
+        source.prepare()
+        first = source.gather([1, 2])
+        pristine = list(first)
+        first.sort(key=lambda s: s.term)
+        first.pop()
+        second = source.gather([1, 2])
+        assert second == pristine
+
 
 class TestSignificanceModels:
     def stats(self, occurrences=10.0, result_df=5, corpus_df=20):

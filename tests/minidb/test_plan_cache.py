@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import ExecutionError
+from repro.errors import ExecutionError, PlannerError
 from repro.minidb.catalog import Database
 from repro.minidb.plancache import LRUCache
 
@@ -209,6 +209,83 @@ class TestPreparedStatements:
             statement.query(1)
 
 
+class TestUnionParameterNumbering:
+    """Identical SELECT text at different ``?`` bases must not share plans.
+
+    Parameters are numbered left-to-right across the whole statement, so
+    a UNION arm's placeholders start where the previous arm's ended; a
+    plan cached for the standalone text would bind the wrong slots.
+    """
+
+    UNION_SQL = (
+        "SELECT Title FROM Courses WHERE DepID = ? "
+        "UNION SELECT Title FROM Courses WHERE CourseID = ?"
+    )
+    ARM_SQL = "SELECT Title FROM Courses WHERE CourseID = ?"
+
+    def test_standalone_then_union(self, db):
+        standalone = db.prepare(self.ARM_SQL)
+        assert standalone.execute(3).rows == [("Painting",)]
+        # The union's second arm has the same text but binds params[1].
+        rows = db.prepare(self.UNION_SQL).execute(10, 3).rows
+        assert sorted(rows) == [("Databases",), ("Networks",), ("Painting",)]
+
+    def test_union_then_standalone(self, db):
+        rows = db.prepare(self.UNION_SQL).execute(10, 3).rows
+        assert sorted(rows) == [("Databases",), ("Networks",), ("Painting",)]
+        # The standalone statement binds params[0], not the arm's slot.
+        standalone = db.prepare(self.ARM_SQL)
+        assert standalone.execute(1).rows == [("Databases",)]
+
+    def test_union_rebinding_between_executions(self, db):
+        union = db.prepare(self.UNION_SQL)
+        assert sorted(union.execute(10, 3).rows) == [
+            ("Databases",),
+            ("Networks",),
+            ("Painting",),
+        ]
+        assert sorted(union.execute(20, 2).rows) == [
+            ("Networks",),
+            ("Painting",),
+            ("Sculpture",),
+        ]
+
+
+class TestParameterizedSubqueries:
+    def test_in_subquery_parameter_rejected(self, db):
+        with pytest.raises(PlannerError, match="not supported inside IN"):
+            db.query(
+                "SELECT Title FROM Courses WHERE DepID IN "
+                "(SELECT DepID FROM Courses WHERE Units > ?)"
+            )
+
+    def test_exists_subquery_parameter_rejected(self, db):
+        with pytest.raises(PlannerError, match="not supported inside EXISTS"):
+            db.query(
+                "SELECT Title FROM Courses WHERE EXISTS "
+                "(SELECT CourseID FROM Courses WHERE Units > ?)"
+            )
+
+    def test_prepare_fails_fast_on_subquery_parameter(self, db):
+        with pytest.raises(PlannerError, match="not supported inside IN"):
+            db.prepare(
+                "SELECT Title FROM Courses WHERE DepID IN "
+                "(SELECT DepID FROM Courses WHERE Units > ?)"
+            )
+
+    def test_parameterless_subqueries_still_work(self, db):
+        rows = db.query(
+            "SELECT Title FROM Courses WHERE DepID IN "
+            "(SELECT DepID FROM Courses WHERE Units > 3.5) ORDER BY Title"
+        ).rows
+        assert rows == [
+            ("Databases",),
+            ("Networks",),
+            ("Painting",),
+            ("Sculpture",),
+        ]
+
+
 class TestExplainStatement:
     def test_explain_reports_cold_then_cached(self, db):
         db.clear_plan_cache()
@@ -236,6 +313,40 @@ class TestExplainStatement:
         text = db.explain(SQL)
         assert "[cached]" not in text
         assert "[compiled-expr]" not in text
+
+    def test_compiled_marker_tracks_compile_flag(self, db):
+        from repro.minidb import planner
+
+        original = planner.COMPILE_EXPRESSIONS
+        planner.COMPILE_EXPRESSIONS = False
+        try:
+            db.clear_plan_cache()
+            cold = db.query("EXPLAIN " + SQL).column("QUERY PLAN")
+            assert "[compiled-expr]" not in cold[0]
+            warm = db.query("EXPLAIN " + SQL).column("QUERY PLAN")
+            assert "[cached]" in warm[0]
+            assert "[compiled-expr]" not in warm[0]
+        finally:
+            planner.COMPILE_EXPRESSIONS = original
+            db.clear_plan_cache()
+        fresh = db.query("EXPLAIN " + SQL).column("QUERY PLAN")
+        assert "[compiled-expr]" in fresh[0]
+
+    def test_cached_plan_keeps_marker_after_flag_flip(self, db):
+        # Cached plans keep the shape they were built under; the marker
+        # must report the plan's pipeline, not the current global flag.
+        from repro.minidb import planner
+
+        db.clear_plan_cache()
+        db.query("EXPLAIN " + SQL)
+        original = planner.COMPILE_EXPRESSIONS
+        planner.COMPILE_EXPRESSIONS = False
+        try:
+            warm = db.query("EXPLAIN " + SQL).column("QUERY PLAN")
+            assert "[cached]" in warm[0]
+            assert "[compiled-expr]" in warm[0]
+        finally:
+            planner.COMPILE_EXPRESSIONS = original
 
 
 class TestLRUCache:
