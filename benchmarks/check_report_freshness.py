@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Regeneration drift check for the committed benchmark reports.
+
+Every experiment writes its table to ``benchmarks/out/<name>.txt`` and the
+file is committed so EXPERIMENTS.md and the README can cite it.  When a
+benchmark's code changes but its report is not regenerated, the committed
+numbers silently describe code that no longer exists.  This script maps
+each ``write_report("<name>", ...)`` call site to its report file and
+fails (exit 1, loud listing) when the benchmark source has a newer git
+commit than the report it produces — or when the report is missing
+entirely.
+
+Run from anywhere inside the repository:
+
+    python benchmarks/check_report_freshness.py
+
+CI runs it as a non-blocking step in the benchmarks job; regenerate with
+``PYTHONPATH=src python -m pytest benchmarks/<file> -q`` and commit the
+refreshed ``benchmarks/out/*.txt``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import subprocess
+import sys
+
+BENCH_DIR = pathlib.Path(__file__).resolve().parent
+REPO = BENCH_DIR.parent
+OUT_DIR = BENCH_DIR / "out"
+WRITE_REPORT = re.compile(r"""write_report\(\s*["']([\w-]+)["']""")
+
+
+def last_commit_epoch(path: pathlib.Path) -> int:
+    """Unix time of the last commit touching ``path`` (0 if untracked)."""
+    proc = subprocess.run(
+        ["git", "log", "-1", "--format=%ct", "--", str(path)],
+        cwd=REPO,
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    text = proc.stdout.strip()
+    return int(text) if text else 0
+
+
+def report_names(source: pathlib.Path) -> list:
+    return WRITE_REPORT.findall(source.read_text())
+
+
+def main() -> int:
+    stale = []
+    for source in sorted(BENCH_DIR.glob("test_*.py")):
+        source_epoch = last_commit_epoch(source)
+        for name in report_names(source):
+            report = OUT_DIR / f"{name}.txt"
+            if not report.exists():
+                stale.append((source.name, report, "missing"))
+                continue
+            report_epoch = last_commit_epoch(report)
+            if report_epoch < source_epoch:
+                stale.append(
+                    (
+                        source.name,
+                        report,
+                        f"report committed {source_epoch - report_epoch}s "
+                        "before its benchmark's last change",
+                    )
+                )
+    if stale:
+        print("STALE BENCHMARK REPORTS — regenerate and commit:")
+        for source_name, report, reason in stale:
+            print(f"  {report.relative_to(REPO)}  [{source_name}]: {reason}")
+        print(
+            "\nRegenerate with: PYTHONPATH=src python -m pytest "
+            "benchmarks/<file> -q   (then commit benchmarks/out/)"
+        )
+        return 1
+    print("benchmark reports are fresh relative to their benchmark code")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

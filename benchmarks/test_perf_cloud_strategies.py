@@ -8,8 +8,15 @@ query stream:
 * ``forward`` — per-document term counters precomputed at build time;
 * ``topk``    — only each document's top-k terms cached (approximate).
 
+Since the hot-path overhaul we additionally measure the *refinement*
+path: a refined query's cloud derived incrementally from its parent's
+cached aggregates (subtracting the dropped documents), and a repeat
+build served from the epoch-keyed gather cache — both against a cold
+``forward`` build of the same narrowed result set.
+
 Shape expectation: forward ≪ rescan per query; topk ≤ forward; rescan
-and forward are term-for-term identical; topk loses only tail terms.
+and forward are term-for-term identical; topk loses only tail terms;
+cached/incremental refinement beats cold forward with identical clouds.
 """
 
 import time
@@ -104,3 +111,131 @@ def test_report_strategy_timings(builders, results, benchmark):
     write_report("perf_cloud_strategies", lines)
     # Shape: precomputation beats per-query re-extraction.
     assert timings["rescan"] > fastest_cached
+
+
+@pytest.fixture(scope="module")
+def medium_app(bench_app, scale_name):
+    """A medium (~2,400-course) app for the refinement rows; reuses the
+    session app when the bench scale already is medium."""
+    if scale_name == "medium":
+        return bench_app
+    from repro.courserank.app import CourseRank
+    from repro.datagen import generate_university
+
+    app = CourseRank(generate_university(scale="medium", seed=2008))
+    app.cloudsearch.build()
+    return app
+
+
+def _refine_query(query, term):
+    return f'{query} "{term}"' if " " in term else f"{query} {term}"
+
+
+def _pick_refinement(engine, builder, query):
+    """A deep-refinement click: two levels down from ``query``.
+
+    First-level clicks typically halve the result set (subtracting the
+    dropped half costs as much as re-merging the kept half, so the term
+    source falls back).  Deeper clicks narrow gently — the broadest
+    second-level term keeps ~70-90% of its parent — which is where the
+    incremental derivation genuinely wins.
+    """
+    root = engine.search(query)
+    first = max(builder.build(root).terms, key=lambda t: t.result_df).term
+    parent = engine.search(_refine_query(query, first), within=root.doc_id_set())
+    stats = builder.source.gather(parent.doc_ids())  # also seeds the cache
+    broadest = max(
+        (s for s in stats if s.result_df < len(parent)),
+        key=lambda s: s.result_df,
+    )
+    child = engine.search(
+        _refine_query(parent.query, broadest.term), within=parent.doc_id_set()
+    )
+    return parent, child
+
+
+def _measure_refinement(app, rounds=20):
+    """Cold forward rebuild vs incremental derivation vs cache hit."""
+    engine = app.cloudsearch.engine
+    warm = CloudBuilder(engine, strategy="forward", min_result_df=1)
+    warm.prepare()
+    parent, child = _pick_refinement(engine, warm, "american")
+    source = warm.source
+    parent_key = source._cache_key(tuple(parent.doc_ids()))
+    parent_entry = source._gather_cache.get(parent_key)
+    assert parent_entry is not None  # seeded by the parent's own build
+
+    cold_builder = CloudBuilder(engine, strategy="forward", min_result_df=1)
+    cold_builder.prepare()
+
+    def build_cold():
+        cold_builder.source._gather_cache.clear()
+        return cold_builder.build(child)
+
+    def build_incremental():
+        # Reset to "parent cached, child not yet derived".
+        source._gather_cache.clear()
+        source._gather_cache.put(parent_key, parent_entry)
+        return warm.build_narrowed(child, parent)
+
+    def build_cached():
+        return warm.build_narrowed(child, parent)
+
+    timings = {}
+    clouds = {}
+    for name, build in (
+        ("cold forward", build_cold),
+        ("incremental", build_incremental),
+        ("cache hit", build_cached),
+    ):
+        clouds[name] = build()  # warm-up + correctness capture
+        start = time.perf_counter()
+        for _ in range(rounds):
+            build()
+        timings[name] = (time.perf_counter() - start) / rounds
+    return timings, clouds, len(parent), len(child)
+
+
+def test_refinement_cloud_cold_vs_incremental_vs_cached(
+    bench_app, medium_app, scale_name, benchmark
+):
+    """The three refinement paths must produce identical clouds; the
+    cached/incremental paths must beat the cold rebuild (the acceptance
+    shape for the refinement hot path) — at the bench scale and medium.
+    """
+    apps = {scale_name: bench_app}
+    apps.setdefault("medium", medium_app)
+
+    def signature(cloud):
+        return [(t.term, t.score, t.result_df, t.bucket) for t in cloud.terms]
+
+    def measure():
+        return {
+            scale: _measure_refinement(app) for scale, app in apps.items()
+        }
+
+    by_scale = benchmark.pedantic(measure, rounds=1, iterations=1)
+    lines = [
+        "refinement-cloud build (second-level click: 'american' -> broadest "
+        "term -> broadest term); 20-run avg per path:",
+    ]
+    for scale, (timings, clouds, parent_size, child_size) in by_scale.items():
+        reference = signature(clouds["cold forward"])
+        assert signature(clouds["incremental"]) == reference
+        assert signature(clouds["cache hit"]) == reference
+        lines.append(
+            f"  {scale}: parent={parent_size} docs -> child={child_size} docs"
+        )
+        for name, seconds in sorted(timings.items(), key=lambda kv: kv[1]):
+            speedup = (
+                timings["cold forward"] / seconds if seconds else float("inf")
+            )
+            lines.append(
+                f"    {name:>12}: {seconds * 1000:8.2f} ms  "
+                f"({speedup:.1f}x vs cold)"
+            )
+    write_report("perf_cloud_refinement", lines)
+    # Acceptance shape: cached refinement beats the cold forward rebuild.
+    for scale, (timings, _clouds, _p, _c) in by_scale.items():
+        assert timings["cache hit"] < timings["cold forward"]
+        assert timings["incremental"] < timings["cold forward"]

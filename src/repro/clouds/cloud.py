@@ -11,6 +11,7 @@ survive — the paper's Figure 3 cloud for "American" prominently features
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
 from typing import Any, Iterable, List, Optional, Sequence, Set
 
@@ -109,6 +110,24 @@ class CloudBuilder:
             result.doc_ids(), query=result.query, query_terms=result.terms
         )
 
+    def build_narrowed(
+        self, result: SearchResult, parent: SearchResult
+    ) -> DataCloud:
+        """Cloud for a *refined* result, derived from its parent's stats.
+
+        Refinement is conjunctive, so ``result``'s documents are a subset
+        of ``parent``'s; the term source subtracts the dropped documents
+        from the parent's cached aggregates instead of re-merging the
+        whole result set.  Output is identical to :meth:`build` — the
+        incremental path is purely a cost optimization.
+        """
+        if not self._prepared:
+            self.prepare()
+        stats = self.source.gather_narrowed(parent.doc_ids(), result.doc_ids())
+        return self._cloud_from_stats(
+            stats, len(result.hits), result.query, result.terms
+        )
+
     def build_for_docs(
         self,
         doc_ids: Sequence[DocId],
@@ -118,7 +137,15 @@ class CloudBuilder:
         if not self._prepared:
             self.prepare()
         stats = self.source.gather(doc_ids)
-        result_size = len(doc_ids)
+        return self._cloud_from_stats(stats, len(doc_ids), query, query_terms)
+
+    def _cloud_from_stats(
+        self,
+        stats: Sequence[TermStats],
+        result_size: int,
+        query: str = "",
+        query_terms: Optional[Sequence[str]] = None,
+    ) -> DataCloud:
         corpus_size = self.source.corpus_size
         suppressed = self._suppressed_terms(query_terms or [])
         min_df = self.min_result_df if result_size >= self.min_result_df else 1
@@ -139,8 +166,14 @@ class CloudBuilder:
                     result_df=stat.result_df,
                 )
             )
-        scored.sort(key=lambda term: (-term.score, term.term))
-        scored = scored[: self.max_terms]
+        if len(scored) > self.max_terms:
+            # Bounded heap top-k: same ordering as the full sort (ties
+            # break on the term text), without sorting the whole tail.
+            scored = heapq.nsmallest(
+                self.max_terms, scored, key=lambda term: (-term.score, term.term)
+            )
+        else:
+            scored.sort(key=lambda term: (-term.score, term.term))
         return DataCloud(
             query=query,
             result_size=result_size,

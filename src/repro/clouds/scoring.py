@@ -76,8 +76,13 @@ class TermSource:
         self._doc_terms: Dict[DocId, Counter] = {}
         self._corpus_df: Counter = Counter()
         self._prepared = False
+        self._prepared_epoch: Optional[int] = None
         # Result sets repeat across a session (identical searches, cloud
         # refinement back()); memoize the merged statistics per doc set.
+        # Keys embed the index epoch, so entries cannot survive index
+        # mutations; values keep the raw counters so a *narrowed* result
+        # set (cloud refinement) can be derived by subtraction instead of
+        # re-merged from scratch — see :meth:`gather_narrowed`.
         self._gather_cache = LRUCache(maxsize=64)
 
     # -- build-time work -----------------------------------------------------
@@ -97,6 +102,7 @@ class TermSource:
                 self._doc_terms[doc_id] = Counter(dict(top))
             # rescan keeps nothing per-doc
         self._prepared = True
+        self._prepared_epoch = self.engine.index.epoch
 
     def _extract(self, doc_id: DocId) -> Counter:
         texts = self.engine.document_text(doc_id)
@@ -113,42 +119,115 @@ class TermSource:
 
     # -- query-time work ----------------------------------------------------
 
+    def _cache_key(
+        self, ordered: Tuple[DocId, ...]
+    ) -> Optional[Tuple[int, Tuple[DocId, ...]]]:
+        """(epoch, result-set fingerprint), or None for unhashable ids."""
+        key = (self.engine.index.epoch, ordered)
+        try:
+            hash(key)
+        except TypeError:
+            return None
+        return key
+
+    def _doc_counts(self, doc_id: DocId) -> Counter:
+        if self.strategy == "rescan":
+            return self._extract(doc_id)
+        return self._doc_terms.get(doc_id, Counter())
+
+    def _stats_from_counters(
+        self, occurrences: Counter, result_df: Counter
+    ) -> List[TermStats]:
+        corpus_df = self._corpus_df
+        return [
+            TermStats(
+                term=term,
+                occurrences=occurrences[term],
+                result_df=result_df[term],
+                corpus_df=corpus_df.get(term, result_df[term]),
+            )
+            for term in occurrences
+        ]
+
     def gather(self, doc_ids: Iterable[DocId]) -> List[TermStats]:
         """Term statistics over ``doc_ids`` according to the strategy."""
         if not self._prepared:
             raise CloudError("TermSource.prepare() must run before gather()")
         ordered = tuple(doc_ids)
-        key: Optional[Tuple[DocId, ...]] = ordered
-        try:
-            cached = self._gather_cache.get(ordered)
-        except TypeError:  # unhashable doc ids
-            cached = None
-            key = None
-        if cached is not None:
-            # The cache holds an immutable tuple; hand each caller a fresh
-            # list so in-place sorts/mutations cannot corrupt the cache.
-            return list(cached)
+        key = self._cache_key(ordered)
+        if key is not None:
+            cached = self._gather_cache.get(key)
+            if cached is not None:
+                # The cache holds an immutable tuple; hand each caller a
+                # fresh list so in-place mutations cannot corrupt it.
+                return list(cached[2])
         occurrences: Counter = Counter()
         result_df: Counter = Counter()
         for doc_id in ordered:
-            if self.strategy == "rescan":
-                counts = self._extract(doc_id)
-            else:
-                counts = self._doc_terms.get(doc_id, Counter())
-            for term, count in counts.items():
+            for term, count in self._doc_counts(doc_id).items():
                 occurrences[term] += count
                 result_df[term] += 1
-        stats = [
-            TermStats(
-                term=term,
-                occurrences=occurrences[term],
-                result_df=result_df[term],
-                corpus_df=self._corpus_df.get(term, result_df[term]),
-            )
-            for term in occurrences
-        ]
+        stats = self._stats_from_counters(occurrences, result_df)
         if key is not None:
-            self._gather_cache.put(key, tuple(stats))
+            self._gather_cache.put(
+                key, (occurrences, result_df, tuple(stats))
+            )
+        return stats
+
+    def gather_narrowed(
+        self, parent_ids: Iterable[DocId], doc_ids: Iterable[DocId]
+    ) -> List[TermStats]:
+        """Statistics over ``doc_ids``, derived from a cached superset.
+
+        Cloud refinement always *narrows* the result set, so the child's
+        counters equal the parent's minus the dropped documents'.  When
+        the parent's aggregates are cached and fewer documents were
+        dropped than remain, subtraction beats a from-scratch merge; in
+        every other case this transparently falls back to :meth:`gather`.
+        The output is identical to ``gather(doc_ids)`` either way.
+        """
+        if not self._prepared:
+            raise CloudError("TermSource.prepare() must run before gather()")
+        ordered = tuple(doc_ids)
+        parent_key = self._cache_key(tuple(parent_ids))
+        key = self._cache_key(ordered)
+        if parent_key is None or key is None:
+            return self.gather(ordered)
+        cached = self._gather_cache.get(key)
+        if cached is not None:
+            return list(cached[2])
+        parent = self._gather_cache.get(parent_key)
+        if parent is None:
+            return self.gather(ordered)
+        kept = set(ordered)
+        removed = [doc_id for doc_id in parent_key[1] if doc_id not in kept]
+        if len(removed) >= len(ordered):
+            return self.gather(ordered)
+        # Aggregate the dropped documents once, then derive the child in a
+        # single pass over the parent's vocabulary (cheaper than copying
+        # and mutating the parent's counters term by term).
+        removed_occurrences: Dict[str, float] = {}
+        removed_df: Dict[str, int] = {}
+        for doc_id in removed:
+            for term, count in self._doc_counts(doc_id).items():
+                removed_occurrences[term] = (
+                    removed_occurrences.get(term, 0) + count
+                )
+                removed_df[term] = removed_df.get(term, 0) + 1
+        parent_occurrences, parent_df = parent[0], parent[1]
+        occurrences: Counter = Counter()
+        result_df: Counter = Counter()
+        dropped_df = removed_df.get
+        dropped_occ = removed_occurrences.get
+        for term, df in parent_df.items():
+            new_df = df - dropped_df(term, 0)
+            if new_df > 0:
+                result_df[term] = new_df
+                occurrences[term] = parent_occurrences[term] - dropped_occ(
+                    term, 0
+                )
+        stats = self._stats_from_counters(occurrences, result_df)
+        self._gather_cache.put(key, (occurrences, result_df, tuple(stats)))
         return stats
 
     @property

@@ -56,13 +56,36 @@ class CourseCloudSearch:
     def search(
         self, query: str, limit: Optional[int] = None
     ) -> Tuple[SearchResult, DataCloud]:
-        """Search courses and summarize the results with a course cloud."""
+        """Search courses and summarize the results with a course cloud.
+
+        Repeated queries are served from the engine's epoch-keyed result
+        cache and the cloud builder's gather cache; the returned result
+        carries per-query observability (``candidate_count``,
+        ``scored_count``, ``cache_hit``, ``elapsed_ms`` — see
+        :meth:`query_stats`).
+        """
         self.ensure_built()
         result = self.engine.search(query, limit=None)
         cloud = self.builder.build(result)
         if limit is not None:
             result.hits = result.hits[:limit]
         return result, cloud
+
+    @staticmethod
+    def query_stats(result: SearchResult) -> Dict[str, Any]:
+        """Observability fields of one answered query, as a plain dict."""
+        return {
+            "query": result.query,
+            "hits": len(result.hits),
+            "candidate_count": result.candidate_count,
+            "scored_count": result.scored_count,
+            "cache_hit": result.cache_hit,
+            "elapsed_ms": result.elapsed_ms,
+        }
+
+    def cache_info(self) -> Dict[str, int]:
+        """Hit/miss counters of the engine's query-result cache."""
+        return self.engine.cache_info()
 
     def count(self, query: str) -> int:
         self.ensure_built()

@@ -16,15 +16,25 @@ Two rankers are provided:
 
 Both respect the entity definition's field weights, answering Section
 3.1's ranking question (title hits beat comment hits).
+
+The query hot path is engineered like minidb's (DESIGN.md §7/§8):
+scoring is term-at-a-time over postings with idf, field weight, and
+BM25 length-normalizer lookups hoisted out of the inner loop; limited
+queries use a bounded heap instead of sorting every hit; and ranked
+results are memoized in an LRU cache keyed by the index **epoch**, so
+any index mutation invalidates stale entries without an explicit hook.
 """
 
 from __future__ import annotations
 
+import heapq
 import math
 import re
+import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from repro.caching import LRUCache
 from repro.errors import SearchError
 from repro.minidb.catalog import Database
 from repro.search.entity import EntityDefinition
@@ -46,13 +56,23 @@ class SearchHit:
 
 @dataclass
 class SearchResult:
-    """The outcome of one query: ranked hits plus query metadata."""
+    """The outcome of one query: ranked hits plus query metadata.
+
+    The trailing fields are per-query observability: how many documents
+    survived candidate generation, how many were scored, whether the
+    ranked list came from the result cache, and wall-clock time spent
+    inside :meth:`SearchEngine.search`.
+    """
 
     query: str
     terms: List[str]  # all stemmed terms, phrase members included
     hits: List[SearchHit]
     mode: str
     phrases: List[List[str]] = field(default_factory=list)
+    candidate_count: int = 0
+    scored_count: int = 0
+    cache_hit: bool = False
+    elapsed_ms: float = 0.0
 
     def __len__(self) -> int:
         return len(self.hits)
@@ -78,6 +98,7 @@ class SearchEngine:
         ranker: str = "bm25",
         bm25_k1: float = 1.4,
         bm25_b: float = 0.6,
+        result_cache_size: int = 128,
     ) -> None:
         if ranker not in ("bm25", "tfidf"):
             raise SearchError(f"unknown ranker {ranker!r}")
@@ -92,6 +113,10 @@ class SearchEngine:
         # Raw text store per document (the naive cloud strategy re-reads it).
         self._texts: Dict[DocId, Dict[str, str]] = {}
         self._built = False
+        # Ranked-result memo.  Keys embed the index epoch, so entries made
+        # before any add/remove/refresh can never be served afterwards —
+        # stale generations simply age out of the LRU.
+        self._result_cache = LRUCache(maxsize=result_cache_size)
 
     # -- indexing -----------------------------------------------------------
 
@@ -99,14 +124,16 @@ class SearchEngine:
         """(Re)build the index from the database; returns documents indexed."""
         self.index.clear()
         self._texts.clear()
+        self._result_cache.clear()
         collected = self.entity.collect_texts(self.database)
+        batch: Dict[DocId, Dict[str, List[str]]] = {}
         for doc_id, fields in collected.items():
             joined = {name: " ".join(chunks) for name, chunks in fields.items()}
-            tokenized = {
+            batch[doc_id] = {
                 name: self.tokenizer.tokens(text) for name, text in joined.items()
             }
-            self.index.add_document(doc_id, tokenized)
             self._texts[doc_id] = joined
+        self.index.add_documents(batch)
         self._built = True
         return self.index.document_count
 
@@ -115,7 +142,9 @@ class SearchEngine:
 
         Runs key-filtered field queries (not a full corpus re-read), so
         the live site can refresh a course the moment a comment lands.
-        Removes the entity when it disappeared from the database.
+        Removes the entity when it disappeared from the database.  The
+        index epoch moves either way, so cached results and norm tables
+        never outlive the change.
         """
         fields = self.entity.collect_texts_for(self.database, doc_id)
         if fields is None:
@@ -143,6 +172,19 @@ class SearchEngine:
     def _require_built(self) -> None:
         if not self._built:
             raise SearchError("search index not built; call build() first")
+
+    # -- caching -------------------------------------------------------------
+
+    def clear_caches(self) -> None:
+        """Empty the result cache and derived index tables (cold-path
+        benchmarking helper; never needed for correctness)."""
+        self._result_cache.clear()
+        self.index.invalidate_caches()
+
+    def cache_info(self) -> Dict[str, int]:
+        """Result-cache counters: hits, misses, current size."""
+        cache = self._result_cache
+        return {"hits": cache.hits, "misses": cache.misses, "size": len(cache)}
 
     # -- query parsing -------------------------------------------------------
 
@@ -175,36 +217,101 @@ class SearchEngine:
         limit: Optional[int] = None,
         mode: str = "all",
         within: Optional[Set[DocId]] = None,
+        use_cache: bool = True,
     ) -> SearchResult:
         """Answer a keyword query.
 
         ``mode`` is ``"all"`` (conjunctive, default) or ``"any"``
         (disjunctive; phrases still match as phrases).  ``within``
         restricts candidates to a document subset — the data-cloud
-        refinement path uses it.
+        refinement path uses it.  ``use_cache=False`` bypasses the
+        result cache (benchmarks measure the uncached path with it).
+
+        Every call returns a fresh :class:`SearchResult`; cached hits
+        share the immutable :class:`SearchHit` objects but never the
+        containing list, so callers may truncate or re-sort freely.
         """
         self._require_built()
+        started = time.perf_counter()
         if mode not in ("all", "any"):
             raise SearchError(f"unknown match mode {mode!r}")
         loose, phrases = self.parse_query(query)
         all_terms = list(loose) + [term for phrase in phrases for term in phrase]
         if not all_terms:
             return SearchResult(
-                query=query, terms=[], hits=[], mode=mode, phrases=[]
+                query=query,
+                terms=[],
+                hits=[],
+                mode=mode,
+                phrases=[],
+                elapsed_ms=(time.perf_counter() - started) * 1000.0,
             )
+        key = self._cache_key(loose, phrases, mode, limit, within)
+        if use_cache and key is not None:
+            cached = self._result_cache.get(key)
+            if cached is not None:
+                candidate_count, scored_count, hits = cached
+                return SearchResult(
+                    query=query,
+                    terms=all_terms,
+                    hits=list(hits),
+                    mode=mode,
+                    phrases=phrases,
+                    candidate_count=candidate_count,
+                    scored_count=scored_count,
+                    cache_hit=True,
+                    elapsed_ms=(time.perf_counter() - started) * 1000.0,
+                )
         candidates = self._candidates(loose, phrases, mode)
         if within is not None:
             candidates &= within
         scored = self._score_candidates(candidates, all_terms)
-        scored.sort(key=lambda hit: (-hit.score, _tiebreak(hit.doc_id)))
-        if limit is not None:
-            scored = scored[:limit]
+        scored_count = len(scored)
+        if limit is not None and limit < len(scored):
+            # Bounded heap: O(n log k) and no full materialized sort.  The
+            # key mirrors the full-sort ordering exactly, ties included.
+            hits = heapq.nsmallest(
+                limit, scored, key=lambda hit: (-hit.score, _tiebreak(hit.doc_id))
+            )
+        else:
+            scored.sort(key=lambda hit: (-hit.score, _tiebreak(hit.doc_id)))
+            hits = scored
+        if use_cache and key is not None:
+            self._result_cache.put(key, (len(candidates), scored_count, tuple(hits)))
         return SearchResult(
             query=query,
             terms=all_terms,
-            hits=scored,
+            hits=hits,
             mode=mode,
             phrases=phrases,
+            candidate_count=len(candidates),
+            scored_count=scored_count,
+            cache_hit=False,
+            elapsed_ms=(time.perf_counter() - started) * 1000.0,
+        )
+
+    def _cache_key(
+        self,
+        loose: Sequence[str],
+        phrases: Sequence[Sequence[str]],
+        mode: str,
+        limit: Optional[int],
+        within: Optional[Set[DocId]],
+    ) -> Optional[Tuple]:
+        """Epoch-keyed cache key, or ``None`` when the query is uncacheable
+        (unhashable doc ids in ``within``).  Keying on the *parsed* terms
+        means queries differing only in case/whitespace share an entry."""
+        try:
+            within_key = frozenset(within) if within is not None else None
+        except TypeError:
+            return None
+        return (
+            self.index.epoch,
+            tuple(loose),
+            tuple(tuple(phrase) for phrase in phrases),
+            mode,
+            limit,
+            within_key,
         )
 
     def count(self, query: str, mode: str = "all") -> int:
@@ -243,39 +350,66 @@ class SearchEngine:
     def _score_candidates(
         self, candidates: Set[DocId], terms: Sequence[str]
     ) -> List[SearchHit]:
-        """Score all candidates, fetching each term's postings once."""
-        scores: Dict[DocId, float] = {doc_id: 0.0 for doc_id in candidates}
+        """Term-at-a-time accumulation over postings.
+
+        Per term the idf is computed once; per field the weight and the
+        per-document inverse BM25 normalizer table are fetched once.  The
+        inner loop walks whichever of (postings, candidates) is smaller,
+        so rare terms over broad candidate sets never scan every
+        candidate, and broad terms over narrow ``within`` sets never scan
+        every posting.
+        """
+        if not candidates:
+            return []
+        scores: Dict[DocId, float] = dict.fromkeys(candidates, 0.0)
         k1, b = self.bm25_k1, self.bm25_b
+        k1_plus_1 = k1 + 1.0
+        weights = self.field_weights
+        index = self.index
+        bm25 = self.ranker == "bm25"
+        # field -> {doc: 1/normalizer}; fetched lazily per field, shared
+        # across terms (the table itself is epoch-cached in the index).
+        inverse_norms: Dict[str, Dict[DocId, float]] = {}
         for term in terms:
-            postings = self.index.positional_postings(term)
-            idf = self.index.idf(term)
-            for doc_id in candidates:
-                entry = postings.get(doc_id)
-                if not entry:
-                    continue
-                if self.ranker == "bm25":
+            postings = index.positional_postings(term)
+            if not postings:
+                continue
+            idf = index.idf(term)
+            if len(postings) <= len(candidates):
+                matched = (
+                    (doc_id, entry)
+                    for doc_id, entry in postings.items()
+                    if doc_id in scores
+                )
+            else:
+                matched = (
+                    (doc_id, postings[doc_id])
+                    for doc_id in candidates
+                    if doc_id in postings
+                )
+            if bm25:
+                for doc_id, entry in matched:
                     pseudo_tf = 0.0
                     for field_name, positions in entry.items():
-                        tf = len(positions)
-                        average = self.index.average_field_length(field_name)
-                        length = self.index.field_length(doc_id, field_name)
-                        normalizer = (
-                            1.0 - b + b * (length / average) if average else 1.0
-                        )
+                        inverse = inverse_norms.get(field_name)
+                        if inverse is None:
+                            inverse = index.length_normalizers(field_name, b)
+                            inverse_norms[field_name] = inverse
                         pseudo_tf += (
-                            self.field_weights.get(field_name, 1.0)
-                            * tf
-                            / normalizer
+                            weights.get(field_name, 1.0)
+                            * len(positions)
+                            * inverse.get(doc_id, 1.0)
                         )
                     scores[doc_id] += (
-                        idf * pseudo_tf * (k1 + 1.0) / (pseudo_tf + k1)
+                        idf * pseudo_tf * k1_plus_1 / (pseudo_tf + k1)
                     )
-                else:
-                    weighted = sum(
-                        self.field_weights.get(field_name, 1.0)
-                        * (1.0 + math.log(len(positions)))
-                        for field_name, positions in entry.items()
-                    )
+            else:
+                for doc_id, entry in matched:
+                    weighted = 0.0
+                    for field_name, positions in entry.items():
+                        weighted += weights.get(field_name, 1.0) * (
+                            1.0 + math.log(len(positions))
+                        )
                     scores[doc_id] += idf * weighted
         return [SearchHit(doc_id, score) for doc_id, score in scores.items()]
 

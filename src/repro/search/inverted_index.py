@@ -10,6 +10,16 @@ the multi-word cloud terms of the paper's Figure 3 ("Latin American",
 A forward index (doc → field → term counts) is kept alongside — the
 data-cloud scorers iterate it to gather term statistics over a result
 set without re-tokenizing source text.
+
+Statistics are maintained **incrementally**: per-field token totals,
+per-field holder counts, and per-(doc, field) lengths are updated on
+every add/remove, so ``average_field_length``, ``field_length``,
+``document_frequency`` and ``idf`` are all O(1) at query time.  An
+**epoch** counter is bumped on every mutation; derived artifacts (the
+BM25 length-normalizer tables here, the query-result and cloud caches in
+the layers above) key themselves to the epoch and rebuild lazily when it
+moves — the same version-counter invalidation discipline the minidb plan
+cache uses.
 """
 
 from __future__ import annotations
@@ -34,37 +44,87 @@ class InvertedIndex:
         self._postings: Dict[str, Dict[DocId, FieldPositions]] = {}
         # doc_id -> field -> Counter(term)
         self._forward: Dict[DocId, Dict[str, Counter]] = {}
-        # field -> total token count (for average field length)
+        # field -> total token count (entries removed when they reach 0)
         self._field_tokens: Dict[str, int] = {}
+        # field -> number of documents holding the field (incremental)
+        self._field_holders: Dict[str, int] = {}
+        # doc_id -> field -> token count (O(1) field_length)
+        self._field_lengths: Dict[DocId, Dict[str, int]] = {}
+        # Mutation counter; bumped by add/remove/clear.  Derived caches at
+        # every layer key themselves to this value.
+        self._epoch = 0
+        # (field, b) -> (epoch, {doc_id: 1 / bm25-length-normalizer})
+        self._norm_tables: Dict[Tuple[str, float], Tuple[int, Dict[DocId, float]]] = {}
 
     # -- building ----------------------------------------------------------
 
     def add_document(self, doc_id: DocId, fields: Mapping[str, List[str]]) -> None:
         """Index one document; re-adding an existing id replaces it."""
+        self._add(doc_id, fields)
+        self._epoch += 1
+
+    def add_documents(
+        self, documents: Mapping[DocId, Mapping[str, List[str]]]
+    ) -> int:
+        """Batch-index many documents with a single epoch bump.
+
+        Equivalent to calling :meth:`add_document` per entry, but derived
+        caches (norm tables, result caches) are invalidated once instead
+        of per document.  Returns the number of documents indexed.
+        """
+        count = 0
+        for doc_id, fields in documents.items():
+            self._add(doc_id, fields)
+            count += 1
+        if count:
+            self._epoch += 1
+        return count
+
+    def _add(self, doc_id: DocId, fields: Mapping[str, List[str]]) -> None:
         if doc_id in self._forward:
-            self.remove_document(doc_id)
+            self._remove(doc_id)
         forward: Dict[str, Counter] = {}
+        lengths: Dict[str, int] = {}
         for field, tokens in fields.items():
             if not tokens:
                 continue
             counts = Counter(tokens)
             forward[field] = counts
+            lengths[field] = len(tokens)
             self._field_tokens[field] = (
                 self._field_tokens.get(field, 0) + len(tokens)
             )
+            self._field_holders[field] = self._field_holders.get(field, 0) + 1
             for position, term in enumerate(tokens):
                 by_doc = self._postings.setdefault(term, {})
                 by_doc.setdefault(doc_id, {}).setdefault(field, []).append(
                     position
                 )
         self._forward[doc_id] = forward
+        self._field_lengths[doc_id] = lengths
 
     def remove_document(self, doc_id: DocId) -> None:
+        self._remove(doc_id)
+        self._epoch += 1
+
+    def _remove(self, doc_id: DocId) -> None:
         forward = self._forward.pop(doc_id, None)
         if forward is None:
             raise SearchError(f"document {doc_id!r} is not indexed")
+        self._field_lengths.pop(doc_id, None)
         for field, counts in forward.items():
-            self._field_tokens[field] -= sum(counts.values())
+            remaining = self._field_tokens[field] - sum(counts.values())
+            if remaining:
+                self._field_tokens[field] = remaining
+            else:
+                # Zeroed entries must not linger: a later holder-count of 0
+                # with a stale token total would corrupt average lengths.
+                del self._field_tokens[field]
+            holders = self._field_holders[field] - 1
+            if holders:
+                self._field_holders[field] = holders
+            else:
+                del self._field_holders[field]
             for term in counts:
                 by_doc = self._postings.get(term)
                 if by_doc is None:
@@ -81,8 +141,17 @@ class InvertedIndex:
         self._postings.clear()
         self._forward.clear()
         self._field_tokens.clear()
+        self._field_holders.clear()
+        self._field_lengths.clear()
+        self._norm_tables.clear()
+        self._epoch += 1
 
     # -- statistics -----------------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        """Mutation counter; changes whenever indexed content changes."""
+        return self._epoch
 
     @property
     def document_count(self) -> int:
@@ -105,18 +174,51 @@ class InvertedIndex:
         total = self._field_tokens.get(field, 0)
         if not total:
             return 0.0
-        holders = sum(1 for forward in self._forward.values() if field in forward)
+        holders = self._field_holders.get(field, 0)
         return total / holders if holders else 0.0
 
+    def field_holder_count(self, field: str) -> int:
+        """Number of documents holding a non-empty ``field``."""
+        return self._field_holders.get(field, 0)
+
     def field_length(self, doc_id: DocId, field: str) -> int:
-        forward = self._forward.get(doc_id)
-        if forward is None or field not in forward:
+        lengths = self._field_lengths.get(doc_id)
+        if not lengths:
             return 0
-        return sum(forward[field].values())
+        return lengths.get(field, 0)
 
     def document_length(self, doc_id: DocId) -> int:
-        forward = self._forward.get(doc_id, {})
-        return sum(sum(counts.values()) for counts in forward.values())
+        return sum(self._field_lengths.get(doc_id, {}).values())
+
+    def length_normalizers(self, field: str, b: float) -> Dict[DocId, float]:
+        """Per-document *inverse* BM25 length normalizers for ``field``.
+
+        Returns ``{doc_id: 1 / (1 - b + b * length/average)}`` for every
+        document holding the field.  The table is rebuilt lazily when the
+        index epoch moves and cached per ``(field, b)``, so the scoring
+        inner loop pays one dict lookup per (doc, field) instead of
+        recomputing averages and lengths per candidate.
+        """
+        key = (field, b)
+        cached = self._norm_tables.get(key)
+        if cached is not None and cached[0] == self._epoch:
+            return cached[1]
+        table: Dict[DocId, float] = {}
+        average = self.average_field_length(field)
+        if average:
+            base = 1.0 - b
+            scale = b / average
+            for doc_id, lengths in self._field_lengths.items():
+                length = lengths.get(field)
+                if length:
+                    table[doc_id] = 1.0 / (base + scale * length)
+        self._norm_tables[key] = (self._epoch, table)
+        return table
+
+    def invalidate_caches(self) -> None:
+        """Drop lazily built derived tables (benchmarks use this for
+        cold-path measurements; correctness never requires it)."""
+        self._norm_tables.clear()
 
     # -- access -------------------------------------------------------------
 

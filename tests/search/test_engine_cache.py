@@ -1,0 +1,205 @@
+"""The search fast path: result caching, heap top-k, and observability.
+
+Three invariants from the hot-path overhaul:
+
+* cached and cold searches return identical ranked results;
+* heap top-k (``limit=...``) ordering equals full-sort ordering,
+  including score ties broken by ``_tiebreak``;
+* any index mutation moves the epoch, so the cache can never serve a
+  stale generation.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.minidb import Database
+from repro.search.engine import SearchEngine, _tiebreak
+from repro.search.entity import EntityDefinition, FieldSpec
+
+
+def make_engine(rows, **kwargs):
+    database = Database()
+    database.execute(
+        "CREATE TABLE Docs (DocID INTEGER PRIMARY KEY, Title TEXT, Body TEXT)"
+    )
+    table = database.table("Docs")
+    for doc_id, title, body in rows:
+        table.insert([doc_id, title, body])
+    entity = EntityDefinition(
+        "doc",
+        (
+            FieldSpec("title", "SELECT DocID, Title FROM Docs", weight=3.0),
+            FieldSpec("body", "SELECT DocID, Body FROM Docs", weight=1.0),
+        ),
+    )
+    engine = SearchEngine(database, entity, **kwargs)
+    engine.build()
+    return engine
+
+
+CORPUS = [
+    (1, "American History", "the american revolution and the civil war"),
+    (2, "Latin American Politics", "elections across latin american nations"),
+    (3, "African American Studies", "african american culture and history"),
+    (4, "American Music", "jazz blues and american composers"),
+    (5, "Database Systems", "query processing transactions recovery"),
+    (6, "European History", "empires wars and revolutions in europe"),
+]
+
+
+@pytest.fixture()
+def engine():
+    return make_engine(CORPUS)
+
+
+class TestResultCache:
+    def test_cached_equals_cold(self, engine):
+        cold = engine.search("american history", mode="any")
+        warm = engine.search("american history", mode="any")
+        assert warm.cache_hit and not cold.cache_hit
+        assert warm.hits == cold.hits
+        assert warm.doc_ids() == cold.doc_ids()
+        assert [hit.score for hit in warm.hits] == [
+            hit.score for hit in cold.hits
+        ]
+        assert warm.candidate_count == cold.candidate_count
+        assert warm.scored_count == cold.scored_count
+
+    def test_use_cache_false_bypasses(self, engine):
+        engine.search("american")
+        uncached = engine.search("american", use_cache=False)
+        assert not uncached.cache_hit
+        assert uncached.hits == engine.search("american").hits
+
+    def test_cache_counters(self, engine):
+        engine.clear_caches()
+        engine.search("american")
+        engine.search("american")
+        info = engine.cache_info()
+        assert info["hits"] >= 1
+        assert info["misses"] >= 1
+        assert info["size"] >= 1
+
+    def test_cached_result_is_fresh_object(self, engine):
+        first = engine.search("american")
+        first.hits.clear()  # caller mutation must not corrupt the cache
+        second = engine.search("american")
+        assert len(second) == 4
+
+    def test_distinct_parameters_distinct_entries(self, engine):
+        full = engine.search("american")
+        limited = engine.search("american", limit=2)
+        within = engine.search("american", within={1, 3})
+        disjunct = engine.search("american history", mode="any")
+        assert len(limited) == 2
+        assert within.doc_id_set() == {1, 3}
+        assert len(full) == 4
+        assert len(disjunct) > len(full) - 1
+
+    def test_case_and_whitespace_share_entry(self, engine):
+        engine.clear_caches()
+        engine.search("American  History")
+        assert engine.search("american history").cache_hit
+
+    def test_epoch_invalidation_after_refresh(self, engine):
+        before = engine.search("jazz")
+        assert before.doc_id_set() == {4}
+        engine.database.execute(
+            "UPDATE Docs SET Body = 'classical opera' WHERE DocID = 4"
+        )
+        engine.refresh_document(4)
+        after = engine.search("jazz")
+        assert not after.cache_hit
+        assert after.doc_id_set() == set()
+        assert engine.search("opera").doc_id_set() == {4}
+
+    def test_epoch_invalidation_after_remove(self, engine):
+        engine.search("american")
+        engine.database.execute("DELETE FROM Docs WHERE DocID = 4")
+        engine.refresh_document(4)
+        survivors = engine.search("american")
+        assert not survivors.cache_hit
+        assert 4 not in survivors.doc_id_set()
+
+    def test_build_clears_cache(self, engine):
+        engine.search("american")
+        engine.build()
+        assert not engine.search("american").cache_hit
+
+
+class TestObservability:
+    def test_fields_populated(self, engine):
+        result = engine.search("american history", mode="any")
+        assert result.candidate_count == len(result.hits)
+        assert result.scored_count == result.candidate_count
+        assert result.elapsed_ms >= 0.0
+        assert result.cache_hit is False
+
+    def test_limit_keeps_full_counts(self, engine):
+        result = engine.search("american", limit=1)
+        assert len(result) == 1
+        assert result.candidate_count == 4
+        assert result.scored_count == 4
+
+    def test_empty_query_counts(self, engine):
+        result = engine.search("the of and")
+        assert result.candidate_count == 0
+        assert result.scored_count == 0
+        assert result.elapsed_ms >= 0.0
+
+
+class TestHeapTopK:
+    @pytest.mark.parametrize("ranker", ["bm25", "tfidf"])
+    @pytest.mark.parametrize("mode", ["all", "any"])
+    def test_topk_prefix_of_full_sort(self, ranker, mode):
+        engine = make_engine(CORPUS, ranker=ranker)
+        full = engine.search("american history", mode=mode, use_cache=False)
+        for k in range(1, len(full) + 2):
+            limited = engine.search(
+                "american history", mode=mode, limit=k, use_cache=False
+            )
+            assert limited.hits == full.hits[:k]
+
+    def test_ties_follow_tiebreak(self):
+        # Identical documents score identically; ordering must fall back
+        # to the deterministic _tiebreak over doc ids.
+        rows = [(i, "same title", "same body text") for i in range(1, 9)]
+        engine = make_engine(rows)
+        full = engine.search("title", use_cache=False)
+        scores = {hit.score for hit in full.hits}
+        assert len(scores) == 1  # all tied
+        expected = sorted(full.doc_ids(), key=_tiebreak)
+        assert full.doc_ids() == expected
+        limited = engine.search("title", limit=3, use_cache=False)
+        assert limited.doc_ids() == expected[:3]
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        docs=st.lists(
+            st.lists(
+                st.sampled_from(["alpha", "beta", "gamma", "delta"]),
+                min_size=1,
+                max_size=6,
+            ),
+            min_size=1,
+            max_size=10,
+        ),
+        query=st.lists(
+            st.sampled_from(["alpha", "beta", "gamma"]),
+            min_size=1,
+            max_size=2,
+            unique=True,
+        ),
+        k=st.integers(min_value=1, max_value=12),
+    )
+    def test_property_heap_equals_sort(self, docs, query, k):
+        rows = [
+            (i + 1, " ".join(tokens), " ".join(reversed(tokens)))
+            for i, tokens in enumerate(docs)
+        ]
+        engine = make_engine(rows)
+        text = " ".join(query)
+        full = engine.search(text, mode="any", use_cache=False)
+        limited = engine.search(text, mode="any", limit=k, use_cache=False)
+        assert limited.hits == full.hits[:k]

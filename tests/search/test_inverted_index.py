@@ -134,3 +134,158 @@ class TestRemove:
             index.remove_document(doc_id)
         assert index.document_count == 0
         assert index.vocabulary_size == 0
+
+    def test_remove_leaves_no_zeroed_field_entries(self):
+        """Regression: `_field_tokens` entries decremented to 0 must not
+        linger, and holder counts must not go stale after churn."""
+        index = InvertedIndex()
+        index.add_document(1, {"title": ["a", "b"], "comments": ["c"]})
+        index.remove_document(1)
+        assert index._field_tokens == {}
+        assert index._field_holders == {}
+        assert index.average_field_length("title") == 0.0
+        assert index.field_holder_count("title") == 0
+
+
+def assert_statistics_match(churned, fresh, fields, doc_ids, terms):
+    """Every public statistic of a churned index equals a fresh build's."""
+    assert churned.document_count == fresh.document_count
+    assert churned.vocabulary_size == fresh.vocabulary_size
+    assert set(churned.terms()) == set(fresh.terms())
+    for field in fields:
+        assert churned.average_field_length(field) == fresh.average_field_length(field)
+        assert churned.field_holder_count(field) == fresh.field_holder_count(field)
+        assert churned.length_normalizers(field, 0.6) == fresh.length_normalizers(field, 0.6)
+    for term in terms:
+        assert churned.document_frequency(term) == fresh.document_frequency(term)
+        assert churned.idf(term) == fresh.idf(term)
+        assert churned.collection_frequency(term) == fresh.collection_frequency(term)
+        assert churned.postings(term) == fresh.postings(term)
+    for doc_id in doc_ids:
+        assert churned.document_length(doc_id) == fresh.document_length(doc_id)
+        for field in fields:
+            assert churned.field_length(doc_id, field) == fresh.field_length(doc_id, field)
+
+
+class TestChurnRegression:
+    """Add/remove/re-add must leave statistics identical to a fresh build."""
+
+    DOCS = {
+        1: {"title": ["american", "histori"], "comments": ["great", "great"]},
+        2: {"title": ["american", "polit"]},
+        3: {"comments": ["histori", "histori", "boring"]},
+        4: {"title": ["databas"], "comments": ["fast"]},
+    }
+    FIELDS = ("title", "comments", "nope")
+    TERMS = ("american", "histori", "great", "polit", "boring", "databas", "fast", "zzz")
+
+    def churn(self):
+        index = InvertedIndex()
+        for doc_id, fields in self.DOCS.items():
+            index.add_document(doc_id, fields)
+        # Churn: remove two docs, re-add one of them changed, then restore.
+        index.remove_document(1)
+        index.remove_document(3)
+        index.add_document(1, {"title": ["temporari"]})
+        index.add_document(1, self.DOCS[1])
+        index.add_document(3, self.DOCS[3])
+        return index
+
+    def fresh(self):
+        index = InvertedIndex()
+        index.add_documents(self.DOCS)
+        return index
+
+    def test_churned_statistics_match_fresh_build(self):
+        assert_statistics_match(
+            self.churn(), self.fresh(), self.FIELDS, self.DOCS, self.TERMS
+        )
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=1, max_value=4),
+                st.booleans(),  # True = (re)add, False = remove-if-present
+            ),
+            max_size=12,
+        )
+    )
+    def test_random_churn_matches_fresh_build(self, operations):
+        index = InvertedIndex()
+        alive = {}
+        for doc_id, adding in operations:
+            if adding:
+                index.add_document(doc_id, self.DOCS[doc_id])
+                alive[doc_id] = self.DOCS[doc_id]
+            elif doc_id in alive:
+                index.remove_document(doc_id)
+                del alive[doc_id]
+        fresh = InvertedIndex()
+        fresh.add_documents(alive)
+        assert_statistics_match(index, fresh, self.FIELDS, self.DOCS, self.TERMS)
+
+
+class TestEpochAndBatch:
+    def test_epoch_bumps_on_mutations(self):
+        index = InvertedIndex()
+        start = index.epoch
+        index.add_document(1, {"title": ["a"]})
+        after_add = index.epoch
+        assert after_add > start
+        index.remove_document(1)
+        after_remove = index.epoch
+        assert after_remove > after_add
+        index.clear()
+        assert index.epoch > after_remove
+
+    def test_epoch_stable_across_reads(self):
+        index = build_sample()
+        epoch = index.epoch
+        index.average_field_length("title")
+        index.length_normalizers("title", 0.6)
+        index.idf("american")
+        list(index.terms())
+        assert index.epoch == epoch
+
+    def test_add_documents_batch_equals_sequential(self):
+        docs = {
+            1: {"title": ["a", "b"]},
+            2: {"title": ["b"], "comments": ["c", "c"]},
+        }
+        batched = InvertedIndex()
+        assert batched.add_documents(docs) == 2
+        sequential = InvertedIndex()
+        for doc_id, fields in docs.items():
+            sequential.add_document(doc_id, fields)
+        assert_statistics_match(
+            batched, sequential, ("title", "comments"), docs, ("a", "b", "c")
+        )
+
+    def test_add_documents_single_epoch_bump(self):
+        index = InvertedIndex()
+        before = index.epoch
+        index.add_documents({1: {"t": ["x"]}, 2: {"t": ["y"]}, 3: {"t": ["z"]}})
+        assert index.epoch == before + 1
+        assert index.add_documents({}) == 0
+        assert index.epoch == before + 1  # empty batch: no bump
+
+    def test_length_normalizers_values(self):
+        index = build_sample()
+        # title lengths: doc1=2, doc2=2; average 2.0.
+        table = index.length_normalizers("title", 0.6)
+        expected = 1.0 / (1.0 - 0.6 + (0.6 / 2.0) * 2)
+        assert table == {1: expected, 2: expected}
+        # Docs without the field have no entry.
+        assert 3 not in table
+
+    def test_length_normalizers_rebuilt_after_mutation(self):
+        index = build_sample()
+        first = index.length_normalizers("comments", 0.6)
+        assert index.length_normalizers("comments", 0.6) is first  # cached
+        index.add_document(9, {"comments": ["new", "new", "new"]})
+        second = index.length_normalizers("comments", 0.6)
+        assert second is not first
+        assert 9 in second
+
+    def test_length_normalizers_empty_field(self):
+        assert InvertedIndex().length_normalizers("title", 0.6) == {}
