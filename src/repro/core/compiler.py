@@ -68,7 +68,7 @@ def compile_workflow(workflow: Workflow, database: Database) -> CompiledWorkflow
     """Compile a validated workflow to one SQL SELECT for ``database``."""
     compiler = _Compiler(database)
     sql = compiler.compile(workflow.root)
-    columns = workflow.root.output_columns(database)
+    columns = compiler._columns(workflow.root)
     return CompiledWorkflow(sql=sql, columns=columns, udfs=tuple(compiler.udfs))
 
 
@@ -77,6 +77,22 @@ class _Compiler:
         self.database = database
         self._alias_counter = 0
         self.udfs: List[str] = []
+        self._columns_cache: Dict[int, List[str]] = {}
+
+    def _columns(self, node: Operator) -> List[str]:
+        """Memoized ``node.output_columns``.
+
+        Column resolution recurses over the whole subtree, and a single
+        compilation asks for the same node's columns several times (each
+        parent re-asks for its children); memoizing by node identity
+        makes compilation linear in tree size.  The cache lives only for
+        this compilation, so mutation of the catalog cannot go stale.
+        """
+        cached = self._columns_cache.get(id(node))
+        if cached is None:
+            cached = node.output_columns(self.database)
+            self._columns_cache[id(node)] = cached
+        return cached
 
     def _fresh(self, prefix: str) -> str:
         self._alias_counter += 1
@@ -111,12 +127,12 @@ class _Compiler:
     # -- relational operators ----------------------------------------------
 
     def _compile_source(self, node: Source) -> str:
-        columns = ", ".join(node.output_columns(self.database))
+        columns = ", ".join(self._columns(node))
         return f"SELECT {columns} FROM {node.table}"
 
     def _compile_select(self, node: Select) -> str:
         alias = self._fresh("sel")
-        columns = ", ".join(node.output_columns(self.database))
+        columns = ", ".join(self._columns(node))
         child = self.compile(node.child)
         return (
             f"SELECT {columns} FROM ({child}) AS {alias} "
@@ -125,7 +141,7 @@ class _Compiler:
 
     def _compile_project(self, node: Project) -> str:
         alias = self._fresh("prj")
-        columns = ", ".join(node.output_columns(self.database))
+        columns = ", ".join(self._columns(node))
         keyword = "SELECT DISTINCT" if node.distinct else "SELECT"
         child = self.compile(node.child)
         return f"{keyword} {columns} FROM ({child}) AS {alias}"
@@ -135,11 +151,11 @@ class _Compiler:
         right_alias = self._fresh("jr")
         left_columns = [
             f"{left_alias}.{column}"
-            for column in node.left.output_columns(self.database)
+            for column in self._columns(node.left)
         ]
         right_columns = [
             f"{right_alias}.{column}"
-            for column in node.right.output_columns(self.database)
+            for column in self._columns(node.right)
         ]
         columns = ", ".join(left_columns + right_columns)
         left_sql = self.compile(node.left)
@@ -152,7 +168,7 @@ class _Compiler:
 
     def _compile_topk(self, node: TopK) -> str:
         alias = self._fresh("top")
-        columns = ", ".join(node.output_columns(self.database))
+        columns = ", ".join(self._columns(node))
         direction = "DESC" if node.descending else "ASC"
         child = self.compile(node.child)
         return (
@@ -184,7 +200,7 @@ class _Compiler:
         score_expr: str,
     ) -> str:
         """The shared outer query: project target + aggregate + order."""
-        target_columns = node.target.output_columns(self.database)
+        target_columns = self._columns(node.target)
         select_list = ", ".join(
             [f"{target_alias}.{column}" for column in target_columns]
             + [f"{self._agg_sql(node.aggregate, score_expr)} AS {node.score_column}"]

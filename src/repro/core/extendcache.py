@@ -1,0 +1,139 @@
+"""Epoch-keyed cache of extend-operator vectors, sets, and statistics.
+
+The extend operator (ε) materializes a ``{entity: vector-or-set}`` map by
+scanning its *entire* source table — every workflow run, even though the
+underlying ratings change rarely.  This module caches those maps per
+database with the same version-counter discipline the minidb plan cache
+uses: each entry's key embeds the source table's ``data_version`` (bumped
+by every insert/update/delete/clear/restore) and the database's
+``schema_epoch`` (bumped by DDL, so a DROP + CREATE that resets a fresh
+table's counters can never alias an old entry).  A write to a
+contributing table therefore makes every stale entry unreachable — there
+are no invalidation hooks to forget; old generations age out of the LRU.
+
+Cached vector attributes are :class:`StatsVector` instances — plain dicts
+carrying precomputed :class:`~repro.core.similarity.VectorStats` so the
+recommend operator's Pearson/cosine fast paths can skip whole-vector
+re-summation.  Cached values are shared across rows and runs and must be
+treated as immutable (the direct executor never mutates them; the naive
+path shares them between rows already).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+from weakref import WeakKeyDictionary
+
+from repro.caching import LRUCache
+from repro.core.similarity import VectorStats, vector_stats
+from repro.minidb.catalog import Database
+
+
+class StatsVector(dict):
+    """An extend vector (``{map_key: value}``) with precomputed stats."""
+
+    __slots__ = ("stats",)
+
+    stats: VectorStats
+
+
+#: one bounded cache per live Database; a collected database drops its
+#: entries automatically.
+_CACHES: "WeakKeyDictionary[Database, LRUCache]" = WeakKeyDictionary()
+
+_MAXSIZE = 64
+
+
+def _cache_for(database: Database) -> LRUCache:
+    cache = _CACHES.get(database)
+    if cache is None:
+        cache = LRUCache(maxsize=_MAXSIZE)
+        _CACHES[database] = cache
+    return cache
+
+
+def _entry_key(database: Database, info: Any, table: Any) -> Tuple:
+    return (
+        info.source_table.lower(),
+        info.source_key.lower(),
+        info.value_column.lower(),
+        info.map_column.lower() if info.map_column is not None else None,
+        database.schema_epoch,
+        table.data_version,
+    )
+
+
+def build_vectors(table: Any, info: Any) -> Dict[Any, Any]:
+    """Materialize the extend map for ``info`` from ``table`` (one scan).
+
+    Mirrors the direct executor's historical grouping exactly: NULL keys,
+    NULL values, and NULL map keys are skipped; vector attributes keep
+    the last value per (key, map_key) in row order.
+    """
+    schema = table.schema
+    key_position = schema.column_position(info.source_key)
+    value_position = schema.column_position(info.value_column)
+    map_position = (
+        schema.column_position(info.map_column)
+        if info.map_column is not None
+        else None
+    )
+    grouped: Dict[Any, Any] = {}
+    if map_position is not None:
+        for row in table.rows():
+            key = row[key_position]
+            value = row[value_position]
+            if key is None or value is None:
+                continue
+            map_key = row[map_position]
+            if map_key is None:
+                continue
+            vector = grouped.get(key)
+            if vector is None:
+                vector = grouped[key] = StatsVector()
+            vector[map_key] = value
+        for vector in grouped.values():
+            vector.stats = vector_stats(vector)
+    else:
+        for row in table.rows():
+            key = row[key_position]
+            value = row[value_position]
+            if key is None or value is None:
+                continue
+            grouped.setdefault(key, set()).add(value)
+    return grouped
+
+
+def extend_vectors(database: Database, info: Any) -> Tuple[Dict[Any, Any], bool]:
+    """The cached extend map for ``info``; returns ``(map, was_hit)``."""
+    table = database.table(info.source_table)
+    key = _entry_key(database, info, table)
+    cache = _cache_for(database)
+    entry = cache.get(key)
+    if entry is not None:
+        return entry, True
+    entry = build_vectors(table, info)
+    cache.put(key, entry)
+    return entry, False
+
+
+def stats_of(vector: Any) -> Optional[VectorStats]:
+    """The precomputed stats of a cached vector, else ``None``."""
+    return getattr(vector, "stats", None)
+
+
+def clear_extend_cache(database: Optional[Database] = None) -> None:
+    """Drop cached extend maps (benchmarks / memory-pressure hook)."""
+    if database is not None:
+        cache = _CACHES.get(database)
+        if cache is not None:
+            cache.clear()
+        return
+    for cache in _CACHES.values():
+        cache.clear()
+
+
+def cache_info(database: Database) -> Dict[str, int]:
+    """Hit/miss/size counters for one database's extend cache."""
+    cache = _cache_for(database)
+    return {"hits": cache.hits, "misses": cache.misses, "size": len(cache)}

@@ -53,10 +53,28 @@ class Comparator:
     kind: str = "abstract"
     name: str = "comparator"
 
+    #: True when a (target, reference) pair whose extend attributes share
+    #: no key can only ever score NULL.  The direct executor uses this to
+    #: prune the cross product down to overlapping candidates — a subclass
+    #: whose ``measure`` can score disjoint attributes must set it False.
+    requires_overlap: bool = False
+
     def score(
         self, target_row: Mapping[str, Any], reference_row: Mapping[str, Any]
     ) -> Optional[float]:
         raise NotImplementedError
+
+    def pair_function(self) -> Optional[Callable[[Any, Any], Optional[float]]]:
+        """A ``(target_value, reference_value) -> score`` fast form.
+
+        The direct executor resolves the attribute names once per
+        recommend and feeds raw values to this function instead of
+        calling :meth:`score` per pair.  Returns ``None`` when no fast
+        form exists (the executor falls back to ``score``); a subclass
+        that overrides ``score`` must override this too (or return
+        ``None``) so the fast path cannot bypass its semantics.
+        """
+        return None
 
     #: attribute names this comparator reads from target / reference tuples
     target_attribute: str = ""
@@ -89,6 +107,9 @@ class EqualityMatch(Comparator):
             _get(target_row, self.target_attribute),
             _get(reference_row, self.reference_attribute),
         )
+
+    def pair_function(self):
+        return similarity.equality_match
 
     def inline_sql(self, target_ref: str, reference_ref: str) -> str:
         return (
@@ -127,6 +148,14 @@ class NumericCloseness(Comparator):
             scale=self.scale,
         )
 
+    def pair_function(self):
+        scale = self.scale
+
+        def closeness(left, right):
+            return similarity.numeric_closeness(left, right, scale=scale)
+
+        return closeness
+
     def inline_sql(self, target_ref: str, reference_ref: str) -> str:
         return (
             f"1.0 / (1.0 + ABS({target_ref} - {reference_ref}) / {self.scale!r})"
@@ -159,6 +188,9 @@ class TextJaccard(Comparator):
             _get(reference_row, self.reference_attribute),
         )
 
+    def pair_function(self):
+        return similarity.text_jaccard
+
 
 class LevenshteinSimilarity(Comparator):
     """Normalized edit-distance similarity of two text attributes."""
@@ -178,6 +210,9 @@ class LevenshteinSimilarity(Comparator):
             _get(reference_row, self.reference_attribute),
         )
 
+    def pair_function(self):
+        return similarity.levenshtein_similarity
+
 
 # ---------------------------------------------------------------------------
 # vector comparators (over extend-attached {key: value} attributes)
@@ -186,6 +221,9 @@ class LevenshteinSimilarity(Comparator):
 
 class _VectorComparator(Comparator):
     kind = "vector"
+    # Every library vector measure operates over co-rated keys only and
+    # returns None without overlap, so disjoint pairs are prunable.
+    requires_overlap = True
     measure: Callable = None  # type: ignore[assignment]
 
     def __init__(self, target_attribute: str, reference_attribute: str) -> None:
@@ -261,6 +299,9 @@ class CosineVector(_VectorComparator):
 
 class _SetComparator(Comparator):
     kind = "set"
+    # The library set measures score disjoint sets NULL (the compiled
+    # intersection join produces no row), so disjoint pairs are prunable.
+    requires_overlap = True
     measure: Callable = None  # type: ignore[assignment]
 
     def __init__(self, target_attribute: str, reference_attribute: str) -> None:
@@ -347,6 +388,9 @@ class VectorLookup(Comparator):
 
     kind = "lookup"
     name = "vector_lookup"
+    # A reference whose vector lacks the probed key scores None by
+    # definition, so references can be pruned to the key's holders.
+    requires_overlap = True
 
     def __init__(self, target_attribute: str, reference_attribute: str) -> None:
         self.target_attribute = target_attribute  # scalar key on target

@@ -42,6 +42,7 @@ from repro.core.operators import (
     SqlSource,
     TopK,
 )
+from repro.caching import LRUCache
 from repro.core.workflow import Workflow
 from repro.minidb.catalog import Database
 from repro.minidb.sql.parser import parse_expression
@@ -58,13 +59,23 @@ def optimize(workflow: Workflow, database: Database) -> Workflow:
     return Workflow(root, name=f"{workflow.name} (optimized)")
 
 
+#: pure function of the predicate text, and the fixpoint loop re-asks for
+#: the same conditions every pass — memoize the parse.
+_CONDITION_COLUMNS_CACHE = LRUCache(maxsize=256)
+
+
 def _condition_columns(condition: str) -> Set[str]:
     """Lowercased column names a predicate string references."""
+    cached = _CONDITION_COLUMNS_CACHE.get(condition)
+    if cached is not None:
+        return cached
     expression = parse_expression(condition)
-    return {
+    columns = {
         reference.split(".")[-1].lower()
         for reference in expression.columns_referenced()
     }
+    _CONDITION_COLUMNS_CACHE.put(condition, columns)
+    return columns
 
 
 def _rewrite(node: Operator, database: Database) -> Operator:

@@ -18,7 +18,9 @@ filtering, and the one the compiled SQL joins reproduce.
 from __future__ import annotations
 
 import math
-from typing import AbstractSet, Dict, Hashable, Mapping, Optional, Sequence
+from typing import AbstractSet, Dict, Hashable, Mapping, NamedTuple, Optional, Sequence
+
+from repro.caching import LRUCache
 
 
 def jaccard(left: AbstractSet, right: AbstractSet) -> Optional[float]:
@@ -43,11 +45,51 @@ def common_count(left: AbstractSet, right: AbstractSet) -> Optional[float]:
     return float(intersection) if intersection else None
 
 
+class VectorStats(NamedTuple):
+    """Whole-vector aggregates precomputed once per cached extend vector.
+
+    ``total`` and ``sum_squares`` accumulate in the vector's iteration
+    order with the same operations (``+=`` / ``v * v``) the pairwise
+    measures use, so substituting them for an on-the-fly sum is
+    bit-identical whenever the co-rated keys cover the whole vector.
+    """
+
+    count: int
+    total: float
+    sum_squares: float
+    norm: float
+    mean: float
+
+
+def vector_stats(vector: Mapping[Hashable, float]) -> VectorStats:
+    """Single-pass :class:`VectorStats` for one ``{key: value}`` vector."""
+    total = 0
+    sum_squares = 0
+    for value in vector.values():
+        total += value
+        sum_squares += value * value
+    count = len(vector)
+    return VectorStats(
+        count=count,
+        total=total,
+        sum_squares=sum_squares,
+        norm=math.sqrt(sum_squares),
+        mean=total / count if count else 0.0,
+    )
+
+
 def _corated(
     left: Mapping[Hashable, float], right: Mapping[Hashable, float]
 ) -> Sequence[Hashable]:
+    if not left or not right:
+        return ()
     if len(left) > len(right):
         left, right = right, left
+    # Disjoint vectors are the common case once candidate pruning is off
+    # (and the reason it is sound): bail before building a list.  Iterate
+    # the smaller side; membership tests hit the bigger side's hash.
+    if right.keys().isdisjoint(left):
+        return ()
     return [key for key in left if key in right]
 
 
@@ -63,7 +105,10 @@ def inverse_euclidean(
     keys = _corated(left, right)
     if not keys:
         return None
-    total = sum((left[key] - right[key]) ** 2 for key in keys)
+    total = 0
+    for key in keys:
+        difference = left[key] - right[key]
+        total += difference * difference
     return 1.0 / (1.0 + math.sqrt(total))
 
 
@@ -76,15 +121,57 @@ def pearson(
     variance — exactly the cases where the compiled SQL's NULLIF guards
     produce NULL.
     """
+    return pearson_with_stats(left, right)
+
+
+def pearson_with_stats(
+    left: Mapping[Hashable, float],
+    right: Mapping[Hashable, float],
+    left_stats: Optional[VectorStats] = None,
+    right_stats: Optional[VectorStats] = None,
+) -> Optional[float]:
+    """Pearson over co-rated keys in one combined pass.
+
+    All five sums accumulate during a single walk of the co-rated keys
+    (the separate-comprehension version walked them six times).  When the
+    overlap covers the *iterated* (smaller) side entirely and that side's
+    :class:`VectorStats` are supplied, its sum/sum-of-squares come from
+    the stats instead of the loop — same additions in the same order, so
+    the result is bit-identical either way.
+    """
     keys = _corated(left, right)
     n = len(keys)
     if n < 2:
         return None
-    sum_x = sum(left[key] for key in keys)
-    sum_y = sum(right[key] for key in keys)
-    sum_xy = sum(left[key] * right[key] for key in keys)
-    sum_xx = sum(left[key] * left[key] for key in keys)
-    sum_yy = sum(right[key] * right[key] for key in keys)
+    swapped = len(left) > len(right)
+    small = right if swapped else left
+    small_stats = right_stats if swapped else left_stats
+    use_stats = small_stats is not None and n == len(small)
+    sum_x = sum_y = sum_xy = sum_xx = sum_yy = 0
+    if use_stats:
+        if swapped:
+            sum_y, sum_yy = small_stats.total, small_stats.sum_squares
+            for key in keys:
+                x = left[key]
+                sum_x += x
+                sum_xx += x * x
+                sum_xy += x * right[key]
+        else:
+            sum_x, sum_xx = small_stats.total, small_stats.sum_squares
+            for key in keys:
+                y = right[key]
+                sum_y += y
+                sum_yy += y * y
+                sum_xy += left[key] * y
+    else:
+        for key in keys:
+            x = left[key]
+            y = right[key]
+            sum_x += x
+            sum_y += y
+            sum_xy += x * y
+            sum_xx += x * x
+            sum_yy += y * y
     var_x = n * sum_xx - sum_x * sum_x
     var_y = n * sum_yy - sum_y * sum_y
     if var_x <= 0 or var_y <= 0:
@@ -100,12 +187,53 @@ def cosine(
     Using overlap-restricted norms keeps the measure computable from the
     same co-rated join the other vector measures compile to.
     """
+    return cosine_with_stats(left, right)
+
+
+def cosine_with_stats(
+    left: Mapping[Hashable, float],
+    right: Mapping[Hashable, float],
+    left_stats: Optional[VectorStats] = None,
+    right_stats: Optional[VectorStats] = None,
+) -> Optional[float]:
+    """Cosine over co-rated keys in one combined pass.
+
+    Norms stay overlap-restricted (the compiled SQL computes them the
+    same way), so precomputed stats only substitute for a side whose
+    keys the overlap covers completely — see :func:`pearson_with_stats`
+    for why that substitution is bit-identical.
+    """
     keys = _corated(left, right)
     if not keys:
         return None
-    dot = sum(left[key] * right[key] for key in keys)
-    norm_left = math.sqrt(sum(left[key] ** 2 for key in keys))
-    norm_right = math.sqrt(sum(right[key] ** 2 for key in keys))
+    n = len(keys)
+    swapped = len(left) > len(right)
+    small = right if swapped else left
+    small_stats = right_stats if swapped else left_stats
+    use_stats = small_stats is not None and n == len(small)
+    dot = sum_xx = sum_yy = 0
+    if use_stats:
+        if swapped:
+            sum_yy = small_stats.sum_squares
+            for key in keys:
+                x = left[key]
+                sum_xx += x * x
+                dot += x * right[key]
+        else:
+            sum_xx = small_stats.sum_squares
+            for key in keys:
+                y = right[key]
+                sum_yy += y * y
+                dot += left[key] * y
+    else:
+        for key in keys:
+            x = left[key]
+            y = right[key]
+            dot += x * y
+            sum_xx += x * x
+            sum_yy += y * y
+    norm_left = math.sqrt(sum_xx)
+    norm_right = math.sqrt(sum_yy)
     if norm_left == 0 or norm_right == 0:
         return None
     return dot / (norm_left * norm_right)
@@ -131,13 +259,24 @@ def equality_match(left, right) -> Optional[float]:
     return 1.0 if left == right else 0.0
 
 
+#: tokenization memo: the recommend operator re-tokenizes the same
+#: reference titles once per target tuple; the result is a pure function
+#: of the text, so a small LRU removes the rescans.
+_TOKEN_CACHE = LRUCache(maxsize=8192)
+
+
 def token_set(text: Optional[str]) -> frozenset:
     """Lowercased word tokens of a string as a set (for text Jaccard)."""
     if not text:
         return frozenset()
-    return frozenset(
+    cached = _TOKEN_CACHE.get(text)
+    if cached is not None:
+        return cached
+    tokens = frozenset(
         token for token in _split_words(text.lower()) if len(token) >= 2
     )
+    _TOKEN_CACHE.put(text, tokens)
+    return tokens
 
 
 def _split_words(text: str):

@@ -27,6 +27,7 @@ from repro.core.library import (
     InverseEuclidean,
     NumericCloseness,
     PearsonCorrelation,
+    SetJaccard,
     SetOverlap,
     TextJaccard,
     VectorLookup,
@@ -352,3 +353,44 @@ def courses_taken_together(
         exclude_self=("CourseID", "CourseID"),
     )
     return Workflow(root, name=f"courses_taken_together({course_id})")
+
+
+def similar_audience_courses(
+    course_id: int,
+    top_k: int = 10,
+) -> Workflow:
+    """Courses whose student audience best matches the given course's.
+
+    Like :func:`courses_taken_together` but normalized: Jaccard over the
+    taker sets, so giant survey courses don't dominate just by size.
+    """
+    courses_with_students = extend(
+        Source("Courses"),
+        attribute="takers",
+        source_table="Enrollments",
+        source_key="CourseID",
+        key_column="CourseID",
+        value_column="SuID",
+    )
+    this_course = Select(
+        extend(
+            Source("Courses"),
+            attribute="takers",
+            source_table="Enrollments",
+            source_key="CourseID",
+            key_column="CourseID",
+            value_column="SuID",
+        ),
+        f"CourseID = {course_id}",
+    )
+    root = Recommend(
+        target=courses_with_students,
+        reference=this_course,
+        comparator=SetJaccard("takers", "takers"),
+        target_key="CourseID",
+        aggregate="max",
+        score_column="score",
+        top_k=top_k,
+        exclude_self=("CourseID", "CourseID"),
+    )
+    return Workflow(root, name=f"similar_audience_courses({course_id})")

@@ -11,7 +11,7 @@ front end — the paper's deployment model.  Both return a
 from __future__ import annotations
 
 import weakref
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import WorkflowValidationError
@@ -31,11 +31,38 @@ from repro.minidb.catalog import Database
 
 
 @dataclass
+class RecommendStats:
+    """Observability record for one recommend-operator execution.
+
+    Counts describe the *pair* space: ``candidates`` is how many
+    (target, reference) pairs survived pruning and were considered,
+    ``pruned`` how many the key-overlap postings map skipped outright,
+    and ``scored`` how many produced a non-NULL pair score.
+    ``cache_hits``/``cache_misses`` count extend-vector cache lookups
+    made while materializing this operator's inputs.
+    """
+
+    comparator: str
+    aggregate: str
+    targets: int = 0
+    references: int = 0
+    candidates: int = 0
+    pruned: int = 0
+    scored: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    elapsed_ms: float = 0.0
+
+
+@dataclass
 class Recommendation:
     """Materialized workflow output."""
 
     columns: List[str]
     rows: List[Dict[str, Any]]
+    #: per-recommend-operator execution stats (direct path only; the
+    #: compiled-SQL path leaves this empty)
+    stats: List[RecommendStats] = field(default_factory=list)
 
     def __len__(self) -> int:
         return len(self.rows)

@@ -15,7 +15,7 @@ from typing import Any, Callable, Dict, List, Optional
 
 from repro.errors import FlexRecsError
 from repro.core import strategies
-from repro.core.workflow import Recommendation, Workflow
+from repro.core.workflow import Recommendation, RecommendStats, Workflow
 from repro.minidb.catalog import Database
 
 StrategyFactory = Callable[..., Workflow]
@@ -31,6 +31,7 @@ DEFAULT_STRATEGIES: Dict[str, StrategyFactory] = {
     "recommended_majors": strategies.recommended_majors,
     "recommended_quarters": strategies.recommended_quarters,
     "courses_taken_together": strategies.courses_taken_together,
+    "similar_audience_courses": strategies.similar_audience_courses,
 }
 
 
@@ -45,6 +46,9 @@ class RecommendationService:
         self.database = database
         self.use_compiled_sql = use_compiled_sql
         self._registry: Dict[str, StrategyFactory] = dict(DEFAULT_STRATEGIES)
+        #: RecommendStats of the most recent direct-path run (the SQL
+        #: paths execute inside the engine and record none)
+        self.last_stats: List[RecommendStats] = []
 
     # -- administrator surface ----------------------------------------------
 
@@ -121,7 +125,9 @@ class RecommendationService:
         if path == "sql":
             return workflow.run_sql(self.database)
         if path == "direct":
-            return workflow.run(self.database)
+            recommendation = workflow.run(self.database)
+            self.last_stats = recommendation.stats
+            return recommendation
         if path == "staged":
             from repro.core.staged import run_staged
 
@@ -175,7 +181,9 @@ class RecommendationService:
             if len(rows) >= top_k:
                 break
         columns = list(recommendation.columns) + ["missing_prerequisites"]
-        return Recommendation(columns=columns, rows=rows)
+        return Recommendation(
+            columns=columns, rows=rows, stats=recommendation.stats
+        )
 
     def _prerequisites_of(self, course_ids: List[int]) -> Dict[int, List[int]]:
         if not course_ids:

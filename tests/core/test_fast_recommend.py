@@ -1,0 +1,336 @@
+"""Naive ≡ fast recommend: the fast path's correctness contract.
+
+``executor.FAST_RECOMMEND = False`` restores the pre-fast-path pipeline
+(no extend-vector cache, no candidate pruning, no bounded-heap top-k).
+These tests assert the fast path is tuple-for-tuple identical to that
+reference — including float bit patterns, so ``==`` and not ``isclose``
+— under random data, random churn, and every prunable comparator family.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.core.executor as executor
+from repro.core import strategies as flexrecs
+from repro.core.extendcache import (
+    cache_info,
+    clear_extend_cache,
+    extend_vectors,
+    stats_of,
+)
+from repro.core.library import NumericCloseness
+from repro.core.operators import Recommend, Select, Source, extend
+from repro.core.similarity import vector_stats
+from repro.core.workflow import Workflow
+from repro.courserank.recommendations import RecommendationService
+from repro.minidb import Database
+
+
+@pytest.fixture(autouse=True)
+def _fast_and_cold():
+    """Every test starts with the fast path on and an empty cache."""
+    executor.FAST_RECOMMEND = True
+    clear_extend_cache()
+    yield
+    executor.FAST_RECOMMEND = True
+
+
+def run_naive(workflow, db):
+    executor.FAST_RECOMMEND = False
+    try:
+        return workflow.run(db)
+    finally:
+        executor.FAST_RECOMMEND = True
+
+
+def exact_rows(recommendation):
+    """Rows as comparable tuples; float comparison is exact on purpose."""
+    return [
+        tuple(sorted(row.items(), key=lambda item: item[0]))
+        for row in recommendation.rows
+    ]
+
+
+def students_with_ratings():
+    return extend(
+        Source("Students"), "ratings", "Comments", "SuID", "SuID",
+        "Rating", "CourseID",
+    )
+
+
+# ---------------------------------------------------------------------------
+# randomized equivalence (with churn) across the prunable families
+# ---------------------------------------------------------------------------
+
+
+def build_db(students, ratings):
+    db = Database()
+    db.execute_script(
+        """
+        CREATE TABLE Students (SuID INTEGER PRIMARY KEY, Name TEXT,
+          Class INTEGER, Major TEXT, GPA FLOAT);
+        CREATE TABLE Courses (CourseID INTEGER PRIMARY KEY, DepID INTEGER,
+          Title TEXT, Description TEXT, Units INTEGER, Url TEXT);
+        CREATE TABLE Comments (SuID INTEGER, CourseID INTEGER, Year INTEGER,
+          Term TEXT, Text TEXT, Rating FLOAT, CommentDate DATE,
+          PRIMARY KEY (SuID, CourseID));
+        CREATE TABLE Enrollments (SuID INTEGER, CourseID INTEGER,
+          Year INTEGER, Term TEXT, Grade TEXT,
+          PRIMARY KEY (SuID, CourseID));
+        """
+    )
+    for suid, gpa in students:
+        db.table("Students").insert([suid, f"s{suid}", 2010, "M", gpa])
+    for course_id in range(1, 7):
+        db.table("Courses").insert([course_id, 1, f"Course {course_id}", "", 3, ""])
+    seen = set()
+    for suid, course_id, rating in ratings:
+        if (suid, course_id) in seen:
+            continue
+        seen.add((suid, course_id))
+        db.table("Comments").insert(
+            [suid, course_id, 2008, "Aut", "t", rating, "2008-01-01"]
+        )
+        db.table("Enrollments").insert([suid, course_id, 2008, "Aut", "A"])
+    return db
+
+
+def apply_churn(db, operations):
+    """Insert/update/delete ratings (and matching enrollments)."""
+    existing = {(row[0], row[1]) for row in db.table("Comments").rows()}
+    for kind, suid, course_id, rating in operations:
+        if kind == "insert":
+            if (suid, course_id) in existing:
+                continue
+            db.execute(
+                f"INSERT INTO Comments VALUES ({suid}, {course_id}, 2008, "
+                f"'Aut', 't', {rating!r}, '2008-01-01')"
+            )
+            db.execute(
+                f"INSERT INTO Enrollments VALUES ({suid}, {course_id}, "
+                f"2008, 'Aut', 'A')"
+            )
+            existing.add((suid, course_id))
+        elif kind == "delete":
+            db.execute(
+                f"DELETE FROM Comments "
+                f"WHERE SuID = {suid} AND CourseID = {course_id}"
+            )
+            db.execute(
+                f"DELETE FROM Enrollments "
+                f"WHERE SuID = {suid} AND CourseID = {course_id}"
+            )
+            existing.discard((suid, course_id))
+        else:
+            db.execute(
+                f"UPDATE Comments SET Rating = {rating!r} "
+                f"WHERE SuID = {suid} AND CourseID = {course_id}"
+            )
+
+
+students_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=8),
+        st.floats(min_value=0.0, max_value=4.0, allow_nan=False),
+    ),
+    min_size=2,
+    max_size=8,
+    unique_by=lambda pair: pair[0],
+)
+
+ratings_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=8),  # SuID
+        st.integers(min_value=1, max_value=6),  # CourseID
+        st.floats(min_value=1.0, max_value=5.0, allow_nan=False),
+    ),
+    max_size=30,
+)
+
+churn_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "delete", "update"]),
+        st.integers(min_value=1, max_value=8),
+        st.integers(min_value=1, max_value=6),
+        st.floats(min_value=1.0, max_value=5.0, allow_nan=False),
+    ),
+    max_size=6,
+)
+
+#: one strategy per prunable comparator family: SetJaccard, Pearson, and
+#: InverseEuclidean + VectorLookup (the stacked Figure 5(b) workflow)
+FAMILIES = {
+    "jaccard": lambda sid: flexrecs.similar_audience_courses(1, top_k=4),
+    "pearson": lambda sid: flexrecs.similar_students_pearson(sid),
+    "inverse_euclidean": lambda sid: flexrecs.collaborative_filtering(
+        sid, top_k=5
+    ),
+}
+
+
+class TestFastMatchesNaive:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        students_strategy,
+        ratings_strategy,
+        churn_strategy,
+        st.sampled_from(sorted(FAMILIES)),
+    )
+    def test_random_equivalence_with_churn(
+        self, students, ratings, operations, family
+    ):
+        db = build_db(students, ratings)
+        workflow = FAMILIES[family](students[0][0])
+        naive = run_naive(workflow, db)
+        clear_extend_cache(db)
+        cold = workflow.run(db)  # fast path, empty cache
+        warm = workflow.run(db)  # fast path, cache hits
+        assert naive.columns == cold.columns == warm.columns
+        assert exact_rows(naive) == exact_rows(cold) == exact_rows(warm)
+        # Mutate the contributing tables while the cache is warm: the
+        # stale entries' keys become unreachable, so the fast path must
+        # agree with a from-scratch naive run.
+        apply_churn(db, operations)
+        after_fast = workflow.run(db)
+        after_naive = run_naive(workflow, db)
+        assert exact_rows(after_fast) == exact_rows(after_naive)
+
+
+class TestHeapTopK:
+    def test_ties_break_identically(self):
+        """Dense score ties: the bounded heap must return the same slice
+        (score desc, then target key asc) as the naive full sort."""
+        db = Database()
+        db.execute_script(
+            "CREATE TABLE Students (SuID INTEGER PRIMARY KEY, Name TEXT, "
+            "Class INTEGER, Major TEXT, GPA FLOAT);"
+        )
+        for suid in range(1, 31):
+            db.table("Students").insert(
+                [suid, f"s{suid}", 2010, "M", float(suid % 3)]
+            )
+        workflow = Workflow(
+            Recommend(
+                target=Source("Students"),
+                reference=Select(Source("Students"), "SuID = 1"),
+                comparator=NumericCloseness("GPA", "GPA"),
+                target_key="SuID",
+                top_k=5,
+                exclude_self=("SuID", "SuID"),
+            )
+        )
+        fast = workflow.run(db)
+        naive = run_naive(workflow, db)
+        assert exact_rows(fast) == exact_rows(naive)
+        assert len(fast.rows) == 5
+
+
+# ---------------------------------------------------------------------------
+# stale-cache regression: every write to a contributing table invalidates
+# ---------------------------------------------------------------------------
+
+
+class TestStaleCacheImpossible:
+    @pytest.mark.parametrize(
+        "mutation",
+        [
+            "INSERT INTO Comments VALUES "
+            "(447, 1, 2008, 'Win', 'new', 2.5, '2008-11-01')",
+            "UPDATE Comments SET Rating = 1.5 WHERE SuID = 444",
+            "DELETE FROM Comments WHERE SuID = 445 AND CourseID = 1",
+        ],
+    )
+    def test_write_then_rerun_matches_naive(self, flexdb, mutation):
+        workflow = flexrecs.similar_students_pearson(444)
+        workflow.run(flexdb)  # warm the extend-vector cache
+        flexdb.execute(mutation)
+        after_fast = workflow.run(flexdb)
+        after_naive = run_naive(workflow, flexdb)
+        assert exact_rows(after_fast) == exact_rows(after_naive)
+
+    def test_extend_vectors_versioned(self, flexdb):
+        info = students_with_ratings().info
+        vectors, hit = extend_vectors(flexdb, info)
+        assert not hit
+        cached, hit = extend_vectors(flexdb, info)
+        assert hit and cached is vectors
+        assert vectors[444] == {1: 5.0, 2: 4.0}
+        assert stats_of(vectors[444]) == vector_stats(vectors[444])
+        flexdb.execute(
+            "UPDATE Comments SET Rating = 3.0 WHERE SuID = 444 AND CourseID = 1"
+        )
+        fresh, hit = extend_vectors(flexdb, info)
+        assert not hit
+        assert fresh[444] == {1: 3.0, 2: 4.0}
+        assert stats_of(fresh[444]) == vector_stats(fresh[444])
+        info_stats = cache_info(flexdb)
+        assert info_stats["hits"] >= 1 and info_stats["misses"] >= 2
+
+    def test_drop_recreate_cannot_alias(self, flexdb):
+        """A recreated table restarts its version counter; the schema
+        epoch in the cache key keeps the old entry unreachable."""
+        info = students_with_ratings().info
+        extend_vectors(flexdb, info)  # populate
+        flexdb.execute("DROP TABLE Comments")
+        flexdb.execute(
+            "CREATE TABLE Comments (SuID INTEGER, CourseID INTEGER, "
+            "Year INTEGER, Term TEXT, Text TEXT, Rating FLOAT, "
+            "CommentDate DATE, PRIMARY KEY (SuID, CourseID))"
+        )
+        flexdb.execute(
+            "INSERT INTO Comments VALUES "
+            "(444, 6, 2008, 'Aut', 'only', 2.0, '2008-12-01')"
+        )
+        fresh, hit = extend_vectors(flexdb, info)
+        assert not hit
+        assert fresh == {444: {6: 2.0}}
+
+
+# ---------------------------------------------------------------------------
+# observability: RecommendStats and the facade
+# ---------------------------------------------------------------------------
+
+
+class TestRecommendStats:
+    def test_cold_and_warm_counters(self, flexdb):
+        workflow = flexrecs.collaborative_filtering(444, top_k=3)
+        cold = workflow.run(flexdb)
+        assert len(cold.stats) == 2  # stacked recommends, lower first
+        for record in cold.stats:
+            assert record.candidates + record.pruned == (
+                record.targets * record.references
+            )
+            assert record.scored <= record.candidates
+            assert record.elapsed_ms >= 0.0
+        assert sum(record.cache_misses for record in cold.stats) > 0
+        lower = cold.stats[0]
+        # student 447 shares no rated course with 444: prunable
+        assert lower.pruned >= 1
+        warm = workflow.run(flexdb)
+        assert sum(record.cache_hits for record in warm.stats) > 0
+        assert sum(record.cache_misses for record in warm.stats) == 0
+        assert exact_rows(cold) == exact_rows(warm)
+
+    def test_naive_path_still_records(self, flexdb):
+        workflow = flexrecs.similar_students_pearson(444)
+        executor.FAST_RECOMMEND = False
+        try:
+            result = workflow.run(flexdb)
+        finally:
+            executor.FAST_RECOMMEND = True
+        (record,) = result.stats
+        assert record.pruned == 0
+        assert record.candidates == record.targets * record.references
+
+    def test_service_surfaces_stats(self, flexdb):
+        flexdb.execute(
+            "CREATE TABLE Prerequisites (CourseID INTEGER, PrereqID INTEGER)"
+        )
+        service = RecommendationService(flexdb, use_compiled_sql=False)
+        result = service.courses_for_student(
+            444, strategy="collaborative_filtering", top_k=2
+        )
+        assert result.stats
+        assert service.last_stats is result.stats
+        assert result.columns[-1] == "missing_prerequisites"
