@@ -535,6 +535,11 @@ class InList(Expression):
         return True
 
     def evaluate(self, env: Env) -> Optional[bool]:
+        # ``x IN ()`` is FALSE — not UNKNOWN — even when x is NULL. The
+        # parser can't produce an empty list, but the planner's subquery
+        # folding can (an IN (SELECT ...) whose subquery yields no rows).
+        if not self.items:
+            return self.negated
         value = self.operand.evaluate(env)
         if value is None:
             return None
@@ -552,6 +557,9 @@ class InList(Expression):
     def compile(self) -> Callable[[Env], Optional[bool]]:
         operand = self.operand.compile()
         negated = self.negated
+        if not self.items:
+            # Empty folded subquery: constant FALSE/TRUE, NULL-immune.
+            return lambda env: negated
         if all(isinstance(item, Literal) for item in self.items):
             # Planner-resolved IN (SELECT ...) lists land here: membership
             # becomes one hash probe instead of a per-item equality walk.

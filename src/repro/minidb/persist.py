@@ -5,23 +5,39 @@ Layout::
     <directory>/
       schema.sql      -- CREATE TABLE / CREATE INDEX / CREATE VIEW script
       <table>.csv     -- one CSV per table, header row included
+      manifest.json   -- written LAST: file sizes + version counters
 
 Tables are reloaded in foreign-key dependency order so constraints hold
 during the load.  The format is deliberately plain (SQL + CSV) so a
 saved CourseRank instance is inspectable with standard tools — the same
 "useful external data arrives as bulk files" posture as
 :mod:`repro.minidb.csvio`.
+
+Crash consistency: every file is written to a ``.tmp`` sibling and moved
+into place with :func:`os.replace`, and ``manifest.json`` — which records
+the byte size of every data file plus the database's ``schema_epoch``
+and per-table version counters — is written last.  A crash mid-save
+leaves either the previous manifest (now disagreeing with whatever
+newer files did land) or no manifest at all; :func:`load_database`
+refuses a directory whose manifest disagrees with the files on disk
+instead of silently loading half a snapshot.  Directories saved before the manifest
+existed load unchanged.
 """
 
 from __future__ import annotations
 
+import json
+import os
 import pathlib
-from typing import Dict, List, Set, Union
+from typing import Any, Dict, List, Set, Union
 
 from repro.errors import MiniDBError, SchemaError
 from repro.minidb.catalog import Database
 from repro.minidb.csvio import dump_csv, load_csv
 from repro.minidb.schema import TableSchema
+
+MANIFEST_NAME = "manifest.json"
+MANIFEST_FORMAT = 1
 
 
 def render_create_table(schema: TableSchema) -> str:
@@ -72,8 +88,27 @@ def dependency_order(database: Database) -> List[str]:
     return ordered
 
 
+def _write_atomic(path: pathlib.Path, text: str) -> int:
+    """Write ``text`` via a ``.tmp`` sibling + ``os.replace``; return the
+    byte size of the final file."""
+    data = text.encode("utf-8")
+    tmp = path.with_name(path.name + ".tmp")
+    with tmp.open("wb") as handle:
+        handle.write(data)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    return len(data)
+
+
 def save_database(database: Database, directory: Union[str, pathlib.Path]) -> None:
-    """Write the full database (schema + data + indexes + views)."""
+    """Write the full database (schema + data + indexes + views).
+
+    Every file lands atomically and ``manifest.json`` is written last, so
+    a reader that validates the manifest never observes a torn snapshot.
+    Stale files from a previous save of a different schema (dropped
+    tables' CSVs, leftover ``.tmp`` files) are removed.
+    """
     path = pathlib.Path(directory)
     path.mkdir(parents=True, exist_ok=True)
     statements: List[str] = []
@@ -90,20 +125,86 @@ def save_database(database: Database, directory: Union[str, pathlib.Path]) -> No
         statements.append(
             f"CREATE VIEW {view_name} AS {database.view(view_name).to_sql()}"
         )
-    (path / "schema.sql").write_text(";\n".join(statements) + ";\n")
+    manifest: Dict[str, Any] = {
+        "format": MANIFEST_FORMAT,
+        "schema_epoch": database.schema_epoch,
+        "files": {},
+        "tables": {},
+    }
+    size = _write_atomic(path / "schema.sql", ";\n".join(statements) + ";\n")
+    manifest["files"]["schema.sql"] = size
     for name in ordered:
-        (path / f"{name}.csv").write_text(dump_csv(database, name))
+        table = database.table(name)
+        size = _write_atomic(path / f"{name}.csv", dump_csv(database, name))
+        manifest["files"][f"{name}.csv"] = size
+        manifest["tables"][name] = {
+            "rows": len(table),
+            "data_version": table.data_version,
+            "indexed_version": table.indexed_version,
+        }
+    expected = set(manifest["files"]) | {MANIFEST_NAME}
+    for entry in path.iterdir():
+        if entry.name in expected:
+            continue
+        if entry.name.endswith(".tmp") or entry.suffix == ".csv":
+            entry.unlink()
+    _write_atomic(
+        path / MANIFEST_NAME, json.dumps(manifest, indent=2) + "\n"
+    )
+
+
+def _validate_manifest(path: pathlib.Path) -> Dict[str, Any]:
+    """Load and check ``manifest.json``; raises MiniDBError on a torn or
+    tampered snapshot.  Returns an empty dict for legacy directories."""
+    manifest_file = path / MANIFEST_NAME
+    if not manifest_file.exists():
+        return {}
+    try:
+        manifest = json.loads(manifest_file.read_text())
+    except ValueError as exc:
+        raise MiniDBError(
+            f"corrupt {MANIFEST_NAME} in {path}: {exc}"
+        ) from exc
+    if manifest.get("format") != MANIFEST_FORMAT:
+        raise MiniDBError(
+            f"unsupported manifest format {manifest.get('format')!r} "
+            f"in {path}"
+        )
+    for name, expected_size in manifest.get("files", {}).items():
+        file_path = path / name
+        if not file_path.exists():
+            raise MiniDBError(
+                f"incomplete snapshot in {path}: {name} listed in "
+                f"{MANIFEST_NAME} but missing on disk"
+            )
+        actual = file_path.stat().st_size
+        if actual != expected_size:
+            raise MiniDBError(
+                f"incomplete snapshot in {path}: {name} is {actual} "
+                f"byte(s), manifest expects {expected_size} (partial "
+                f"write or concurrent modification)"
+            )
+    return manifest
 
 
 def load_database(
     directory: Union[str, pathlib.Path],
     enforce_foreign_keys: bool = True,
 ) -> Database:
-    """Rebuild a Database saved by :func:`save_database`."""
+    """Rebuild a Database saved by :func:`save_database`.
+
+    When a manifest is present the snapshot is validated first (every
+    listed file must exist with its recorded size) and the saved
+    ``schema_epoch``/table version counters are fast-forwarded onto the
+    rebuilt database, so caches keyed on those counters can never
+    confuse the restored instance with a pre-save one.  Legacy
+    directories without a manifest load exactly as before.
+    """
     path = pathlib.Path(directory)
     schema_file = path / "schema.sql"
     if not schema_file.exists():
         raise MiniDBError(f"no schema.sql in {path}")
+    manifest = _validate_manifest(path)
     database = Database(enforce_foreign_keys=enforce_foreign_keys)
     database.execute_script(schema_file.read_text())
     for name in dependency_order(database):
@@ -111,4 +212,17 @@ def load_database(
         if csv_file.exists():
             with csv_file.open() as handle:
                 load_csv(database, name, handle)
+    if manifest:
+        database.schema_epoch = max(
+            database.schema_epoch, int(manifest.get("schema_epoch", 0))
+        )
+        for name, info in manifest.get("tables", {}).items():
+            try:
+                table = database.table(name)
+            except Exception:  # noqa: BLE001 - manifest may predate a drop
+                continue
+            table.fast_forward_versions(
+                int(info.get("data_version", 0)),
+                int(info.get("indexed_version", 0)),
+            )
     return database

@@ -697,10 +697,16 @@ class QueryPlan:
         output: List[Tuple[str, Expression]],
         distinct: bool,
         base_env: Optional[Env] = None,
+        post_limit: Optional[int] = None,
+        post_offset: Optional[int] = None,
     ) -> None:
         self.root = root
         self.output = output
         self.distinct = distinct
+        # LIMIT/OFFSET of a DISTINCT query truncate the *deduplicated*
+        # stream, so they apply here rather than as a LimitNode.
+        self.post_limit = post_limit
+        self.post_offset = post_offset or 0
         self.base_env = base_env if base_env is not None else {}
         #: whether this plan was built under the compiled-expression
         #: pipeline (EXPLAIN reports it; cached plans keep their shape
@@ -789,14 +795,22 @@ class QueryPlan:
     def run(self) -> Tuple[List[str], List[Row]]:
         project = self._project
         if self.distinct:
+            if self.post_limit is not None and self.post_limit <= 0:
+                return self.column_names, []
             rows: List[Row] = []
             seen: Set[Row] = set()
+            skipped = 0
             for env in self.root.rows():
                 row = project(env)
                 if row in seen:
                     continue
                 seen.add(row)
+                if skipped < self.post_offset:
+                    skipped += 1
+                    continue
                 rows.append(row)
+                if self.post_limit is not None and len(rows) >= self.post_limit:
+                    break
         else:
             rows = [project(env) for env in self.root.rows()]
         return self.column_names, rows
@@ -808,7 +822,12 @@ class QueryPlan:
         head = f"Project({spec})"
         if self.distinct:
             head = "Distinct " + head
-        return [head] + ["  " + line for line in self.root.describe()]
+        lines = [head] + ["  " + line for line in self.root.describe()]
+        if self.post_limit is not None or self.post_offset:
+            lines = [f"Limit({self.post_limit} offset {self.post_offset})"] + [
+                "  " + line for line in lines
+            ]
+        return lines
 
 
 # ---------------------------------------------------------------------------
@@ -1056,10 +1075,26 @@ class _Planner:
                 for item in statement.order_by
             ]
             current = SortNode(current, items)
+        post_limit = post_offset = None
         if statement.limit is not None or statement.offset is not None:
-            current = LimitNode(current, statement.limit, statement.offset)
+            if statement.distinct:
+                # SQL truncates *after* deduplication (DISTINCT, then
+                # ORDER BY, then LIMIT/OFFSET).  The dedup happens at
+                # projection time in QueryPlan.run, so the truncation
+                # has to move above it too; a LimitNode here would cut
+                # pre-dedup rows and under-produce.
+                post_limit, post_offset = statement.limit, statement.offset
+            else:
+                current = LimitNode(current, statement.limit, statement.offset)
 
-        return QueryPlan(current, output, statement.distinct, base_env=base_env)
+        return QueryPlan(
+            current,
+            output,
+            statement.distinct,
+            base_env=base_env,
+            post_limit=post_limit,
+            post_offset=post_offset,
+        )
 
     # -- scan construction ----------------------------------------------------
 

@@ -60,6 +60,21 @@ class Table:
     def indexed_version(self) -> int:
         return self._indexed_version
 
+    def fast_forward_versions(
+        self, data_version: int, indexed_version: int
+    ) -> None:
+        """Advance the counters to at least the given values.
+
+        Used by :mod:`repro.minidb.persist` when reloading a saved
+        database: the bulk load bumps the counters from zero, but a
+        restored database must not reuse version numbers the saved one
+        already spent — a plan cached against the old instance's state
+        could otherwise validate against the reloaded one.  Counters only
+        move forward; a manifest older than the live state is a no-op.
+        """
+        self._data_version = max(self._data_version, data_version)
+        self._indexed_version = max(self._indexed_version, indexed_version)
+
     # -- basic properties --------------------------------------------------
 
     @property

@@ -1,0 +1,452 @@
+"""Metamorphic churn driver: every fast path vs a from-scratch replay.
+
+PRs 1-3 each shipped an ad-hoc churn test for their own fast path (plan
+cache + compiled expressions, search/cloud epoch caches, extend-cache +
+pruned recommend).  This driver generalizes them into one workload: a
+seeded stream of INSERT/UPDATE/DELETE/DROP+CREATE against a CourseRank-
+shaped database, interleaved with
+
+* SQL queries  — live (plan-cache warm, compiled) vs a replica database
+  rebuilt from shadow state with ``COMPILE_EXPRESSIONS`` off;
+* recommends   — fast path vs ``FAST_RECOMMEND = False`` naive runs;
+* searches     — the live, incrementally-refreshed engine vs a cold
+  engine built over the replica;
+* cloud refinements — ``RefinementSession`` incremental clouds vs cold
+  ``CloudBuilder`` builds over the same narrowed result.
+
+The driver keeps a **shadow state** (plain dicts) that every mutation
+updates first; the replica is rebuilt from it at each checkpoint, so a
+stale cache anywhere in the stack shows up as a mismatch against an
+engine that never had a cache to go stale.
+
+``ChurnReport.coverage`` proves the run actually exercised the three
+fast paths (plan-cache hits, extend-cache hits, search-result-cache
+hits, compiled plans) instead of silently passing on cold code.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+__all__ = ["ChurnReport", "ChurnDriver"]
+
+SCHEMA = """
+CREATE TABLE Students (SuID INTEGER PRIMARY KEY, Name TEXT,
+  Class INTEGER, Major TEXT, GPA FLOAT);
+CREATE TABLE Courses (CourseID INTEGER PRIMARY KEY, DepID INTEGER,
+  Title TEXT, Description TEXT, Units INTEGER, Url TEXT);
+CREATE TABLE Comments (SuID INTEGER, CourseID INTEGER, Year INTEGER,
+  Term TEXT, Text TEXT, Rating FLOAT, CommentDate DATE,
+  PRIMARY KEY (SuID, CourseID));
+CREATE TABLE Enrollments (SuID INTEGER, CourseID INTEGER,
+  Year INTEGER, Term TEXT, Grade TEXT,
+  PRIMARY KEY (SuID, CourseID));
+CREATE TABLE Docs (DocID INTEGER PRIMARY KEY, Title TEXT, Body TEXT);
+"""
+
+COMMENTS_DDL = (
+    "CREATE TABLE Comments (SuID INTEGER, CourseID INTEGER, Year INTEGER, "
+    "Term TEXT, Text TEXT, Rating FLOAT, CommentDate DATE, "
+    "PRIMARY KEY (SuID, CourseID))"
+)
+
+DOC_WORDS = (
+    "american", "history", "revolution", "jazz", "database", "systems",
+    "culture", "politics", "music", "film", "query", "war", "empires",
+)
+
+#: live-vs-replica SQL probes: joins, aggregates, a folded subquery, and
+#: a parameterized query — one per plan-cache-sensitive shape.
+QUERIES: Tuple[Tuple[str, Tuple[Any, ...]], ...] = (
+    ("SELECT s.SuID, s.GPA FROM Students AS s "
+     "WHERE s.GPA >= ? ORDER BY s.SuID LIMIT 5", (1.0,)),
+    ("SELECT c.CourseID, COUNT(*) AS n, AVG(m.Rating) AS r "
+     "FROM Courses AS c INNER JOIN Comments AS m "
+     "ON c.CourseID = m.CourseID GROUP BY c.CourseID", ()),
+    ("SELECT m.SuID, m.Rating FROM Comments AS m "
+     "WHERE m.CourseID IN (SELECT CourseID FROM Courses WHERE Units >= 3)",
+     ()),
+    ("SELECT e.SuID, e.Grade FROM Enrollments AS e "
+     "LEFT JOIN Students AS s ON e.SuID = s.SuID "
+     "WHERE s.GPA IS NOT NULL OR e.Grade = 'A'", ()),
+)
+
+SEARCH_QUERIES = ("american history", "jazz", "database systems", "war")
+CLOUD_TERMS = ("history", "revolution", "culture", "jazz")
+
+
+@dataclass
+class ChurnReport:
+    steps: int = 0
+    checks: int = 0
+    failures: List[str] = field(default_factory=list)
+    coverage: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+@dataclass
+class _Shadow:
+    """The ground truth every mutation updates before touching the live
+    database."""
+
+    students: Dict[int, Tuple[str, int, str, float]] = field(
+        default_factory=dict
+    )
+    courses: Dict[int, Tuple[int, str, str, int, str]] = field(
+        default_factory=dict
+    )
+    ratings: Dict[Tuple[int, int], float] = field(default_factory=dict)
+    docs: Dict[int, Tuple[str, str]] = field(default_factory=dict)
+
+
+class ChurnDriver:
+    """Run ``steps`` random mutations with periodic coherence checks."""
+
+    def __init__(self, seed: int = 0, steps: int = 24,
+                 check_every: int = 6) -> None:
+        self.rng = random.Random(seed)
+        self.steps = steps
+        self.check_every = max(1, check_every)
+        self.report = ChurnReport()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def run(self) -> ChurnReport:
+        import repro.core.executor as core_executor
+        from repro.core.extendcache import clear_extend_cache
+
+        saved_fast = core_executor.FAST_RECOMMEND
+        core_executor.FAST_RECOMMEND = True
+        try:
+            self._setup()
+            for step in range(self.steps):
+                self._mutate()
+                self.report.steps += 1
+                if (step + 1) % self.check_every == 0:
+                    self._check_all()
+            self._check_all()
+        finally:
+            core_executor.FAST_RECOMMEND = saved_fast
+            clear_extend_cache()
+        return self.report
+
+    def _setup(self) -> None:
+        from repro.clouds.cloud import CloudBuilder
+        from repro.minidb import Database
+
+        rng = self.rng
+        self.shadow = _Shadow()
+        for suid in range(1, 7):
+            self.shadow.students[suid] = (
+                f"s{suid}", 2010, "M", rng.randint(0, 16) / 4.0
+            )
+        for course_id in range(1, 7):
+            self.shadow.courses[course_id] = (
+                1, f"Course {course_id}", "", rng.choice((3, 4)), ""
+            )
+        for _ in range(12):
+            key = (rng.randint(1, 6), rng.randint(1, 6))
+            self.shadow.ratings[key] = rng.randint(4, 20) / 4.0
+        for doc_id in range(1, 7):
+            self.shadow.docs[doc_id] = self._doc_text()
+        self._next_doc_id = 7
+        self.db = Database()
+        self.db.execute_script(SCHEMA)
+        self._populate(self.db, with_docs=True)
+        self.engine = self._make_engine(self.db)
+        self.builder = CloudBuilder(
+            self.engine, strategy="forward", min_result_df=1
+        )
+        self.builder.prepare()
+
+    def _doc_text(self) -> Tuple[str, str]:
+        rng = self.rng
+        title = " ".join(
+            rng.choice(DOC_WORDS) for _ in range(rng.randint(1, 3))
+        )
+        body = " ".join(
+            rng.choice(DOC_WORDS) for _ in range(rng.randint(3, 8))
+        )
+        return title, body
+
+    def _populate(self, db: Any, with_docs: bool) -> None:
+        for suid, row in sorted(self.shadow.students.items()):
+            db.table("Students").insert([suid, *row])
+        for course_id, row in sorted(self.shadow.courses.items()):
+            db.table("Courses").insert([course_id, *row])
+        self._populate_ratings(db)
+        if with_docs:
+            for doc_id, (title, body) in sorted(self.shadow.docs.items()):
+                db.table("Docs").insert([doc_id, title, body])
+
+    def _populate_ratings(self, db: Any) -> None:
+        for (suid, course_id), rating in sorted(self.shadow.ratings.items()):
+            db.table("Comments").insert(
+                [suid, course_id, 2008, "Aut", "t", rating, "2008-01-01"]
+            )
+            db.table("Enrollments").insert(
+                [suid, course_id, 2008, "Aut", "A"]
+            )
+
+    def _make_engine(self, db: Any) -> Any:
+        from repro.search.engine import SearchEngine
+        from repro.search.entity import EntityDefinition, FieldSpec
+
+        entity = EntityDefinition(
+            "doc",
+            (
+                FieldSpec("title", "SELECT DocID, Title FROM Docs",
+                          weight=3.0),
+                FieldSpec("body", "SELECT DocID, Body FROM Docs",
+                          weight=1.0),
+            ),
+        )
+        engine = SearchEngine(db, entity)
+        engine.build()
+        return engine
+
+    def _replica(self, with_docs: bool = False) -> Any:
+        from repro.minidb import Database
+
+        db = Database()
+        db.execute_script(SCHEMA)
+        self._populate(db, with_docs=with_docs)
+        return db
+
+    # -- mutations ----------------------------------------------------------
+
+    def _mutate(self) -> None:
+        rng = self.rng
+        roll = rng.random()
+        if roll < 0.30:
+            self._rating_insert()
+        elif roll < 0.48:
+            self._rating_update()
+        elif roll < 0.62:
+            self._rating_delete()
+        elif roll < 0.72:
+            self._student_update()
+        elif roll < 0.94:
+            self._doc_churn()
+        else:
+            self._drop_recreate_comments()
+
+    def _rating_insert(self) -> None:
+        rng = self.rng
+        key = (rng.randint(1, 6), rng.randint(1, 6))
+        if key in self.shadow.ratings:
+            return
+        rating = rng.randint(4, 20) / 4.0
+        self.shadow.ratings[key] = rating
+        suid, course_id = key
+        self.db.execute(
+            f"INSERT INTO Comments VALUES ({suid}, {course_id}, 2008, "
+            f"'Aut', 't', {rating!r}, '2008-01-01')"
+        )
+        self.db.execute(
+            f"INSERT INTO Enrollments VALUES ({suid}, {course_id}, "
+            f"2008, 'Aut', 'A')"
+        )
+
+    def _rating_update(self) -> None:
+        if not self.shadow.ratings:
+            return
+        rng = self.rng
+        key = rng.choice(sorted(self.shadow.ratings))
+        rating = rng.randint(4, 20) / 4.0
+        self.shadow.ratings[key] = rating
+        self.db.execute(
+            f"UPDATE Comments SET Rating = {rating!r} "
+            f"WHERE SuID = {key[0]} AND CourseID = {key[1]}"
+        )
+
+    def _rating_delete(self) -> None:
+        if not self.shadow.ratings:
+            return
+        key = self.rng.choice(sorted(self.shadow.ratings))
+        del self.shadow.ratings[key]
+        self.db.execute(
+            f"DELETE FROM Comments "
+            f"WHERE SuID = {key[0]} AND CourseID = {key[1]}"
+        )
+        self.db.execute(
+            f"DELETE FROM Enrollments "
+            f"WHERE SuID = {key[0]} AND CourseID = {key[1]}"
+        )
+
+    def _student_update(self) -> None:
+        rng = self.rng
+        suid = rng.choice(sorted(self.shadow.students))
+        name, year, major, _gpa = self.shadow.students[suid]
+        gpa = rng.randint(0, 16) / 4.0
+        self.shadow.students[suid] = (name, year, major, gpa)
+        self.db.execute(
+            f"UPDATE Students SET GPA = {gpa!r} WHERE SuID = {suid}"
+        )
+
+    def _doc_churn(self) -> None:
+        rng = self.rng
+        roll = rng.random()
+        if roll < 0.4 or not self.shadow.docs:
+            doc_id = self._next_doc_id
+            self._next_doc_id += 1
+            title, body = self._doc_text()
+            self.shadow.docs[doc_id] = (title, body)
+            self.db.execute(
+                f"INSERT INTO Docs VALUES ({doc_id}, '{title}', '{body}')"
+            )
+        elif roll < 0.75:
+            doc_id = rng.choice(sorted(self.shadow.docs))
+            title, body = self._doc_text()
+            self.shadow.docs[doc_id] = (title, body)
+            self.db.execute(
+                f"UPDATE Docs SET Title = '{title}', Body = '{body}' "
+                f"WHERE DocID = {doc_id}"
+            )
+        else:
+            doc_id = rng.choice(sorted(self.shadow.docs))
+            del self.shadow.docs[doc_id]
+            self.db.execute(f"DELETE FROM Docs WHERE DocID = {doc_id}")
+        self.engine.refresh_document(doc_id)
+
+    def _drop_recreate_comments(self) -> None:
+        """Schema-epoch churn: the recreated table restarts its version
+        counters, which the epoch-keyed caches must not alias."""
+        self.db.execute("DROP TABLE Comments")
+        self.db.execute(COMMENTS_DDL)
+        for (suid, course_id), rating in sorted(self.shadow.ratings.items()):
+            self.db.execute(
+                f"INSERT INTO Comments VALUES ({suid}, {course_id}, 2008, "
+                f"'Aut', 't', {rating!r}, '2008-01-01')"
+            )
+
+    # -- checks -------------------------------------------------------------
+
+    def _fail(self, message: str) -> None:
+        self.report.failures.append(message)
+
+    def _bump(self, key: str, amount: int = 1) -> None:
+        self.report.coverage[key] = self.report.coverage.get(key, 0) + amount
+
+    def _check_all(self) -> None:
+        self.report.checks += 1
+        self._check_sql()
+        self._check_recommend()
+        self._check_search_and_cloud()
+
+    def _check_sql(self) -> None:
+        import repro.minidb.planner as planner_module
+        from repro.testkit.oracle import normalize_rows
+
+        replica = self._replica()
+        for sql, params in QUERIES:
+            hits_before = self.db._plan_cache.hits
+            live_first = self.db.query(sql, list(params) or None)
+            live_second = self.db.query(sql, list(params) or None)
+            if self.db._plan_cache.hits > hits_before:
+                self._bump("plan_cache_hits")
+            explain = self.db.query(f"EXPLAIN {sql}")
+            if any("[compiled-expr]" in row[0] for row in explain.rows):
+                self._bump("compiled_plans")
+            live_rows = normalize_rows(live_first.rows)
+            if live_rows != normalize_rows(live_second.rows):
+                self._fail(f"warm re-execution diverged: {sql}")
+            saved = planner_module.COMPILE_EXPRESSIONS
+            planner_module.COMPILE_EXPRESSIONS = False
+            try:
+                fresh = replica.query(sql, list(params) or None)
+            finally:
+                planner_module.COMPILE_EXPRESSIONS = saved
+            if live_rows != normalize_rows(fresh.rows):
+                self._fail(
+                    f"live (compiled, cached) != replica (interpreted, "
+                    f"cold): {sql}"
+                )
+
+    def _check_recommend(self) -> None:
+        import repro.core.executor as core_executor
+        from repro.core import strategies as flexrecs
+
+        workflows = {
+            "jaccard": flexrecs.similar_audience_courses(1, top_k=4),
+            "pearson": flexrecs.similar_students_pearson(1),
+            "collab": flexrecs.collaborative_filtering(1, top_k=5),
+        }
+        for name, workflow in workflows.items():
+            fast = workflow.run(self.db)
+            warm = workflow.run(self.db)
+            core_executor.FAST_RECOMMEND = False
+            try:
+                naive = workflow.run(self.db)
+            finally:
+                core_executor.FAST_RECOMMEND = True
+            for label, candidate in (("cold", fast), ("warm", warm)):
+                if self._rec_rows(candidate) != self._rec_rows(naive):
+                    self._fail(
+                        f"fast recommend ({name}, {label}) != naive "
+                        f"after churn"
+                    )
+            self._bump(
+                "recommend_cache_hits",
+                sum(record.cache_hits for record in warm.stats),
+            )
+
+    @staticmethod
+    def _rec_rows(recommendation: Any) -> List[Tuple[Any, ...]]:
+        return [
+            tuple(sorted(row.items(), key=lambda item: item[0]))
+            for row in recommendation.rows
+        ]
+
+    def _check_search_and_cloud(self) -> None:
+        from repro.clouds.cloud import CloudBuilder
+        from repro.clouds.refinement import RefinementSession
+
+        cold_db = self._replica(with_docs=True)
+        cold_engine = self._make_engine(cold_db)
+        for text in SEARCH_QUERIES:
+            live = self.engine.search(text)
+            warm = self.engine.search(text)
+            if warm.cache_hit:
+                self._bump("search_cache_hits")
+            cold = cold_engine.search(text)
+            live_hits = [(hit.doc_id, hit.score) for hit in live.hits]
+            cold_hits = [(hit.doc_id, hit.score) for hit in cold.hits]
+            if live_hits != cold_hits:
+                self._fail(
+                    f"live search != cold rebuild for {text!r}: "
+                    f"{live_hits} != {cold_hits}"
+                )
+        # Cloud refinement: incremental vs a cold build over the same
+        # narrowed result, on the cold engine (no shared caches at all).
+        self.builder.prepare()
+        session = RefinementSession(self.engine, self.builder, "american")
+        term = self.rng.choice(CLOUD_TERMS)
+        step = session.refine(term)
+        cold_builder = CloudBuilder(
+            cold_engine, strategy="forward", min_result_df=1
+        )
+        cold_builder.prepare()
+        live_signature = self._cloud_signature(step.cloud)
+        cold_signature = self._cloud_signature(
+            cold_builder.build(step.result)
+        )
+        if live_signature != cold_signature:
+            self._fail(
+                f"incremental cloud != cold build for refine({term!r})"
+            )
+        else:
+            self._bump("cloud_refinements")
+
+    @staticmethod
+    def _cloud_signature(cloud: Any) -> List[Tuple[Any, ...]]:
+        return [
+            (term.term, term.score, term.occurrences, term.result_df,
+             term.bucket)
+            for term in cloud.terms
+        ]

@@ -1,0 +1,272 @@
+"""Delta-debugging failure minimization for testkit cases.
+
+Given a failing :class:`~repro.testkit.generators.Case` and a
+``fails(case) -> bool`` predicate (usually
+:func:`repro.testkit.oracle.case_fails`), the shrinker runs a fixpoint
+loop of reduction passes:
+
+1. **ddmin over ops** — classic Zeller/Hildebrandt delta debugging on
+   the operation list;
+2. **drop unused tables** — any table no surviving op references (and
+   its initial rows) disappears;
+3. **ddmin over initial rows** — per table;
+4. **clause simplification** — per query op, try dropping WHERE /
+   HAVING / ORDER BY+LIMIT / DISTINCT / GROUP BY / individual items /
+   individual joins.
+
+Every candidate is validated by re-running ``fails``: a transformation
+that breaks the SQL makes *both* engines error, which is error parity,
+not a divergence — so invalid candidates are rejected automatically and
+no pass needs its own validity rules.
+
+``write_repro`` serializes the shrunk case's **rendered** SQL (both
+dialects) as a JSON corpus seed plus a standalone replay script, so
+committed seeds keep replaying verbatim even if the generator drifts.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import replace
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.testkit import generators as g
+from repro.testkit.dialects import render_case, rendered_to_dict
+
+__all__ = ["ddmin", "Shrinker", "shrink_case", "write_repro"]
+
+
+def ddmin(items: Sequence[Any],
+          fails: Callable[[List[Any]], bool]) -> List[Any]:
+    """Minimize ``items`` to a smaller list that still fails.
+
+    Assumes ``fails(list(items))`` is true; returns a 1-minimal-ish
+    sublist (no single removed chunk of the final granularity can be
+    restored-removed further).
+    """
+    current = list(items)
+    if not fails(current):
+        raise ValueError("ddmin requires a failing input")
+    granularity = 2
+    while len(current) >= 2:
+        chunk = max(1, len(current) // granularity)
+        reduced = False
+        for start in range(0, len(current), chunk):
+            candidate = current[:start] + current[start + chunk:]
+            if fails(candidate):
+                current = candidate
+                granularity = max(2, granularity - 1)
+                reduced = True
+                break
+        if not reduced:
+            if chunk == 1:
+                break
+            granularity = min(len(current), granularity * 2)
+    return current
+
+
+class Shrinker:
+    def __init__(
+        self,
+        fails: Callable[[g.Case], bool],
+        max_rounds: int = 6,
+    ) -> None:
+        self.fails = fails
+        self.max_rounds = max_rounds
+        self.evaluations = 0
+
+    def _fails(self, case: g.Case) -> bool:
+        self.evaluations += 1
+        return self.fails(case)
+
+    def shrink(self, case: g.Case) -> g.Case:
+        if not self._fails(case):
+            raise ValueError("shrink requires a failing case")
+        for _ in range(self.max_rounds):
+            before = _size(case)
+            case = self._shrink_ops(case)
+            case = self._drop_unused_tables(case)
+            case = self._shrink_rows(case)
+            case = self._simplify_queries(case)
+            if _size(case) == before:
+                break
+        return case
+
+    # -- passes -------------------------------------------------------------
+
+    def _shrink_ops(self, case: g.Case) -> g.Case:
+        def fails(ops: List[g.Op]) -> bool:
+            return self._fails(_with(case, ops=ops))
+
+        if not case.ops:
+            return case
+        return _with(case, ops=ddmin(case.ops, fails))
+
+    def _drop_unused_tables(self, case: g.Case) -> g.Case:
+        used: set = set()
+        for op in case.ops:
+            used |= g.referenced_tables(op)
+        kept = tuple(t for t in case.tables if t.name in used)
+        if len(kept) == len(case.tables) or not kept:
+            return case
+        candidate = g.Case(
+            seed=case.seed,
+            tables=kept,
+            rows={t.name: case.rows.get(t.name, []) for t in kept},
+            ops=list(case.ops),
+        )
+        return candidate if self._fails(candidate) else case
+
+    def _shrink_rows(self, case: g.Case) -> g.Case:
+        for table in case.tables:
+            rows = case.rows.get(table.name, [])
+            if not rows:
+                continue
+
+            def fails(subset: List[Any], name: str = table.name) -> bool:
+                new_rows = dict(case.rows)
+                new_rows[name] = subset
+                return self._fails(_with(case, rows=new_rows))
+
+            if fails(list(rows)):  # pragma: no branch - establish baseline
+                reduced = ddmin(rows, fails)
+                new_rows = dict(case.rows)
+                new_rows[table.name] = reduced
+                case = _with(case, rows=new_rows)
+        return case
+
+    def _simplify_queries(self, case: g.Case) -> g.Case:
+        for index, op in enumerate(case.ops):
+            if not isinstance(op, g.QueryOp):
+                continue
+            for variant in _query_variants(op.query):
+                candidate_ops = list(case.ops)
+                candidate_ops[index] = g.QueryOp(variant)
+                candidate = _with(case, ops=candidate_ops)
+                if self._fails(candidate):
+                    case = candidate
+        return case
+
+
+def _size(case: g.Case) -> int:
+    return (
+        len(case.ops)
+        + len(case.tables)
+        + case.total_rows
+        + sum(
+            _query_weight(op.query)
+            for op in case.ops
+            if isinstance(op, g.QueryOp)
+        )
+    )
+
+
+def _query_weight(query: g.Query) -> int:
+    weight = len(query.joins)
+    weight += 1 if query.where is not None else 0
+    weight += 1 if query.having is not None else 0
+    weight += len(query.group_by) + len(query.order_by)
+    weight += len(query.items) if query.items else 0
+    weight += 1 if query.limit is not None else 0
+    weight += 1 if query.distinct else 0
+    return weight
+
+
+def _query_variants(query: g.Query) -> List[g.Query]:
+    """Simpler versions of one query, most aggressive first.  Invalid
+    variants (e.g. an ORDER BY alias whose item was dropped) fail on
+    both engines and are rejected by the fails() check."""
+    variants: List[g.Query] = []
+    if query.joins:
+        variants.append(replace(query, joins=query.joins[:-1]))
+    if query.where is not None:
+        variants.append(replace(query, where=None))
+    if query.having is not None:
+        variants.append(replace(query, having=None))
+    if query.limit is not None or query.order_by:
+        variants.append(
+            replace(query, order_by=(), limit=None, offset=None)
+        )
+    if query.distinct:
+        variants.append(replace(query, distinct=False))
+    if query.group_by:
+        variants.append(
+            replace(query, group_by=(), having=None, order_by=(),
+                    limit=None, offset=None)
+        )
+    if query.items and len(query.items) > 1:
+        for drop in range(len(query.items)):
+            items = tuple(
+                item for i, item in enumerate(query.items) if i != drop
+            )
+            variants.append(replace(query, items=items))
+    return variants
+
+
+def _with(case: g.Case, **changes: Any) -> g.Case:
+    merged = {
+        "seed": case.seed,
+        "tables": case.tables,
+        "rows": case.rows,
+        "ops": case.ops,
+    }
+    merged.update(changes)
+    return g.Case(**merged)
+
+
+def shrink_case(
+    case: g.Case,
+    fails: Callable[[g.Case], bool],
+    max_rounds: int = 6,
+) -> g.Case:
+    return Shrinker(fails, max_rounds=max_rounds).shrink(case)
+
+
+_REPRO_TEMPLATE = '''"""Standalone replay for testkit corpus seed {name!r}.
+
+{note}
+
+Run with ``PYTHONPATH=src python {name}.py``; exits nonzero if the two
+engines still diverge.
+"""
+
+import pathlib
+
+from repro.testkit import oracle
+
+rendered = oracle.load_seed(pathlib.Path(__file__).with_suffix(".json"))
+report = oracle.run_rendered(rendered)
+for line in report.divergences:
+    print(line)
+print(f"query ops: {{report.query_ops}}, errors: {{report.error_ops}}")
+raise SystemExit(1 if report.divergences else 0)
+'''
+
+
+def write_repro(
+    case: g.Case,
+    directory: Any,
+    name: str,
+    note: str = "",
+) -> Dict[str, pathlib.Path]:
+    """Write ``<name>.json`` (corpus seed) and ``<name>.py`` (standalone
+    repro script) under ``directory``; returns both paths."""
+    out = pathlib.Path(directory)
+    out.mkdir(parents=True, exist_ok=True)
+    rendered = render_case(case)
+    payload = rendered_to_dict(
+        rendered,
+        name=name,
+        note=note,
+        generator_seed=case.seed,
+        tables=len(case.tables),
+        initial_rows=case.total_rows,
+    )
+    seed_path = out / f"{name}.json"
+    seed_path.write_text(json.dumps(payload, indent=2) + "\n")
+    script_path = out / f"{name}.py"
+    script_path.write_text(
+        _REPRO_TEMPLATE.format(name=name, note=note or "(no note)")
+    )
+    return {"seed": seed_path, "script": script_path}

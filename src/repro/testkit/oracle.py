@@ -1,0 +1,385 @@
+"""Execute rendered cases on minidb and sqlite3 and compare results.
+
+minidb runs under a **config sweep** — every query in a case is executed
+under each of:
+
+* ``compiled-cold``   — ``COMPILE_EXPRESSIONS`` on, each query once;
+* ``compiled-warm``   — compiled, each query twice, so the second run
+  goes through the plan cache (and through transparent re-planning when
+  interleaved DML/DDL invalidated the entry);
+* ``interpreted``     — ``COMPILE_EXPRESSIONS`` off;
+* ``prepared``        — ``PreparedStatement`` handles, executed twice.
+
+Each sweep's outcomes are compared against one sqlite3 run of the same
+case; additionally, repeated executions *within* a config must agree
+(the cold-vs-warm metamorphic check).
+
+Comparison rules (the type/NULL-aware coercion layer):
+
+* result rows are compared as **multisets** — both engines are free to
+  emit rows in any order unless the query's ORDER BY totalizes it, in
+  which case the generator guarantees determinism and the multiset view
+  is still sufficient;
+* ``bool`` normalizes to ``int`` and ``datetime.date`` to its ISO
+  string (sqlite has neither type);
+* ``int``/``float`` stay distinct but compare with Python's cross-type
+  ``==`` (``2 == 2.0``), absorbing affinity differences;
+* floats are compared **exactly** — the generator's value domain (exact
+  quarters, aggregates over plain columns) makes every float result
+  bit-deterministic in both engines;
+* DML outcomes compare affected-row counts; DDL only that both engines
+  accepted it; errors compare by parity only (both-raise is error
+  parity, not a divergence — generator bugs surface through the
+  ``error_ops`` counter instead).
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.testkit.dialects import (
+    MINIDB,
+    SQLITE,
+    RenderedCase,
+    RenderedScript,
+    bind_value,
+    render_case,
+)
+from repro.testkit.generators import Capabilities, Case, CaseGenerator
+
+__all__ = [
+    "MiniConfig",
+    "SWEEP",
+    "Outcome",
+    "CaseReport",
+    "DifferentialReport",
+    "run_minidb",
+    "run_sqlite",
+    "run_rendered",
+    "run_case",
+    "case_fails",
+    "run_differential",
+    "load_seed",
+]
+
+
+@dataclass(frozen=True)
+class MiniConfig:
+    name: str
+    compile_expressions: bool
+    prepared: bool = False
+    repeat: int = 1
+
+
+SWEEP: Tuple[MiniConfig, ...] = (
+    MiniConfig("compiled-cold", compile_expressions=True),
+    MiniConfig("compiled-warm", compile_expressions=True, repeat=2),
+    MiniConfig("interpreted", compile_expressions=False),
+    MiniConfig("prepared", compile_expressions=True, prepared=True,
+               repeat=2),
+)
+
+
+# ---------------------------------------------------------------------------
+# outcomes and normalization
+# ---------------------------------------------------------------------------
+
+
+def normalize_value(value: Any) -> Any:
+    if isinstance(value, bool):
+        return int(value)
+    if hasattr(value, "isoformat") and not isinstance(value, str):
+        return value.isoformat()
+    return value
+
+
+def _value_key(value: Any) -> Tuple[int, float, str]:
+    """A total sort key over the normalized value domain (None, numbers,
+    strings) that agrees across engines."""
+    if value is None:
+        return (0, 0.0, "")
+    if isinstance(value, (int, float)):
+        return (1, float(value), "")
+    return (2, 0.0, str(value))
+
+
+def normalize_rows(rows: Sequence[Sequence[Any]]) -> Tuple[Tuple[Any, ...], ...]:
+    normalized = [
+        tuple(normalize_value(value) for value in row) for row in rows
+    ]
+    normalized.sort(key=lambda row: tuple(_value_key(v) for v in row))
+    return tuple(normalized)
+
+
+@dataclass(frozen=True)
+class Outcome:
+    kind: str  # rows | count | ok | error
+    columns: int = 0
+    rows: Tuple[Tuple[Any, ...], ...] = ()
+    count: int = 0
+    error: str = ""
+
+    def signature(self) -> Tuple[Any, ...]:
+        if self.kind == "rows":
+            return ("rows", self.columns, self.rows)
+        if self.kind == "count":
+            return ("count", self.count)
+        # Engines word their errors differently; parity is the contract.
+        return (self.kind,)
+
+    def brief(self) -> str:
+        if self.kind == "rows":
+            shown = ", ".join(repr(row) for row in self.rows[:4])
+            suffix = ", ..." if len(self.rows) > 4 else ""
+            return f"{len(self.rows)} row(s): [{shown}{suffix}]"
+        if self.kind == "count":
+            return f"count={self.count}"
+        if self.kind == "error":
+            return f"error: {self.error}"
+        return "ok"
+
+
+# ---------------------------------------------------------------------------
+# runners
+# ---------------------------------------------------------------------------
+
+
+def run_minidb(
+    script: RenderedScript,
+    config: MiniConfig,
+    transform: Optional[Callable[[str], str]] = None,
+) -> Tuple[List[Outcome], List[str]]:
+    """Execute a rendered script on a fresh minidb under one config.
+
+    ``transform`` rewrites each query's SQL before execution — the hook
+    the planted-bug tests use to model a broken engine.  Returns the
+    per-op outcomes plus any **intra-config** divergences (a repeated
+    execution disagreeing with its own first run, i.e. a stale cache).
+    """
+    import repro.minidb.planner as planner_module
+    from repro.minidb import Database
+
+    database = Database()
+    saved = planner_module.COMPILE_EXPRESSIONS
+    planner_module.COMPILE_EXPRESSIONS = config.compile_expressions
+    try:
+        for ddl in script.create:
+            database.execute(ddl)
+        outcomes: List[Outcome] = []
+        intra: List[str] = []
+        prepared_cache: Dict[str, Any] = {}
+        for position, op in enumerate(script.ops):
+            sql = op.sql
+            if transform is not None and op.kind == "query":
+                sql = transform(sql)
+            repeats = config.repeat if op.kind == "query" else 1
+            first: Optional[Outcome] = None
+            for run in range(repeats):
+                outcome = _minidb_one(
+                    database, config, prepared_cache, op.kind, sql, op.params
+                )
+                if first is None:
+                    first = outcome
+                elif outcome.signature() != first.signature():
+                    intra.append(
+                        f"op[{position}] config={config.name} run {run + 1} "
+                        f"disagrees with its first run: "
+                        f"{outcome.brief()} != {first.brief()} :: {sql}"
+                    )
+            outcomes.append(first)  # type: ignore[arg-type]
+        return outcomes, intra
+    finally:
+        planner_module.COMPILE_EXPRESSIONS = saved
+
+
+def _minidb_one(
+    database: Any,
+    config: MiniConfig,
+    prepared_cache: Dict[str, Any],
+    kind: str,
+    sql: str,
+    params: Tuple[Any, ...],
+) -> Outcome:
+    bound = [bind_value(value, MINIDB) for value in params]
+    try:
+        if kind == "query":
+            if config.prepared:
+                statement = prepared_cache.get(sql)
+                if statement is None:
+                    statement = database.prepare(sql)
+                    prepared_cache[sql] = statement
+                result = statement.query(*bound)
+            else:
+                result = database.query(sql, bound or None)
+            return Outcome(
+                "rows",
+                columns=len(result.columns),
+                rows=normalize_rows(result.rows),
+            )
+        result = database.execute(sql, bound or None)
+        if kind in ("insert", "update", "delete"):
+            return Outcome("count", count=int(result))
+        return Outcome("ok")
+    except Exception as exc:  # noqa: BLE001 - error parity is the contract
+        return Outcome("error", error=f"{type(exc).__name__}: {exc}")
+
+
+def run_sqlite(script: RenderedScript) -> List[Outcome]:
+    connection = sqlite3.connect(":memory:")
+    try:
+        for ddl in script.create:
+            connection.execute(ddl)
+        outcomes: List[Outcome] = []
+        for op in script.ops:
+            bound = [bind_value(value, SQLITE) for value in op.params]
+            try:
+                cursor = connection.execute(op.sql, bound)
+                if op.kind == "query":
+                    rows = cursor.fetchall()
+                    columns = (
+                        len(cursor.description) if cursor.description else 0
+                    )
+                    outcomes.append(
+                        Outcome("rows", columns=columns,
+                                rows=normalize_rows(rows))
+                    )
+                elif op.kind in ("insert", "update", "delete"):
+                    outcomes.append(Outcome("count", count=cursor.rowcount))
+                else:
+                    outcomes.append(Outcome("ok"))
+            except sqlite3.Error as exc:
+                outcomes.append(
+                    Outcome("error", error=f"{type(exc).__name__}: {exc}")
+                )
+        return outcomes
+    finally:
+        connection.close()
+
+
+# ---------------------------------------------------------------------------
+# comparison
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CaseReport:
+    divergences: List[str] = field(default_factory=list)
+    query_ops: int = 0
+    error_ops: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+
+def run_rendered(
+    rendered: RenderedCase,
+    sweep: Sequence[MiniConfig] = SWEEP,
+    mini_transform: Optional[Callable[[str], str]] = None,
+) -> CaseReport:
+    """Run one rendered case through the full sweep vs the oracle."""
+    report = CaseReport(query_ops=rendered.query_count)
+    expected = run_sqlite(rendered.sqlite)
+    error_positions = {
+        index for index, outcome in enumerate(expected)
+        if outcome.kind == "error"
+    }
+    for config in sweep:
+        got, intra = run_minidb(rendered.minidb, config, mini_transform)
+        report.divergences.extend(intra)
+        for index, (mine, theirs) in enumerate(zip(got, expected)):
+            if mine.kind == "error":
+                error_positions.add(index)
+            if mine.signature() != theirs.signature():
+                sql = rendered.minidb.ops[index].sql
+                report.divergences.append(
+                    f"op[{index}] config={config.name}: minidb "
+                    f"{mine.brief()} != sqlite {theirs.brief()} :: {sql}"
+                )
+    report.error_ops = len(error_positions)
+    return report
+
+
+def run_case(
+    case: Case,
+    sweep: Sequence[MiniConfig] = SWEEP,
+    mini_transform: Optional[Callable[[str], str]] = None,
+) -> CaseReport:
+    return run_rendered(render_case(case), sweep, mini_transform)
+
+
+def case_fails(
+    sweep: Sequence[MiniConfig] = SWEEP,
+    mini_transform: Optional[Callable[[str], str]] = None,
+) -> Callable[[Case], bool]:
+    """A ``fails(case) -> bool`` predicate for the shrinker."""
+
+    def fails(case: Case) -> bool:
+        return not run_case(case, sweep, mini_transform).ok
+
+    return fails
+
+
+# ---------------------------------------------------------------------------
+# the fuzz loop
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CaseFailure:
+    seed: int
+    case: Case
+    report: CaseReport
+
+
+@dataclass
+class DifferentialReport:
+    cases: int = 0
+    query_ops: int = 0
+    error_ops: int = 0
+    failures: List[CaseFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures and self.error_ops == 0
+
+
+def run_differential(
+    min_query_ops: int = 200,
+    base_seed: int = 0,
+    caps: Optional[Capabilities] = None,
+    sweep: Sequence[MiniConfig] = SWEEP,
+    mini_transform: Optional[Callable[[str], str]] = None,
+    max_cases: int = 10_000,
+    stop_on_failure: bool = False,
+) -> DifferentialReport:
+    """Generate and check cases until ``min_query_ops`` query executions
+    have been compared against the oracle (each counted once per case,
+    not per sweep config)."""
+    report = DifferentialReport()
+    seed = base_seed
+    while report.query_ops < min_query_ops and report.cases < max_cases:
+        case = CaseGenerator(seed, caps).case()
+        case_report = run_case(case, sweep, mini_transform)
+        report.cases += 1
+        report.query_ops += case_report.query_ops
+        report.error_ops += case_report.error_ops
+        if not case_report.ok:
+            report.failures.append(CaseFailure(seed, case, case_report))
+            if stop_on_failure:
+                break
+        seed += 1
+    return report
+
+
+def load_seed(path: Any) -> RenderedCase:
+    """Load a corpus seed written by :func:`repro.testkit.minimize.write_repro`."""
+    import json
+    import pathlib
+
+    from repro.testkit.dialects import rendered_from_dict
+
+    data = json.loads(pathlib.Path(path).read_text())
+    return rendered_from_dict(data)

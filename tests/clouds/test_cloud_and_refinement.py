@@ -1,7 +1,7 @@
 """Tests for cloud building, rendering, and refinement sessions."""
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.errors import CloudError
@@ -173,7 +173,6 @@ class TestRefinement:
         step = session.refine("african american")
         assert step.result.doc_id_set() == {3}
 
-    @settings(max_examples=20, deadline=None)
     @given(st.lists(st.sampled_from(["history", "culture", "jazz"]), max_size=3))
     def test_refinement_chain_monotone(self, terms):
         engine = make_engine(CORPUS)

@@ -9,7 +9,7 @@ the same narrowed result set.
 """
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.clouds.cloud import CloudBuilder
@@ -160,7 +160,6 @@ class TestRefinementSessionClouds:
             s.term for s in expected
         )
 
-    @settings(max_examples=15, deadline=None)
     @given(
         st.lists(
             st.sampled_from(["history", "revolution", "culture", "jazz"]),

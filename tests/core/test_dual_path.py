@@ -10,7 +10,7 @@ equal to within float tolerance).
 import math
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.core import (
@@ -310,7 +310,6 @@ ratings_strategy = st.lists(
 
 
 class TestRandomizedEquivalence:
-    @settings(max_examples=30, deadline=None)
     @given(students_strategy, ratings_strategy)
     def test_scalar_closeness_random(self, students, ratings):
         db = build_random_db(students, ratings)
@@ -326,7 +325,6 @@ class TestRandomizedEquivalence:
         )
         assert_paths_agree(db, workflow, tolerance=1e-7)
 
-    @settings(max_examples=30, deadline=None)
     @given(students_strategy, ratings_strategy)
     def test_inverse_euclidean_random(self, students, ratings):
         db = build_random_db(students, ratings)
@@ -344,7 +342,6 @@ class TestRandomizedEquivalence:
         )
         assert_paths_agree(db, workflow, tolerance=1e-7)
 
-    @settings(max_examples=25, deadline=None)
     @given(students_strategy, ratings_strategy, st.sampled_from(["avg", "max", "count"]))
     def test_lookup_random(self, students, ratings, aggregate):
         db = build_random_db(students, ratings)
@@ -359,7 +356,6 @@ class TestRandomizedEquivalence:
         )
         assert_paths_agree(db, workflow, tolerance=1e-7)
 
-    @settings(max_examples=20, deadline=None)
     @given(students_strategy, ratings_strategy)
     def test_pearson_random(self, students, ratings):
         db = build_random_db(students, ratings)

@@ -8,7 +8,7 @@ reference — including float bit patterns, so ``==`` and not ``isclose``
 """
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 import repro.core.executor as executor
@@ -170,7 +170,6 @@ FAMILIES = {
 
 
 class TestFastMatchesNaive:
-    @settings(max_examples=15, deadline=None)
     @given(
         students_strategy,
         ratings_strategy,

@@ -283,8 +283,6 @@ class TestRandomizedPreservation:
     # The workflow only reads flexdb, so fixture reuse across generated
     # inputs is safe.
     @_settings(
-        max_examples=25,
-        deadline=None,
         suppress_health_check=[_HealthCheck.function_scoped_fixture],
     )
     @_given(

@@ -1,0 +1,18 @@
+"""Standalone replay for testkit corpus seed 'coverage_join_groupby_dropcreate'.
+
+feature-coverage pin: joins, GROUP BY/HAVING, DISTINCT, LIMIT, DML, and DROP+CREATE churn in one case (generator seed 2021)
+
+Run with ``PYTHONPATH=src python coverage_join_groupby_dropcreate.py``; exits nonzero if the two
+engines still diverge.
+"""
+
+import pathlib
+
+from repro.testkit import oracle
+
+rendered = oracle.load_seed(pathlib.Path(__file__).with_suffix(".json"))
+report = oracle.run_rendered(rendered)
+for line in report.divergences:
+    print(line)
+print(f"query ops: {report.query_ops}, errors: {report.error_ops}")
+raise SystemExit(1 if report.divergences else 0)

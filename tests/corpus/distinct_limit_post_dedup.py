@@ -1,0 +1,18 @@
+"""Standalone replay for testkit corpus seed 'distinct_limit_post_dedup'.
+
+op[5] config=compiled-cold: minidb 1 row(s): [(1,)] != sqlite 2 row(s): [(0,), (1,)] :: SELECT DISTINCT c3_boo AS c0 FROM t0 AS a0 WHERE (c1_tex LIKE '%') ORDER BY c0 DESC LIMIT 2
+
+Run with ``PYTHONPATH=src python distinct_limit_post_dedup.py``; exits nonzero if the two
+engines still diverge.
+"""
+
+import pathlib
+
+from repro.testkit import oracle
+
+rendered = oracle.load_seed(pathlib.Path(__file__).with_suffix(".json"))
+report = oracle.run_rendered(rendered)
+for line in report.divergences:
+    print(line)
+print(f"query ops: {report.query_ops}, errors: {report.error_ops}")
+raise SystemExit(1 if report.divergences else 0)

@@ -1,0 +1,18 @@
+"""Standalone replay for testkit corpus seed 'notin_empty_subquery_null'.
+
+op[7] config=compiled-cold: minidb 0 row(s): [] != sqlite 2 row(s): [(None, None, 56.5, None), (None, None, 56.5, None)] :: SELECT a1.c2_dat AS c0, a1.c1_int AS c1, 56.5 AS c2, a1.c2_dat AS c3 FROM t1
+
+Run with ``PYTHONPATH=src python notin_empty_subquery_null.py``; exits nonzero if the two
+engines still diverge.
+"""
+
+import pathlib
+
+from repro.testkit import oracle
+
+rendered = oracle.load_seed(pathlib.Path(__file__).with_suffix(".json"))
+report = oracle.run_rendered(rendered)
+for line in report.divergences:
+    print(line)
+print(f"query ops: {report.query_ops}, errors: {report.error_ops}")
+raise SystemExit(1 if report.divergences else 0)

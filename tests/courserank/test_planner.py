@@ -1,7 +1,7 @@
 """Tests for the Planner: plans, conflicts, prerequisites, GPAs."""
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.errors import CourseRankError, PlannerConflictError
@@ -195,7 +195,6 @@ class TestFourYearView:
         assert planner.quarter_units(10, 2009, "Aut") == 4
         assert planner.quarter_units(10, 2008, "Aut") == 5
 
-    @settings(max_examples=15, deadline=None)
     @given(
         st.lists(
             st.tuples(

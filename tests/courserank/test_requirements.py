@@ -1,7 +1,7 @@
 """Tests for the requirement rule DSL and tracker."""
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.errors import RequirementError
@@ -121,7 +121,6 @@ class TestMonotonicity:
         "(ALL(1, 2) OR ANY(4, 5)) AND ATLEAST(1, 6, 7)",
     ]
 
-    @settings(max_examples=40, deadline=None)
     @given(
         st.sets(st.integers(min_value=1, max_value=8), max_size=6),
         st.integers(min_value=1, max_value=8),

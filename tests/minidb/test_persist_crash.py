@@ -1,0 +1,175 @@
+"""Crash consistency for :mod:`repro.minidb.persist`.
+
+The manifest contract: ``manifest.json`` is written last with the byte
+size of every file, so any torn snapshot (truncated CSV, missing file,
+garbage manifest) is detected at load time instead of silently loading
+half a database; version counters and the schema epoch survive a
+save/load round trip so plan-cache keys can't alias across a restore.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import MiniDBError
+from repro.minidb import Database
+from repro.minidb.persist import (
+    MANIFEST_NAME,
+    load_database,
+    save_database,
+)
+from repro.testkit.churn import ChurnDriver
+
+
+def build_db():
+    db = Database()
+    db.execute_script(
+        """
+        CREATE TABLE Students (SuID INTEGER PRIMARY KEY, Name TEXT,
+          GPA FLOAT);
+        CREATE TABLE Comments (SuID INTEGER, CourseID INTEGER,
+          Rating FLOAT, PRIMARY KEY (SuID, CourseID));
+        CREATE INDEX idx_comments_suid ON Comments (SuID) USING hash;
+        """
+    )
+    for suid in range(1, 5):
+        db.table("Students").insert([suid, f"s{suid}", suid / 2.0])
+    for suid in range(1, 5):
+        db.table("Comments").insert([suid, 1, 3.5])
+    return db
+
+
+class TestManifest:
+    def test_manifest_written_with_sizes(self, tmp_path):
+        db = build_db()
+        save_database(db, tmp_path)
+        manifest = json.loads((tmp_path / MANIFEST_NAME).read_text())
+        assert manifest["schema_epoch"] == db.schema_epoch
+        for name, size in manifest["files"].items():
+            assert (tmp_path / name).stat().st_size == size
+        assert manifest["tables"]["Students"]["rows"] == 4
+        assert (
+            manifest["tables"]["Comments"]["data_version"]
+            == db.table("Comments").data_version
+        )
+
+    def test_no_tmp_files_left_behind(self, tmp_path):
+        save_database(build_db(), tmp_path)
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_stale_csv_removed_on_resave(self, tmp_path):
+        db = build_db()
+        save_database(db, tmp_path)
+        db.execute("DROP TABLE Comments")
+        save_database(db, tmp_path)
+        assert not (tmp_path / "Comments.csv").exists()
+        loaded = load_database(tmp_path)
+        assert loaded.table_names() == ["Students"]
+
+
+class TestPartialWriteDetection:
+    def test_truncated_csv_rejected(self, tmp_path):
+        save_database(build_db(), tmp_path)
+        csv = tmp_path / "Comments.csv"
+        csv.write_text(csv.read_text()[:-10])
+        with pytest.raises(MiniDBError, match="partial write"):
+            load_database(tmp_path)
+
+    def test_missing_file_rejected(self, tmp_path):
+        save_database(build_db(), tmp_path)
+        (tmp_path / "Comments.csv").unlink()
+        with pytest.raises(MiniDBError, match="missing on disk"):
+            load_database(tmp_path)
+
+    def test_garbage_manifest_rejected(self, tmp_path):
+        save_database(build_db(), tmp_path)
+        (tmp_path / MANIFEST_NAME).write_text("{not json")
+        with pytest.raises(MiniDBError, match="corrupt"):
+            load_database(tmp_path)
+
+    def test_unknown_format_rejected(self, tmp_path):
+        save_database(build_db(), tmp_path)
+        (tmp_path / MANIFEST_NAME).write_text(
+            json.dumps({"format": 99, "files": {}})
+        )
+        with pytest.raises(MiniDBError, match="unsupported manifest"):
+            load_database(tmp_path)
+
+    def test_legacy_directory_without_manifest_loads(self, tmp_path):
+        save_database(build_db(), tmp_path)
+        (tmp_path / MANIFEST_NAME).unlink()
+        loaded = load_database(tmp_path)
+        assert len(loaded.table("Students")) == 4
+
+
+class TestVersionCounters:
+    def test_versions_survive_reload(self, tmp_path):
+        db = build_db()
+        # Spend some version numbers before saving.
+        for _ in range(3):
+            db.execute("UPDATE Students SET GPA = GPA WHERE SuID = 1")
+        save_database(db, tmp_path)
+        loaded = load_database(tmp_path)
+        assert loaded.schema_epoch >= db.schema_epoch
+        for name in ("Students", "Comments"):
+            assert (
+                loaded.table(name).data_version
+                >= db.table(name).data_version
+            )
+            assert (
+                loaded.table(name).indexed_version
+                >= db.table(name).indexed_version
+            )
+
+    def test_fast_forward_never_rewinds(self, tmp_path):
+        db = build_db()
+        table = db.table("Students")
+        before = table.data_version
+        table.fast_forward_versions(0, 0)
+        assert table.data_version == before
+
+    def test_reload_roundtrip_data_identical(self, tmp_path):
+        db = build_db()
+        save_database(db, tmp_path)
+        loaded = load_database(tmp_path)
+        original = db.query("SELECT SuID, Name, GPA FROM Students")
+        replayed = loaded.query("SELECT SuID, Name, GPA FROM Students")
+        assert sorted(original.rows) == sorted(replayed.rows)
+
+
+class TestMidChurnSnapshot:
+    def test_snapshot_during_churn_reloads_identically(self, tmp_path):
+        """Save mid-churn, keep mutating, save again: both snapshots
+        load, validate, and match the live data at their save points."""
+        driver = ChurnDriver(seed=7, steps=10, check_every=100)
+        driver._setup()
+        for _ in range(5):
+            driver._mutate()
+        first = tmp_path / "mid"
+        save_database(driver.db, first)
+        mid_rows = sorted(
+            driver.db.query(
+                "SELECT SuID, CourseID, Rating FROM Comments"
+            ).rows
+        )
+        for _ in range(5):
+            driver._mutate()
+        second = tmp_path / "end"
+        save_database(driver.db, second)
+        reloaded_mid = load_database(first)
+        assert sorted(
+            reloaded_mid.query(
+                "SELECT SuID, CourseID, Rating FROM Comments"
+            ).rows
+        ) == mid_rows
+        reloaded_end = load_database(second)
+        assert sorted(
+            reloaded_end.query(
+                "SELECT SuID, CourseID, Rating FROM Comments"
+            ).rows
+        ) == sorted(
+            driver.db.query(
+                "SELECT SuID, CourseID, Rating FROM Comments"
+            ).rows
+        )
+        assert reloaded_end.schema_epoch >= driver.db.schema_epoch

@@ -7,7 +7,7 @@ expression tree row by row.
 """
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.minidb import Database
@@ -72,7 +72,6 @@ def brute_force(db, predicate_text):
 
 
 class TestWherePipeline:
-    @settings(max_examples=60, deadline=None)
     @given(rows_strategy, predicate_strategy, st.booleans())
     def test_where_matches_brute_force(self, rows, predicate, with_indexes):
         db = build_db(rows, with_indexes)
@@ -81,7 +80,6 @@ class TestWherePipeline:
         )
         assert engine_ids == brute_force(db, predicate)
 
-    @settings(max_examples=40, deadline=None)
     @given(rows_strategy, predicate_strategy)
     def test_index_never_changes_answers(self, rows, predicate):
         plain = build_db(rows, with_indexes=False)
@@ -91,7 +89,6 @@ class TestWherePipeline:
             plain.query(sql).column("id") == indexed.query(sql).column("id")
         )
 
-    @settings(max_examples=40, deadline=None)
     @given(rows_strategy, predicate_strategy)
     def test_pushdown_through_join_preserves_semantics(self, rows, predicate):
         """Single-table conjuncts pushed into scans don't change joins."""
@@ -115,7 +112,6 @@ class TestWherePipeline:
 
 
 class TestOrderLimitPipeline:
-    @settings(max_examples=40, deadline=None)
     @given(
         rows_strategy,
         st.sampled_from(["val", "grp", "txt"]),
@@ -152,7 +148,6 @@ class TestOrderLimitPipeline:
         expected = [row[0] for row in reference][:limit]
         assert result == expected
 
-    @settings(max_examples=30, deadline=None)
     @given(rows_strategy, st.integers(min_value=0, max_value=10))
     def test_limit_never_exceeds(self, rows, limit):
         db = build_db(rows, with_indexes=False)
@@ -161,7 +156,6 @@ class TestOrderLimitPipeline:
 
 
 class TestAggregatePipeline:
-    @settings(max_examples=40, deadline=None)
     @given(rows_strategy)
     def test_group_counts_match_reference(self, rows):
         db = build_db(rows, with_indexes=False)
@@ -178,7 +172,6 @@ class TestAggregatePipeline:
             row[0]: (row[1], row[2]) for row in result.rows
         } == {grp: tuple(values) for grp, values in reference.items()}
 
-    @settings(max_examples=30, deadline=None)
     @given(rows_strategy)
     def test_count_distinct_matches_reference(self, rows):
         db = build_db(rows, with_indexes=False)

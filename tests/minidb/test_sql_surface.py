@@ -3,7 +3,7 @@
 import datetime
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.minidb import Database
@@ -248,7 +248,6 @@ def _expressions(depth: int = 2) -> st.SearchStrategy[Expression]:
 
 
 class TestExpressionRoundTrip:
-    @settings(max_examples=150, deadline=None)
     @given(_expressions(depth=2))
     def test_to_sql_parse_evaluate_identical(self, expression):
         """expr.to_sql() parses back to an expression with the same value."""
@@ -261,7 +260,6 @@ class TestExpressionRoundTrip:
         else:
             assert original == again
 
-    @settings(max_examples=100, deadline=None)
     @given(_expressions(depth=2))
     def test_to_sql_stabilizes_after_one_parse(self, expression):
         """One parse normalizes the rendering to a fixpoint.

@@ -10,7 +10,7 @@ Three invariants from the hot-path overhaul:
 """
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.minidb import Database
@@ -174,7 +174,6 @@ class TestHeapTopK:
         limited = engine.search("title", limit=3, use_cache=False)
         assert limited.doc_ids() == expected[:3]
 
-    @settings(max_examples=25, deadline=None)
     @given(
         docs=st.lists(
             st.lists(

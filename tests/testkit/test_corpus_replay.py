@@ -1,0 +1,36 @@
+"""Replay every committed corpus seed against the current engine.
+
+Seeds are the *rendered* SQL of minimized failing (now fixed) or
+feature-rich cases, so they keep replaying verbatim even if the
+generator drifts.  Any divergence here is a regression of a previously
+fixed bug.
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.testkit.oracle import load_seed, run_rendered
+
+CORPUS = sorted(
+    (pathlib.Path(__file__).parent.parent / "corpus").glob("*.json")
+)
+
+
+def test_corpus_is_not_empty():
+    assert len(CORPUS) >= 3
+
+
+@pytest.mark.parametrize(
+    "seed_path", CORPUS, ids=lambda path: path.stem
+)
+def test_corpus_seed_replays_clean(seed_path):
+    rendered = load_seed(seed_path)
+    report = run_rendered(rendered)
+    note = json.loads(seed_path.read_text()).get("note", "")
+    assert report.ok, (
+        f"corpus seed {seed_path.stem} regressed ({note}):\n"
+        + "\n".join(report.divergences[:4])
+    )
+    assert report.error_ops == 0

@@ -1,0 +1,33 @@
+"""The headline acceptance test: generated queries vs the sqlite oracle.
+
+At least 200 generated query executions must compare equal against
+sqlite3 across the full minidb config sweep (compiled/interpreted,
+cold/warm, prepared/literal) with zero divergences — and zero
+both-engine errors, so the budget is spent on queries both engines
+actually answered.  ``TESTKIT_DIFF_OPS`` scales the budget up for
+thorough runs.
+"""
+
+import os
+
+from repro.testkit.oracle import run_differential
+
+MIN_OPS = int(os.environ.get("TESTKIT_DIFF_OPS", "200"))
+
+
+def test_differential_fuzz_against_sqlite_oracle():
+    report = run_differential(min_query_ops=MIN_OPS, base_seed=0)
+    assert report.query_ops >= MIN_OPS
+    details = "\n".join(
+        line
+        for failure in report.failures
+        for line in failure.report.divergences[:3]
+    )
+    assert not report.failures, (
+        f"{len(report.failures)} failing case(s) out of {report.cases}:\n"
+        f"{details}"
+    )
+    assert report.error_ops == 0, (
+        f"{report.error_ops} op(s) errored on both engines — the "
+        f"generator is emitting SQL outside the shared dialect"
+    )

@@ -1,0 +1,115 @@
+"""Shrinker convergence, the planted-bug flow, and repro artifacts."""
+
+import subprocess
+import sys
+
+import pytest
+
+import repro.testkit.generators as g
+from repro.testkit.minimize import Shrinker, ddmin, shrink_case, write_repro
+from repro.testkit.oracle import case_fails, load_seed, run_differential, run_rendered
+from repro.testkit.dialects import render_case
+
+def flip(sql):
+    """Models an engine that flipped a comparison: every ``>`` becomes
+    ``<`` on the minidb side only."""
+    return sql.replace(" > ", " < ")
+
+
+class TestDdmin:
+    def test_minimizes_to_single_culprit(self):
+        def fails(items):
+            return 7 in items
+
+        assert ddmin(list(range(20)), fails) == [7]
+
+    def test_keeps_interacting_pair(self):
+        def fails(items):
+            return 3 in items and 11 in items
+
+        assert sorted(ddmin(list(range(20)), fails)) == [3, 11]
+
+    def test_rejects_passing_input(self):
+        with pytest.raises(ValueError):
+            ddmin([1, 2, 3], lambda items: False)
+
+
+class TestPlantedBug:
+    """Acceptance: a flipped comparison planted in the engine is caught
+    by the fuzzer and shrunk to <= 3 tables / <= 10 rows."""
+
+    def find_failure(self):
+        report = run_differential(
+            min_query_ops=400, base_seed=0, mini_transform=flip,
+            stop_on_failure=True,
+        )
+        assert report.failures, "planted bug not caught within budget"
+        return report.failures[0]
+
+    def test_caught_and_shrunk_small(self):
+        failure = self.find_failure()
+        fails = case_fails(mini_transform=flip)
+        shrunk = shrink_case(failure.case, fails)
+        assert len(shrunk.tables) <= 3
+        assert shrunk.total_rows <= 10
+        assert len(shrunk.ops) <= 3
+        # The shrunk case still reproduces the planted divergence...
+        assert not run_rendered(
+            render_case(shrunk), mini_transform=flip
+        ).ok
+        # ...and passes on the real (unplanted) engine.
+        assert run_rendered(render_case(shrunk)).ok
+
+    def test_shrinker_monotone_and_bounded(self):
+        failure = self.find_failure()
+        shrinker = Shrinker(case_fails(mini_transform=flip))
+        shrunk = shrinker.shrink(failure.case)
+        assert shrunk.total_rows <= failure.case.total_rows
+        assert len(shrunk.ops) <= len(failure.case.ops)
+        assert shrinker.evaluations < 2000
+
+
+class TestWriteRepro:
+    def test_seed_and_script_replay(self, tmp_path):
+        case = g.CaseGenerator(2021).case()
+        paths = write_repro(case, tmp_path, "sample", note="coverage pin")
+        loaded = load_seed(paths["seed"])
+        assert run_rendered(loaded).ok
+        result = subprocess.run(
+            [sys.executable, str(paths["script"])],
+            capture_output=True, text=True, check=False,
+        )
+        assert result.returncode == 0, result.stdout + result.stderr
+
+    def test_script_exits_nonzero_on_divergence(self, tmp_path):
+        failure = None
+        report = run_differential(
+            min_query_ops=400, base_seed=0, mini_transform=flip,
+            stop_on_failure=True,
+        )
+        failure = report.failures[0]
+        # Freeze the divergent behaviour by rendering the minidb side
+        # through the flip, so the saved seed itself diverges.
+        rendered = render_case(failure.case)
+        for op in rendered.minidb.ops:
+            if op.kind == "query":
+                object.__setattr__(op, "sql", flip(op.sql))
+        from repro.testkit.dialects import rendered_to_dict
+        import json
+
+        seed_path = tmp_path / "bad.json"
+        seed_path.write_text(json.dumps(rendered_to_dict(rendered)))
+        script = tmp_path / "bad.py"
+        script.write_text(
+            "import pathlib\n"
+            "from repro.testkit import oracle\n"
+            "rendered = oracle.load_seed("
+            "pathlib.Path(__file__).with_suffix('.json'))\n"
+            "report = oracle.run_rendered(rendered)\n"
+            "raise SystemExit(1 if report.divergences else 0)\n"
+        )
+        result = subprocess.run(
+            [sys.executable, str(script)],
+            capture_output=True, text=True, check=False,
+        )
+        assert result.returncode == 1

@@ -1,0 +1,102 @@
+"""Oracle comparison rules: normalization, sweep equality, detection."""
+
+import datetime
+
+from repro.testkit.dialects import RenderedCase, RenderedOp, RenderedScript
+from repro.testkit.oracle import (
+    SWEEP,
+    Outcome,
+    normalize_rows,
+    normalize_value,
+    run_rendered,
+)
+
+
+class TestNormalization:
+    def test_bool_becomes_int(self):
+        assert normalize_value(True) == 1
+        assert normalize_value(False) == 0
+
+    def test_date_becomes_iso_string(self):
+        assert normalize_value(datetime.date(2008, 7, 3)) == "2008-07-03"
+
+    def test_rows_compare_as_multisets(self):
+        a = normalize_rows([(1, "x"), (2, "y")])
+        b = normalize_rows([(2, "y"), (1, "x")])
+        assert a == b
+
+    def test_int_float_affinity_absorbed(self):
+        assert normalize_rows([(2,)]) == normalize_rows([(2.0,)])
+
+    def test_nulls_sort_stably(self):
+        rows = [(None,), (1,), ("a",)]
+        assert normalize_rows(rows) == normalize_rows(list(reversed(rows)))
+
+
+class TestOutcomeSignatures:
+    def test_errors_compare_by_parity_only(self):
+        mine = Outcome("error", error="MiniDBError: boom")
+        theirs = Outcome("error", error="OperationalError: different words")
+        assert mine.signature() == theirs.signature()
+
+    def test_rows_vs_count_never_equal(self):
+        assert Outcome("rows").signature() != Outcome("count").signature()
+
+
+def _case(minidb_ops, sqlite_ops=None, create=None):
+    create = create or ["CREATE TABLE t (id INTEGER PRIMARY KEY, x INTEGER)"]
+    queries = sum(1 for op in minidb_ops if op.kind == "query")
+    return RenderedCase(
+        minidb=RenderedScript(create=list(create), ops=list(minidb_ops)),
+        sqlite=RenderedScript(
+            create=list(create), ops=list(sqlite_ops or minidb_ops)
+        ),
+        query_count=queries,
+    )
+
+
+class TestRunRendered:
+    def test_identical_case_passes_full_sweep(self):
+        ops = [
+            RenderedOp("insert", "INSERT INTO t VALUES (1, 10)", ()),
+            RenderedOp("insert", "INSERT INTO t VALUES (2, 20)", ()),
+            RenderedOp("query", "SELECT id FROM t WHERE x > ?", (5,)),
+            RenderedOp("query", "SELECT COUNT(*) AS n FROM t", ()),
+        ]
+        report = run_rendered(_case(ops))
+        assert report.ok
+        assert report.query_ops == 2
+        assert report.error_ops == 0
+
+    def test_divergent_case_detected_with_config_name(self):
+        inserts = [
+            RenderedOp("insert", "INSERT INTO t VALUES (1, 10)", ()),
+            RenderedOp("insert", "INSERT INTO t VALUES (2, 20)", ()),
+        ]
+        mine = inserts + [
+            RenderedOp("query", "SELECT id FROM t WHERE id = 1", ())
+        ]
+        theirs = inserts + [RenderedOp("query", "SELECT id FROM t", ())]
+        report = run_rendered(_case(mine, sqlite_ops=theirs))
+        assert not report.ok
+        # Every sweep config sees the same logical difference.
+        assert len(report.divergences) == len(SWEEP)
+        assert all("config=" in line for line in report.divergences)
+
+    def test_dml_counts_compared(self):
+        ops = [
+            RenderedOp("insert", "INSERT INTO t VALUES (1, 10)", ()),
+            RenderedOp("update", "UPDATE t SET x = 11 WHERE id = 1", ()),
+            RenderedOp("delete", "DELETE FROM t WHERE id = 99", ()),
+            RenderedOp("query", "SELECT x FROM t", ()),
+        ]
+        report = run_rendered(_case(ops))
+        assert report.ok
+
+    def test_error_parity_counts_but_does_not_fail(self):
+        ops = [
+            RenderedOp("query", "SELECT nope FROM missing_table", ()),
+        ]
+        report = run_rendered(_case(ops))
+        assert report.ok
+        assert report.error_ops == 1
