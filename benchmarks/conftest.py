@@ -10,6 +10,7 @@ so the series survive pytest's output capture; EXPERIMENTS.md records the
 paper-vs-measured comparison.
 """
 
+import json
 import os
 import pathlib
 
@@ -17,9 +18,34 @@ import pytest
 
 from repro.courserank.app import CourseRank
 from repro.datagen import SCALES, generate_university
+from repro.obs import OBS
 
 BENCH_SCALE = os.environ.get("REPRO_BENCH_SCALE", "small")
 OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+#: ``REPRO_BENCH_OBS=1`` runs the whole benchmark session with the
+#: observability layer enabled and dumps the merged metrics snapshot to
+#: ``benchmarks/out/obs_metrics.json`` (rendered offline with
+#: ``python -m repro.obs report``).  Off by default so perf numbers
+#: measure the production configuration.
+BENCH_OBS = os.environ.get("REPRO_BENCH_OBS", "0") == "1"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def obs_metrics_snapshot():
+    if not BENCH_OBS:
+        yield
+        return
+    OBS.reset()
+    OBS.enable()
+    try:
+        yield
+    finally:
+        OBS.disable()
+        OUT_DIR.mkdir(exist_ok=True)
+        path = OUT_DIR / "obs_metrics.json"
+        path.write_text(json.dumps(OBS.snapshot(), indent=2, default=str))
+        print(f"\n[obs] metrics snapshot -> {path}")
 
 
 @pytest.fixture(scope="session")

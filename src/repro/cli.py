@@ -8,7 +8,7 @@ Commands:
 * ``search``    — keyword search with a course cloud, optional refinement;
 * ``recommend`` — run a FlexRecs strategy (any execution path);
 * ``sql``       — run a SQL statement against the database (with
-  ``--explain`` / ``--profile`` to see the plan).
+  ``--explain`` / ``--analyze`` / ``--profile`` to see the plan).
 
 Every command accepts either ``--load DIR`` (a database saved by
 ``generate``) or ``--scale``/``--seed`` to generate one on the fly.
@@ -139,6 +139,12 @@ def cmd_sql(args: argparse.Namespace) -> int:
     if args.explain:
         print(database.explain(args.statement))
         return 0
+    if args.analyze:
+        report = database.analyze(args.statement)
+        print(report.text)
+        print()
+        _print_result(report.result, args.max_rows)
+        return 0
     if args.profile:
         result, report = database.profile(args.statement)
         print(report)
@@ -202,6 +208,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_db_options(sql)
     sql.add_argument("statement")
     sql.add_argument("--explain", action="store_true")
+    sql.add_argument("--analyze", action="store_true")
     sql.add_argument("--profile", action="store_true")
     sql.add_argument("--max-rows", type=int, default=20)
     sql.set_defaults(handler=cmd_sql)

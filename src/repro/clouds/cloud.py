@@ -12,10 +12,12 @@ survive — the paper's Figure 3 cloud for "American" prominently features
 from __future__ import annotations
 
 import heapq
+import time
 from dataclasses import dataclass
 from typing import Any, Iterable, List, Optional, Sequence, Set
 
 from repro.errors import CloudError
+from repro.obs import OBS
 from repro.search.engine import SearchEngine, SearchResult
 from repro.clouds.scoring import (
     SignificanceScoring,
@@ -123,10 +125,22 @@ class CloudBuilder:
         """
         if not self._prepared:
             self.prepare()
-        stats = self.source.gather_narrowed(parent.doc_ids(), result.doc_ids())
-        return self._cloud_from_stats(
-            stats, len(result.hits), result.query, result.terms
-        )
+        with OBS.span("cloud.build_narrowed") as span:
+            started = time.perf_counter()
+            stats = self.source.gather_narrowed(
+                parent.doc_ids(), result.doc_ids()
+            )
+            cloud = self._cloud_from_stats(
+                stats, len(result.hits), result.query, result.terms
+            )
+            if OBS.enabled:
+                span.set(docs=len(result.hits), terms=len(cloud.terms))
+                OBS.metrics.inc("cloud.build_narrowed.count")
+                OBS.metrics.observe(
+                    "cloud.build.ms",
+                    (time.perf_counter() - started) * 1000.0,
+                )
+        return cloud
 
     def build_for_docs(
         self,
@@ -136,8 +150,20 @@ class CloudBuilder:
     ) -> DataCloud:
         if not self._prepared:
             self.prepare()
-        stats = self.source.gather(doc_ids)
-        return self._cloud_from_stats(stats, len(doc_ids), query, query_terms)
+        with OBS.span("cloud.build") as span:
+            started = time.perf_counter()
+            stats = self.source.gather(doc_ids)
+            cloud = self._cloud_from_stats(
+                stats, len(doc_ids), query, query_terms
+            )
+            if OBS.enabled:
+                span.set(docs=len(doc_ids), terms=len(cloud.terms))
+                OBS.metrics.inc("cloud.build.count")
+                OBS.metrics.observe(
+                    "cloud.build.ms",
+                    (time.perf_counter() - started) * 1000.0,
+                )
+        return cloud
 
     def _cloud_from_stats(
         self,

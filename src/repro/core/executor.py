@@ -33,6 +33,7 @@ from repro.core.workflow import Recommendation, RecommendStats, Workflow
 from repro.minidb.catalog import Database
 from repro.minidb.sql.parser import parse_expression
 from repro.minidb.types import sort_key
+from repro.obs import COUNT_EDGES, OBS
 
 #: Kill-switch for the recommend fast path (extend-vector cache, candidate
 #: pruning, stats-aware measures, bounded-heap top-k).  ``False`` restores
@@ -275,6 +276,29 @@ class _Executor:
         stats.cache_misses = self._extend_misses - misses_before
         stats.elapsed_ms = (time.perf_counter() - started) * 1000.0
         self.recommend_stats.append(stats)
+        if OBS.enabled:
+            # The spans/metrics are views over the finished RecommendStats
+            # record — one measurement site, two surfaces.
+            OBS.tracer.record(
+                "flexrecs.recommend",
+                stats.elapsed_ms,
+                attrs={
+                    "comparator": stats.comparator,
+                    "targets": stats.targets,
+                    "references": stats.references,
+                    "pruned": stats.pruned,
+                    "cache_hits": stats.cache_hits,
+                },
+            )
+            OBS.metrics.inc("flexrecs.recommend.count")
+            OBS.metrics.inc("flexrecs.recommend.cache_hits", stats.cache_hits)
+            OBS.metrics.inc(
+                "flexrecs.recommend.cache_misses", stats.cache_misses
+            )
+            OBS.metrics.observe("flexrecs.recommend.ms", stats.elapsed_ms)
+            OBS.metrics.observe(
+                "flexrecs.recommend.pruned", stats.pruned, edges=COUNT_EDGES
+            )
         return _Relation(columns, scored)
 
     def _score_naive(self, node, target, reference, exclude, stats) -> List[Dict[str, Any]]:

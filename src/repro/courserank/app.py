@@ -32,6 +32,7 @@ from repro.courserank.recommendations import RecommendationService
 from repro.courserank.requirements import RequirementTracker
 from repro.courserank.schema import new_database
 from repro.minidb.catalog import Database
+from repro.obs import OBS
 
 
 class CourseRank:
@@ -62,11 +63,13 @@ class CourseRank:
 
     def search_courses(self, query: str, limit: Optional[int] = None):
         """Keyword search with a course cloud (Figure 3)."""
-        return self.cloudsearch.search(query, limit=limit)
+        with OBS.span("app.search_courses", {"query": query}):
+            return self.cloudsearch.search(query, limit=limit)
 
     def search_session(self, query: str):
         """A refinement session (Figures 3 → 4)."""
-        return self.cloudsearch.session(query)
+        with OBS.span("app.search_session", {"query": query}):
+            return self.cloudsearch.session(query)
 
     # -- course pages -----------------------------------------------------------
 
@@ -85,6 +88,12 @@ class CourseRank:
 
     def course_page(self, course_id: int, viewer: Optional[User] = None) -> Dict[str, Any]:
         """Everything the course-descriptor page of Figure 1 shows."""
+        with OBS.span("app.course_page", {"course_id": course_id}):
+            return self._course_page(course_id, viewer)
+
+    def _course_page(
+        self, course_id: int, viewer: Optional[User] = None
+    ) -> Dict[str, Any]:
         course = self.course(course_id)
         page: Dict[str, Any] = {
             "course": course,
@@ -215,6 +224,28 @@ class CourseRank:
         }
 
     # -- site statistics (the numbers of Section 2) ----------------------------
+
+    def observability(self) -> Dict[str, Any]:
+        """The process-wide observability snapshot plus app cache counters.
+
+        Everything here reads from :data:`repro.obs.OBS` and the
+        components' own cache statistics — this facade adds no counters
+        of its own.
+        """
+        snapshot = OBS.snapshot()
+        snapshot["caches"] = {
+            "search_result_cache": (
+                self.cloudsearch.cache_info()
+                if self.cloudsearch._built
+                else None
+            ),
+            "plan_cache": {
+                "hits": self.db._plan_cache.hits,
+                "misses": self.db._plan_cache.misses,
+                "size": len(self.db._plan_cache),
+            },
+        }
+        return snapshot
 
     def site_statistics(self) -> Dict[str, int]:
         counts = self.db.stats()

@@ -15,6 +15,7 @@ from typing import Any, Callable, Dict, List, Optional
 
 from repro.errors import FlexRecsError
 from repro.core import strategies
+from repro.obs import OBS
 from repro.core.workflow import Recommendation, RecommendStats, Workflow
 from repro.minidb.catalog import Database
 
@@ -122,17 +123,20 @@ class RecommendationService:
             workflow = rewrite(workflow, self.database)
         if path is None:
             path = "sql" if self.use_compiled_sql else "direct"
-        if path == "sql":
-            return workflow.run_sql(self.database)
-        if path == "direct":
-            recommendation = workflow.run(self.database)
-            self.last_stats = recommendation.stats
-            return recommendation
-        if path == "staged":
-            from repro.core.staged import run_staged
+        with OBS.span(
+            "recommend.run", {"workflow": workflow.name, "path": path}
+        ):
+            if path == "sql":
+                return workflow.run_sql(self.database)
+            if path == "direct":
+                recommendation = workflow.run(self.database)
+                self.last_stats = recommendation.stats
+                return recommendation
+            if path == "staged":
+                from repro.core.staged import run_staged
 
-            workflow.validate(self.database)
-            return run_staged(workflow, self.database)
+                workflow.validate(self.database)
+                return run_staged(workflow, self.database)
         raise FlexRecsError(f"unknown execution path {path!r}")
 
     # -- course recommendation post-processing --------------------------------

@@ -322,9 +322,16 @@ class Database:
         return self._get_executor().explain(sql)
 
     def profile(self, sql: str):
-        """EXPLAIN ANALYZE: run a SELECT, return (ResultSet, plan report
-        annotated with per-operator row counts)."""
+        """Legacy row-count profiling: run a SELECT, return (ResultSet,
+        plan report annotated with per-operator row counts)."""
         return self._get_executor().profile(sql)
+
+    def analyze(self, sql: str, params: Optional[Sequence[Any]] = None):
+        """EXPLAIN ANALYZE: run a SELECT and return an
+        :class:`~repro.minidb.executor.AnalyzeReport` — the result set
+        plus the plan annotated with per-node rows-in/rows-out and wall
+        time ([cached]/[compiled-expr] markers included)."""
+        return self._get_executor().analyze(sql, params=params)
 
     # -- transactions --------------------------------------------------------
 

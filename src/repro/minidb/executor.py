@@ -8,6 +8,7 @@ an affected-row count; DDL returns ``None``.
 
 from __future__ import annotations
 
+import time
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.errors import (
@@ -19,7 +20,13 @@ from repro.errors import (
 )
 from repro.minidb.expressions import Env, Expression
 from repro.minidb.plancache import parsed_statement, snapshot_plan
-from repro.minidb.planner import QueryPlan, plan_select
+from repro.minidb.planner import (
+    QueryPlan,
+    plan_children,
+    plan_select,
+    walk_plan,
+)
+from repro.obs import OBS
 from repro.minidb.schema import Column, TableSchema
 from repro.minidb.sql.ast import (
     CreateIndexStatement,
@@ -111,44 +118,132 @@ class ResultSet:
         return f"<ResultSet {len(self.rows)} rows x {len(self.columns)} cols>"
 
 
-def _plan_children(node):
-    """Direct children of a physical plan node (incl. subquery roots)."""
-    from repro.minidb.planner import PlanNode, QueryPlan
+class NodeStats:
+    """Per-plan-node execution stats collected by EXPLAIN ANALYZE.
 
-    for attribute in ("child", "left", "right"):
-        value = getattr(node, attribute, None)
-        if isinstance(value, PlanNode):
-            yield value
-    inner = getattr(node, "plan", None)
-    if isinstance(inner, QueryPlan):
-        yield inner.root
+    ``time_ms`` is *inclusive* wall time (a parent's clock runs while it
+    pulls from its children, as in every EXPLAIN ANALYZE dialect);
+    ``rows_in`` is derived after the run as the sum of the children's
+    ``rows_out`` — the same stream counted once, so accounting balances
+    by construction and the tests can assert it end to end.
+    """
+
+    __slots__ = ("label", "rows_out", "rows_in", "time_ms", "children")
+
+    def __init__(self, label: str) -> None:
+        self.label = label
+        self.rows_out = 0
+        self.rows_in = 0
+        self.time_ms = 0.0
+        self.children: List["NodeStats"] = []
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "label": self.label,
+            "rows_in": self.rows_in,
+            "rows_out": self.rows_out,
+            "time_ms": self.time_ms,
+            "children": [child.to_dict() for child in self.children],
+        }
 
 
-def _walk_plan(node):
-    yield node
-    for child in _plan_children(node):
-        yield from _walk_plan(child)
+class AnalyzeReport:
+    """Result of EXPLAIN ANALYZE: the rows plus the annotated plan."""
+
+    def __init__(
+        self,
+        result: "ResultSet",
+        lines: List[str],
+        root: NodeStats,
+        total_ms: float,
+        cached: bool,
+        compiled: bool,
+    ) -> None:
+        self.result = result
+        self.lines = lines
+        self.root = root
+        self.total_ms = total_ms
+        self.cached = cached
+        self.compiled = compiled
+
+    @property
+    def text(self) -> str:
+        return "\n".join(self.lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "total_ms": self.total_ms,
+            "cached": self.cached,
+            "compiled": self.compiled,
+            "row_count": len(self.result),
+            "plan": self.root.to_dict(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"<AnalyzeReport {len(self.result)} rows "
+            f"{self.total_ms:.3f}ms cached={self.cached}>"
+        )
 
 
-def _instrument_node(node, counters: Dict[int, int]) -> None:
-    """Wrap a node's rows() iterator to count produced rows."""
-    counters[id(node)] = 0
+def _attach_node_stats(node) -> NodeStats:
+    """Shadow ``node.rows`` with a counting/timing wrapper.
+
+    The wrapper is installed as an *instance* attribute over the class
+    method; callers must remove it afterwards (``del node.__dict__``)
+    because cached plans are shared across executions and must never
+    stay instrumented — the noninterference suite pins this.
+    """
+    stats = NodeStats(node.describe()[0])
     original = node.rows
+    perf_counter = time.perf_counter
 
-    def counted():
-        for env in original():
-            counters[id(node)] += 1
+    def timed() -> Iterator[Any]:
+        # Some nodes (Sort) do all their work eagerly in rows() itself
+        # rather than lazily in a generator — time the call too.
+        started = perf_counter()
+        iterator = original()
+        stats.time_ms += (perf_counter() - started) * 1000.0
+        while True:
+            started = perf_counter()
+            try:
+                env = next(iterator)
+            except StopIteration:
+                stats.time_ms += (perf_counter() - started) * 1000.0
+                return
+            stats.time_ms += (perf_counter() - started) * 1000.0
+            stats.rows_out += 1
             yield env
 
-    node.rows = counted
+    node.rows = timed
+    return stats
 
 
-def _profile_lines(node, counters: Dict[int, int], indent: int) -> List[str]:
-    own = node.describe()[0]
-    count = counters.get(id(node), 0)
-    lines = ["  " * indent + f"{own} -> {count} rows"]
-    for child in _plan_children(node):
-        lines.extend(_profile_lines(child, counters, indent + 1))
+def _link_node_stats(node, stats: Dict[int, NodeStats]) -> NodeStats:
+    """Build the stats tree and derive rows_in from children's rows_out."""
+    own = stats[id(node)]
+    for child in plan_children(node):
+        child_stats = _link_node_stats(child, stats)
+        own.children.append(child_stats)
+        own.rows_in += child_stats.rows_out
+    return own
+
+
+def _analyze_node_lines(record: NodeStats, indent: int) -> List[str]:
+    lines = [
+        "  " * indent
+        + f"{record.label} (in={record.rows_in} out={record.rows_out} "
+        f"time={record.time_ms:.3f}ms)"
+    ]
+    for child in record.children:
+        lines.extend(_analyze_node_lines(child, indent + 1))
+    return lines
+
+
+def _profile_node_lines(record: NodeStats, indent: int) -> List[str]:
+    lines = ["  " * indent + f"{record.label} -> {record.rows_out} rows"]
+    for child in record.children:
+        lines.extend(_profile_node_lines(child, indent + 1))
     return lines
 
 
@@ -174,10 +269,12 @@ class Executor:
         params: Optional[Sequence[Any]] = None,
         canonical: Optional[str] = None,
     ) -> Any:
+        if OBS.enabled:
+            OBS.metrics.inc(f"minidb.statement.{type(statement).__name__}")
         if isinstance(statement, SelectStatement):
             return self._run_select(statement, params=params, canonical=canonical)
         if isinstance(statement, ExplainStatement):
-            return self._run_explain(statement)
+            return self._run_explain(statement, params=params)
         if isinstance(statement, UnionStatement):
             return self._run_union(statement, params=params)
         if isinstance(statement, InsertStatement):
@@ -210,21 +307,94 @@ class Executor:
     def profile(self, sql: str) -> Tuple[ResultSet, str]:
         """Execute a SELECT and report actual row counts per plan node.
 
-        The EXPLAIN ANALYZE of this engine: returns the result set plus a
-        rendering of the physical plan annotated with the number of rows
-        each operator produced.
+        Legacy row-count rendering kept for compatibility; it shares the
+        EXPLAIN ANALYZE instrumentation (see :meth:`analyze`) but reports
+        only ``-> N rows`` per operator.
         """
         statement = parse_statement(sql)
         if not isinstance(statement, SelectStatement):
             raise PlannerError("profile supports only SELECT statements")
         plan = plan_select(self.database, statement)
-        counters: Dict[int, int] = {}
-        for node in _walk_plan(plan.root):
-            _instrument_node(node, counters)
-        columns, rows = plan.run()
-        lines = [f"Project -> {len(rows)} rows"]
-        lines.extend(_profile_lines(plan.root, counters, indent=1))
-        return ResultSet(columns, rows), "\n".join(lines)
+        result, root, _total_ms = self._run_instrumented(plan, params=None)
+        lines = [f"Project -> {len(result)} rows"]
+        lines.extend(_profile_node_lines(root, indent=1))
+        return result, "\n".join(lines)
+
+    def analyze(
+        self, sql: str, params: Optional[Sequence[Any]] = None
+    ) -> AnalyzeReport:
+        """EXPLAIN ANALYZE: execute a SELECT, annotate every plan node.
+
+        Accepts plain SELECT text or a full ``EXPLAIN [ANALYZE] SELECT``
+        statement; either way the query runs once and the report carries
+        the result set alongside per-node rows-in/rows-out and wall time.
+        """
+        statement, canonical, _count = parsed_statement(sql)
+        if isinstance(statement, ExplainStatement):
+            statement = statement.query
+            canonical = None
+        if not isinstance(statement, SelectStatement):
+            raise PlannerError("ANALYZE supports only SELECT statements")
+        return self._analyze_select(statement, params=params, canonical=canonical)
+
+    def _analyze_select(
+        self,
+        statement: SelectStatement,
+        params: Optional[Sequence[Any]] = None,
+        canonical: Optional[str] = None,
+    ) -> AnalyzeReport:
+        plan, cached = self.plan_for(statement, canonical)
+        plan.bind_parameters(params or ())
+        result, root, total_ms = self._run_instrumented(plan, params=params)
+        lines: List[str] = []
+        indent = 0
+        if plan.post_limit is not None or plan.post_offset:
+            lines.append(
+                f"Limit({plan.post_limit} offset {plan.post_offset}) "
+                f"(out={len(result)})"
+            )
+            indent = 1
+        lines.append(
+            "  " * indent
+            + f"{plan.head_line()} (out={len(result)} time={total_ms:.3f}ms)"
+        )
+        lines.extend(_analyze_node_lines(root, indent + 1))
+        # Same marker placement as plain EXPLAIN: first line of the plan.
+        if cached:
+            lines[0] += " [cached]"
+        if getattr(plan, "compiled", False):
+            lines[0] += " [compiled-expr]"
+        return AnalyzeReport(
+            result=result,
+            lines=lines,
+            root=root,
+            total_ms=total_ms,
+            cached=cached,
+            compiled=bool(getattr(plan, "compiled", False)),
+        )
+
+    def _run_instrumented(
+        self, plan: QueryPlan, params: Optional[Sequence[Any]]
+    ) -> Tuple[ResultSet, NodeStats, float]:
+        """Run ``plan`` with every node's rows() counted and timed.
+
+        Instrumentation shadows each node's ``rows`` with an instance
+        attribute and is unconditionally removed afterwards — the plan
+        instance may live in the plan cache and must come back pristine.
+        """
+        nodes = list(walk_plan(plan.root))
+        stats: Dict[int, NodeStats] = {}
+        try:
+            for node in nodes:
+                stats[id(node)] = _attach_node_stats(node)
+            started = time.perf_counter()
+            columns, rows = plan.run()
+            total_ms = (time.perf_counter() - started) * 1000.0
+        finally:
+            for node in nodes:
+                node.__dict__.pop("rows", None)
+        root = _link_node_stats(plan.root, stats)
+        return ResultSet(columns, rows), root, total_ms
 
     def explain(self, sql: str) -> str:
         statement = parse_statement(sql)
@@ -262,9 +432,13 @@ class Executor:
         key = (canonical, getattr(statement, "parameter_base", 0))
         entry = database._plan_cache.get(key)
         if entry is not None and entry.is_valid(database):
+            if OBS.enabled:
+                OBS.metrics.inc("minidb.plan_cache.hit")
             return entry.plan, True
         plan = plan_select(database, statement)
         database._plan_cache.put(key, snapshot_plan(database, plan))
+        if OBS.enabled:
+            OBS.metrics.inc("minidb.plan_cache.miss")
         return plan, False
 
     def _run_select(
@@ -273,12 +447,42 @@ class Executor:
         params: Optional[Sequence[Any]] = None,
         canonical: Optional[str] = None,
     ) -> ResultSet:
-        plan, _cached = self.plan_for(statement, canonical)
-        plan.bind_parameters(params or ())
-        columns, rows = plan.run()
+        if not OBS.enabled:
+            plan, _cached = self.plan_for(statement, canonical)
+            plan.bind_parameters(params or ())
+            columns, rows = plan.run()
+            return ResultSet(columns, rows)
+        with OBS.tracer.span("minidb.select") as span:
+            started = time.perf_counter()
+            plan, cached = self.plan_for(statement, canonical)
+            plan.bind_parameters(params or ())
+            columns, rows = plan.run()
+            elapsed_ms = (time.perf_counter() - started) * 1000.0
+            span.set(rows=len(rows), cached=cached)
+            OBS.metrics.inc("minidb.select.count")
+            OBS.metrics.observe("minidb.select.ms", elapsed_ms)
+            if elapsed_ms >= OBS.slow_log.threshold_ms:
+                sql = canonical if canonical is not None else statement.to_sql()
+                OBS.slow_log.offer(
+                    sql,
+                    elapsed_ms,
+                    plan="\n".join(plan.describe()),
+                    attrs={"rows": len(rows), "cached": cached},
+                )
         return ResultSet(columns, rows)
 
-    def _run_explain(self, statement: ExplainStatement) -> ResultSet:
+    def _run_explain(
+        self,
+        statement: ExplainStatement,
+        params: Optional[Sequence[Any]] = None,
+    ) -> ResultSet:
+        if statement.analyze:
+            # EXPLAIN ANALYZE runs the query and returns the annotated
+            # plan (the rows themselves come back via Database.analyze).
+            report = self._analyze_select(statement.query, params=params)
+            return ResultSet(
+                ["QUERY PLAN"], [(line,) for line in report.lines]
+            )
         plan, cached = self.plan_for(statement.query)
         lines = plan.describe()
         head = lines[0] + (" [cached]" if cached else "")

@@ -815,19 +815,43 @@ class QueryPlan:
             rows = [project(env) for env in self.root.rows()]
         return self.column_names, rows
 
-    def describe(self) -> List[str]:
+    def head_line(self) -> str:
+        """The projection head line of :meth:`describe` (no tree, no Limit)."""
         spec = ", ".join(
             f"{expr.to_sql()} AS {name}" for name, expr in self.output
         )
         head = f"Project({spec})"
         if self.distinct:
             head = "Distinct " + head
-        lines = [head] + ["  " + line for line in self.root.describe()]
+        return head
+
+    def describe(self) -> List[str]:
+        lines = [self.head_line()] + [
+            "  " + line for line in self.root.describe()
+        ]
         if self.post_limit is not None or self.post_offset:
             lines = [f"Limit({self.post_limit} offset {self.post_offset})"] + [
                 "  " + line for line in lines
             ]
         return lines
+
+
+def plan_children(node: PlanNode) -> Iterator[PlanNode]:
+    """Direct children of a physical plan node (incl. subquery roots)."""
+    for attribute in ("child", "left", "right"):
+        value = getattr(node, attribute, None)
+        if isinstance(value, PlanNode):
+            yield value
+    inner = getattr(node, "plan", None)
+    if isinstance(inner, QueryPlan):
+        yield inner.root
+
+
+def walk_plan(node: PlanNode) -> Iterator[PlanNode]:
+    """Pre-order traversal of a plan tree, descending into subplans."""
+    yield node
+    for child in plan_children(node):
+        yield from walk_plan(child)
 
 
 # ---------------------------------------------------------------------------

@@ -359,12 +359,18 @@ class DropViewStatement:
 
 @dataclass
 class ExplainStatement:
-    """EXPLAIN <select>: renders the (possibly cached) physical plan."""
+    """EXPLAIN [ANALYZE] <select>: renders the (possibly cached) plan.
+
+    With ``analyze`` the query is actually executed and every plan node
+    is annotated with rows-in/rows-out and wall time.
+    """
 
     query: "SelectStatement"
+    analyze: bool = False
 
     def to_sql(self) -> str:
-        return f"EXPLAIN {self.query.to_sql()}"
+        keyword = "EXPLAIN ANALYZE" if self.analyze else "EXPLAIN"
+        return f"{keyword} {self.query.to_sql()}"
 
 
 Statement = Union[

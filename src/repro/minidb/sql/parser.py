@@ -159,10 +159,17 @@ class _Parser:
         token = self.peek()
         if token.matches("EXPLAIN"):
             self.advance()
+            # ANALYZE is deliberately not a reserved keyword (it stays
+            # usable as an identifier); recognize it positionally here.
+            analyze = False
+            following = self.peek()
+            if following.type == "IDENT" and following.value.upper() == "ANALYZE":
+                self.advance()
+                analyze = True
             query = self.parse_select_or_union()
             if not isinstance(query, SelectStatement):
                 raise self.error("EXPLAIN supports only SELECT statements")
-            return ExplainStatement(query=query)
+            return ExplainStatement(query=query, analyze=analyze)
         if token.matches("SELECT") or (
             token.type == "PUNCT" and token.value == "("
         ):

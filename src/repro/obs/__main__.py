@@ -1,0 +1,57 @@
+"""``python -m repro.obs`` — render observability snapshots.
+
+Usage::
+
+    python -m repro.obs report benchmarks/out/obs_metrics.json
+    python -m repro.obs report a.json b.json        # merge, then render
+    python -m repro.obs report --json merged.json   # merged JSON instead
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from .report import load_snapshot, merge_snapshots, render_report
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Render observability metrics snapshots.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    report_parser = subparsers.add_parser(
+        "report", help="render one or more snapshot JSON files"
+    )
+    report_parser.add_argument(
+        "snapshots", nargs="+", help="snapshot JSON file(s) to merge+render"
+    )
+    report_parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the merged snapshot as JSON instead of text",
+    )
+
+    args = parser.parse_args(argv)
+
+    if args.command == "report":
+        snapshots = [load_snapshot(path) for path in args.snapshots]
+        registry = merge_snapshots(snapshots)
+        slow_queries = []
+        for snapshot in snapshots:
+            slow_queries.extend(snapshot.get("slow_queries", []))
+        slow_queries.sort(key=lambda entry: -entry["duration_ms"])
+        if args.json:
+            print(json.dumps(registry.snapshot(), indent=2, default=str))
+        else:
+            print(render_report(registry, slow_queries or None))
+        return 0
+    return 2  # pragma: no cover - argparse enforces a command
+
+
+if __name__ == "__main__":
+    sys.exit(main())

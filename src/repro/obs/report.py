@@ -1,0 +1,131 @@
+"""Render metrics/slow-log snapshots as a human-readable report.
+
+The input is the JSON produced by :meth:`repro.obs.ObsState.snapshot`
+(or just its ``metrics`` sub-object) — the same shape the benchmarks
+hook dumps to ``benchmarks/out/obs_metrics.json``.  Multiple snapshot
+files merge before rendering (counters/gauges add, histograms add
+bucket-wise), mirroring :meth:`MetricsRegistry.merge`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Optional
+
+from .metrics import Histogram, MetricsRegistry
+
+__all__ = [
+    "registry_from_snapshot",
+    "merge_snapshots",
+    "render_report",
+    "load_snapshot",
+]
+
+
+def load_snapshot(path: str) -> Dict[str, Any]:
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _metrics_section(snapshot: Dict[str, Any]) -> Dict[str, Any]:
+    if "metrics" in snapshot and isinstance(snapshot["metrics"], dict):
+        return snapshot["metrics"]
+    return snapshot
+
+
+def registry_from_snapshot(snapshot: Dict[str, Any]) -> MetricsRegistry:
+    """Rebuild a live registry from a snapshot dict."""
+    section = _metrics_section(snapshot)
+    registry = MetricsRegistry()
+    for name, value in section.get("counters", {}).items():
+        registry.inc(name, int(value))
+    for name, value in section.get("gauges", {}).items():
+        registry.set_gauge(name, float(value))
+    for name, dump in section.get("histograms", {}).items():
+        histogram = Histogram(tuple(dump["edges"]))
+        histogram.counts = [int(c) for c in dump["counts"]]
+        histogram.count = int(dump["count"])
+        histogram.total = float(dump["total"])
+        histogram.min = dump.get("min")
+        histogram.max = dump.get("max")
+        registry._histograms[name] = histogram  # rebuilt verbatim
+    return registry
+
+
+def merge_snapshots(snapshots: Iterable[Dict[str, Any]]) -> MetricsRegistry:
+    registry = MetricsRegistry()
+    for snapshot in snapshots:
+        registry.merge(registry_from_snapshot(snapshot))
+    return registry
+
+
+def _format_number(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, int) or float(value).is_integer():
+        return f"{int(value)}"
+    return f"{value:.3f}"
+
+
+def render_report(
+    registry: MetricsRegistry,
+    slow_queries: Optional[List[Dict[str, Any]]] = None,
+) -> str:
+    """A plain-text report: counters, gauges, histograms, slow queries."""
+    lines: List[str] = []
+    snapshot = registry.snapshot()
+
+    counters = snapshot["counters"]
+    if counters:
+        lines.append("counters:")
+        width = max(len(name) for name in counters)
+        for name in sorted(counters):
+            lines.append(f"  {name:<{width}}  {counters[name]}")
+
+    gauges = snapshot["gauges"]
+    if gauges:
+        if lines:
+            lines.append("")
+        lines.append("gauges:")
+        width = max(len(name) for name in gauges)
+        for name in sorted(gauges):
+            lines.append(
+                f"  {name:<{width}}  {_format_number(gauges[name])}"
+            )
+
+    histograms = snapshot["histograms"]
+    if histograms:
+        if lines:
+            lines.append("")
+        lines.append("histograms:")
+        for name in sorted(histograms):
+            dump = histograms[name]
+            lines.append(
+                "  {name}  n={n} mean={mean} p50={p50} p95={p95} "
+                "p99={p99} min={mn} max={mx}".format(
+                    name=name,
+                    n=dump["count"],
+                    mean=_format_number(dump["mean"]),
+                    p50=_format_number(dump["p50"]),
+                    p95=_format_number(dump["p95"]),
+                    p99=_format_number(dump["p99"]),
+                    mn=_format_number(dump["min"]),
+                    mx=_format_number(dump["max"]),
+                )
+            )
+
+    if slow_queries:
+        if lines:
+            lines.append("")
+        lines.append(f"slow queries (top {len(slow_queries)}):")
+        for entry in slow_queries:
+            lines.append(
+                f"  {entry['duration_ms']:.3f}ms  {entry['sql']}"
+            )
+            if entry.get("plan"):
+                for plan_line in entry["plan"].splitlines():
+                    lines.append(f"    | {plan_line}")
+
+    if not lines:
+        lines.append("(empty snapshot)")
+    return "\n".join(lines)

@@ -36,6 +36,7 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.caching import LRUCache
 from repro.errors import SearchError
+from repro.obs import COUNT_EDGES, OBS
 from repro.minidb.catalog import Database
 from repro.search.entity import EntityDefinition
 from repro.search.inverted_index import InvertedIndex
@@ -231,6 +232,37 @@ class SearchEngine:
         share the immutable :class:`SearchHit` objects but never the
         containing list, so callers may truncate or re-sort freely.
         """
+        if not OBS.enabled:
+            return self._search_impl(query, limit, mode, within, use_cache)
+        # The result's own observability fields are the single source of
+        # truth; the span and metrics are views over the same numbers.
+        with OBS.tracer.span("search.query") as span:
+            result = self._search_impl(query, limit, mode, within, use_cache)
+            span.set(
+                terms=len(result.terms),
+                hits=len(result.hits),
+                candidates=result.candidate_count,
+                cache_hit=result.cache_hit,
+            )
+            OBS.metrics.inc("search.query.count")
+            if result.cache_hit:
+                OBS.metrics.inc("search.query.cache_hit")
+            OBS.metrics.observe("search.query.ms", result.elapsed_ms)
+            OBS.metrics.observe(
+                "search.query.candidates",
+                result.candidate_count,
+                edges=COUNT_EDGES,
+            )
+        return result
+
+    def _search_impl(
+        self,
+        query: str,
+        limit: Optional[int] = None,
+        mode: str = "all",
+        within: Optional[Set[DocId]] = None,
+        use_cache: bool = True,
+    ) -> SearchResult:
         self._require_built()
         started = time.perf_counter()
         if mode not in ("all", "any"):

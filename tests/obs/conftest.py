@@ -1,0 +1,19 @@
+"""Shared fixtures for the observability suite.
+
+Every test starts and ends with the global :data:`repro.obs.OBS`
+disabled and empty, so suites never observe each other's residue and
+the rest of tier-1 runs with observability off (the production default).
+"""
+
+import pytest
+
+from repro.obs import OBS
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    OBS.disable()
+    OBS.reset()
+    yield
+    OBS.disable()
+    OBS.reset()

@@ -1,0 +1,174 @@
+"""Hypothesis properties for the metrics algebra.
+
+The registry's merge is the foundation for parallel/benchmark
+aggregation, so its algebra is pinned property-style: associative,
+commutative, count-conserving, and increment-preserving; histogram
+quantile estimates stay bounded by the edges of the bucket that holds
+the target rank.
+
+All float inputs are exact quarters (multiples of 0.25), the repo's
+convention for float properties: quarter sums are exact in binary
+floating point, so totals are order-independent and equality is exact.
+"""
+
+import random
+
+from hypothesis import given, strategies as st
+
+from repro.obs.metrics import (
+    COUNT_EDGES,
+    DEFAULT_MS_EDGES,
+    Histogram,
+    MetricsRegistry,
+)
+
+NAMES = st.sampled_from(["alpha", "beta", "gamma"])
+QUARTERS = st.integers(min_value=0, max_value=12_000).map(lambda n: n / 4.0)
+
+COUNTER_OP = st.tuples(st.just("inc"), NAMES, st.integers(0, 5))
+GAUGE_OP = st.tuples(st.just("gauge"), NAMES, QUARTERS)
+HIST_OP = st.tuples(st.just("observe"), NAMES, QUARTERS)
+OPS = st.lists(st.one_of(COUNTER_OP, GAUGE_OP, HIST_OP), max_size=30)
+
+
+def _apply(ops):
+    registry = MetricsRegistry()
+    for kind, name, value in ops:
+        if kind == "inc":
+            registry.inc(name, value)
+        elif kind == "gauge":
+            # Merge sums gauges, so build them additively too.
+            registry.add_gauge(name, value)
+        else:
+            registry.observe(name, value)
+    return registry
+
+
+def _merged(*registries):
+    result = MetricsRegistry()
+    for registry in registries:
+        result.merge(registry)
+    return result
+
+
+@given(OPS, OPS, OPS)
+def test_merge_is_associative(ops_a, ops_b, ops_c):
+    a, b, c = _apply(ops_a), _apply(ops_b), _apply(ops_c)
+    left = _merged(_merged(a, b), c)
+    right = _merged(a, _merged(b, c))
+    assert left.snapshot() == right.snapshot()
+
+
+@given(OPS, OPS)
+def test_merge_is_commutative(ops_a, ops_b):
+    a, b = _apply(ops_a), _apply(ops_b)
+    assert _merged(a, b).snapshot() == _merged(b, a).snapshot()
+
+
+@given(OPS, OPS)
+def test_merge_leaves_operands_untouched(ops_a, ops_b):
+    a, b = _apply(ops_a), _apply(ops_b)
+    before_a, before_b = a.snapshot(), b.snapshot()
+    _merged(a, b)
+    assert a.snapshot() == before_a
+    assert b.snapshot() == before_b
+
+
+@given(st.lists(QUARTERS, max_size=60), st.lists(QUARTERS, max_size=60))
+def test_histogram_counts_conserved_across_merge(values_a, values_b):
+    a, b = Histogram(), Histogram()
+    for value in values_a:
+        a.observe(value)
+    for value in values_b:
+        b.observe(value)
+    a.merge(b)
+    assert a.count == len(values_a) + len(values_b)
+    assert sum(a.counts) == a.count  # every observation in exactly one bucket
+    assert a.total == sum(values_a) + sum(values_b)  # exact for quarters
+    if values_a or values_b:
+        assert a.min == min(values_a + values_b)
+        assert a.max == max(values_a + values_b)
+
+
+@given(
+    st.lists(st.tuples(NAMES, st.integers(1, 10)), min_size=1, max_size=40),
+    st.integers(2, 5),
+    st.randoms(use_true_random=False),
+)
+def test_counter_increments_never_lost(increments, shards, rng):
+    """Increments scattered over N registries survive any merge order."""
+    registries = [MetricsRegistry() for _ in range(shards)]
+    expected = {}
+    for position, (name, amount) in enumerate(increments):
+        registries[position % shards].inc(name, amount)
+        expected[name] = expected.get(name, 0) + amount
+    rng.shuffle(registries)
+    merged = _merged(*registries)
+    assert merged.counters() == expected
+
+
+@given(
+    st.lists(QUARTERS, min_size=1, max_size=80),
+    st.sampled_from([0.0, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0]),
+)
+def test_quantile_bounded_by_bucket_edges(values, q):
+    histogram = Histogram()
+    for value in values:
+        histogram.observe(value)
+    estimate = histogram.quantile(q)
+    assert estimate is not None
+    assert histogram.min <= estimate <= histogram.max
+    # Independently locate the bucket that holds the target rank and
+    # assert the estimate never escapes that bucket's edges.
+    rank = q * histogram.count
+    cumulative = 0
+    for index, bucket_count in enumerate(histogram.counts):
+        if bucket_count == 0:
+            continue
+        cumulative += bucket_count
+        if cumulative >= rank:
+            lower = (
+                histogram.min if index == 0 else histogram.edges[index - 1]
+            )
+            upper = (
+                histogram.max
+                if index == len(histogram.edges)
+                else histogram.edges[index]
+            )
+            assert max(lower, histogram.min) - 1e-12 <= estimate
+            assert estimate <= min(upper, histogram.max) + 1e-12
+            break
+
+
+@given(st.lists(QUARTERS, min_size=1, max_size=50))
+def test_quantile_extremes(values):
+    histogram = Histogram(COUNT_EDGES)
+    for value in values:
+        histogram.observe(value)
+    assert histogram.quantile(0.0) == histogram.min
+    assert histogram.quantile(1.0) == histogram.max
+
+
+def test_merge_rejects_mismatched_edges():
+    import pytest
+
+    a = Histogram(DEFAULT_MS_EDGES)
+    b = Histogram(COUNT_EDGES)
+    with pytest.raises(ValueError):
+        a.merge(b)
+
+
+def test_registry_merged_classmethod_matches_sequential():
+    registries = []
+    for seed in range(4):
+        rng = random.Random(seed)
+        registry = MetricsRegistry()
+        for _ in range(20):
+            registry.inc("ops", rng.randrange(3))
+            registry.observe("ms", rng.randrange(0, 4000) / 4.0)
+        registries.append(registry)
+    combined = MetricsRegistry.merged(registries)
+    sequential = MetricsRegistry()
+    for registry in registries:
+        sequential.merge(registry)
+    assert combined.snapshot() == sequential.snapshot()

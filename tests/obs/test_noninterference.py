@@ -1,0 +1,172 @@
+"""Instrumentation equivalence: enabled observability never changes results.
+
+The contract every instrumented layer must honor: with tracing + metrics
++ slow log fully enabled, every query result, recommendation, and cloud
+is bit-identical to the disabled run.  Checked three ways:
+
+* every corpus seed in ``tests/corpus/`` replayed under the full minidb
+  config sweep, enabled vs disabled;
+* fresh seeded testkit generator cases, same comparison;
+* an application-level workload (search, clouds, refinement,
+  recommendations, SQL) on two identically-generated universes.
+
+EXPLAIN ANALYZE gets its own check: instrumenting a *cached* plan must
+leave the plan pristine afterwards (no shadowed ``rows`` methods) and
+must not perturb later executions.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.obs import OBS
+from repro.testkit import CaseGenerator
+from repro.testkit.dialects import render_case
+from repro.testkit.oracle import SWEEP, load_seed, normalize_rows, run_minidb
+
+CORPUS = sorted(
+    (pathlib.Path(__file__).parent.parent / "corpus").glob("*.json")
+)
+
+
+def _signatures(rendered, enabled):
+    """Per-op outcome signatures for the full sweep under one obs mode."""
+    if enabled:
+        OBS.enable()
+    else:
+        OBS.disable()
+    try:
+        per_config = {}
+        for config in SWEEP:
+            outcomes, intra = run_minidb(rendered.minidb, config)
+            assert intra == [], f"intra-config divergence ({config.name})"
+            per_config[config.name] = [
+                outcome.signature() for outcome in outcomes
+            ]
+        return per_config
+    finally:
+        OBS.disable()
+
+
+@pytest.mark.parametrize(
+    "seed_path", CORPUS, ids=[path.stem for path in CORPUS]
+)
+def test_corpus_seed_enabled_equals_disabled(seed_path):
+    rendered = load_seed(seed_path)
+    disabled = _signatures(rendered, enabled=False)
+    OBS.reset()
+    enabled = _signatures(rendered, enabled=True)
+    assert enabled == disabled
+
+
+@pytest.mark.parametrize("seed", [11, 23, 47, 101, 211])
+def test_generated_case_enabled_equals_disabled(seed):
+    rendered = render_case(CaseGenerator(seed).case())
+    disabled = _signatures(rendered, enabled=False)
+    OBS.reset()
+    enabled = _signatures(rendered, enabled=True)
+    assert enabled == disabled
+
+
+def _app_workload(app):
+    """Run a representative workload, returning only comparable data."""
+    outputs = {}
+    result, cloud = app.search_courses("introduction")
+    outputs["search_hits"] = [
+        (hit.doc_id, round(hit.score, 9)) for hit in result.hits
+    ]
+    outputs["cloud_terms"] = [
+        (term.term, round(term.score, 9), term.result_df, term.bucket)
+        for term in cloud.terms
+    ]
+    session = app.search_session("american")
+    if session.cloud.terms:
+        session.refine(session.cloud.terms[0].term)
+        outputs["refined_hits"] = [
+            (hit.doc_id, round(hit.score, 9)) for hit in session.result.hits
+        ]
+        outputs["refined_terms"] = [
+            (term.term, round(term.score, 9)) for term in session.cloud.terms
+        ]
+        session.back()
+    recommendation = app.recommendations.run(
+        "related_courses", course_id=1, path="direct"
+    )
+    outputs["recommend_rows"] = normalize_rows(
+        [tuple(row.values()) for row in recommendation.rows]
+    )
+    outputs["sql_rows"] = normalize_rows(
+        app.db.query(
+            "SELECT DepID, COUNT(*) AS n FROM Courses GROUP BY DepID"
+        ).rows
+    )
+    outputs["stats"] = app.site_statistics()
+    return outputs
+
+
+def test_app_workload_enabled_equals_disabled():
+    from repro.courserank import CourseRank
+    from repro.datagen import generate_university
+
+    OBS.disable()
+    baseline = _app_workload(
+        CourseRank(generate_university(scale="tiny", seed=7))
+    )
+    OBS.reset()
+    OBS.enable()
+    try:
+        observed = _app_workload(
+            CourseRank(generate_university(scale="tiny", seed=7))
+        )
+    finally:
+        OBS.disable()
+    assert observed == baseline
+    # The enabled run actually recorded something — the equality above
+    # must not be vacuous.
+    assert OBS.metrics.counter("search.query.count") >= 2
+    assert OBS.metrics.counter("minidb.select.count") > 0
+    assert len(OBS.tracer) > 0
+
+
+def test_analyze_leaves_cached_plan_pristine():
+    """EXPLAIN ANALYZE instruments plan-cache entries in place; the
+    wrappers must be removed afterwards and results must not change."""
+    from repro.minidb import Database
+    from repro.minidb.planner import walk_plan
+    from repro.minidb.sql.parser import parse_statement
+
+    db = Database()
+    db.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+    for i in range(30):
+        db.execute("INSERT INTO t VALUES (?, ?)", [i, i % 7])
+    sql = "SELECT v, COUNT(*) AS n FROM t GROUP BY v ORDER BY v"
+    before = db.query(sql).rows
+    report = db.analyze(sql)
+    assert report.cached  # same plan instance as the first execution
+    # Fetch the cached plan again and assert no node carries a shadowed
+    # instance-level rows() left over from the instrumentation.
+    plan, was_cached = db._get_executor().plan_for(parse_statement(sql))
+    assert was_cached
+    for node in walk_plan(plan.root):
+        assert "rows" not in node.__dict__
+    after = db.query(sql).rows
+    assert after == before
+    assert report.result.rows == before
+
+
+def test_analyze_under_enabled_obs_matches_plain_query():
+    from repro.minidb import Database
+
+    db = Database()
+    db.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+    for i in range(25):
+        db.execute("INSERT INTO t VALUES (?, ?)", [i, i % 4])
+    sql = "SELECT id FROM t WHERE v = ? ORDER BY id"
+    plain = db.query(sql, [2]).rows
+    OBS.enable()
+    try:
+        report = db.analyze(sql, [2])
+    finally:
+        OBS.disable()
+    assert report.result.rows == plain
+    assert db.query(sql, [2]).rows == plain
