@@ -1,0 +1,161 @@
+"""Experiment P4 — columnar batch-vectorized executor vs the row pipeline.
+
+The CourseRank workloads the paper describes (grade distributions,
+enrollment statistics, cloud term aggregation) are scan-heavy aggregate
+queries.  This experiment measures the three canonical shapes —
+scan-filter, group-aggregate, and join-aggregate — on a synthetic fact
+table at three scales, under:
+
+* ``interpreted`` — row pipeline, ``COMPILE_EXPRESSIONS`` off (the
+  pre-PR-1 baseline);
+* ``row-cold`` / ``row-warm`` — compiled row pipeline, fresh plan vs
+  plan-cache hit;
+* ``vec-cold`` / ``vec-warm``  — batch-vectorized executor
+  (``planner.VECTORIZE``), fresh plan vs plan-cache hit.
+
+All configs must return identical rows (asserted per cell).  The
+acceptance bar from the ROADMAP: vectorized beats the interpreted row
+path by >= 5x on the medium group-aggregate scan.
+"""
+
+import time
+
+import pytest
+from conftest import write_report
+
+from repro.minidb import Database
+from repro.minidb import planner as planner_module
+
+SCALES = [("tiny", 1_000), ("small", 10_000), ("medium", 50_000)]
+
+WORKLOADS = [
+    (
+        "scan-filter",
+        "SELECT id, g FROM f WHERE units >= 3 AND x1 <> 2",
+    ),
+    (
+        "group-agg",
+        "SELECT dep, COUNT(*) AS n, SUM(g) AS s, AVG(units) AS a "
+        "FROM f GROUP BY dep",
+    ),
+    (
+        "join-agg",
+        "SELECT f.dep, COUNT(*) AS n, AVG(d.w) AS w FROM f "
+        "JOIN d ON f.dep = d.dep GROUP BY f.dep",
+    ),
+]
+
+CONFIGS = [
+    # (label, compile_expressions, vectorize, warm)
+    ("interpreted", False, False, True),
+    ("row-cold", True, False, False),
+    ("row-warm", True, False, True),
+    ("vec-cold", True, True, False),
+    ("vec-warm", True, True, True),
+]
+
+
+def build_database(rows: int) -> Database:
+    database = Database()
+    database.execute(
+        "CREATE TABLE f (id INT PRIMARY KEY, dep INT, units INT, "
+        "term INT, g FLOAT, x1 INT, x2 INT, note TEXT)"
+    )
+    for i in range(rows):
+        database.execute(
+            "INSERT INTO f VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+            [
+                i, i % 40, 1 + i % 5, i % 12, float(i % 9) / 2.0,
+                i % 7, i % 11, f"n{i % 100}",
+            ],
+        )
+    database.execute("CREATE TABLE d (dep INT, w FLOAT)")
+    for dep in range(40):
+        database.execute(
+            "INSERT INTO d VALUES (?, ?)", [dep, float(dep % 4) + 0.5]
+        )
+    return database
+
+
+def best_of(database: Database, sql: str, warm: bool, runs: int = 3) -> float:
+    """Best wall time in ms; cold configs re-plan on every run."""
+    best = float("inf")
+    if warm:
+        database.query(sql)  # populate the plan cache
+    for _ in range(runs):
+        if not warm:
+            database.clear_plan_cache()
+        started = time.perf_counter()
+        database.query(sql)
+        best = min(best, time.perf_counter() - started)
+    return best * 1000.0
+
+
+@pytest.fixture(scope="module")
+def measurements():
+    saved_compile = planner_module.COMPILE_EXPRESSIONS
+    saved_vectorize = planner_module.VECTORIZE
+    results = {}
+    try:
+        for scale, rows in SCALES:
+            # One database per config keeps plan caches honest.
+            for label, compile_expressions, vectorize, warm in CONFIGS:
+                planner_module.COMPILE_EXPRESSIONS = compile_expressions
+                planner_module.VECTORIZE = vectorize
+                database = build_database(rows)
+                for workload, sql in WORKLOADS:
+                    results[(scale, workload, label)] = (
+                        best_of(database, sql, warm),
+                        database.query(sql).rows,
+                    )
+    finally:
+        planner_module.COMPILE_EXPRESSIONS = saved_compile
+        planner_module.VECTORIZE = saved_vectorize
+    return results
+
+
+def test_all_configs_agree(measurements):
+    for scale, _rows in SCALES:
+        for workload, _sql in WORKLOADS:
+            reference = measurements[(scale, workload, "interpreted")][1]
+            for label, *_ in CONFIGS:
+                assert measurements[(scale, workload, label)][1] == reference, (
+                    f"{label} diverges on {workload}@{scale}"
+                )
+
+
+def test_medium_group_aggregate_speedup(measurements):
+    interpreted = measurements[("medium", "group-agg", "interpreted")][0]
+    vectorized = measurements[("medium", "group-agg", "vec-warm")][0]
+    assert interpreted / vectorized >= 5.0, (
+        f"vectorized group-agg speedup {interpreted / vectorized:.1f}x < 5x"
+    )
+
+
+def test_report(measurements):
+    lines = [
+        "Columnar batch-vectorized executor vs row pipeline "
+        "(best-of-3 ms per query)",
+        "",
+        f"{'scale':8} {'workload':12} "
+        + " ".join(f"{label:>12}" for label, *_ in CONFIGS)
+        + f" {'vec/interp':>10}",
+    ]
+    for scale, rows in SCALES:
+        for workload, _sql in WORKLOADS:
+            times = {
+                label: measurements[(scale, workload, label)][0]
+                for label, *_ in CONFIGS
+            }
+            speedup = times["interpreted"] / times["vec-warm"]
+            lines.append(
+                f"{scale:8} {workload:12} "
+                + " ".join(f"{times[label]:12.3f}" for label, *_ in CONFIGS)
+                + f" {speedup:9.1f}x"
+            )
+        lines.append("")
+    lines.append(
+        "rows: tiny=1k small=10k medium=50k; fact table 8 columns, "
+        "40 groups; dims table 40 rows"
+    )
+    write_report("perf_minidb_columnar", lines)

@@ -128,13 +128,19 @@ class NodeStats:
     by construction and the tests can assert it end to end.
     """
 
-    __slots__ = ("label", "rows_out", "rows_in", "time_ms", "children")
+    __slots__ = (
+        "label", "rows_out", "rows_in", "time_ms", "batches", "children"
+    )
 
     def __init__(self, label: str) -> None:
         self.label = label
         self.rows_out = 0
         self.rows_in = 0
         self.time_ms = 0.0
+        #: column batches emitted when the node ran vectorized (0 on the
+        #: row path — the two wrappers shadow the same stats object, but
+        #: only the executed path's wrapper ever fires)
+        self.batches = 0
         self.children: List["NodeStats"] = []
 
     def to_dict(self) -> Dict[str, Any]:
@@ -143,6 +149,7 @@ class NodeStats:
             "rows_in": self.rows_in,
             "rows_out": self.rows_out,
             "time_ms": self.time_ms,
+            "batches": self.batches,
             "children": [child.to_dict() for child in self.children],
         }
 
@@ -158,6 +165,7 @@ class AnalyzeReport:
         total_ms: float,
         cached: bool,
         compiled: bool,
+        vectorized: bool = False,
     ) -> None:
         self.result = result
         self.lines = lines
@@ -165,6 +173,7 @@ class AnalyzeReport:
         self.total_ms = total_ms
         self.cached = cached
         self.compiled = compiled
+        self.vectorized = vectorized
 
     @property
     def text(self) -> str:
@@ -175,6 +184,7 @@ class AnalyzeReport:
             "total_ms": self.total_ms,
             "cached": self.cached,
             "compiled": self.compiled,
+            "vectorized": self.vectorized,
             "row_count": len(self.result),
             "plan": self.root.to_dict(),
         }
@@ -219,6 +229,37 @@ def _attach_node_stats(node) -> NodeStats:
     return stats
 
 
+def _attach_vop_stats(vop, stats: NodeStats) -> None:
+    """Shadow a vector operator's ``batches`` with a counting wrapper.
+
+    The wrapper feeds the *same* :class:`NodeStats` as the logical node's
+    ``rows`` wrapper (keyed by the logical node), so the rendered tree and
+    the rows_in derivation are path-agnostic: whichever pipeline actually
+    executes contributes the counts.  Same instance-attribute discipline
+    as :func:`_attach_node_stats` — callers must pop it afterwards.
+    """
+    original = vop.batches
+    perf_counter = time.perf_counter
+
+    def timed() -> Iterator[Any]:
+        started = perf_counter()
+        iterator = original()
+        stats.time_ms += (perf_counter() - started) * 1000.0
+        while True:
+            started = perf_counter()
+            try:
+                chunk = next(iterator)
+            except StopIteration:
+                stats.time_ms += (perf_counter() - started) * 1000.0
+                return
+            stats.time_ms += (perf_counter() - started) * 1000.0
+            stats.batches += 1
+            stats.rows_out += chunk.length
+            yield chunk
+
+    vop.batches = timed
+
+
 def _link_node_stats(node, stats: Dict[int, NodeStats]) -> NodeStats:
     """Build the stats tree and derive rows_in from children's rows_out."""
     own = stats[id(node)]
@@ -230,10 +271,11 @@ def _link_node_stats(node, stats: Dict[int, NodeStats]) -> NodeStats:
 
 
 def _analyze_node_lines(record: NodeStats, indent: int) -> List[str]:
+    batches = f" batches={record.batches}" if record.batches else ""
     lines = [
         "  " * indent
         + f"{record.label} (in={record.rows_in} out={record.rows_out} "
-        f"time={record.time_ms:.3f}ms)"
+        f"time={record.time_ms:.3f}ms{batches})"
     ]
     for child in record.children:
         lines.extend(_analyze_node_lines(child, indent + 1))
@@ -364,6 +406,9 @@ class Executor:
             lines[0] += " [cached]"
         if getattr(plan, "compiled", False):
             lines[0] += " [compiled-expr]"
+        vectorized = getattr(plan, "vector", None) is not None
+        if vectorized:
+            lines[0] += " [vectorized]"
         return AnalyzeReport(
             result=result,
             lines=lines,
@@ -371,6 +416,7 @@ class Executor:
             total_ms=total_ms,
             cached=cached,
             compiled=bool(getattr(plan, "compiled", False)),
+            vectorized=vectorized,
         )
 
     def _run_instrumented(
@@ -383,16 +429,32 @@ class Executor:
         instance may live in the plan cache and must come back pristine.
         """
         nodes = list(walk_plan(plan.root))
+        vector_plans = [plan.vector] if plan.vector is not None else []
+        for node in nodes:
+            inner = getattr(node, "plan", None)
+            if inner is not None and getattr(inner, "vector", None) is not None:
+                vector_plans.append(inner.vector)
+        vops: List[Any] = []
         stats: Dict[int, NodeStats] = {}
         try:
             for node in nodes:
                 stats[id(node)] = _attach_node_stats(node)
+            # Vectorized twins share the logical node's stats object, so
+            # counts land in one place no matter which path executed.
+            for vector_plan in vector_plans:
+                for node_id, vop in vector_plan.op_index.items():
+                    shared = stats.get(node_id)
+                    if shared is not None:
+                        _attach_vop_stats(vop, shared)
+                        vops.append(vop)
             started = time.perf_counter()
             columns, rows = plan.run()
             total_ms = (time.perf_counter() - started) * 1000.0
         finally:
             for node in nodes:
                 node.__dict__.pop("rows", None)
+            for vop in vops:
+                vop.__dict__.pop("batches", None)
         root = _link_node_stats(plan.root, stats)
         return ResultSet(columns, rows), root, total_ms
 
@@ -488,6 +550,8 @@ class Executor:
         head = lines[0] + (" [cached]" if cached else "")
         if getattr(plan, "compiled", False):
             head += " [compiled-expr]"
+        if getattr(plan, "vector", None) is not None:
+            head += " [vectorized]"
         return ResultSet(
             ["QUERY PLAN"], [(line,) for line in [head] + lines[1:]]
         )

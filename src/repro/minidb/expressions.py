@@ -9,6 +9,14 @@ referencing one raises :class:`AmbiguousColumnError`.
 
 Boolean results use Kleene logic: ``True`` / ``False`` / ``None`` (UNKNOWN).
 ``WHERE`` keeps a row only when the predicate is exactly ``True``.
+
+The batch-vectorized kernel compiler (``repro.minidb.vector.kernels``)
+mirrors these semantics operator by operator — evaluation order,
+short-circuit structure, and error messages included — and reuses the
+helpers here (``_compare``, ``_numeric_binop``, ``kleene_*``,
+``_as_bool``, ``like_to_regex``, ``order_key``).  A semantic change in
+this module must be reflected there; the testkit's six-config
+differential sweep pins the equivalence.
 """
 
 from __future__ import annotations

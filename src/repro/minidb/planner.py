@@ -70,6 +70,13 @@ Row = Tuple[Any, ...]
 #: after changing it.
 COMPILE_EXPRESSIONS = True
 
+#: Kill-switch for the batch-vectorized executor (``repro.minidb.vector``).
+#: When on, ``plan_select`` attaches a vectorized twin to every plan whose
+#: root the batch path covers; ``QueryPlan.run`` routes through it.  Same
+#: caching caveat as COMPILE_EXPRESSIONS: plans keep the shape they were
+#: built with until ``Database.clear_plan_cache()``.
+VECTORIZE = True
+
 
 def compile_expression(expression: Expression) -> Any:
     if COMPILE_EXPRESSIONS:
@@ -719,6 +726,9 @@ class QueryPlan:
         #: True when planning baked IN/EXISTS subquery *data* into literals
         self.uses_snapshot = False
         self._param_envs: Optional[List[Env]] = None
+        #: vectorized twin (``repro.minidb.vector.VectorPlan``) when this
+        #: plan routed through the batch executor, else None (row path)
+        self.vector: Optional[Any] = None
 
     def _build_projector(self) -> Any:
         """env -> output row tuple, in one C-level call when possible.
@@ -793,6 +803,8 @@ class QueryPlan:
             env["__params__"] = bound
 
     def run(self) -> Tuple[List[str], List[Row]]:
+        if self.vector is not None:
+            return self.vector.run()
         project = self._project
         if self.distinct:
             if self.post_limit is not None and self.post_limit <= 0:
@@ -870,6 +882,15 @@ def plan_select(database: Any, statement: SelectStatement) -> QueryPlan:
     plan = _Planner(database, context).plan(statement)
     plan.tables = tuple(context.tables)
     plan.uses_snapshot = context.uses_snapshot
+    if VECTORIZE:
+        # Deferred import: the vector package imports planner node types.
+        from repro.minidb.vector import build_vector_plan
+
+        for node in walk_plan(plan.root):
+            inner = getattr(node, "plan", None)
+            if isinstance(inner, QueryPlan) and inner.vector is None:
+                inner.vector = build_vector_plan(inner)
+        plan.vector = build_vector_plan(plan)
     return plan
 
 

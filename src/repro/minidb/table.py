@@ -54,6 +54,9 @@ class Table:
 
     @property
     def data_version(self) -> int:
+        # Coherency counter for every derived cache of this table's rows:
+        # plan-cache snapshots, FlexRecs extend vectors, and the columnar
+        # projection in repro.minidb.vector.batch all validate against it.
         return self._data_version
 
     @property

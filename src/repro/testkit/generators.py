@@ -956,7 +956,9 @@ class CaseGenerator:
         if want_limit:
             limit = rng.randint(0, 8)
             if rng.random() < 0.3:
-                offset = rng.randint(1, 3)
+                # Include offsets beyond max_rows so "OFFSET past the
+                # end" is a routinely fuzzed shape, not just a unit test.
+                offset = rng.choice((1, 2, 3, 5, 9, 16, 25))
             if distinct and items is not None:
                 order = tuple(
                     OrderTerm(Col(None, alias, INTEGER),

@@ -8,7 +8,15 @@ under each of:
   goes through the plan cache (and through transparent re-planning when
   interleaved DML/DDL invalidated the entry);
 * ``interpreted``     — ``COMPILE_EXPRESSIONS`` off;
-* ``prepared``        — ``PreparedStatement`` handles, executed twice.
+* ``prepared``        — ``PreparedStatement`` handles, executed twice;
+* ``vectorized-cold`` — batch-vectorized executor (``VECTORIZE`` on),
+  each query once;
+* ``vectorized-warm`` — vectorized, each query twice (plan-cache hits
+  reuse the attached vector plan).
+
+The four row-path configs pin ``VECTORIZE`` off, so every fuzzed query
+is checked bit-identical across the row path, the vectorized path, and
+the sqlite3 oracle.
 
 Each sweep's outcomes are compared against one sqlite3 run of the same
 case; additionally, repeated executions *within* a config must agree
@@ -71,6 +79,7 @@ class MiniConfig:
     compile_expressions: bool
     prepared: bool = False
     repeat: int = 1
+    vectorize: bool = False
 
 
 SWEEP: Tuple[MiniConfig, ...] = (
@@ -79,6 +88,10 @@ SWEEP: Tuple[MiniConfig, ...] = (
     MiniConfig("interpreted", compile_expressions=False),
     MiniConfig("prepared", compile_expressions=True, prepared=True,
                repeat=2),
+    MiniConfig("vectorized-cold", compile_expressions=True,
+               vectorize=True),
+    MiniConfig("vectorized-warm", compile_expressions=True,
+               vectorize=True, repeat=2),
 )
 
 
@@ -163,7 +176,9 @@ def run_minidb(
 
     database = Database()
     saved = planner_module.COMPILE_EXPRESSIONS
+    saved_vectorize = planner_module.VECTORIZE
     planner_module.COMPILE_EXPRESSIONS = config.compile_expressions
+    planner_module.VECTORIZE = config.vectorize
     try:
         for ddl in script.create:
             database.execute(ddl)
@@ -192,6 +207,7 @@ def run_minidb(
         return outcomes, intra
     finally:
         planner_module.COMPILE_EXPRESSIONS = saved
+        planner_module.VECTORIZE = saved_vectorize
 
 
 def _minidb_one(

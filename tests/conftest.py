@@ -13,11 +13,21 @@ Hypothesis explore fresh random examples (the nightly fuzz job does).
 Individual tests keep only test-specific overrides in their own
 ``@settings(...)`` (e.g. a suppressed health check); example *counts*
 come from the profile so one knob scales the whole repo.
+
+``REPRO_VECTORIZE`` (default ``1``) selects the default execution path
+for the whole run: ``REPRO_VECTORIZE=0`` pins ``planner.VECTORIZE`` off
+so tier-1 exercises the row pipeline end to end — the CI matrix runs
+both legs.  Tests that need a specific path still set the flag (and
+clear plan caches) themselves.
 """
 
 import os
 
 from hypothesis import settings
+
+import repro.minidb.planner as _planner
+
+_planner.VECTORIZE = os.environ.get("REPRO_VECTORIZE", "1") != "0"
 
 _DERANDOMIZE = os.environ.get("HYPOTHESIS_DERANDOMIZE", "1") != "0"
 
