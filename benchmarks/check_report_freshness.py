@@ -30,6 +30,7 @@ BENCH_DIR = pathlib.Path(__file__).resolve().parent
 REPO = BENCH_DIR.parent
 OUT_DIR = BENCH_DIR / "out"
 WRITE_REPORT = re.compile(r"""write_report\(\s*["']([\w-]+)["']""")
+WRITE_BENCH_JSON = re.compile(r"""write_bench_json\(\s*["']([\w-]+)["']""")
 
 
 def last_commit_epoch(path: pathlib.Path) -> int:
@@ -45,16 +46,22 @@ def last_commit_epoch(path: pathlib.Path) -> int:
     return int(text) if text else 0
 
 
-def report_names(source: pathlib.Path) -> list:
-    return WRITE_REPORT.findall(source.read_text())
+def report_files(source: pathlib.Path) -> list:
+    """Report paths a benchmark source writes: .txt tables + BENCH JSON."""
+    text = source.read_text()
+    files = [OUT_DIR / f"{name}.txt" for name in WRITE_REPORT.findall(text)]
+    files += [
+        OUT_DIR / f"BENCH_{name}.json"
+        for name in WRITE_BENCH_JSON.findall(text)
+    ]
+    return files
 
 
 def main() -> int:
     stale = []
     for source in sorted(BENCH_DIR.glob("test_*.py")):
         source_epoch = last_commit_epoch(source)
-        for name in report_names(source):
-            report = OUT_DIR / f"{name}.txt"
+        for report in report_files(source):
             if not report.exists():
                 stale.append((source.name, report, "missing"))
                 continue

@@ -87,3 +87,20 @@ def write_report(name: str, lines) -> pathlib.Path:
     path.write_text(text + "\n")
     print(f"\n[{name}]\n{text}")
     return path
+
+
+def write_bench_json(name: str, payload: dict) -> pathlib.Path:
+    """Persist a machine-readable benchmark summary as BENCH_<name>.json.
+
+    The committed JSON twins of the human-readable report tables: stable
+    keys (ops/sec, speedups, p50/p99 latencies) that scripts and CI can
+    consume without scraping text.  ``check_report_freshness.py`` holds
+    these to the same regeneration discipline as the ``.txt`` reports.
+    """
+    OUT_DIR.mkdir(exist_ok=True)
+    path = OUT_DIR / f"BENCH_{name}.json"
+    document = {"name": name, "bench_scale": BENCH_SCALE}
+    document.update(payload)
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    print(f"\n[{name}] machine-readable summary -> {path}")
+    return path

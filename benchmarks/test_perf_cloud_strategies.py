@@ -22,7 +22,7 @@ cached/incremental refinement beats cold forward with identical clouds.
 import time
 
 import pytest
-from conftest import write_report
+from conftest import write_bench_json, write_report
 
 from repro.clouds.cloud import CloudBuilder
 
@@ -109,6 +109,23 @@ def test_report_strategy_timings(builders, results, benchmark):
         f"speedup of cached vs rescan: {timings['rescan'] / fastest_cached:.1f}x"
     )
     write_report("perf_cloud_strategies", lines)
+    write_bench_json(
+        "cloud_strategies",
+        {
+            "queries": len(QUERIES),
+            "stream_ms": {
+                strategy: seconds * 1000.0
+                for strategy, seconds in timings.items()
+            },
+            "streams_per_sec": {
+                strategy: (1.0 / seconds if seconds else None)
+                for strategy, seconds in timings.items()
+            },
+            "speedup": {
+                "cached_vs_rescan": timings["rescan"] / fastest_cached
+            },
+        },
+    )
     # Shape: precomputation beats per-query re-extraction.
     assert timings["rescan"] > fastest_cached
 

@@ -17,7 +17,7 @@ compiled).
 import time
 
 import pytest
-from conftest import write_report
+from conftest import write_bench_json, write_report
 
 from repro.core import executor as executor_module
 from repro.core import strategies
@@ -163,6 +163,24 @@ def test_report_path_timings(bench_db, active_student, benchmark):
         f"{warm_speedup:.1f}x"
     )
     write_report("perf_flexrecs_paths", lines)
+    write_bench_json(
+        "flexrecs_paths",
+        {
+            "neighbours": NEIGHBOURS,
+            "top_k": TOP_K,
+            "timings_ms": {
+                name: seconds * 1000.0 for name, seconds in timings.items()
+            },
+            "ops_per_sec": {
+                name: (1.0 / seconds if seconds else None)
+                for name, seconds in timings.items()
+            },
+            "speedup": {
+                "warm_vs_cold_interpreted": warm_speedup,
+                "overhead_compiled_vs_hand_sql": overhead,
+            },
+        },
+    )
     # Shape: a warm repeat skips compile/parse/plan entirely and runs the
     # compiled/pruned pipeline, and the generated SQL costs at most a
     # small factor over hand SQL.

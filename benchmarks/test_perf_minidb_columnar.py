@@ -21,7 +21,7 @@ path by >= 5x on the medium group-aggregate scan.
 import time
 
 import pytest
-from conftest import write_report
+from conftest import write_bench_json, write_report
 
 from repro.minidb import Database
 from repro.minidb import planner as planner_module
@@ -159,3 +159,26 @@ def test_report(measurements):
         "40 groups; dims table 40 rows"
     )
     write_report("perf_minidb_columnar", lines)
+    timings_ms = {
+        f"{scale}/{workload}/{label}": measurements[(scale, workload, label)][0]
+        for scale, _rows in SCALES
+        for workload, _sql in WORKLOADS
+        for label, *_ in CONFIGS
+    }
+    medium_interp = measurements[("medium", "group-agg", "interpreted")][0]
+    medium_vec = measurements[("medium", "group-agg", "vec-warm")][0]
+    write_bench_json(
+        "minidb_columnar",
+        {
+            "timings_ms": timings_ms,
+            "ops_per_sec": {
+                key: (1000.0 / ms if ms else None)
+                for key, ms in timings_ms.items()
+            },
+            "speedup": {
+                "medium_group_agg_vec_warm_vs_interpreted": (
+                    medium_interp / medium_vec
+                )
+            },
+        },
+    )

@@ -22,7 +22,7 @@ agree on the match set for title/description-only corpora.
 import time
 
 import pytest
-from conftest import write_report
+from conftest import write_bench_json, write_report
 
 from repro.courserank.app import CourseRank
 from repro.datagen import generate_university
@@ -170,6 +170,30 @@ def test_report_scaling_series(
             f"{cached_x:>7.1f}x"
         )
     write_report("perf_search_scaling", lines)
+    write_bench_json(
+        "search_scaling",
+        {
+            "query": QUERY,
+            "series": [
+                {
+                    "scale": scale,
+                    "courses": courses,
+                    "cold_ms": cold_ms,
+                    "warm_ms": warm_ms,
+                    "cached_ms": cached_ms,
+                    "like_scan_ms": scan_ms,
+                    "warm_qps": (1000.0 / warm_ms if warm_ms else None),
+                    "cached_qps": (1000.0 / cached_ms if cached_ms else None),
+                }
+                for scale, courses, cold_ms, warm_ms, cached_ms, scan_ms
+                in series
+            ],
+            "speedup": {
+                f"{scale}_warm_vs_like_scan": value
+                for scale, value in speedups.items()
+            },
+        },
+    )
     # Shape: at the medium scale the warm index must dominate the scan.
     assert speedups["medium"] >= WARM_SPEEDUP_FLOOR
 

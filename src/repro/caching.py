@@ -1,13 +1,23 @@
 """Shared bounded caches.
 
 One small LRU implementation used across layers: the minidb statement and
-plan caches, the search tokenizer's token-stream memo, and the data-cloud
-term-statistics memo.  Deliberately dependency-free so every layer can
-import it.
+plan caches, the search tokenizer's token-stream memo, the data-cloud
+term-statistics memo, and the service layer's scatter-gather response
+cache.  Deliberately dependency-free so every layer can import it.
+
+The cache is thread-safe: every operation (including the hit/miss
+counters and the eviction that ``put`` may trigger) runs under one
+internal lock, so the concurrent service layer can share a single
+instance across worker threads without torn ``OrderedDict`` state.
+Callers that need a larger atomic section (get-validate-put) still
+serialize externally; the lock here only guarantees each individual
+operation is atomic, which is all the version-counter discipline needs —
+a racing duplicate ``put`` just recomputes the same value.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Any, Optional
 
@@ -20,34 +30,41 @@ class LRUCache:
             raise ValueError("LRU cache size must be positive")
         self.maxsize = maxsize
         self._entries: "OrderedDict[Any, Any]" = OrderedDict()
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
 
     def get(self, key: Any) -> Optional[Any]:
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
 
     def put(self, key: Any, value: Any) -> None:
-        entries = self._entries
-        if key in entries:
-            entries.move_to_end(key)
-        entries[key] = value
-        if len(entries) > self.maxsize:
-            entries.popitem(last=False)
+        with self._lock:
+            entries = self._entries
+            if key in entries:
+                entries.move_to_end(key)
+            entries[key] = value
+            if len(entries) > self.maxsize:
+                entries.popitem(last=False)
 
     def pop(self, key: Any) -> Optional[Any]:
-        return self._entries.pop(key, None)
+        with self._lock:
+            return self._entries.pop(key, None)
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: Any) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries

@@ -165,14 +165,39 @@ class CloudBuilder:
                 )
         return cloud
 
+    def build_from_stats(
+        self,
+        stats: Sequence[TermStats],
+        result_size: int,
+        query: str = "",
+        query_terms: Optional[Sequence[str]] = None,
+        corpus_size: Optional[int] = None,
+    ) -> DataCloud:
+        """Score and bucket pre-merged term statistics.
+
+        The scatter-gather path merges per-shard counters into global
+        :class:`TermStats` (occurrence sums, result df sums, corpus df
+        sums) and hands them here with the merged ``corpus_size``; the
+        scoring, suppression, top-k cut, and bucketing are then exactly
+        the ones an unsharded builder would apply, so the resulting cloud
+        is bit-identical to the unsharded build.
+        """
+        if not self._prepared:
+            self.prepare()
+        return self._cloud_from_stats(
+            stats, result_size, query, query_terms, corpus_size=corpus_size
+        )
+
     def _cloud_from_stats(
         self,
         stats: Sequence[TermStats],
         result_size: int,
         query: str = "",
         query_terms: Optional[Sequence[str]] = None,
+        corpus_size: Optional[int] = None,
     ) -> DataCloud:
-        corpus_size = self.source.corpus_size
+        if corpus_size is None:
+            corpus_size = self.source.corpus_size
         suppressed = self._suppressed_terms(query_terms or [])
         min_df = self.min_result_df if result_size >= self.min_result_df else 1
         scored: List[CloudTerm] = []

@@ -230,6 +230,51 @@ class TermSource:
         self._gather_cache.put(key, (occurrences, result_df, tuple(stats)))
         return stats
 
+    # -- scatter-gather exports ---------------------------------------------
+
+    def partial_gather(
+        self, doc_ids: Iterable[DocId]
+    ) -> Tuple[Counter, Counter]:
+        """Raw ``(occurrences, result_df)`` counters over ``doc_ids``.
+
+        The merge-side primitive of sharded cloud construction: both
+        counters are plain sums over the result documents, so per-shard
+        partials over disjoint doc sets add up to exactly the counters
+        :meth:`gather` would produce over the union (occurrence weights
+        are dyadic rationals — half-integers — so float addition here is
+        exact and order-independent).  Callers must treat the returned
+        counters as immutable: they may be the gather cache's own.
+        """
+        if not self._prepared:
+            raise CloudError("TermSource.prepare() must run before gather()")
+        ordered = tuple(doc_ids)
+        key = self._cache_key(ordered)
+        if key is not None:
+            cached = self._gather_cache.get(key)
+            if cached is not None:
+                return cached[0], cached[1]
+        occurrences: Counter = Counter()
+        result_df: Counter = Counter()
+        for doc_id in ordered:
+            for term, count in self._doc_counts(doc_id).items():
+                occurrences[term] += count
+                result_df[term] += 1
+        if key is not None:
+            stats = self._stats_from_counters(occurrences, result_df)
+            self._gather_cache.put(key, (occurrences, result_df, tuple(stats)))
+        return occurrences, result_df
+
+    def corpus_document_frequencies(
+        self, terms: Iterable[str]
+    ) -> Dict[str, int]:
+        """This shard's corpus df for ``terms`` (absent terms omitted).
+
+        Shard corpora are disjoint, so summing these across shards yields
+        the unsharded corpus df exactly.
+        """
+        corpus_df = self._corpus_df
+        return {term: corpus_df[term] for term in terms if term in corpus_df}
+
     @property
     def corpus_size(self) -> int:
         return self.engine.index.document_count

@@ -21,6 +21,7 @@ path shares them between rows already).
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Dict, Optional, Tuple
 from weakref import WeakKeyDictionary
 
@@ -43,13 +44,19 @@ _CACHES: "WeakKeyDictionary[Database, LRUCache]" = WeakKeyDictionary()
 
 _MAXSIZE = 64
 
+# Guards the registry itself (WeakKeyDictionary reads can mutate internal
+# state via dead-ref callbacks, and two threads must agree on one cache
+# per database); the per-database LRUCache is internally thread-safe.
+_CACHES_LOCK = threading.Lock()
+
 
 def _cache_for(database: Database) -> LRUCache:
-    cache = _CACHES.get(database)
-    if cache is None:
-        cache = LRUCache(maxsize=_MAXSIZE)
-        _CACHES[database] = cache
-    return cache
+    with _CACHES_LOCK:
+        cache = _CACHES.get(database)
+        if cache is None:
+            cache = LRUCache(maxsize=_MAXSIZE)
+            _CACHES[database] = cache
+        return cache
 
 
 def _entry_key(database: Database, info: Any, table: Any) -> Tuple:

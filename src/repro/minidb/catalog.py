@@ -29,6 +29,7 @@ from repro.errors import (
     TransactionError,
     UnknownTableError,
 )
+from repro.minidb.concurrency import RWLock
 from repro.minidb.functions import FunctionRegistry
 from repro.minidb.indexes import create_index
 from repro.minidb.plancache import LRUCache, PreparedStatement
@@ -66,6 +67,11 @@ class Database:
         # epoch no longer matches are transparently re-planned.
         self.schema_epoch = 0
         self._plan_cache = LRUCache(maxsize=256)
+        # Readers-writer lock giving each statement a consistent view:
+        # SELECTs share it, DML/DDL take it exclusively, and an open
+        # transaction holds the write side from begin to commit/rollback
+        # (transactions are therefore thread-affine).
+        self.rwlock = RWLock()
 
     # -- table management ----------------------------------------------------
 
@@ -340,7 +346,13 @@ class Database:
         return self._snapshot is not None
 
     def begin(self) -> None:
+        # The whole transaction runs under the write lock (statements
+        # inside re-enter it), so concurrent readers never observe a
+        # half-applied multi-table update and rollback can restore the
+        # snapshot without racing a scan.
+        self.rwlock.acquire_write()
         if self._snapshot is not None:
+            self.rwlock.release_write()
             raise TransactionError("transaction already in progress")
         self._snapshot = {
             name: (table.snapshot(), table.next_rowid)
@@ -352,6 +364,7 @@ class Database:
         if self._snapshot is None:
             raise TransactionError("no transaction in progress")
         self._snapshot = None
+        self.rwlock.release_write()
 
     def rollback(self) -> None:
         if self._snapshot is None:
@@ -373,6 +386,7 @@ class Database:
         self._snapshot = None
         # Rollback may have undone DDL; invalidate all cached plans.
         self.schema_epoch += 1
+        self.rwlock.release_write()
 
     def transaction(self) -> "_TransactionContext":
         """Context manager: commit on success, rollback on exception."""

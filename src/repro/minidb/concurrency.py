@@ -1,0 +1,135 @@
+"""Readers-writer locking for the concurrent service layer.
+
+minidb's consistency story is built on monotonic version counters
+(``Table.data_version``, ``Database.schema_epoch``): every derived cache
+validates against them.  That protects *staleness*, but not *torn reads* —
+a scan iterating a table while another thread mutates it can observe a row
+set that never existed at any version.  :class:`RWLock` closes that gap
+with the classic snapshot discipline:
+
+* any number of read statements run concurrently;
+* a write statement runs exclusively, so every read sees the table set at
+  one exact ``(schema_epoch, data_version)`` point — the same guarantee a
+  single-threaded caller always had.
+
+The lock is **reentrant** and **writer-preferring**:
+
+* a thread holding the write lock may re-acquire both locks (transactions
+  hold write across ``begin``/``commit`` while their statements re-enter);
+* a thread holding a read lock may re-acquire read even while writers are
+  queued (blocking a re-entrant read would deadlock);
+* new readers queue behind waiting writers, so a steady read load cannot
+  starve writes.
+
+Lock *upgrade* (read held, write requested) is refused loudly — granting
+it can deadlock two upgraders against each other, and no engine path needs
+it: ``INSERT ... SELECT`` runs its inner select inside the already-held
+write lock.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from typing import Dict, Iterator
+
+
+class RWLock:
+    """A reentrant, writer-preferring readers-writer lock."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        # thread ident -> reentrant read-hold count (writer threads that
+        # re-enter the read side are tracked here too).
+        self._read_holds: Dict[int, int] = {}
+        self._writer: int | None = None
+        self._write_depth = 0
+        self._waiting_writers = 0
+
+    # -- read side ---------------------------------------------------------
+
+    def acquire_read(self) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer == me or me in self._read_holds:
+                # Re-entry (or write-implies-read): never blocks, or a
+                # queued writer would deadlock the holder.
+                self._read_holds[me] = self._read_holds.get(me, 0) + 1
+                return
+            while self._writer is not None or self._waiting_writers:
+                self._cond.wait()
+            self._read_holds[me] = 1
+
+    def release_read(self) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            count = self._read_holds.get(me)
+            if not count:
+                raise RuntimeError("release_read without a matching acquire")
+            if count == 1:
+                del self._read_holds[me]
+                if not self._read_holds:
+                    self._cond.notify_all()
+            else:
+                self._read_holds[me] = count - 1
+
+    # -- write side --------------------------------------------------------
+
+    def acquire_write(self) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer == me:
+                self._write_depth += 1
+                return
+            if me in self._read_holds:
+                raise RuntimeError(
+                    "cannot upgrade a read lock to a write lock"
+                )
+            self._waiting_writers += 1
+            try:
+                while self._writer is not None or self._read_holds:
+                    self._cond.wait()
+                self._writer = me
+                self._write_depth = 1
+            finally:
+                self._waiting_writers -= 1
+
+    def release_write(self) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer != me:
+                raise RuntimeError("release_write by a non-owning thread")
+            self._write_depth -= 1
+            if self._write_depth == 0:
+                self._writer = None
+                self._cond.notify_all()
+
+    # -- context managers --------------------------------------------------
+
+    @contextmanager
+    def read_locked(self) -> Iterator[None]:
+        self.acquire_read()
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write_locked(self) -> Iterator[None]:
+        self.acquire_write()
+        try:
+            yield
+        finally:
+            self.release_write()
+
+    # -- introspection (tests) ---------------------------------------------
+
+    @property
+    def active_readers(self) -> int:
+        with self._cond:
+            return len(self._read_holds)
+
+    @property
+    def write_held(self) -> bool:
+        with self._cond:
+            return self._writer is not None

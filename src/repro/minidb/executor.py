@@ -305,6 +305,10 @@ class Executor:
             statement, params=params, canonical=canonical
         )
 
+    #: statement classes that only read; everything else mutates catalog
+    #: or table state and takes the exclusive side of the database lock
+    READ_STATEMENTS = (SelectStatement, ExplainStatement, UnionStatement)
+
     def execute_statement(
         self,
         statement: Statement,
@@ -313,6 +317,26 @@ class Executor:
     ) -> Any:
         if OBS.enabled:
             OBS.metrics.inc(f"minidb.statement.{type(statement).__name__}")
+        # Readers-writer discipline: reads share the lock and run in
+        # parallel, writes run exclusively, so every statement sees the
+        # table set at one exact (schema_epoch, data_version) point.
+        rwlock = self.database.rwlock
+        if isinstance(statement, self.READ_STATEMENTS):
+            with rwlock.read_locked():
+                return self._dispatch_statement(
+                    statement, params=params, canonical=canonical
+                )
+        with rwlock.write_locked():
+            return self._dispatch_statement(
+                statement, params=params, canonical=canonical
+            )
+
+    def _dispatch_statement(
+        self,
+        statement: Statement,
+        params: Optional[Sequence[Any]] = None,
+        canonical: Optional[str] = None,
+    ) -> Any:
         if isinstance(statement, SelectStatement):
             return self._run_select(statement, params=params, canonical=canonical)
         if isinstance(statement, ExplainStatement):
@@ -356,8 +380,9 @@ class Executor:
         statement = parse_statement(sql)
         if not isinstance(statement, SelectStatement):
             raise PlannerError("profile supports only SELECT statements")
-        plan = plan_select(self.database, statement)
-        result, root, _total_ms = self._run_instrumented(plan, params=None)
+        with self.database.rwlock.read_locked():
+            plan = plan_select(self.database, statement)
+            result, root, _total_ms = self._run_instrumented(plan, params=None)
         lines = [f"Project -> {len(result)} rows"]
         lines.extend(_profile_node_lines(root, indent=1))
         return result, "\n".join(lines)
@@ -377,7 +402,10 @@ class Executor:
             canonical = None
         if not isinstance(statement, SelectStatement):
             raise PlannerError("ANALYZE supports only SELECT statements")
-        return self._analyze_select(statement, params=params, canonical=canonical)
+        with self.database.rwlock.read_locked():
+            return self._analyze_select(
+                statement, params=params, canonical=canonical
+            )
 
     def _analyze_select(
         self,
@@ -386,8 +414,9 @@ class Executor:
         canonical: Optional[str] = None,
     ) -> AnalyzeReport:
         plan, cached = self.plan_for(statement, canonical)
-        plan.bind_parameters(params or ())
-        result, root, total_ms = self._run_instrumented(plan, params=params)
+        with plan.exec_lock:
+            plan.bind_parameters(params or ())
+            result, root, total_ms = self._run_instrumented(plan, params=params)
         lines: List[str] = []
         indent = 0
         if plan.post_limit is not None or plan.post_offset:
@@ -460,6 +489,10 @@ class Executor:
 
     def explain(self, sql: str) -> str:
         statement = parse_statement(sql)
+        with self.database.rwlock.read_locked():
+            return self._explain_parsed(statement)
+
+    def _explain_parsed(self, statement: Statement) -> str:
         if isinstance(statement, SelectStatement):
             return "\n".join(plan_select(self.database, statement).describe())
         if isinstance(statement, UnionStatement):
@@ -511,14 +544,18 @@ class Executor:
     ) -> ResultSet:
         if not OBS.enabled:
             plan, _cached = self.plan_for(statement, canonical)
-            plan.bind_parameters(params or ())
-            columns, rows = plan.run()
+            # Cached plans are shared: binding and running must not
+            # interleave with another thread executing the same plan.
+            with plan.exec_lock:
+                plan.bind_parameters(params or ())
+                columns, rows = plan.run()
             return ResultSet(columns, rows)
         with OBS.tracer.span("minidb.select") as span:
             started = time.perf_counter()
             plan, cached = self.plan_for(statement, canonical)
-            plan.bind_parameters(params or ())
-            columns, rows = plan.run()
+            with plan.exec_lock:
+                plan.bind_parameters(params or ())
+                columns, rows = plan.run()
             elapsed_ms = (time.perf_counter() - started) * 1000.0
             span.set(rows=len(rows), cached=cached)
             OBS.metrics.inc("minidb.select.count")

@@ -20,6 +20,8 @@ aggregation and sorting.
 
 from __future__ import annotations
 
+import threading
+from contextlib import contextmanager
 from operator import itemgetter
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
@@ -76,6 +78,40 @@ COMPILE_EXPRESSIONS = True
 #: caching caveat as COMPILE_EXPRESSIONS: plans keep the shape they were
 #: built with until ``Database.clear_plan_cache()``.
 VECTORIZE = True
+
+#: Serializes scoped overrides of the two module flags above.  The flags
+#: are process-global, so the historical save/set/restore pattern was not
+#: reentrant: two threads interleaving their restores could leave a flag
+#: permanently flipped.  All scoped flag changes now go through
+#: :func:`flag_overrides`, which holds this (reentrant) lock for the
+#: duration of the override — concurrent overriders serialize, nested
+#: overrides on one thread compose, and the restore always lands.
+_FLAG_LOCK = threading.RLock()
+
+
+@contextmanager
+def flag_overrides(
+    compile_expressions: Optional[bool] = None,
+    vectorize: Optional[bool] = None,
+) -> Iterator[None]:
+    """Temporarily override the planner kill-switches, thread-safely.
+
+    ``None`` leaves a flag untouched.  Plans built inside the scope bake
+    the overridden flags in (as always); the plan cache keyed on prior
+    flags is unaffected because callers that care (the testkit oracle)
+    use fresh databases per run.
+    """
+    global COMPILE_EXPRESSIONS, VECTORIZE
+    with _FLAG_LOCK:
+        saved = (COMPILE_EXPRESSIONS, VECTORIZE)
+        if compile_expressions is not None:
+            COMPILE_EXPRESSIONS = compile_expressions
+        if vectorize is not None:
+            VECTORIZE = vectorize
+        try:
+            yield
+        finally:
+            COMPILE_EXPRESSIONS, VECTORIZE = saved
 
 
 def compile_expression(expression: Expression) -> Any:
@@ -729,6 +765,10 @@ class QueryPlan:
         #: vectorized twin (``repro.minidb.vector.VectorPlan``) when this
         #: plan routed through the batch executor, else None (row path)
         self.vector: Optional[Any] = None
+        #: serializes bind_parameters+run: cached plans are shared
+        #: mutable objects, so two threads executing the same cached
+        #: query must not interleave their parameter bindings
+        self.exec_lock = threading.Lock()
 
     def _build_projector(self) -> Any:
         """env -> output row tuple, in one C-level call when possible.

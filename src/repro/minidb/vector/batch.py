@@ -26,6 +26,7 @@ projection and dropped tables never pin memory.
 
 from __future__ import annotations
 
+import threading
 import weakref
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
@@ -80,30 +81,40 @@ _STORE: "weakref.WeakKeyDictionary[Any, Tuple[int, List[List[Any]]]]" = (
     weakref.WeakKeyDictionary()
 )
 
+# WeakKeyDictionary mutates internal state even on reads (dead-ref
+# callbacks), so concurrent scans share this lock.  The build runs under
+# it too: a duplicate concurrent build would waste work, and — with reads
+# sharing the database rwlock — both builders would project the *same*
+# version, so serializing them costs one build and guarantees every
+# reader hands back an internally consistent (version, columns) pair.
+_STORE_LOCK = threading.Lock()
+
 
 def table_columns(table: Any) -> List[List[Any]]:
     """The cached columnar projection of ``table``, rebuilt on mutation."""
-    entry = _STORE.get(table)
-    version = table.data_version
-    if entry is not None and entry[0] == version:
-        return entry[1]
-    width = len(table.schema.columns)
-    columns: List[List[Any]] = [[] for _ in range(width)]
-    appends = [column.append for column in columns]
-    for row in table.rows():
-        for append, value in zip(appends, row):
-            append(value)
-    _STORE[table] = (version, columns)
-    return columns
+    with _STORE_LOCK:
+        entry = _STORE.get(table)
+        version = table.data_version
+        if entry is not None and entry[0] == version:
+            return entry[1]
+        width = len(table.schema.columns)
+        columns: List[List[Any]] = [[] for _ in range(width)]
+        appends = [column.append for column in columns]
+        for row in table.rows():
+            for append, value in zip(appends, row):
+                append(value)
+        _STORE[table] = (version, columns)
+        return columns
 
 
 def store_info() -> Dict[str, int]:
     """Introspection hook for tests: cached tables and total cells."""
-    tables = len(_STORE)
-    cells = sum(
-        sum(len(column) for column in columns)
-        for _version, columns in _STORE.values()
-    )
+    with _STORE_LOCK:
+        tables = len(_STORE)
+        cells = sum(
+            sum(len(column) for column in columns)
+            for _version, columns in _STORE.values()
+        )
     return {"tables": tables, "cells": cells}
 
 

@@ -219,6 +219,7 @@ class SearchEngine:
         mode: str = "all",
         within: Optional[Set[DocId]] = None,
         use_cache: bool = True,
+        corpus_stats: Optional[Any] = None,
     ) -> SearchResult:
         """Answer a keyword query.
 
@@ -227,17 +228,26 @@ class SearchEngine:
         restricts candidates to a document subset — the data-cloud
         refinement path uses it.  ``use_cache=False`` bypasses the
         result cache (benchmarks measure the uncached path with it).
+        ``corpus_stats`` (a :class:`repro.search.stats.CorpusStats`)
+        substitutes *global* idf and average field lengths for the local
+        index's — the scatter-gather path scores each shard's candidates
+        with merged-corpus statistics so sharded ranking is bit-identical
+        to the unsharded build.
 
         Every call returns a fresh :class:`SearchResult`; cached hits
         share the immutable :class:`SearchHit` objects but never the
         containing list, so callers may truncate or re-sort freely.
         """
         if not OBS.enabled:
-            return self._search_impl(query, limit, mode, within, use_cache)
+            return self._search_impl(
+                query, limit, mode, within, use_cache, corpus_stats
+            )
         # The result's own observability fields are the single source of
         # truth; the span and metrics are views over the same numbers.
         with OBS.tracer.span("search.query") as span:
-            result = self._search_impl(query, limit, mode, within, use_cache)
+            result = self._search_impl(
+                query, limit, mode, within, use_cache, corpus_stats
+            )
             span.set(
                 terms=len(result.terms),
                 hits=len(result.hits),
@@ -262,6 +272,7 @@ class SearchEngine:
         mode: str = "all",
         within: Optional[Set[DocId]] = None,
         use_cache: bool = True,
+        corpus_stats: Optional[Any] = None,
     ) -> SearchResult:
         self._require_built()
         started = time.perf_counter()
@@ -278,7 +289,7 @@ class SearchEngine:
                 phrases=[],
                 elapsed_ms=(time.perf_counter() - started) * 1000.0,
             )
-        key = self._cache_key(loose, phrases, mode, limit, within)
+        key = self._cache_key(loose, phrases, mode, limit, within, corpus_stats)
         if use_cache and key is not None:
             cached = self._result_cache.get(key)
             if cached is not None:
@@ -297,7 +308,7 @@ class SearchEngine:
         candidates = self._candidates(loose, phrases, mode)
         if within is not None:
             candidates &= within
-        scored = self._score_candidates(candidates, all_terms)
+        scored = self._score_candidates(candidates, all_terms, corpus_stats)
         scored_count = len(scored)
         if limit is not None and limit < len(scored):
             # Bounded heap: O(n log k) and no full materialized sort.  The
@@ -329,10 +340,13 @@ class SearchEngine:
         mode: str,
         limit: Optional[int],
         within: Optional[Set[DocId]],
+        corpus_stats: Optional[Any] = None,
     ) -> Optional[Tuple]:
         """Epoch-keyed cache key, or ``None`` when the query is uncacheable
         (unhashable doc ids in ``within``).  Keying on the *parsed* terms
-        means queries differing only in case/whitespace share an entry."""
+        means queries differing only in case/whitespace share an entry.
+        Global-stats scoring keys on the stats bundle too: the same query
+        under different merged statistics ranks differently."""
         try:
             within_key = frozenset(within) if within is not None else None
         except TypeError:
@@ -344,6 +358,7 @@ class SearchEngine:
             mode,
             limit,
             within_key,
+            corpus_stats.cache_token() if corpus_stats is not None else None,
         )
 
     def count(self, query: str, mode: str = "all") -> int:
@@ -380,7 +395,10 @@ class SearchEngine:
     # -- scoring ---------------------------------------------------------
 
     def _score_candidates(
-        self, candidates: Set[DocId], terms: Sequence[str]
+        self,
+        candidates: Set[DocId],
+        terms: Sequence[str],
+        corpus_stats: Optional[Any] = None,
     ) -> List[SearchHit]:
         """Term-at-a-time accumulation over postings.
 
@@ -390,6 +408,11 @@ class SearchEngine:
         so rare terms over broad candidate sets never scan every
         candidate, and broad terms over narrow ``within`` sets never scan
         every posting.
+
+        With ``corpus_stats``, idf and the normalizer averages come from
+        the merged corpus instead of the local index; everything else —
+        tf, field weights, accumulation order — is unchanged, which is
+        what makes per-document scores bit-identical across shardings.
         """
         if not candidates:
             return []
@@ -406,7 +429,11 @@ class SearchEngine:
             postings = index.positional_postings(term)
             if not postings:
                 continue
-            idf = index.idf(term)
+            idf = (
+                corpus_stats.idf(term)
+                if corpus_stats is not None
+                else index.idf(term)
+            )
             if len(postings) <= len(candidates):
                 matched = (
                     (doc_id, entry)
@@ -425,7 +452,15 @@ class SearchEngine:
                     for field_name, positions in entry.items():
                         inverse = inverse_norms.get(field_name)
                         if inverse is None:
-                            inverse = index.length_normalizers(field_name, b)
+                            inverse = index.length_normalizers(
+                                field_name,
+                                b,
+                                average=(
+                                    corpus_stats.average_field_length(field_name)
+                                    if corpus_stats is not None
+                                    else None
+                                ),
+                            )
                             inverse_norms[field_name] = inverse
                         pseudo_tf += (
                             weights.get(field_name, 1.0)

@@ -181,6 +181,14 @@ class InvertedIndex:
         """Number of documents holding a non-empty ``field``."""
         return self._field_holders.get(field, 0)
 
+    def field_token_counts(self) -> Dict[str, int]:
+        """Per-field total token counts (scatter-gather stats export)."""
+        return dict(self._field_tokens)
+
+    def field_holder_counts(self) -> Dict[str, int]:
+        """Per-field holder counts (scatter-gather stats export)."""
+        return dict(self._field_holders)
+
     def field_length(self, doc_id: DocId, field: str) -> int:
         lengths = self._field_lengths.get(doc_id)
         if not lengths:
@@ -190,7 +198,9 @@ class InvertedIndex:
     def document_length(self, doc_id: DocId) -> int:
         return sum(self._field_lengths.get(doc_id, {}).values())
 
-    def length_normalizers(self, field: str, b: float) -> Dict[DocId, float]:
+    def length_normalizers(
+        self, field: str, b: float, average: Optional[float] = None
+    ) -> Dict[DocId, float]:
         """Per-document *inverse* BM25 length normalizers for ``field``.
 
         Returns ``{doc_id: 1 / (1 - b + b * length/average)}`` for every
@@ -198,13 +208,20 @@ class InvertedIndex:
         index epoch moves and cached per ``(field, b)``, so the scoring
         inner loop pays one dict lookup per (doc, field) instead of
         recomputing averages and lengths per candidate.
+
+        ``average`` overrides the field's local average length — the
+        scatter-gather path passes the *merged corpus* average so a
+        shard scores its documents exactly as the unsharded build would.
+        Overridden tables are cached under their own key (the override is
+        part of it), so local and global tables never alias.
         """
-        key = (field, b)
+        key = (field, b) if average is None else (field, b, average)
         cached = self._norm_tables.get(key)
         if cached is not None and cached[0] == self._epoch:
             return cached[1]
         table: Dict[DocId, float] = {}
-        average = self.average_field_length(field)
+        if average is None:
+            average = self.average_field_length(field)
         if average:
             base = 1.0 - b
             scale = b / average

@@ -1,0 +1,26 @@
+"""repro.service — the concurrent, sharded multi-user front end.
+
+Turns the single-threaded CourseRank library facade into something that
+can take traffic (DESIGN.md §13):
+
+* :mod:`repro.service.sharding` splits the synthetic university into
+  department-hash shards (course-scoped tables partitioned, reference
+  tables replicated) so each shard is a self-contained CourseRank corpus;
+* :mod:`repro.service.frontend` is the scatter-gather coordinator:
+  thread-safe search/cloud/refine/recommend/comment over the shard set,
+  with two-phase global-statistics scoring and exact aggregate merges so
+  sharded results are bit-identical to the unsharded build, plus an
+  epoch-vector response cache;
+* :mod:`repro.service.loadgen` is the closed-loop Zipfian load generator
+  reporting sustained QPS and p50/p99 latency through ``repro.obs``.
+"""
+
+from repro.service.frontend import CourseRankService, ServiceSession
+from repro.service.sharding import ShardedUniversity, shard_for_department
+
+__all__ = [
+    "CourseRankService",
+    "ServiceSession",
+    "ShardedUniversity",
+    "shard_for_department",
+]

@@ -1,0 +1,71 @@
+"""CLI for the closed-loop load generator.
+
+    python -m repro.service --scale small --shards 4 --threads 8 --ops 400
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.service.loadgen import load_test
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.service",
+        description="Closed-loop Zipfian load test of the sharded service.",
+    )
+    parser.add_argument("--scale", default="small")
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument("--threads", type=int, default=8)
+    parser.add_argument("--ops", type=int, default=400)
+    parser.add_argument("--seed", type=int, default=11)
+    parser.add_argument("--write-fraction", type=float, default=0.0)
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="skip the single-threaded unsharded baseline run",
+    )
+    parser.add_argument(
+        "--json", metavar="PATH", help="also write the report as JSON"
+    )
+    options = parser.parse_args(argv)
+    report = load_test(
+        scale=options.scale,
+        shards=options.shards,
+        threads=options.threads,
+        operations=options.ops,
+        seed=options.seed,
+        write_fraction=options.write_fraction,
+        with_baseline=not options.no_baseline,
+    )
+    print(
+        f"service: {report.qps:.1f} ops/s over {report.operations} ops "
+        f"({report.threads} threads, {report.shards} shards, "
+        f"scale={report.scale})"
+    )
+    if report.p50_ms is not None:
+        print(f"latency: p50 {report.p50_ms:.2f} ms, p99 {report.p99_ms:.2f} ms")
+    if report.baseline_qps is not None:
+        print(
+            f"baseline (1 thread, unsharded): {report.baseline_qps:.1f} ops/s "
+            f"-> speedup {report.speedup:.2f}x"
+        )
+    if report.equivalent is not None:
+        print(f"sharded == unsharded spot check: {report.equivalent}")
+    for kind, stats in report.per_kind.items():
+        print(
+            f"  {kind:>9}: n={stats['count']:<5.0f} "
+            f"p50={stats['p50_ms']:.2f}ms p99={stats['p99_ms']:.2f}ms"
+        )
+    if options.json:
+        with open(options.json, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+        print(f"wrote {options.json}")
+    return 0 if report.equivalent in (True, None) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,495 @@
+"""The scatter-gather service coordinator.
+
+One :class:`CourseRankService` fronts N shard-local :class:`CourseRank`
+apps (see :mod:`repro.service.sharding`).  Reads scatter to every shard
+and merge exactly:
+
+* **Search** is two-phase distributed BM25: phase one gathers each
+  shard's per-term document frequencies and field-length totals
+  (:class:`repro.search.stats.CorpusStats` — all integer sums over
+  disjoint document sets, so the merge is exact and order-independent);
+  phase two scores each shard's candidates against the *merged* global
+  statistics and k-way-merges the per-shard ranked lists under the same
+  total-order sort key the unsharded engine uses.  The merged ranking is
+  bit-identical to the unsharded build's.
+* **Clouds** merge per-shard ``(occurrences, result_df)`` counters
+  (dyadic field weights → exact float sums) plus per-shard corpus
+  document frequencies, then score through the ordinary
+  :class:`~repro.clouds.cloud.CloudBuilder` with the global corpus size.
+  Bit-identical again.
+* **Metrics** merge through :meth:`repro.obs.metrics.MetricsRegistry.merge`
+  (associative by PR 5's equivalence tests).
+
+Course-scoped operations (course page, comment, per-course recommend)
+route to the single owning shard.  Concurrency control is a service-level
+:class:`~repro.minidb.concurrency.RWLock` — many concurrent reads, writes
+exclusive — on top of the per-shard database locks, plus an epoch-vector
+response cache: answered ``(query → merged result + cloud)`` pairs are
+keyed by the tuple of per-shard index epochs, so a write to one shard
+invalidates exactly the cached responses that could observe it, by
+construction rather than by bookkeeping.
+"""
+
+from __future__ import annotations
+
+import datetime
+import heapq
+from collections import Counter
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.caching import LRUCache
+from repro.clouds.cloud import DataCloud
+from repro.errors import CloudError
+from repro.courserank.accounts import User
+from repro.courserank.app import CourseRank
+from repro.courserank.models import Comment
+from repro.minidb.catalog import Database
+from repro.minidb.concurrency import RWLock
+from repro.obs import OBS
+from repro.search.engine import SearchResult, _tiebreak
+from repro.search.stats import CorpusStats
+from repro.service.sharding import ShardedUniversity
+
+DocId = Any
+
+_HIT_KEY = lambda hit: (-hit.score, _tiebreak(hit.doc_id))  # noqa: E731
+
+
+@dataclass
+class _MergedResponse:
+    """One cached scatter-gather answer (immutable once cached)."""
+
+    terms: List[str]
+    phrases: List[List[str]]
+    hits: Tuple[Any, ...]
+    candidate_count: int
+    scored_count: int
+    cloud: DataCloud
+    shard_doc_ids: Tuple[Tuple[DocId, ...], ...]
+
+
+class CourseRankService:
+    """A thread-safe, sharded CourseRank front end."""
+
+    def __init__(
+        self,
+        database: Database,
+        num_shards: int = 4,
+        response_cache_size: int = 256,
+    ) -> None:
+        self.sharded = ShardedUniversity(database, num_shards)
+        self.apps: List[CourseRank] = [
+            CourseRank(shard) for shard in self.sharded.shards
+        ]
+        for app in self.apps:
+            app.cloudsearch.build()
+        self.rwlock = RWLock()
+        # Coordinator response cache.  Keys embed the epoch vector (one
+        # index epoch per shard), so any shard write rotates the key and
+        # strands every response that predates it — no invalidation hooks.
+        self._response_cache = LRUCache(maxsize=response_cache_size)
+        # Recommendation memo, keyed by the owning shard's data/schema
+        # versions: a write anywhere on the shard retires its entries.
+        self._recommend_cache = LRUCache(maxsize=response_cache_size)
+
+    @property
+    def num_shards(self) -> int:
+        return self.sharded.num_shards
+
+    # -- epochs & caching ----------------------------------------------------
+
+    def _epoch_vector(self) -> Tuple[int, ...]:
+        return tuple(
+            app.cloudsearch.engine.index.epoch for app in self.apps
+        )
+
+    def response_cache_info(self) -> Dict[str, int]:
+        cache = self._response_cache
+        return {"hits": cache.hits, "misses": cache.misses, "size": len(cache)}
+
+    # -- scatter-gather search ----------------------------------------------
+
+    def search(
+        self, query: str, limit: Optional[int] = None
+    ) -> Tuple[SearchResult, DataCloud]:
+        """Search all shards; returns (merged result, merged cloud).
+
+        The hit ranking, scores, and cloud are bit-identical to what the
+        unsharded :class:`~repro.courserank.cloudsearch.CourseCloudSearch`
+        produces over the union corpus.  As there, the cloud summarizes
+        the *full* result set; ``limit`` truncates only the hit list.
+        """
+        with OBS.span("service.search", {"query": query}):
+            with self.rwlock.read_locked():
+                response = self._answer(query)
+            result = self._result_from(query, response)
+            if limit is not None:
+                result.hits = result.hits[:limit]
+            return result, self._copy_cloud(response.cloud)
+
+    def count(self, query: str) -> int:
+        """Total matching documents — the sum of disjoint per-shard counts."""
+        with self.rwlock.read_locked():
+            return sum(
+                app.cloudsearch.count(query) for app in self.apps
+            )
+
+    def session(self, query: str) -> "ServiceSession":
+        """A scatter-gather refinement session (mirrors RefinementSession)."""
+        return ServiceSession(self, query)
+
+    # -- merged answer construction -----------------------------------------
+
+    def _answer(self, query: str) -> _MergedResponse:
+        """The cached merged response for ``query`` (read lock held)."""
+        key = (self._epoch_vector(), query)
+        cached = self._response_cache.get(key)
+        if cached is not None:
+            return cached
+        response = self._scatter_gather(query)
+        self._response_cache.put(key, response)
+        return response
+
+    def _answer_narrowed(
+        self, query: str, parent: _MergedResponse
+    ) -> _MergedResponse:
+        """Cached refine answer (read lock held).
+
+        Refined responses depend on the parent result set as well as the
+        query, so the key adds the parent's per-shard doc-id fingerprint
+        — identical refinement walks (the common Zipfian-head case) hit.
+        """
+        key = (self._epoch_vector(), query, parent.shard_doc_ids)
+        cached = self._response_cache.get(key)
+        if cached is not None:
+            return cached
+        response = self._scatter_gather(
+            query,
+            within_per_shard=[set(ids) for ids in parent.shard_doc_ids],
+            parents=parent.shard_doc_ids,
+        )
+        self._response_cache.put(key, response)
+        return response
+
+    def _scatter_gather(
+        self,
+        query: str,
+        within_per_shard: Optional[List[Optional[set]]] = None,
+        parents: Optional[Tuple[Tuple[DocId, ...], ...]] = None,
+    ) -> _MergedResponse:
+        engines = [app.cloudsearch.engine for app in self.apps]
+        loose, phrases = engines[0].parse_query(query)
+        all_terms = list(loose) + [
+            term for phrase in phrases for term in phrase
+        ]
+        if not all_terms:
+            empty_cloud = DataCloud(query=query, result_size=0, terms=[])
+            return _MergedResponse(
+                terms=[],
+                phrases=[],
+                hits=(),
+                candidate_count=0,
+                scored_count=0,
+                cloud=empty_cloud,
+                shard_doc_ids=tuple(() for _ in engines),
+            )
+        # Phase 1: merge global corpus statistics for the query terms.
+        stats = CorpusStats.merged(
+            CorpusStats.local(engine.index, all_terms) for engine in engines
+        )
+        # Phase 2: score every shard's candidates under the global stats,
+        # then k-way merge the (already sorted) per-shard rankings.
+        shard_results = []
+        for index, engine in enumerate(engines):
+            within = (
+                within_per_shard[index]
+                if within_per_shard is not None
+                else None
+            )
+            shard_results.append(
+                engine.search(
+                    query, limit=None, within=within, corpus_stats=stats
+                )
+            )
+        hits = tuple(
+            heapq.merge(
+                *(result.hits for result in shard_results), key=_HIT_KEY
+            )
+        )
+        cloud = self._merged_cloud(
+            query, all_terms, shard_results, len(hits), parents=parents
+        )
+        return _MergedResponse(
+            terms=all_terms,
+            phrases=phrases,
+            hits=hits,
+            candidate_count=sum(r.candidate_count for r in shard_results),
+            scored_count=sum(r.scored_count for r in shard_results),
+            cloud=cloud,
+            shard_doc_ids=tuple(
+                tuple(result.doc_ids()) for result in shard_results
+            ),
+        )
+
+    def _merged_cloud(
+        self,
+        query: str,
+        all_terms: List[str],
+        shard_results: List[SearchResult],
+        result_size: int,
+        parents: Optional[Tuple[Tuple[DocId, ...], ...]] = None,
+    ) -> DataCloud:
+        """Merge per-shard term partials and score them once, globally."""
+        occurrences: Counter = Counter()
+        result_df: Counter = Counter()
+        partials = []
+        for index, (app, result) in enumerate(zip(self.apps, shard_results)):
+            source = app.cloudsearch.builder.source
+            doc_ids = result.doc_ids()
+            if parents is not None:
+                # Warm the shard's gather cache through the incremental
+                # (subtract-the-dropped-docs) path; the partial below is
+                # then a cache hit.
+                source.gather_narrowed(parents[index], doc_ids)
+            shard_occurrences, shard_df = source.partial_gather(doc_ids)
+            occurrences.update(shard_occurrences)
+            result_df.update(shard_df)
+            partials.append(source)
+        corpus_df: Counter = Counter()
+        terms = occurrences.keys()
+        for source in partials:
+            corpus_df.update(source.corpus_document_frequencies(terms))
+        corpus_size = sum(source.corpus_size for source in partials)
+        from repro.clouds.scoring import TermStats
+
+        merged_stats = [
+            TermStats(
+                term=term,
+                occurrences=occurrences[term],
+                result_df=result_df[term],
+                corpus_df=corpus_df.get(term, result_df[term]),
+            )
+            for term in occurrences
+        ]
+        return self.apps[0].cloudsearch.builder.build_from_stats(
+            merged_stats,
+            result_size,
+            query=query,
+            query_terms=all_terms,
+            corpus_size=corpus_size,
+        )
+
+    def _result_from(
+        self, query: str, response: _MergedResponse
+    ) -> SearchResult:
+        """A fresh SearchResult over the cached immutable hit tuple."""
+        return SearchResult(
+            query=query,
+            terms=list(response.terms),
+            hits=list(response.hits),
+            mode="all",
+            phrases=[list(phrase) for phrase in response.phrases],
+            candidate_count=response.candidate_count,
+            scored_count=response.scored_count,
+        )
+
+    @staticmethod
+    def _copy_cloud(cloud: DataCloud) -> DataCloud:
+        """Clouds are cached; hand callers a private copy of the shell."""
+        return DataCloud(
+            query=cloud.query,
+            result_size=cloud.result_size,
+            terms=list(cloud.terms),
+        )
+
+    # -- routed single-shard operations -------------------------------------
+
+    def _app_for_course(self, course_id: int) -> CourseRank:
+        return self.apps[self.sharded.shard_of_course(course_id)]
+
+    def course_page(
+        self, course_id: int, viewer: Optional[User] = None
+    ) -> Dict[str, Any]:
+        with self.rwlock.read_locked():
+            return self._app_for_course(course_id).course_page(
+                course_id, viewer
+            )
+
+    def recommend(self, name: str, **params: Any):
+        """Run a FlexRecs strategy on the owning shard.
+
+        Strategies keyed by ``course_id`` route to that course's shard
+        (its enrollments, plans, and comments are co-located there);
+        anything else runs on shard 0.  Unlike search/cloud/metrics, no
+        cross-build equality is claimed: a shard-local recommender sees
+        only shard-local behavior data.
+        """
+        course_id = params.get("course_id")
+        shard_index = (
+            self.sharded.shard_of_course(course_id)
+            if course_id is not None
+            else 0
+        )
+        app = self.apps[shard_index]
+        with self.rwlock.read_locked():
+            key = self._recommend_key(shard_index, name, params)
+            if key is not None:
+                cached = self._recommend_cache.get(key)
+                if cached is not None:
+                    return cached
+            recommendation = app.recommendations.run(name, **params)
+            if key is not None:
+                self._recommend_cache.put(key, recommendation)
+            return recommendation
+
+    def _recommend_key(
+        self, shard_index: int, name: str, params: Dict[str, Any]
+    ) -> Optional[Tuple[Any, ...]]:
+        """Memo key for one shard-routed recommendation, or None.
+
+        Embeds the shard database's schema epoch and every table's data
+        version, so any mutation on the shard — not just ones the
+        strategy happens to read — retires the memo.
+        """
+        database = self.sharded.shards[shard_index]
+        versions = tuple(
+            database.table(table_name).data_version
+            for table_name in database.table_names()
+        )
+        try:
+            frozen = tuple(sorted(params.items()))
+            hash(frozen)
+        except TypeError:
+            return None
+        return (shard_index, database.schema_epoch, versions, name, frozen)
+
+    def comment_on_course(
+        self,
+        user: User,
+        course_id: int,
+        text: Optional[str],
+        rating: Optional[float],
+        day: Optional[datetime.date] = None,
+    ) -> Comment:
+        """Write path: comment + rate on the owning shard.
+
+        Runs under the service write lock — the shard's index epoch bumps
+        when the course document refreshes, which retires every cached
+        response whose epoch vector predates the write.
+        """
+        with self.rwlock.write_locked():
+            return self._app_for_course(course_id).comment_on_course(
+                user, course_id, text, rating, day=day
+            )
+
+    # -- observability -------------------------------------------------------
+
+    def observability(self) -> Dict[str, Any]:
+        """Process-wide OBS snapshot plus service/shard cache counters."""
+        snapshot = OBS.snapshot()
+        snapshot["service"] = {
+            "shards": self.num_shards,
+            "epoch_vector": list(self._epoch_vector()),
+            "response_cache": self.response_cache_info(),
+            "course_counts": self.sharded.course_counts(),
+            "shard_search_caches": [
+                app.cloudsearch.cache_info() for app in self.apps
+            ],
+        }
+        return snapshot
+
+
+class ServiceSession:
+    """Scatter-gather twin of :class:`repro.clouds.refinement.RefinementSession`.
+
+    Same API and same query-building rules (multi-word cloud terms refine
+    as quoted phrases), so a session over the service walks through
+    bit-identical queries, results, and clouds as one over the unsharded
+    engine — each refine narrows *within each shard's* previous result
+    set, which partitions the global ``within`` set exactly.
+    """
+
+    def __init__(self, service: CourseRankService, query: str) -> None:
+        self.service = service
+        self._steps: List[_SessionStep] = []
+        self._push(query)
+
+    # -- state ---------------------------------------------------------------
+
+    @property
+    def current(self) -> "_SessionStep":
+        return self._steps[-1]
+
+    @property
+    def query(self) -> str:
+        return self.current.query
+
+    @property
+    def result(self) -> SearchResult:
+        return self.current.result
+
+    @property
+    def cloud(self) -> DataCloud:
+        return self.current.cloud
+
+    @property
+    def depth(self) -> int:
+        return len(self._steps) - 1
+
+    def history(self) -> List[str]:
+        return [step.query for step in self._steps]
+
+    # -- interaction ---------------------------------------------------------
+
+    def refine(self, term: str) -> "_SessionStep":
+        term = term.strip()
+        if not term:
+            raise CloudError("refinement term must be non-empty")
+        if " " in term and not term.startswith('"'):
+            term = f'"{term}"'
+        new_query = f"{self.query} {term}".strip()
+        return self._push(new_query, narrow=True)
+
+    def back(self) -> "_SessionStep":
+        if len(self._steps) == 1:
+            raise CloudError("already at the initial query")
+        self._steps.pop()
+        return self.current
+
+    def reset(self, query: str) -> "_SessionStep":
+        self._steps.clear()
+        return self._push(query)
+
+    # -- internals -----------------------------------------------------------
+
+    def _push(self, query: str, narrow: bool = False) -> "_SessionStep":
+        service = self.service
+        with service.rwlock.read_locked():
+            if not narrow:
+                response = service._answer(query)
+            else:
+                parent = self.current.response
+                response = service._answer_narrowed(query, parent)
+        step = _SessionStep(
+            query=query,
+            result=service._result_from(query, response),
+            cloud=service._copy_cloud(response.cloud),
+            response=response,
+        )
+        self._steps.append(step)
+        return step
+
+
+@dataclass
+class _SessionStep:
+    """One session state, with the raw merged response for narrowing."""
+
+    query: str
+    result: SearchResult
+    cloud: DataCloud
+    response: _MergedResponse
+
+    @property
+    def result_size(self) -> int:
+        return len(self.result)

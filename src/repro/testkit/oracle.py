@@ -171,15 +171,18 @@ def run_minidb(
     per-op outcomes plus any **intra-config** divergences (a repeated
     execution disagreeing with its own first run, i.e. a stale cache).
     """
-    import repro.minidb.planner as planner_module
     from repro.minidb import Database
+    from repro.minidb.planner import flag_overrides
 
     database = Database()
-    saved = planner_module.COMPILE_EXPRESSIONS
-    saved_vectorize = planner_module.VECTORIZE
-    planner_module.COMPILE_EXPRESSIONS = config.compile_expressions
-    planner_module.VECTORIZE = config.vectorize
-    try:
+    # flag_overrides holds the planner's flag lock for the whole run:
+    # the historical save/set/restore here was not reentrant — two
+    # threads interleaving their restores could leave a global flag
+    # permanently flipped for the rest of the process.
+    with flag_overrides(
+        compile_expressions=config.compile_expressions,
+        vectorize=config.vectorize,
+    ):
         for ddl in script.create:
             database.execute(ddl)
         outcomes: List[Outcome] = []
@@ -205,9 +208,6 @@ def run_minidb(
                     )
             outcomes.append(first)  # type: ignore[arg-type]
         return outcomes, intra
-    finally:
-        planner_module.COMPILE_EXPRESSIONS = saved
-        planner_module.VECTORIZE = saved_vectorize
 
 
 def _minidb_one(

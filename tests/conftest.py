@@ -19,6 +19,11 @@ for the whole run: ``REPRO_VECTORIZE=0`` pins ``planner.VECTORIZE`` off
 so tier-1 exercises the row pipeline end to end — the CI matrix runs
 both legs.  Tests that need a specific path still set the flag (and
 clear plan caches) themselves.
+
+``REPRO_SHARDS`` (default ``3``) sets the shard count the service-layer
+equivalence tests build their :class:`repro.service.CourseRankService`
+with; the CI matrix runs a ``REPRO_SHARDS=4`` leg so tier-1 exercises a
+second sharding geometry end to end.
 """
 
 import os

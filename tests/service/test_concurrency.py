@@ -1,0 +1,230 @@
+"""Thread-safety of the hot paths: locks, caches, and churn.
+
+The cache hammer drives the three shared caches — the database plan
+cache, the search result cache, and the extend-vector cache — from many
+threads at once, first read-only (every thread must see exactly the
+single-threaded answers) and then against concurrent write churn (after
+quiescence, every cached answer must equal a from-scratch rebuild: a
+lost invalidation would surface here as a stale row count, hit list, or
+vector map).
+"""
+
+import threading
+from types import SimpleNamespace
+
+import pytest
+
+from repro.core.extendcache import (
+    build_vectors,
+    clear_extend_cache,
+    extend_vectors,
+)
+from repro.courserank import CourseRank
+from repro.courserank.accounts import Role
+from repro.datagen import generate_university
+from repro.minidb.concurrency import RWLock
+
+THREADS = 6
+
+SQL_QUERIES = [
+    "SELECT COUNT(*) FROM Comments",
+    "SELECT CourseID, COUNT(*) FROM Comments GROUP BY CourseID "
+    "ORDER BY CourseID LIMIT 5",
+    "SELECT AVG(Rating) FROM Comments WHERE Rating IS NOT NULL",
+    "SELECT c.Title FROM Courses c JOIN Departments d "
+    "ON c.DepID = d.DepID ORDER BY c.CourseID LIMIT 4",
+]
+
+SEARCH_QUERIES = ["programming", "data", "history", "theory"]
+
+EXTEND_INFO = SimpleNamespace(
+    source_table="Comments",
+    source_key="CourseID",
+    value_column="Rating",
+    map_column=None,
+)
+
+
+def _run_threads(count, target):
+    errors = []
+    barrier = threading.Barrier(count)
+
+    def wrapped(index):
+        try:
+            barrier.wait()
+            target(index)
+        except BaseException as exc:  # noqa: BLE001 - surfaced below
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=wrapped, args=(index,), daemon=True)
+        for index in range(count)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if errors:
+        raise errors[0]
+
+
+def _read_once(app):
+    """One deterministic pass over all three caches' read paths."""
+    results = []
+    for sql in SQL_QUERIES:
+        results.append(tuple(map(tuple, app.db.query(sql).rows)))
+    for query in SEARCH_QUERIES:
+        result, cloud = app.cloudsearch.search(query)
+        results.append(tuple((hit.doc_id, hit.score) for hit in result.hits))
+        results.append(tuple((term.term, term.score) for term in cloud.terms))
+    vectors, _ = extend_vectors(app.db, EXTEND_INFO)
+    results.append(
+        tuple(sorted((key, tuple(sorted(value))) for key, value in vectors.items()))
+    )
+    return results
+
+
+@pytest.fixture()
+def app():
+    application = CourseRank(generate_university(scale="tiny", seed=5))
+    application.cloudsearch.build()
+    clear_extend_cache(application.db)
+    return application
+
+
+class TestCacheHammer:
+    def test_concurrent_reads_equal_single_threaded_replay(self, app):
+        expected = _read_once(app)
+        observed = [None] * THREADS
+
+        def reader(index):
+            for _ in range(5):
+                observed[index] = _read_once(app)
+
+        _run_threads(THREADS, reader)
+        for result in observed:
+            assert result == expected
+
+    def test_churn_loses_no_invalidations(self, app):
+        user = app.accounts.register("hammer", Role.STUDENT, person_id=1)
+        comments = [
+            (1 + (step % 3), f"churn note {step} about telescopes", 3.5)
+            for step in range(24)
+        ]
+
+        def worker(index):
+            if index == 0:
+                # Single designated writer: deterministic end state.
+                for course_id, text, rating in comments:
+                    app.comment_on_course(user, course_id, text, rating)
+            else:
+                for _ in range(8):
+                    _read_once(app)
+
+        _run_threads(THREADS, worker)
+
+        # Quiescent state must equal a from-scratch build with the same
+        # writes applied — any stale cache entry diverges here.
+        fresh = CourseRank(generate_university(scale="tiny", seed=5))
+        fresh.cloudsearch.build()
+        fresh_user = fresh.accounts.register("hammer", Role.STUDENT, person_id=1)
+        for course_id, text, rating in comments:
+            fresh.comment_on_course(fresh_user, course_id, text, rating)
+        clear_extend_cache(fresh.db)
+        assert _read_once(app) == _read_once(fresh)
+
+    def test_extend_cache_rebuilds_after_write(self, app):
+        vectors, hit = extend_vectors(app.db, EXTEND_INFO)
+        assert not hit
+        _, hit = extend_vectors(app.db, EXTEND_INFO)
+        assert hit
+        user = app.accounts.register("inv", Role.STUDENT, person_id=2)
+        app.comment_on_course(user, 1, "invalidation probe", 2.5)
+        rebuilt, hit = extend_vectors(app.db, EXTEND_INFO)
+        assert not hit  # data_version moved -> new key, no stale serve
+        assert rebuilt == build_vectors(app.db.table("Comments"), EXTEND_INFO)
+
+
+class TestRWLock:
+    def test_readers_share_writers_exclude(self):
+        lock = RWLock()
+        in_critical = []
+        results = []
+
+        def writer():
+            with lock.write_locked():
+                in_critical.append("w")
+                assert in_critical.count("w") == 1
+                results.append(lock.write_held)
+                in_critical.remove("w")
+
+        def reader():
+            with lock.read_locked():
+                assert "w" not in in_critical
+                results.append(lock.active_readers >= 1)
+
+        threads = [threading.Thread(target=writer) for _ in range(3)]
+        threads += [threading.Thread(target=reader) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert all(results)
+
+    def test_read_reentrant_and_write_implies_read(self):
+        lock = RWLock()
+        with lock.read_locked():
+            with lock.read_locked():
+                assert lock.active_readers == 1
+        with lock.write_locked():
+            with lock.read_locked():
+                assert lock.write_held
+            with lock.write_locked():
+                assert lock.write_held
+
+    def test_upgrade_refused(self):
+        lock = RWLock()
+        with lock.read_locked():
+            with pytest.raises(RuntimeError):
+                lock.acquire_write()
+
+    def test_transaction_holds_the_database_write_lock(self):
+        from repro.minidb import Database
+
+        database = Database()
+        database.execute("CREATE TABLE t (id INTEGER PRIMARY KEY)")
+        database.begin()
+        assert database.rwlock.write_held
+        database.execute("INSERT INTO t VALUES (1)")
+        database.commit()
+        assert not database.rwlock.write_held
+        database.begin()
+        database.rollback()
+        assert not database.rwlock.write_held
+
+
+class TestServiceConcurrency:
+    def test_parallel_mixed_traffic_is_consistent(self):
+        from repro.service import CourseRankService
+
+        service = CourseRankService(
+            generate_university(scale="tiny", seed=5), num_shards=3
+        )
+        expected = {
+            query: [
+                (hit.doc_id, hit.score)
+                for hit in service.search(query)[0].hits
+            ]
+            for query in SEARCH_QUERIES
+        }
+
+        def worker(index):
+            for step in range(6):
+                query = SEARCH_QUERIES[(index + step) % len(SEARCH_QUERIES)]
+                result, _ = service.search(query)
+                assert [
+                    (hit.doc_id, hit.score) for hit in result.hits
+                ] == expected[query]
+                service.count(query)
+
+        _run_threads(THREADS, worker)

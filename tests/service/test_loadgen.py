@@ -1,0 +1,160 @@
+"""Smoke tests for the closed-loop Zipfian load generator."""
+
+import json
+import os
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+from repro.datagen import generate_university
+from repro.service.loadgen import (
+    DEFAULT_MIX,
+    build_query_pool,
+    build_trace,
+    load_test,
+    run_load,
+    zipf_pick,
+)
+
+
+class TestTrace:
+    def test_trace_is_deterministic(self):
+        database = generate_university(scale="tiny", seed=3)
+        assert build_trace(database, operations=60, seed=9) == build_trace(
+            database, operations=60, seed=9
+        )
+
+    def test_trace_mix_and_length(self):
+        database = generate_university(scale="tiny", seed=3)
+        trace = build_trace(database, operations=120, seed=9)
+        kinds = {op[0] for op in trace}
+        assert len(trace) == 120
+        assert kinds <= set(DEFAULT_MIX)
+
+    def test_write_fraction_adds_comment_ops(self):
+        database = generate_university(scale="tiny", seed=3)
+        trace = build_trace(
+            database, operations=120, seed=9, write_fraction=0.2
+        )
+        comments = [op for op in trace if op[0] == "comment"]
+        assert comments
+        for op in comments:
+            assert 1.0 <= op[3] <= 5.0
+
+    def test_zipf_head_dominates(self):
+        import random
+
+        rng = random.Random(1)
+        draws = [zipf_pick(rng, list(range(20))) for _ in range(400)]
+        assert draws.count(0) > draws.count(19)
+
+    def test_query_pool_mined_from_titles(self):
+        database = generate_university(scale="tiny", seed=3)
+        import random
+
+        pool = build_query_pool(database, random.Random(0))
+        assert pool and all(isinstance(query, str) for query in pool)
+
+
+class TestLoadTest:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return load_test(
+            scale="tiny",
+            shards=2,
+            threads=3,
+            operations=45,
+            seed=11,
+            write_fraction=0.1,
+        )
+
+    def test_counts_and_rates(self, report):
+        assert report.operations == 45
+        assert report.qps > 0
+        assert report.duration_s > 0
+        assert sum(stats["count"] for stats in report.per_kind.values()) == 45
+
+    def test_latency_quantiles_present(self, report):
+        assert report.p50_ms is not None
+        assert report.p99_ms is not None
+        assert report.p50_ms <= report.p99_ms
+
+    def test_sharded_answers_matched_unsharded(self, report):
+        assert report.equivalent is True
+
+    def test_baseline_and_speedup_reported(self, report):
+        assert report.baseline_qps and report.baseline_qps > 0
+        assert report.speedup == pytest.approx(
+            report.qps / report.baseline_qps
+        )
+
+    def test_report_round_trips_to_json(self, report):
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["shards"] == 2
+        assert payload["threads"] == 3
+        assert payload["response_cache"]["hits"] >= 0
+
+
+class TestRunLoad:
+    def test_single_thread_equals_trace_length(self):
+        class CountingClient:
+            def __init__(self):
+                self.seen = []
+                self.lock = __import__("threading").Lock()
+
+            def run(self, op):
+                with self.lock:
+                    self.seen.append(op)
+
+        client = CountingClient()
+        trace = [("search", "x")] * 10 + [("recommend", 1)] * 5
+        merged, duration = run_load(client, trace, threads=4)
+        assert sorted(client.seen) == sorted(trace)
+        assert merged.counter("loadgen.op.count") == 15
+        assert merged.counter("loadgen.search.count") == 10
+        assert duration > 0
+
+    def test_worker_errors_propagate(self):
+        class FailingClient:
+            def run(self, op):
+                raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError):
+            run_load(FailingClient(), [("search", "x")] * 4, threads=2)
+
+
+class TestCLI:
+    def test_module_entrypoint(self, tmp_path):
+        out = tmp_path / "report.json"
+        completed = subprocess.run(
+            [
+                sys.executable,
+                "-m",
+                "repro.service",
+                "--scale",
+                "tiny",
+                "--shards",
+                "2",
+                "--threads",
+                "2",
+                "--ops",
+                "30",
+                "--json",
+                str(out),
+            ],
+            capture_output=True,
+            text=True,
+            timeout=300,
+            env={
+                **os.environ,
+                "PYTHONPATH": str(
+                    pathlib.Path(__file__).resolve().parents[2] / "src"
+                ),
+            },
+        )
+        assert completed.returncode == 0, completed.stderr
+        payload = json.loads(out.read_text())
+        assert payload["operations"] == 30
+        assert payload["equivalent"] is True

@@ -1,0 +1,170 @@
+"""Sharded scatter-gather must answer bit-identically to the unsharded build.
+
+The property at the heart of the service layer: for any shard count and
+any generated population, merged per-shard search results, data clouds,
+counts, and refinement sessions equal — float-for-float, bucket-for-
+bucket — the answers of one unsharded engine over the union corpus.
+``REPRO_SHARDS`` (see tests/conftest.py) pins the shard count CI legs
+run with; the hypothesis property additionally sweeps shard counts.
+"""
+
+import os
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.courserank import CourseRank
+from repro.courserank.accounts import Role
+from repro.datagen import generate_university
+from repro.service import CourseRankService
+
+REPRO_SHARDS = int(os.environ.get("REPRO_SHARDS", "3"))
+
+
+def _hits(result):
+    return [(hit.doc_id, hit.score) for hit in result.hits]
+
+
+def _terms(cloud):
+    return [
+        (term.term, term.score, term.occurrences, term.result_df, term.bucket)
+        for term in cloud.terms
+    ]
+
+
+QUERIES = [
+    "programming",
+    "systems design",
+    '"machine learning"',
+    "history",
+    "data",
+    "nonexistentzzz",
+    "",
+]
+
+
+@pytest.fixture(scope="module")
+def pair():
+    base = CourseRank(generate_university(scale="tiny", seed=7))
+    base.cloudsearch.build()
+    service = CourseRankService(
+        generate_university(scale="tiny", seed=7), num_shards=REPRO_SHARDS
+    )
+    return base, service
+
+
+class TestSearchEquivalence:
+    @pytest.mark.parametrize("query", QUERIES)
+    def test_hits_clouds_and_counts_match(self, pair, query):
+        base, service = pair
+        base_result, base_cloud = base.cloudsearch.search(query)
+        svc_result, svc_cloud = service.search(query)
+        assert _hits(base_result) == _hits(svc_result)
+        assert _terms(base_cloud) == _terms(svc_cloud)
+        if query.strip():
+            assert base.cloudsearch.count(query) == service.count(query)
+
+    def test_limit_truncates_after_the_merge(self, pair):
+        base, service = pair
+        base_result, base_cloud = base.cloudsearch.search("data", limit=3)
+        svc_result, svc_cloud = service.search("data", limit=3)
+        assert _hits(base_result) == _hits(svc_result)
+        # Cloud summarizes the full result set on both sides.
+        assert _terms(base_cloud) == _terms(svc_cloud)
+
+    def test_repeat_query_hits_the_response_cache(self, pair):
+        _, service = pair
+        before = service.response_cache_info()
+        first = service.search("programming")
+        after_miss_or_hit = service.response_cache_info()
+        second = service.search("programming")
+        after = service.response_cache_info()
+        assert after["hits"] > before["hits"] or (
+            after["hits"] > after_miss_or_hit["hits"]
+        )
+        assert _hits(first[0]) == _hits(second[0])
+
+    def test_every_course_routes_to_exactly_one_shard(self, pair):
+        _, service = pair
+        total = sum(service.sharded.course_counts())
+        assert total == len(service.sharded.course_shard)
+
+
+class TestSessionEquivalence:
+    def test_refine_and_back_walk_identically(self, pair):
+        base, service = pair
+        base_session = base.cloudsearch.session("programming")
+        svc_session = service.session("programming")
+        assert base_session.cloud.terms, "test needs a non-empty cloud"
+        for _ in range(2):
+            term = base_session.cloud.terms[0].term
+            base_step = base_session.refine(term)
+            svc_step = svc_session.refine(term)
+            assert base_session.query == svc_session.query
+            assert _hits(base_step.result) == _hits(svc_step.result)
+            assert _terms(base_step.cloud) == _terms(svc_step.cloud)
+            if not base_session.cloud.terms:
+                break
+        base_session.back()
+        svc_session.back()
+        assert base_session.query == svc_session.query
+        assert base_session.history() == svc_session.history()
+
+    def test_back_at_depth_zero_raises_like_the_original(self, pair):
+        from repro.errors import CloudError
+
+        _, service = pair
+        session = service.session("programming")
+        with pytest.raises(CloudError):
+            session.back()
+
+
+class TestWritePathEquivalence:
+    def test_comment_refreshes_and_stays_equivalent(self):
+        base = CourseRank(generate_university(scale="tiny", seed=13))
+        base.cloudsearch.build()
+        service = CourseRankService(
+            generate_university(scale="tiny", seed=13),
+            num_shards=REPRO_SHARDS,
+        )
+        base_user = base.accounts.register("w", Role.STUDENT, person_id=1)
+        course_id = 1
+        shard = service.sharded.shard_of_course(course_id)
+        svc_user = service.apps[shard].accounts.register(
+            "w", Role.STUDENT, person_id=1
+        )
+        epochs_before = service._epoch_vector()
+        text = "spectrograph nights were unforgettable"
+        base.comment_on_course(base_user, course_id, text, 4.5)
+        service.comment_on_course(svc_user, course_id, text, 4.5)
+        assert service._epoch_vector() != epochs_before
+        for query in ("spectrograph", "unforgettable nights"):
+            base_result, base_cloud = base.cloudsearch.search(query)
+            svc_result, svc_cloud = service.search(query)
+            assert _hits(base_result) == _hits(svc_result)
+            assert _terms(base_cloud) == _terms(svc_cloud)
+
+
+class TestShardCountIndependence:
+    """The property of record: answers do not depend on the shard count."""
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        num_shards=st.integers(min_value=1, max_value=5),
+        seed=st.integers(min_value=1, max_value=3),
+        query=st.sampled_from(
+            ["programming", "data systems", '"machine learning"', "theory"]
+        ),
+    )
+    def test_any_shard_count_equals_unsharded(self, num_shards, seed, query):
+        base = CourseRank(generate_university(scale="tiny", seed=seed))
+        base.cloudsearch.build()
+        service = CourseRankService(
+            generate_university(scale="tiny", seed=seed),
+            num_shards=num_shards,
+        )
+        base_result, base_cloud = base.cloudsearch.search(query)
+        svc_result, svc_cloud = service.search(query)
+        assert _hits(base_result) == _hits(svc_result)
+        assert _terms(base_cloud) == _terms(svc_cloud)
+        assert base.cloudsearch.count(query) == service.count(query)

@@ -1,0 +1,88 @@
+"""Regression: concurrent oracle runs must not corrupt planner flags.
+
+``run_minidb`` historically saved and restored the global
+``COMPILE_EXPRESSIONS``/``VECTORIZE`` planner flags with bare
+assignments; two interleaved runs could restore in the wrong order and
+leave a flag flipped for the rest of the process.  The fix routes every
+scoped override through ``planner.flag_overrides`` (one process-wide
+flag lock), so here we hammer it from many threads and assert the
+globals land exactly where they started.
+"""
+
+import threading
+
+import repro.minidb.planner as planner
+from repro.testkit.dialects import RenderedOp, RenderedScript
+from repro.testkit.oracle import SWEEP, run_minidb
+
+SCRIPT = RenderedScript(
+    create=("CREATE TABLE t (id INTEGER PRIMARY KEY, x INTEGER)",),
+    ops=(
+        RenderedOp("insert", "INSERT INTO t VALUES (1, 10)", ()),
+        RenderedOp("insert", "INSERT INTO t VALUES (2, 20)", ()),
+        RenderedOp("query", "SELECT id, x FROM t ORDER BY id", ()),
+        RenderedOp("query", "SELECT SUM(x) FROM t", ()),
+    ),
+)
+
+
+class TestFlagOverrides:
+    def test_nested_overrides_compose_and_restore(self):
+        before = (planner.COMPILE_EXPRESSIONS, planner.VECTORIZE)
+        with planner.flag_overrides(compile_expressions=False):
+            assert planner.COMPILE_EXPRESSIONS is False
+            with planner.flag_overrides(vectorize=not before[1]):
+                assert planner.COMPILE_EXPRESSIONS is False
+                assert planner.VECTORIZE is not before[1]
+            assert planner.VECTORIZE is before[1]
+        assert (planner.COMPILE_EXPRESSIONS, planner.VECTORIZE) == before
+
+    def test_restores_on_exception(self):
+        before = (planner.COMPILE_EXPRESSIONS, planner.VECTORIZE)
+        try:
+            with planner.flag_overrides(
+                compile_expressions=not before[0], vectorize=not before[1]
+            ):
+                raise ValueError("boom")
+        except ValueError:
+            pass
+        assert (planner.COMPILE_EXPRESSIONS, planner.VECTORIZE) == before
+
+
+class TestConcurrentOracleRuns:
+    def test_parallel_runs_agree_and_flags_survive(self):
+        before = (planner.COMPILE_EXPRESSIONS, planner.VECTORIZE)
+        expected = {
+            config.name: [
+                outcome.signature()
+                for outcome in run_minidb(SCRIPT, config)[0]
+            ]
+            for config in SWEEP
+        }
+        errors = []
+        barrier = threading.Barrier(len(SWEEP))
+
+        def worker(config):
+            try:
+                barrier.wait()
+                for _ in range(6):
+                    outcomes, intra = run_minidb(SCRIPT, config)
+                    assert not intra
+                    signatures = [
+                        outcome.signature() for outcome in outcomes
+                    ]
+                    assert signatures == expected[config.name]
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(config,), daemon=True)
+            for config in SWEEP
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if errors:
+            raise errors[0]
+        assert (planner.COMPILE_EXPRESSIONS, planner.VECTORIZE) == before
