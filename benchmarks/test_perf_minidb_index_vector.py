@@ -1,0 +1,245 @@
+"""Experiment P5 — vector engine v2: index-assisted scans + multi-key joins.
+
+PR 6 vectorized the sequential scan; PR 8 teaches the vector executor to
+start from an index.  The CourseRank shapes this serves are the
+low-selectivity lookups the paper's workloads are full of — "comments
+for one course", "students in a GPA band" — where scanning 50k rows to
+keep 500 is pure waste.  This experiment measures:
+
+* ``point-agg`` / ``point-residual`` — hash-index equality (1%
+  selectivity) feeding an aggregate, with and without a residual
+  predicate that stays on the vectorized filter kernel;
+* ``range-agg`` — sorted-index range (2.5% selectivity) feeding an
+  aggregate;
+* ``float-filter`` — float comparison + arithmetic kernels (the
+  numpy-eligible shape);
+* ``multikey-join`` — a composite-key hash join (``ON f.k = d.k AND
+  f.t = d.t``) that fell back to the row path before PR 8.
+
+Configs: ``interpreted`` (row pipeline, no compiled expressions),
+``row-idx`` (compiled row pipeline, index access), ``vec-seq``
+(vectorized, *no* indexes — the PR 6 engine's best), and ``vec-idx``
+(vectorized index scan).  All measured warm, best-of-3.  Every config
+must return identical rows, and flipping the numpy layer must not
+change a single cell.
+
+Acceptance (ROADMAP/ISSUE): ``vec-idx`` beats ``vec-seq`` by >= 3x on
+the medium point aggregate, and the multi-key join is ``[vectorized]``
+with a measured speedup over the interpreted row path.
+"""
+
+import time
+
+import pytest
+from conftest import write_bench_json, write_report
+
+import repro.minidb.vector as vector_module
+from repro.minidb import Database
+from repro.minidb import planner as planner_module
+
+SCALES = [("small", 10_000), ("medium", 50_000)]
+
+WORKLOADS = [
+    (
+        "point-agg",
+        "SELECT COUNT(*) AS c, SUM(v) AS s, AVG(n) AS a FROM f WHERE k = 7",
+    ),
+    (
+        "point-residual",
+        "SELECT COUNT(*) AS c, SUM(v) AS s FROM f "
+        "WHERE k = 7 AND v >= 1.0",
+    ),
+    (
+        "range-agg",
+        "SELECT COUNT(*) AS c, SUM(v) AS s FROM f WHERE n >= 975",
+    ),
+    (
+        "float-filter",
+        "SELECT COUNT(*) AS c, SUM(v) AS s FROM f "
+        "WHERE v >= 2.0 AND v * 2.0 < 8.0",
+    ),
+    (
+        "multikey-join",
+        "SELECT f.k, COUNT(*) AS c, SUM(d.w) AS sw FROM f "
+        "JOIN d ON f.k = d.k AND f.t = d.t GROUP BY f.k ORDER BY f.k",
+    ),
+]
+
+CONFIGS = [
+    # (label, compile_expressions, vectorize, indexed)
+    ("interpreted", False, False, True),
+    ("row-idx", True, False, True),
+    ("vec-seq", True, True, False),
+    ("vec-idx", True, True, True),
+]
+
+
+def build_database(rows: int, indexed: bool) -> Database:
+    database = Database()
+    database.execute(
+        "CREATE TABLE f (id INT PRIMARY KEY, k INT, t INT, n INT, "
+        "v FLOAT, note TEXT)"
+    )
+    if indexed:
+        database.execute("CREATE INDEX idx_f_k ON f (k) USING hash")
+        database.execute("CREATE INDEX idx_f_n ON f (n) USING sorted")
+    for i in range(rows):
+        database.execute(
+            "INSERT INTO f VALUES (?, ?, ?, ?, ?, ?)",
+            [i, i % 100, i % 4, i % 1000, float(i % 9) / 2.0, f"n{i % 50}"],
+        )
+    database.execute("CREATE TABLE d (k INT, t INT, w FLOAT)")
+    for k in range(100):
+        for t in range(4):
+            database.execute(
+                "INSERT INTO d VALUES (?, ?, ?)", [k, t, float(k % 5) + 0.5]
+            )
+    return database
+
+
+def best_of(database: Database, sql: str, runs: int = 3) -> float:
+    """Best warm wall time in ms (plan cache populated first)."""
+    database.query(sql)
+    best = float("inf")
+    for _ in range(runs):
+        started = time.perf_counter()
+        database.query(sql)
+        best = min(best, time.perf_counter() - started)
+    return best * 1000.0
+
+
+@pytest.fixture(scope="module")
+def measurements():
+    saved_compile = planner_module.COMPILE_EXPRESSIONS
+    saved_vectorize = planner_module.VECTORIZE
+    results = {}
+    try:
+        for scale, rows in SCALES:
+            for label, compile_expressions, vectorize, indexed in CONFIGS:
+                planner_module.COMPILE_EXPRESSIONS = compile_expressions
+                planner_module.VECTORIZE = vectorize
+                database = build_database(rows, indexed)
+                for workload, sql in WORKLOADS:
+                    results[(scale, workload, label)] = (
+                        best_of(database, sql),
+                        database.query(sql).rows,
+                    )
+    finally:
+        planner_module.COMPILE_EXPRESSIONS = saved_compile
+        planner_module.VECTORIZE = saved_vectorize
+    return results
+
+
+def test_all_configs_agree(measurements):
+    for scale, _rows in SCALES:
+        for workload, _sql in WORKLOADS:
+            reference = measurements[(scale, workload, "interpreted")][1]
+            for label, *_ in CONFIGS:
+                assert measurements[(scale, workload, label)][1] == reference, (
+                    f"{label} diverges on {workload}@{scale}"
+                )
+
+
+def test_numpy_toggle_is_bit_identical():
+    """REPRO_NUMPY=0 vs =1 on the benchmark corpus: every cell equal."""
+    saved_vectorize = planner_module.VECTORIZE
+    saved_numpy = vector_module.NUMPY
+    planner_module.VECTORIZE = True
+    try:
+        database = build_database(50_000, indexed=True)
+        for workload, sql in WORKLOADS:
+            vector_module.NUMPY = False
+            off = database.query(sql).rows
+            vector_module.NUMPY = vector_module.HAS_NUMPY
+            on = database.query(sql).rows
+            assert off == on, f"numpy toggle diverges on {workload}"
+    finally:
+        planner_module.VECTORIZE = saved_vectorize
+        vector_module.NUMPY = saved_numpy
+
+
+def test_indexed_scan_speedup(measurements):
+    """The headline number: index-assisted vectorized scan vs the PR 6
+    vectorized sequential scan on the 1%-selectivity medium aggregate."""
+    seq = measurements[("medium", "point-agg", "vec-seq")][0]
+    idx = measurements[("medium", "point-agg", "vec-idx")][0]
+    assert seq / idx >= 3.0, (
+        f"index-assisted speedup {seq / idx:.1f}x < 3x "
+        f"(seq={seq:.3f}ms idx={idx:.3f}ms)"
+    )
+
+
+def test_multikey_join_is_vectorized_with_speedup(measurements):
+    saved = planner_module.VECTORIZE
+    planner_module.VECTORIZE = True
+    try:
+        database = build_database(1_000, indexed=True)
+        plan = database.execute("EXPLAIN " + WORKLOADS[-1][1])
+        assert "[vectorized]" in plan.rows[0][0]
+    finally:
+        planner_module.VECTORIZE = saved
+    interpreted = measurements[("medium", "multikey-join", "interpreted")][0]
+    vectorized = measurements[("medium", "multikey-join", "vec-idx")][0]
+    assert interpreted / vectorized >= 2.0, (
+        f"multi-key join speedup {interpreted / vectorized:.1f}x < 2x"
+    )
+
+
+def test_report(measurements):
+    lines = [
+        "Index-assisted vector scans and multi-key hash joins "
+        "(best-of-3 warm ms per query)",
+        f"numpy layer: {'on' if vector_module.NUMPY else 'off'} "
+        f"(installed: {vector_module.HAS_NUMPY})",
+        "",
+        f"{'scale':8} {'workload':16} "
+        + " ".join(f"{label:>12}" for label, *_ in CONFIGS)
+        + f" {'idx/seq':>8} {'vec/interp':>10}",
+    ]
+    for scale, rows in SCALES:
+        for workload, _sql in WORKLOADS:
+            times = {
+                label: measurements[(scale, workload, label)][0]
+                for label, *_ in CONFIGS
+            }
+            idx_speedup = times["vec-seq"] / times["vec-idx"]
+            interp_speedup = times["interpreted"] / times["vec-idx"]
+            lines.append(
+                f"{scale:8} {workload:16} "
+                + " ".join(f"{times[label]:12.3f}" for label, *_ in CONFIGS)
+                + f" {idx_speedup:7.1f}x {interp_speedup:9.1f}x"
+            )
+        lines.append("")
+    lines.append(
+        "rows: small=10k medium=50k; selectivity: point-agg 1%, "
+        "range-agg 2.5%; dims table 400 rows; join key (k, t)"
+    )
+    write_report("perf_minidb_index_vector", lines)
+    timings_ms = {
+        f"{scale}/{workload}/{label}": measurements[(scale, workload, label)][0]
+        for scale, _rows in SCALES
+        for workload, _sql in WORKLOADS
+        for label, *_ in CONFIGS
+    }
+    medium_seq = measurements[("medium", "point-agg", "vec-seq")][0]
+    medium_idx = measurements[("medium", "point-agg", "vec-idx")][0]
+    join_interp = measurements[("medium", "multikey-join", "interpreted")][0]
+    join_vec = measurements[("medium", "multikey-join", "vec-idx")][0]
+    write_bench_json(
+        "minidb_index_vector",
+        {
+            "numpy": vector_module.NUMPY,
+            "numpy_installed": vector_module.HAS_NUMPY,
+            "timings_ms": timings_ms,
+            "ops_per_sec": {
+                key: (1000.0 / ms if ms else None)
+                for key, ms in timings_ms.items()
+            },
+            "speedup": {
+                "medium_point_agg_vec_idx_vs_vec_seq": medium_seq / medium_idx,
+                "medium_multikey_join_vec_vs_interpreted": (
+                    join_interp / join_vec
+                ),
+            },
+        },
+    )

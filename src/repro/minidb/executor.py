@@ -435,9 +435,12 @@ class Executor:
             lines[0] += " [cached]"
         if getattr(plan, "compiled", False):
             lines[0] += " [compiled-expr]"
-        vectorized = getattr(plan, "vector", None) is not None
+        vector_plan = getattr(plan, "vector", None)
+        vectorized = vector_plan is not None
         if vectorized:
             lines[0] += " [vectorized]"
+            if vector_plan.uses_numpy:
+                lines[0] += " [numpy]"
         return AnalyzeReport(
             result=result,
             lines=lines,
@@ -587,8 +590,11 @@ class Executor:
         head = lines[0] + (" [cached]" if cached else "")
         if getattr(plan, "compiled", False):
             head += " [compiled-expr]"
-        if getattr(plan, "vector", None) is not None:
+        vector_plan = getattr(plan, "vector", None)
+        if vector_plan is not None:
             head += " [vectorized]"
+            if vector_plan.uses_numpy:
+                head += " [numpy]"
         return ResultSet(
             ["QUERY PLAN"], [(line,) for line in [head] + lines[1:]]
         )

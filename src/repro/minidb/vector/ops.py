@@ -1,15 +1,15 @@
 """Batch-vectorized physical operators and the dual-path plan router.
 
 ``build_vector_plan`` walks an existing logical :class:`QueryPlan` and
-mirrors it with vector operators (:class:`VScan`, :class:`VFilter`,
-:class:`VHashJoin`, :class:`VAggregate`, :class:`VSort`, :class:`VLimit`,
-:class:`VSubqueryScan`).  Any node the batch path cannot run — index
-scans, multi-key or nested-loop joins, expressions with scalar function
-calls — is wrapped in a :class:`VRowSource` *row-emit boundary*: the
-node's entire subtree executes on the untouched iterator path and its
-env dicts are packed into batches, so operators above it stay
-vectorized.  The capability check happens once at plan time; execution
-never probes.
+mirrors it with vector operators (:class:`VScan`, :class:`VIndexScan`,
+:class:`VFilter`, :class:`VHashJoin`, :class:`VAggregate`,
+:class:`VSort`, :class:`VLimit`, :class:`VSubqueryScan`).  Any node the
+batch path cannot run — primary-key point lookups, nested-loop joins,
+expressions with scalar function calls — is wrapped in a
+:class:`VRowSource` *row-emit boundary*: the node's entire subtree
+executes on the untouched iterator path and its env dicts are packed
+into batches, so operators above it stay vectorized.  The capability
+check happens once at plan time; execution never probes.
 
 Equivalence rules the builder enforces (beyond kernel-level semantics):
 
@@ -47,7 +47,12 @@ from repro.minidb.functions import (
 from repro.minidb.sql.ast import AggregateRef
 from repro.minidb.expressions import ColumnRef
 from repro.minidb.vector import batch as _batch
-from repro.minidb.vector.batch import ColumnBatch, iter_batches, table_columns
+from repro.minidb.vector.batch import (
+    ColumnBatch,
+    ColumnMap,
+    iter_batches,
+    table_store,
+)
 from repro.minidb.vector.kernels import (
     Kernel,
     KernelUnsupported,
@@ -121,19 +126,100 @@ class VScan(VOp):
         self.predicate = predicate
 
     def batches(self) -> Iterator[ColumnBatch]:
-        store = table_columns(self.node.table)
-        length = len(store[0]) if store else 0
+        store = table_store(self.node.table)
+        length = store.length
+        store_arrays = store.arrays
         columns: Dict[str, List[Any]] = {}
+        arrays: Dict[str, Any] = {}
         for index, qualified, bare in self.node._keys:
-            column = store[index]
+            column = store.columns[index]
             columns[qualified] = column
+            array = store_arrays.get(index)
+            if array is not None:
+                arrays[qualified] = array
             if bare:
                 columns[bare] = column  # zero-copy alias
+                if array is not None:
+                    arrays[bare] = array
+        if arrays:
+            columns = ColumnMap(columns, arrays)
         predicate = self.predicate
         ctx = self.ctx
         observe = OBS.enabled
         emitted = 0
         for chunk in iter_batches(columns, length):
+            if predicate is not None:
+                flags = predicate(ctx, chunk.columns, range(chunk.length))
+                sel = [pos for pos, flag in enumerate(flags) if flag is True]
+                if observe and chunk.length:
+                    OBS.metrics.observe(
+                        "minidb.vector.filter.selectivity",
+                        len(sel) / chunk.length,
+                    )
+                if not sel:
+                    continue
+                if len(sel) != chunk.length:
+                    chunk = chunk.gather(sel)
+            emitted += 1
+            yield chunk
+        if observe and emitted:
+            OBS.metrics.inc("minidb.vector.batches", emitted)
+
+
+class VIndexScan(VOp):
+    """Index-assisted batch scan: probes the logical node's
+    :class:`~repro.minidb.planner.IndexAccess` for matching rowids
+    exactly like the row path (equality via ``index.find``, bounds via
+    ``index.range``), then materializes *only those rows* from the cached
+    column store, in the index's emission order — so output order is
+    bit-identical to the row path's IndexScan.  The store's rowid ->
+    position map bridges rowid order and store order (which diverge
+    after in-place updates).  Any residual predicate runs as a pushed
+    selection-vector kernel, mirroring :class:`VScan`.
+
+    Primary-key point lookups stay on the row path: a 0/1-row plan has
+    nothing to vectorize and EXPLAIN should not claim otherwise.
+    """
+
+    def __init__(self, node: Any, ctx: Dict[str, Any],
+                 predicate: Optional[Kernel]) -> None:
+        super().__init__(node, ctx)
+        self.predicate = predicate
+
+    def batches(self) -> Iterator[ColumnBatch]:
+        node = self.node
+        access = node.access
+        index = access.index_info.index
+        if access.equal_key is not None:
+            rowids = list(index.find(access.equal_key))
+        else:
+            rowids = list(
+                index.range(
+                    access.low, access.high,
+                    access.low_inclusive, access.high_inclusive,
+                )
+            )
+        observe = OBS.enabled
+        if observe:
+            OBS.metrics.inc("minidb.vector.index_scan.probes")
+            if rowids:
+                OBS.metrics.inc("minidb.vector.index_scan.rowids", len(rowids))
+        if not rowids:
+            return
+        store = table_store(node.table)
+        positions = store.positions
+        picks = [positions[rowid] for rowid in rowids]
+        columns: Dict[str, List[Any]] = {}
+        for col_index, qualified, bare in node._keys:
+            source = store.columns[col_index]
+            column = [source[pos] for pos in picks]
+            columns[qualified] = column
+            if bare:
+                columns[bare] = column  # zero-copy alias
+        predicate = self.predicate
+        ctx = self.ctx
+        emitted = 0
+        for chunk in iter_batches(columns, len(picks)):
             if predicate is not None:
                 flags = predicate(ctx, chunk.columns, range(chunk.length))
                 sel = [pos for pos, flag in enumerate(flags) if flag is True]
@@ -199,38 +285,57 @@ class VFilter(VOp):
 
 
 class VHashJoin(VOp):
-    """Single-key equi-join over batches (inner or LEFT OUTER, with an
-    optional residual predicate on merged rows).
+    """Equi-join over batches — single or composite key, inner or LEFT
+    OUTER, with an optional residual predicate on merged rows.
 
     The build side is materialized column-wise with buckets of row
     indices; probing walks each left batch in row order and emits
     left-major output, matching the row path's emission order exactly.
-    NULL keys never join; unmatched left rows of an outer join emit a
-    NULL-padded right side.
+    Composite keys reduce to one per-row value — a tuple, or ``None``
+    when *any* part is NULL — so NULL-key semantics (a NULL part never
+    equi-joins, exactly the row path's ``any(part is None)`` skip) and
+    bucket/probe order are identical to the single-key path.  Unmatched
+    left rows of an outer join emit a NULL-padded right side.
     """
 
     def __init__(self, left: VOp, right: VOp, node: Any,
-                 ctx: Dict[str, Any], left_key: Kernel, right_key: Kernel,
+                 ctx: Dict[str, Any], left_key_kernels: List[Kernel],
+                 right_key_kernels: List[Kernel],
                  residual: Optional[Kernel]) -> None:
         super().__init__(node, ctx)
         self.left = left
         self.right = right
         self.children = [left, right]
-        self.left_key = left_key
-        self.right_key = right_key
+        self.left_key_kernels = left_key_kernels
+        self.right_key_kernels = right_key_kernels
         self.residual = residual
+
+    def _key_values(self, kernels: List[Kernel],
+                    chunk: ColumnBatch) -> List[Any]:
+        """One join-key value per row: the bare value (single key) or a
+        tuple collapsed to ``None`` when any part is NULL."""
+        sel = range(chunk.length)
+        if len(kernels) == 1:
+            return kernels[0](self.ctx, chunk.columns, sel)
+        parts = [kernel(self.ctx, chunk.columns, sel) for kernel in kernels]
+        return [
+            None if any(part is None for part in row) else row
+            for row in zip(*parts)
+        ]
 
     def batches(self) -> Iterator[ColumnBatch]:
         node = self.node
         ctx = self.ctx
         right_keys = node.right.env_keys
         left_keys = node.left.env_keys
+        if OBS.enabled and len(self.left_key_kernels) > 1:
+            OBS.metrics.inc("minidb.vector.multikey_join.count")
         right_columns: Dict[str, List[Any]] = {key: [] for key in right_keys}
         buckets: Dict[Any, List[int]] = {}
         base = 0
-        right_key = self.right_key
+        right_key_kernels = self.right_key_kernels
         for chunk in self.right.batches():
-            values = right_key(ctx, chunk.columns, range(chunk.length))
+            values = self._key_values(right_key_kernels, chunk)
             for key in right_keys:
                 right_columns[key].extend(chunk.columns[key])
             for pos, value in enumerate(values):
@@ -242,12 +347,12 @@ class VHashJoin(VOp):
                 else:
                     bucket.append(base + pos)
             base += chunk.length
-        left_key = self.left_key
+        left_key_kernels = self.left_key_kernels
         residual = self.residual
         outer = node.left_outer
         buckets_get = buckets.get
         for chunk in self.left.batches():
-            values = left_key(ctx, chunk.columns, range(chunk.length))
+            values = self._key_values(left_key_kernels, chunk)
             pair_left: List[int] = []
             pair_right: List[int] = []
             counts = [0] * chunk.length
@@ -617,13 +722,16 @@ def _build_node(node: Any, ctx: Dict[str, Any]) -> VOp:
     from repro.minidb import planner as _planner
 
     if isinstance(node, _planner.ScanNode):
-        if node.access is not None:
-            return VRowSource(node, ctx)  # index scans stay row-wise
         predicate: Optional[Kernel] = None
         if node.predicate is not None:
             predicate = _try_kernel(node.predicate)
             if predicate is None:
                 return VRowSource(node, ctx)
+        if node.access is not None:
+            if isinstance(node.access, _planner.IndexAccess):
+                return VIndexScan(node, ctx, predicate)
+            # Primary-key point lookups: 0/1 rows, nothing to vectorize.
+            return VRowSource(node, ctx)
         return VScan(node, ctx, predicate)
     if isinstance(node, _planner.SubqueryScanNode):
         return VSubqueryScan(node, ctx)
@@ -633,12 +741,15 @@ def _build_node(node: Any, ctx: Dict[str, Any]) -> VOp:
             return VRowSource(node, ctx)
         return VFilter(_build_node(node.child, ctx), node, ctx, predicate)
     if isinstance(node, _planner.HashJoinNode):
-        if len(node.left_keys) != 1:
-            return VRowSource(node, ctx)
-        left_key = _try_kernel(node.left_keys[0])
-        right_key = _try_kernel(node.right_keys[0])
-        if left_key is None or right_key is None:
-            return VRowSource(node, ctx)
+        left_key_kernels: List[Kernel] = []
+        right_key_kernels: List[Kernel] = []
+        for left_expr, right_expr in zip(node.left_keys, node.right_keys):
+            left_key = _try_kernel(left_expr)
+            right_key = _try_kernel(right_expr)
+            if left_key is None or right_key is None:
+                return VRowSource(node, ctx)
+            left_key_kernels.append(left_key)
+            right_key_kernels.append(right_key)
         residual: Optional[Kernel] = None
         if node.residual is not None:
             residual = _try_kernel(node.residual)
@@ -646,7 +757,7 @@ def _build_node(node: Any, ctx: Dict[str, Any]) -> VOp:
                 return VRowSource(node, ctx)
         return VHashJoin(
             _build_node(node.left, ctx), _build_node(node.right, ctx),
-            node, ctx, left_key, right_key, residual,
+            node, ctx, left_key_kernels, right_key_kernels, residual,
         )
     if isinstance(node, _planner.AggregateNode):
         group_kernels: List[Kernel] = []
@@ -749,6 +860,23 @@ class VectorPlan:
             else:
                 self.fallback_nodes += 1
             stack.extend(op.children)
+
+    @property
+    def uses_numpy(self) -> bool:
+        """True when the ndarray column layer is armed for this plan:
+        the ``vector.NUMPY`` flag is on and at least one columnar scan
+        feeds it.  (Per-column eligibility is decided at store build;
+        the ``minidb.vector.numpy.*`` counters report actual columns.)
+        Read at EXPLAIN time, so flag flips show up without replanning.
+        """
+        import repro.minidb.vector as _vector
+
+        if not _vector.NUMPY:
+            return False
+        return any(
+            isinstance(op, (VScan, VIndexScan))
+            for op in self.op_index.values()
+        )
 
     def run(self) -> Tuple[List[str], List[Tuple[Any, ...]]]:
         plan = self.plan

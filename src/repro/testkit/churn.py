@@ -44,12 +44,21 @@ CREATE TABLE Enrollments (SuID INTEGER, CourseID INTEGER,
   Year INTEGER, Term TEXT, Grade TEXT,
   PRIMARY KEY (SuID, CourseID));
 CREATE TABLE Docs (DocID INTEGER PRIMARY KEY, Title TEXT, Body TEXT);
+CREATE INDEX idx_comments_course ON Comments (CourseID) USING hash;
+CREATE INDEX idx_students_gpa ON Students (GPA) USING sorted;
+CREATE INDEX idx_enroll_course ON Enrollments (CourseID) USING hash;
 """
 
 COMMENTS_DDL = (
     "CREATE TABLE Comments (SuID INTEGER, CourseID INTEGER, Year INTEGER, "
     "Term TEXT, Text TEXT, Rating FLOAT, CommentDate DATE, "
     "PRIMARY KEY (SuID, CourseID))"
+)
+
+#: recreated with the table in ``_drop_recreate_comments`` (DROP TABLE
+#: drops its indexes), so indexed plans stay live across schema churn.
+COMMENTS_INDEX_DDL = (
+    "CREATE INDEX idx_comments_course ON Comments (CourseID) USING hash"
 )
 
 DOC_WORDS = (
@@ -71,6 +80,19 @@ QUERIES: Tuple[Tuple[str, Tuple[Any, ...]], ...] = (
     ("SELECT e.SuID, e.Grade FROM Enrollments AS e "
      "LEFT JOIN Students AS s ON e.SuID = s.SuID "
      "WHERE s.GPA IS NOT NULL OR e.Grade = 'A'", ()),
+    # Literal predicates so the planner routes the secondary indexes
+    # (parameters never choose an access path): hash equality on
+    # Comments, sorted range on Students — exercised live-vs-replica on
+    # both the row path and the vectorized VIndexScan.
+    ("SELECT m.SuID, m.Rating FROM Comments AS m "
+     "WHERE m.CourseID = 3 ORDER BY m.SuID", ()),
+    ("SELECT s.SuID, s.GPA FROM Students AS s "
+     "WHERE s.GPA >= 3.0 ORDER BY s.SuID", ()),
+    # Composite equi-join: two key pairs, vectorized multi-key hash join.
+    ("SELECT m.SuID, m.CourseID, e.Grade FROM Comments AS m "
+     "INNER JOIN Enrollments AS e "
+     "ON m.SuID = e.SuID AND m.CourseID = e.CourseID "
+     "ORDER BY m.SuID, m.CourseID", ()),
 )
 
 SEARCH_QUERIES = ("american history", "jazz", "database systems", "war")
@@ -319,6 +341,7 @@ class ChurnDriver:
         counters, which the epoch-keyed caches must not alias."""
         self.db.execute("DROP TABLE Comments")
         self.db.execute(COMMENTS_DDL)
+        self.db.execute(COMMENTS_INDEX_DDL)
         for (suid, course_id), rating in sorted(self.shadow.ratings.items()):
             self.db.execute(
                 f"INSERT INTO Comments VALUES ({suid}, {course_id}, 2008, "
@@ -353,6 +376,10 @@ class ChurnDriver:
             explain = self.db.query(f"EXPLAIN {sql}")
             if any("[compiled-expr]" in row[0] for row in explain.rows):
                 self._bump("compiled_plans")
+            if any("IndexScan" in row[0] for row in explain.rows):
+                self._bump("indexed_plans")
+            if any("[vectorized]" in row[0] for row in explain.rows):
+                self._bump("vectorized_plans")
             live_rows = normalize_rows(live_first.rows)
             if live_rows != normalize_rows(live_second.rows):
                 self._fail(f"warm re-execution diverged: {sql}")

@@ -295,9 +295,9 @@ def create_table_sql(table: g.TableSpec) -> str:
     return f"CREATE TABLE {table.name} ({', '.join(pieces)})"
 
 
-def create_index_sql(table: g.TableSpec, index: g.IndexSpec,
-                     dialect: str) -> str:
-    sql = f"CREATE INDEX {index.name} ON {table.name} ({index.column})"
+def create_index_sql(table: str, index: g.IndexSpec, dialect: str) -> str:
+    columns = ", ".join(index.columns)
+    sql = f"CREATE INDEX {index.name} ON {table} ({columns})"
     if dialect == MINIDB:
         sql += f" USING {index.kind}"
     return sql
@@ -332,13 +332,22 @@ def _render_op(op: g.Op, dialect: str) -> List[RenderedOp]:
         if op.where is not None:
             sql += f" WHERE {render_expr(op.where, dialect, params)}"
         return [RenderedOp("delete", sql, tuple(params))]
+    if isinstance(op, g.CreateIndexOp):
+        return [
+            RenderedOp("ddl", create_index_sql(op.table, op.index, dialect))
+        ]
+    if isinstance(op, g.DropIndexOp):
+        # Same text in both dialects.
+        return [RenderedOp("ddl", f"DROP INDEX {op.name}")]
     if isinstance(op, g.DropCreateOp):
         out = [
             RenderedOp("ddl", f"DROP TABLE {op.table.name}"),
             RenderedOp("ddl", create_table_sql(op.table)),
         ]
         out.extend(
-            RenderedOp("ddl", create_index_sql(op.table, index, dialect))
+            RenderedOp(
+                "ddl", create_index_sql(op.table.name, index, dialect)
+            )
             for index in op.table.indexes
         )
         out.extend(
@@ -354,7 +363,7 @@ def _render_script(case: g.Case, dialect: str) -> RenderedScript:
     for table in case.tables:
         create.append(create_table_sql(table))
         create.extend(
-            create_index_sql(table, index, dialect)
+            create_index_sql(table.name, index, dialect)
             for index in table.indexes
         )
     for table in case.tables:

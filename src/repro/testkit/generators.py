@@ -72,6 +72,8 @@ __all__ = [
     "InsertOp",
     "UpdateOp",
     "DeleteOp",
+    "CreateIndexOp",
+    "DropIndexOp",
     "DropCreateOp",
     "Case",
     "Capabilities",
@@ -103,7 +105,7 @@ class ColumnSpec:
 @dataclass(frozen=True)
 class IndexSpec:
     name: str
-    column: str
+    columns: Tuple[str, ...]  # single- or multi-column
     kind: str  # "hash" | "sorted"
 
 
@@ -307,6 +309,26 @@ class DeleteOp:
 
 
 @dataclass(frozen=True)
+class CreateIndexOp:
+    """CREATE INDEX on a live table (hash or sorted, single- or
+    multi-column).  Exercises index maintenance under subsequent DML,
+    plan-cache invalidation on schema epoch bumps, and — for
+    single-column indexes over literal predicates — the planner's
+    index-routed access paths, row and vectorized."""
+
+    table: str
+    index: IndexSpec
+
+
+@dataclass(frozen=True)
+class DropIndexOp:
+    """DROP INDEX by name; later queries must re-plan without it."""
+
+    table: str
+    name: str
+
+
+@dataclass(frozen=True)
 class DropCreateOp:
     """DROP TABLE + CREATE TABLE + fresh indexes + reinserted rows.
 
@@ -320,7 +342,10 @@ class DropCreateOp:
     rows: Tuple[Tuple[Any, ...], ...]
 
 
-Op = Union[QueryOp, InsertOp, UpdateOp, DeleteOp, DropCreateOp]
+Op = Union[
+    QueryOp, InsertOp, UpdateOp, DeleteOp,
+    CreateIndexOp, DropIndexOp, DropCreateOp,
+]
 
 
 @dataclass
@@ -367,6 +392,7 @@ class Capabilities:
     allow_params: bool = True
     allow_dml: bool = True
     allow_drop_create: bool = True
+    allow_index_ddl: bool = True
     # Scalar functions present in both engines with identical semantics
     # on the generated value domain (see module docstring).
     functions: Tuple[str, ...] = (
@@ -787,26 +813,38 @@ class CaseGenerator:
                 )
             name = f"t{t}"
             indexes = tuple(
-                self._make_index(name, rng.choice(columns).name)
+                self._make_index(name, self._index_columns(tuple(columns)))
                 for _ in range(rng.randint(0, 2))
             )
-            # Dedupe index columns (two indexes on one column are legal
-            # but add nothing).
+            # Dedupe index column sets (two indexes on one column set are
+            # legal but add nothing).
             seen: set = set()
             unique_indexes = []
             for index in indexes:
-                if index.column not in seen:
-                    seen.add(index.column)
+                if index.columns not in seen:
+                    seen.add(index.columns)
                     unique_indexes.append(index)
             tables.append(TableSpec(name, tuple(columns),
                                     tuple(unique_indexes)))
         return tuple(tables)
 
-    def _make_index(self, table: str, column: str) -> IndexSpec:
+    def _index_columns(
+        self, columns: Tuple[ColumnSpec, ...]
+    ) -> Tuple[str, ...]:
+        """1–2 distinct columns; mostly single (those route access paths)."""
+        rng = self.rng
+        if len(columns) > 1 and rng.random() < 0.3:
+            picked = rng.sample(list(columns), 2)
+            return tuple(column.name for column in picked)
+        return (rng.choice(columns).name,)
+
+    def _make_index(
+        self, table: str, columns: Tuple[str, ...]
+    ) -> IndexSpec:
         self._index_serial += 1
         return IndexSpec(
-            f"idx_{table}_{column}_{self._index_serial}",
-            column,
+            f"idx_{table}_{'_'.join(columns)}_{self._index_serial}",
+            columns,
             self.rng.choice(("hash", "sorted")),
         )
 
@@ -1113,13 +1151,40 @@ class CaseGenerator:
             )
         return self._literal(column.dtype, nullable=column.nullable)
 
+    def _index_ddl(self) -> Op:
+        """CREATE INDEX or DROP INDEX against the live registry, so the
+        name set stays collision-free and drops always hit a real index
+        (identical outcomes on both engines, no error-path noise)."""
+        rng = self.rng
+        indexed = [table for table in self.tables if table.indexes]
+        if indexed and rng.random() < 0.4:
+            spec = rng.choice(indexed)
+            victim = rng.choice(spec.indexes)
+            remaining = tuple(
+                index for index in spec.indexes if index.name != victim.name
+            )
+            self._swap_table(replace(spec, indexes=remaining))
+            return DropIndexOp(spec.name, victim.name)
+        spec = rng.choice(self.tables)
+        index = self._make_index(
+            spec.name, self._index_columns(spec.columns)
+        )
+        self._swap_table(replace(spec, indexes=spec.indexes + (index,)))
+        return CreateIndexOp(spec.name, index)
+
+    def _swap_table(self, spec: TableSpec) -> None:
+        self.tables = tuple(
+            spec if table.name == spec.name else table
+            for table in self.tables
+        )
+
     def _drop_create(self) -> DropCreateOp:
         rng = self.rng
         spec = rng.choice(self.tables)
         # Fresh index generation: names must not collide with the ones
         # dropped alongside the old table.
         indexes = tuple(
-            self._make_index(spec.name, index.column)
+            self._make_index(spec.name, index.columns)
             for index in spec.indexes
         )
         spec = replace(spec, indexes=indexes)
@@ -1155,6 +1220,8 @@ class CaseGenerator:
                 ops.append(QueryOp(self.query()))
             elif caps.allow_drop_create and roll > 0.94:
                 ops.append(self._drop_create())
+            elif caps.allow_index_ddl and roll > 0.88:
+                ops.append(self._index_ddl())
             else:
                 ops.append(self._dml())
         while sum(isinstance(op, QueryOp) for op in ops) < caps.min_queries:

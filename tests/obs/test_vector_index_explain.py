@@ -1,0 +1,161 @@
+"""EXPLAIN/ANALYZE surface of index-assisted vector scans (PR 8).
+
+Pins three contracts.  First, *plan-render parity*: the logical
+``IndexScan(...)`` line is identical whether the executor runs the row
+path or the vector path — vectorization is an executor property, not a
+plan property, so only the ``[vectorized]``/``[numpy]`` head markers may
+differ.  Second, the ``[numpy]`` marker tracks ``vector.NUMPY``
+dynamically (a flag flip shows up without replanning).  Third, the new
+``repro.obs`` counters fire: index-scan probes/rowids, multi-key join
+routing, and numpy column mirroring/fallback.
+"""
+
+import pytest
+
+import repro.minidb.planner as planner_module
+import repro.minidb.vector as vector_module
+from repro.minidb import Database
+from repro.obs import OBS
+
+
+@pytest.fixture()
+def db(monkeypatch):
+    monkeypatch.setattr(planner_module, "VECTORIZE", True)
+    database = Database()
+    database.execute(
+        "CREATE TABLE t (id INT PRIMARY KEY, k INT, n INT, v FLOAT)"
+    )
+    database.execute("CREATE INDEX idx_t_k ON t (k) USING hash")
+    database.execute("CREATE INDEX idx_t_n ON t (n) USING sorted")
+    for i in range(40):
+        database.execute(
+            "INSERT INTO t VALUES (?, ?, ?, ?)",
+            [i, i % 4, i % 7, 0.25 * (1 + i % 4)],
+        )
+    database.execute("CREATE TABLE e (a INT, b INT, w FLOAT)")
+    for i in range(20):
+        database.execute(
+            "INSERT INTO e VALUES (?, ?, ?)", [i % 4, i % 7, 0.5]
+        )
+    return database
+
+
+HASH_SQL = "SELECT id, n FROM t WHERE k = 2 AND n > 1"
+RANGE_SQL = "SELECT id FROM t WHERE n >= 3"
+MULTIKEY_SQL = (
+    "SELECT t.id, e.w FROM t JOIN e ON t.k = e.a AND t.n = e.b "
+    "ORDER BY t.id, e.w"
+)
+
+
+def _explain_lines(database, sql):
+    result = database.execute("EXPLAIN " + sql)
+    return [row[0] for row in result.rows]
+
+
+def _strip_markers(line):
+    return line.replace(" [vectorized]", "").replace(" [numpy]", "")
+
+
+@pytest.mark.parametrize("sql", [HASH_SQL, RANGE_SQL])
+def test_index_plan_lines_identical_across_paths(db, sql):
+    vectorized = _explain_lines(db, sql)
+    assert "[vectorized]" in vectorized[0]
+    assert any("IndexScan(" in line for line in vectorized)
+
+    planner_module.VECTORIZE = False
+    db.clear_plan_cache()
+    row_path = _explain_lines(db, sql)
+    assert "[vectorized]" not in row_path[0]
+    assert [_strip_markers(line) for line in vectorized] == row_path
+
+
+def test_hash_equality_renders_index_and_residual(db):
+    lines = _explain_lines(db, HASH_SQL)
+    index_line = next(line for line in lines if "IndexScan(" in line)
+    assert "using idx_t_k" in index_line
+    assert "filter=" in index_line  # residual predicate stays visible
+
+
+def test_multikey_join_is_vectorized(db):
+    lines = _explain_lines(db, MULTIKEY_SQL)
+    assert "[vectorized]" in lines[0]
+    join_line = next(line for line in lines if "HashJoin(" in line)
+    assert "t.k" in join_line and "t.n" in join_line
+
+
+def test_numpy_marker_tracks_flag_without_replanning(db):
+    if not vector_module.HAS_NUMPY:
+        pytest.skip("numpy not installed")
+    saved = vector_module.NUMPY
+    try:
+        vector_module.NUMPY = True
+        assert "[numpy]" in _explain_lines(db, HASH_SQL)[0]
+        # No clear_plan_cache(): the marker reads the flag at render time.
+        vector_module.NUMPY = False
+        assert "[numpy]" not in _explain_lines(db, HASH_SQL)[0]
+    finally:
+        vector_module.NUMPY = saved
+
+
+def test_analyze_reports_index_scan_batches(db):
+    report = db.analyze(HASH_SQL)
+    assert report.vectorized
+    assert any(
+        "IndexScan(" in line and "batches=" in line for line in report.lines
+    )
+
+    def check(node):
+        assert node.rows_in == sum(child.rows_out for child in node.children)
+        for child in node.children:
+            check(child)
+
+    check(report.root)
+    assert report.root.rows_out == len(report.result)
+
+
+def test_index_scan_results_match_row_path(db):
+    for sql in (HASH_SQL, RANGE_SQL, MULTIKEY_SQL):
+        vectorized = db.query(sql)
+        planner_module.VECTORIZE = False
+        db.clear_plan_cache()
+        row_path = db.query(sql)
+        planner_module.VECTORIZE = True
+        db.clear_plan_cache()
+        assert vectorized.rows == row_path.rows, sql
+
+
+def test_obs_counters_index_scan_and_multikey(db):
+    OBS.reset()
+    OBS.enable()
+    try:
+        db.clear_plan_cache()
+        db.query(HASH_SQL)
+        db.query(RANGE_SQL)
+        db.query(MULTIKEY_SQL)
+        counters = OBS.metrics.counters()
+        assert counters["minidb.vector.index_scan.probes"] >= 2
+        assert counters["minidb.vector.index_scan.rowids"] >= 1
+        assert counters["minidb.vector.multikey_join.count"] >= 1
+    finally:
+        OBS.disable()
+        OBS.reset()
+
+
+def test_obs_counters_numpy_columns(db):
+    if not vector_module.HAS_NUMPY:
+        pytest.skip("numpy not installed")
+    saved = vector_module.NUMPY
+    OBS.reset()
+    OBS.enable()
+    try:
+        vector_module.NUMPY = True
+        db.clear_plan_cache()
+        db.query("SELECT id FROM t WHERE v > 0.5")
+        counters = OBS.metrics.counters()
+        # id/k/n/v are all int or float with no NULLs -> all mirrored.
+        assert counters["minidb.vector.numpy.columns"] >= 1
+    finally:
+        vector_module.NUMPY = saved
+        OBS.disable()
+        OBS.reset()

@@ -1,8 +1,9 @@
 """EXPLAIN/EXPLAIN ANALYZE surface of the vectorized executor.
 
 Pins the routing contract: ``[vectorized]`` renders exactly when the
-plan carries a vector twin (never for row-path-only shapes like index
-scans or UDF projections), EXPLAIN ANALYZE reports per-node batch
+plan carries a vector twin (never for row-path-only shapes like
+primary-key point lookups or UDF projections), EXPLAIN ANALYZE reports
+per-node batch
 counts for genuinely vectorized operators while the PR 5 row-accounting
 invariants keep holding, and the ``repro.obs`` counters see batches and
 fallbacks.
@@ -30,7 +31,7 @@ def db(monkeypatch):
 
 
 VECTORIZED_SQL = "SELECT dep, COUNT(*) AS n FROM t GROUP BY dep ORDER BY dep"
-# The pk-equality shape routes through IndexAccess -> row path only.
+# The pk-equality shape routes through PrimaryKeyAccess -> row path only.
 ROW_ONLY_SQL = "SELECT id FROM t WHERE id = 3"
 # UDF in the projection: no kernel, no pure-key projection.
 UDF_SQL = "SELECT ABS(dep) AS a FROM t"
