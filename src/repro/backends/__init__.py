@@ -1,0 +1,61 @@
+"""Execution backends: run compiled FlexRecs SQL on any DB-API engine.
+
+The paper claims recommendation workflows compile to declarative SQL
+"executed by a conventional DBMS".  This package makes that literal:
+
+- :mod:`repro.backends.dialects` — per-engine :class:`SqlDialect`
+  renderers under a declarative :class:`Capabilities` mask,
+- :mod:`repro.backends.base` — the :class:`Backend` protocol
+  (connect / execute / introspect / load-from-minidb-snapshot),
+- :mod:`repro.backends.native` — the in-process minidb driver,
+- :mod:`repro.backends.dbapi` — the generic DB-API 2.0 adapter and the
+  stdlib ``sqlite3`` driver,
+- :mod:`repro.backends.registry` — name-keyed driver factories, open to
+  any DB-API connection via ``REGISTRY.register_dbapi``.
+
+See DESIGN.md §15 for the architecture and the how-to for adding a
+driver.
+"""
+
+from repro.backends.base import Backend, BackendResult
+from repro.backends.dbapi import (
+    DbApiBackend,
+    Sqlite3Backend,
+    convert_placeholders,
+)
+from repro.backends.dialects import (
+    DIALECTS,
+    MINIDB_DIALECT,
+    SQLITE_DIALECT,
+    Capabilities,
+    SqlDialect,
+    get_dialect,
+    register_dialect,
+)
+from repro.backends.native import MinidbBackend
+from repro.backends.registry import (
+    REGISTRY,
+    BackendRegistry,
+    create_backend,
+    default_backend_name,
+)
+
+__all__ = [
+    "Backend",
+    "BackendResult",
+    "BackendRegistry",
+    "Capabilities",
+    "DbApiBackend",
+    "DIALECTS",
+    "MinidbBackend",
+    "MINIDB_DIALECT",
+    "REGISTRY",
+    "SqlDialect",
+    "Sqlite3Backend",
+    "SQLITE_DIALECT",
+    "convert_placeholders",
+    "create_backend",
+    "default_backend_name",
+    "get_dialect",
+    "register_dialect",
+]

@@ -1,0 +1,268 @@
+"""SQL dialects and the per-backend capability mask.
+
+A :class:`SqlDialect` is the *rendering* half of a backend: it knows how
+to spell literals, casts, and function names for one SQL engine, and it
+carries a :class:`Capabilities` mask describing what the engine can and
+cannot do.  The FlexRecs compiler (:mod:`repro.core.compiler`) is
+parameterized by a dialect, so the same workflow tree lowers to
+engine-appropriate SQL text for minidb, sqlite3, or any registered
+DB-API backend — the paper's "executed by a conventional DBMS" made
+literal.
+
+This generalizes :mod:`repro.testkit.dialects` (which renders the
+fuzzer's query AST for the minidb-vs-sqlite oracle) into a reusable
+layer: the handful of genuine engine differences live in one declarative
+mask instead of being re-derived per renderer.
+
+Known dialect differences captured here:
+
+==============================  =======================  ====================
+construct                       minidb                   sqlite
+==============================  =======================  ====================
+float cast                      ``CAST_FLOAT(x)``        ``CAST(x AS REAL)``
+LEAST / GREATEST                ``LEAST`` / ``GREATEST`` ``MIN`` / ``MAX``
+integer division                true division            truncates (needs
+                                                         ``* 1.0`` promotion)
+date literal                    ``DATE '2008-01-05'``    ``'2008-01-05'``
+boolean literal                 ``TRUE`` / ``FALSE``     ``TRUE`` / ``FALSE``
+                                (typed)                  (stored as 1 / 0)
+bound date parameter            ``datetime.date``        ISO string
+bound bool parameter            ``bool``                 ``int``
+CREATE INDEX                    ``... USING <kind>``     no ``USING`` clause
+==============================  =======================  ====================
+
+Adding a dialect for a new DB-API driver is declarative: construct a
+``SqlDialect`` with the right mask and :func:`register_dialect` it (see
+DESIGN.md §15 for the walk-through).
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass, field
+from typing import Any, Dict, FrozenSet, Mapping, Optional, Tuple
+
+from repro.errors import BackendCapabilityError
+from repro.minidb.types import DataType
+
+__all__ = [
+    "Capabilities",
+    "SqlDialect",
+    "MINIDB_DIALECT",
+    "SQLITE_DIALECT",
+    "DIALECTS",
+    "register_dialect",
+    "get_dialect",
+]
+
+
+@dataclass(frozen=True)
+class Capabilities:
+    """What one SQL engine supports, as consumed by the renderers.
+
+    The mask is deliberately coarse: each flag answers one question a
+    renderer (or the testkit's cross-backend checker) actually asks.
+    """
+
+    #: DB-API paramstyle the driver's binding layer expects; rendered SQL
+    #: always uses ``?`` and is converted at execute time.
+    paramstyle: str = "qmark"
+    #: identifier quote character (identifiers in this repo are plain
+    #: ``[A-Za-z_][A-Za-z0-9_]*`` and never need quoting; the mask keeps
+    #: the character so a driver for a reserved-word-happy engine can)
+    quote_char: str = '"'
+    #: query results carry real ``datetime.date`` / ``bool`` values
+    #: (False: dates come back as ISO strings, booleans as 0/1 ints)
+    typed_dates: bool = True
+    typed_booleans: bool = True
+    #: ``/`` over two INTEGER operands performs true (float) division
+    #: (False: the renderer must promote with ``* 1.0``)
+    float_division: bool = True
+    #: columns functionally dependent on the GROUP BY key may appear
+    #: bare in the select list (minidb and sqlite allow it; a strict
+    #: engine would need the renderer to wrap them in MIN())
+    bare_group_by_columns: bool = True
+    #: NULLs sort lowest — first under ASC, last under DESC (both our
+    #: engines agree; a NULLS-LAST engine would need an emulation CASE)
+    nulls_low: bool = True
+    #: Python scalar UDFs can be registered and called from SQL
+    supports_udfs: bool = True
+    #: raw SQL strings (SqlSource bodies, Select predicates) may be
+    #: embedded verbatim — they are the workflow author's responsibility
+    #: to keep portable, so a dialect can refuse them outright
+    sql_passthrough: bool = True
+    #: CREATE INDEX accepts a trailing ``USING <kind>`` clause
+    index_using_clause: bool = False
+    #: canonical function name -> this engine's spelling; names absent
+    #: from the map render as their uppercase canonical spelling
+    function_names: Mapping[str, str] = field(default_factory=dict)
+    #: canonical scalar functions known *not* to exist on this engine
+    #: (requesting one raises BackendCapabilityError at render time)
+    missing_functions: FrozenSet[str] = frozenset()
+
+
+#: minidb column type -> SQL type name, per dialect name.  sqlite's
+#: affinity rules make these storage-faithful: REAL keeps our floats,
+#: TEXT keeps ISO date strings, INTEGER keeps 0/1 booleans.
+_TYPE_NAMES: Dict[str, Dict[DataType, str]] = {
+    "minidb": {
+        DataType.INTEGER: "INTEGER",
+        DataType.FLOAT: "FLOAT",
+        DataType.TEXT: "TEXT",
+        DataType.BOOLEAN: "BOOLEAN",
+        DataType.DATE: "DATE",
+    },
+    "generic": {
+        DataType.INTEGER: "INTEGER",
+        DataType.FLOAT: "REAL",
+        DataType.TEXT: "TEXT",
+        DataType.BOOLEAN: "INTEGER",
+        DataType.DATE: "TEXT",
+    },
+}
+
+
+class SqlDialect:
+    """Rendering helpers for one engine, driven by its capability mask."""
+
+    def __init__(
+        self,
+        name: str,
+        capabilities: Capabilities,
+        cast_float_template: str = "CAST({expr} AS REAL)",
+        type_names: Optional[Mapping[DataType, str]] = None,
+    ) -> None:
+        self.name = name
+        self.capabilities = capabilities
+        self._cast_float_template = cast_float_template
+        self._type_names = dict(
+            type_names if type_names is not None else _TYPE_NAMES["generic"]
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<SqlDialect {self.name!r}>"
+
+    # -- identifiers and types ---------------------------------------------
+
+    def quote(self, identifier: str) -> str:
+        quote = self.capabilities.quote_char
+        return f"{quote}{identifier}{quote}"
+
+    def type_name(self, dtype: DataType) -> str:
+        return self._type_names[dtype]
+
+    # -- literals and parameters -------------------------------------------
+
+    def literal(self, value: Any) -> str:
+        """Render a Python value as a SQL literal for this engine."""
+        if value is None:
+            return "NULL"
+        if isinstance(value, bool):
+            if self.capabilities.typed_booleans:
+                return "TRUE" if value else "FALSE"
+            return "1" if value else "0"
+        if isinstance(value, datetime.date):
+            if self.capabilities.typed_dates:
+                return f"DATE '{value.isoformat()}'"
+            return f"'{value.isoformat()}'"
+        if isinstance(value, float):
+            return repr(value)
+        if isinstance(value, int):
+            return str(value)
+        if isinstance(value, str):
+            return "'" + value.replace("'", "''") + "'"
+        raise BackendCapabilityError(
+            f"dialect {self.name!r} cannot render literal {value!r}"
+        )
+
+    def bind(self, value: Any) -> Any:
+        """Convert a parameter for this engine's driver binding layer."""
+        if isinstance(value, bool) and not self.capabilities.typed_booleans:
+            return int(value)
+        if (
+            isinstance(value, datetime.date)
+            and not isinstance(value, datetime.datetime)
+            and not self.capabilities.typed_dates
+        ):
+            return value.isoformat()
+        return value
+
+    # -- expressions ---------------------------------------------------------
+
+    def cast_float(self, expr: str) -> str:
+        return self._cast_float_template.format(expr=expr)
+
+    def func(self, canonical: str, *args: str) -> str:
+        """Render a scalar function call by its canonical name."""
+        key = canonical.lower()
+        if key in self.capabilities.missing_functions:
+            raise BackendCapabilityError(
+                f"dialect {self.name!r} has no {canonical.upper()} function"
+            )
+        name = self.capabilities.function_names.get(key, canonical.upper())
+        return f"{name}({', '.join(args)})"
+
+    def true_div(self, numerator: str, denominator: str) -> str:
+        """A division that is true (float) division even over integers."""
+        if self.capabilities.float_division:
+            return f"({numerator} / {denominator})"
+        return f"({numerator} * 1.0 / {denominator})"
+
+    def require_passthrough(self, what: str) -> None:
+        """Raise unless raw SQL fragments may be embedded verbatim."""
+        if not self.capabilities.sql_passthrough:
+            raise BackendCapabilityError(
+                f"dialect {self.name!r} does not accept raw SQL "
+                f"passthrough ({what})"
+            )
+
+
+MINIDB_DIALECT = SqlDialect(
+    "minidb",
+    Capabilities(
+        typed_dates=True,
+        typed_booleans=True,
+        float_division=True,
+        index_using_clause=True,
+    ),
+    cast_float_template="CAST_FLOAT({expr})",
+    type_names=_TYPE_NAMES["minidb"],
+)
+
+SQLITE_DIALECT = SqlDialect(
+    "sqlite",
+    Capabilities(
+        typed_dates=False,
+        typed_booleans=False,
+        float_division=False,
+        function_names={"least": "MIN", "greatest": "MAX"},
+    ),
+    cast_float_template="CAST({expr} AS REAL)",
+    type_names=_TYPE_NAMES["generic"],
+)
+
+
+DIALECTS: Dict[str, SqlDialect] = {}
+
+
+def register_dialect(dialect: SqlDialect) -> SqlDialect:
+    """Make a dialect resolvable by name (last registration wins)."""
+    DIALECTS[dialect.name] = dialect
+    return dialect
+
+
+def get_dialect(name_or_dialect: Any) -> SqlDialect:
+    """Resolve a dialect instance or registered name to an instance."""
+    if isinstance(name_or_dialect, SqlDialect):
+        return name_or_dialect
+    try:
+        return DIALECTS[name_or_dialect]
+    except KeyError:
+        raise BackendCapabilityError(
+            f"unknown SQL dialect {name_or_dialect!r}; "
+            f"registered: {sorted(DIALECTS)}"
+        ) from None
+
+
+register_dialect(MINIDB_DIALECT)
+register_dialect(SQLITE_DIALECT)

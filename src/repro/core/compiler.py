@@ -34,8 +34,9 @@ Requirements the compiler (and the direct path) share:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.backends.dialects import MINIDB_DIALECT, SqlDialect, get_dialect
 from repro.errors import CompilationError
 from repro.core.library import Comparator
 from repro.core.operators import (
@@ -57,26 +58,59 @@ from repro.minidb.catalog import Database
 
 @dataclass
 class CompiledWorkflow:
-    """The compilation artifact: SQL text plus registered UDF names."""
+    """The compilation artifact: SQL text plus registered UDF names.
+
+    ``dialect`` names the SQL dialect the text was rendered for;
+    ``params`` are positional ``?`` bindings (currently always empty —
+    the compiler inlines workflow constants — but carried so backends
+    bind uniformly); ``udf_impls`` pairs each UDF name with its Python
+    callable so non-minidb backends can register the functions with
+    their own engines before executing.
+    """
 
     sql: str
     columns: List[str]
     udfs: Tuple[str, ...] = ()
+    dialect: str = "minidb"
+    params: Tuple[Any, ...] = ()
+    udf_impls: Tuple[Tuple[str, Callable[..., Any]], ...] = ()
 
 
-def compile_workflow(workflow: Workflow, database: Database) -> CompiledWorkflow:
-    """Compile a validated workflow to one SQL SELECT for ``database``."""
-    compiler = _Compiler(database)
+def compile_workflow(
+    workflow: Workflow,
+    database: Database,
+    dialect: Optional[Any] = None,
+) -> CompiledWorkflow:
+    """Compile a validated workflow to one SQL SELECT for ``database``.
+
+    ``dialect`` (a :class:`SqlDialect` or registered dialect name)
+    selects the target engine's SQL spelling; the default renders for
+    the minidb engine itself.  The catalog ``database`` stays the
+    semantic authority either way — extend metadata, column resolution,
+    and UDF registration all consult it.
+    """
+    resolved = MINIDB_DIALECT if dialect is None else get_dialect(dialect)
+    compiler = _Compiler(database, resolved)
     sql = compiler.compile(workflow.root)
     columns = compiler._columns(workflow.root)
-    return CompiledWorkflow(sql=sql, columns=columns, udfs=tuple(compiler.udfs))
+    return CompiledWorkflow(
+        sql=sql,
+        columns=columns,
+        udfs=tuple(compiler.udfs),
+        dialect=resolved.name,
+        udf_impls=tuple(compiler.udf_impls),
+    )
 
 
 class _Compiler:
-    def __init__(self, database: Database) -> None:
+    def __init__(
+        self, database: Database, dialect: SqlDialect = MINIDB_DIALECT
+    ) -> None:
         self.database = database
+        self.dialect = dialect
         self._alias_counter = 0
         self.udfs: List[str] = []
+        self.udf_impls: List[Tuple[str, Callable[..., Any]]] = []
         self._columns_cache: Dict[int, List[str]] = {}
 
     def _columns(self, node: Operator) -> List[str]:
@@ -107,6 +141,7 @@ class _Compiler:
             columns = ", ".join(name for name, _dtype in node.schema_pairs)
             return f"SELECT {columns} FROM {node.table}"
         if isinstance(node, SqlSource):
+            self.dialect.require_passthrough(f"SqlSource in {node!r}")
             return node.sql
         if isinstance(node, Select):
             return self._compile_select(node)
@@ -131,6 +166,7 @@ class _Compiler:
         return f"SELECT {columns} FROM {node.table}"
 
     def _compile_select(self, node: Select) -> str:
+        self.dialect.require_passthrough("Select condition")
         alias = self._fresh("sel")
         columns = ", ".join(self._columns(node))
         child = self.compile(node.child)
@@ -252,6 +288,7 @@ class _Compiler:
             score_expr = comparator.inline_sql(
                 f"{target_alias}.{comparator.target_attribute}",
                 f"{reference_alias}.{comparator.reference_attribute}",
+                dialect=self.dialect,
             )
         if node.exclude_self is not None:
             condition = self._exclude_condition(
@@ -270,10 +307,18 @@ class _Compiler:
         return self._recommend_shell(node, target_alias, from_clause, score_expr)
 
     def _register_udf(self, comparator: Comparator) -> None:
+        if not self.dialect.capabilities.supports_udfs:
+            raise CompilationError(
+                f"comparator {comparator.name!r} needs a UDF, but dialect "
+                f"{self.dialect.name!r} cannot register scalar functions"
+            )
         name = comparator.udf_name
+        # Always registered on the catalog engine (idempotent for the
+        # same callable); other backends register from udf_impls.
         self.database.functions.register_scalar(name, comparator.udf)
         if name not in self.udfs:
             self.udfs.append(name)
+            self.udf_impls.append((name, comparator.udf))
 
     # -- extend-backed compilations ----------------------------------------------
 
@@ -350,7 +395,9 @@ class _Compiler:
                     "extend key columns"
                 )
             join_condition += f" AND {tv_alias}.__tkey <> {rv_alias}.__rkey"
-        sim = comparator.pair_sql(f"{tv_alias}.__v", f"{rv_alias}.__v2")
+        sim = comparator.pair_sql(
+            f"{tv_alias}.__v", f"{rv_alias}.__v2", dialect=self.dialect
+        )
         pair_sql = (
             f"SELECT {tv_alias}.__tkey AS __tkey, {rv_alias}.__rkey AS __rkey, "
             f"{sim} AS sim "
@@ -423,7 +470,10 @@ class _Compiler:
             f"AS {self._fresh('rs')} GROUP BY __rkey"
         )
         formula = comparator.set_sql(
-            f"{inter_alias}.__c", f"{tsize_alias}.__n", f"{rsize_alias}.__n2"
+            f"{inter_alias}.__c",
+            f"{tsize_alias}.__n",
+            f"{rsize_alias}.__n2",
+            dialect=self.dialect,
         )
         pair_sql = (
             f"SELECT {inter_alias}.__tkey AS __tkey, "
@@ -478,5 +528,7 @@ class _Compiler:
             f"JOIN ({reference_sql}) AS {reference_alias} "
             f"ON {' AND '.join(conditions)}"
         )
-        score_expr = f"CAST_FLOAT({source_alias}.{reference_info.value_column})"
+        score_expr = self.dialect.cast_float(
+            f"{source_alias}.{reference_info.value_column}"
+        )
         return self._recommend_shell(node, target_alias, from_clause, score_expr)

@@ -72,6 +72,20 @@ def execute_workflow(workflow: Workflow, database: Database) -> Recommendation:
     )
 
 
+def execute_workflow_on(workflow: Workflow, backend: Any) -> Recommendation:
+    """Execute a workflow on a named or instantiated execution backend.
+
+    ``backend`` is a :class:`repro.backends.Backend` or a registered
+    backend name (``"minidb"``, ``"sqlite3"``, ...), in which case a
+    fresh driver is created bound to the workflow-owning catalog the
+    caller passes separately via :meth:`Workflow.run_backend`.  The
+    compiled path renders for the backend's dialect, so recommend /
+    extend / filter / blend operators run as SQL on the target engine
+    instead of being interpreted row by row here.
+    """
+    return backend.execute_workflow(workflow)
+
+
 class _Executor:
     def __init__(self, database: Database) -> None:
         self.database = database

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, Mapping, Optional, Tuple
 
+from repro.backends.dialects import MINIDB_DIALECT, SqlDialect
 from repro.errors import FlexRecsError
 from repro.core import similarity
 
@@ -111,7 +112,12 @@ class EqualityMatch(Comparator):
     def pair_function(self):
         return similarity.equality_match
 
-    def inline_sql(self, target_ref: str, reference_ref: str) -> str:
+    def inline_sql(
+        self,
+        target_ref: str,
+        reference_ref: str,
+        dialect: SqlDialect = MINIDB_DIALECT,
+    ) -> str:
         return (
             f"CASE WHEN {target_ref} IS NULL THEN NULL "
             f"WHEN {reference_ref} IS NULL THEN NULL "
@@ -139,7 +145,9 @@ class NumericCloseness(Comparator):
             raise FlexRecsError("scale must be positive")
         self.target_attribute = target_attribute
         self.reference_attribute = reference_attribute
-        self.scale = scale
+        # Kept float so the inlined SQL literal divides as a float even
+        # on engines whose integer division truncates.
+        self.scale = float(scale)
 
     def score(self, target_row, reference_row):
         return similarity.numeric_closeness(
@@ -156,7 +164,15 @@ class NumericCloseness(Comparator):
 
         return closeness
 
-    def inline_sql(self, target_ref: str, reference_ref: str) -> str:
+    def inline_sql(
+        self,
+        target_ref: str,
+        reference_ref: str,
+        dialect: SqlDialect = MINIDB_DIALECT,
+    ) -> str:
+        # ABS(a - b) may be integer-typed, but the outer division's left
+        # operand is the float literal 1.0, so no dialect promotion is
+        # needed even on truncating-division engines.
         return (
             f"1.0 / (1.0 + ABS({target_ref} - {reference_ref}) / {self.scale!r})"
         )
@@ -240,11 +256,18 @@ class _VectorComparator(Comparator):
             )
         return type(self).measure(left, right)
 
-    def pair_sql(self, target_value: str, reference_value: str) -> str:
+    def pair_sql(
+        self,
+        target_value: str,
+        reference_value: str,
+        dialect: SqlDialect = MINIDB_DIALECT,
+    ) -> str:
         """SQL aggregate expression over the co-rated join.
 
         ``target_value`` / ``reference_value`` are column references of
         the two sides' value columns inside a GROUP BY (tkey, rkey) query.
+        The expression is rendered for ``dialect`` (float casts and
+        LEAST/GREATEST spellings differ across engines).
         """
         raise NotImplementedError
 
@@ -255,7 +278,12 @@ class InverseEuclidean(_VectorComparator):
     name = "inverse_euclidean"
     measure = staticmethod(similarity.inverse_euclidean)
 
-    def pair_sql(self, target_value: str, reference_value: str) -> str:
+    def pair_sql(
+        self,
+        target_value: str,
+        reference_value: str,
+        dialect: SqlDialect = MINIDB_DIALECT,
+    ) -> str:
         difference = f"({target_value} - {reference_value})"
         return f"1.0 / (1.0 + SQRT(SUM({difference} * {difference})))"
 
@@ -266,15 +294,22 @@ class PearsonCorrelation(_VectorComparator):
     name = "pearson"
     measure = staticmethod(similarity.pearson)
 
-    def pair_sql(self, target_value: str, reference_value: str) -> str:
+    def pair_sql(
+        self,
+        target_value: str,
+        reference_value: str,
+        dialect: SqlDialect = MINIDB_DIALECT,
+    ) -> str:
         tv, rv = target_value, reference_value
-        n = "CAST_FLOAT(COUNT(*))"
+        n = dialect.cast_float("COUNT(*)")
         var_x = f"({n} * SUM({tv} * {tv}) - SUM({tv}) * SUM({tv}))"
         var_y = f"({n} * SUM({rv} * {rv}) - SUM({rv}) * SUM({rv}))"
         covariance = f"({n} * SUM({tv} * {rv}) - SUM({tv}) * SUM({rv}))"
+        guard_x = dialect.func("greatest", var_x, "0.0")
+        guard_y = dialect.func("greatest", var_y, "0.0")
         return (
-            f"{covariance} / NULLIF(SQRT(GREATEST({var_x}, 0.0)) * "
-            f"SQRT(GREATEST({var_y}, 0.0)), 0.0)"
+            f"{covariance} / NULLIF(SQRT({guard_x}) * "
+            f"SQRT({guard_y}), 0.0)"
         )
 
 
@@ -284,7 +319,12 @@ class CosineVector(_VectorComparator):
     name = "cosine"
     measure = staticmethod(similarity.cosine)
 
-    def pair_sql(self, target_value: str, reference_value: str) -> str:
+    def pair_sql(
+        self,
+        target_value: str,
+        reference_value: str,
+        dialect: SqlDialect = MINIDB_DIALECT,
+    ) -> str:
         tv, rv = target_value, reference_value
         return (
             f"SUM({tv} * {rv}) / NULLIF(SQRT(SUM({tv} * {tv})) * "
@@ -317,7 +357,13 @@ class _SetComparator(Comparator):
             )
         return type(self).measure(frozenset(left), frozenset(right))
 
-    def set_sql(self, common: str, target_size: str, reference_size: str) -> str:
+    def set_sql(
+        self,
+        common: str,
+        target_size: str,
+        reference_size: str,
+        dialect: SqlDialect = MINIDB_DIALECT,
+    ) -> str:
         """SQL for the score given intersection count and set sizes."""
         raise NotImplementedError
 
@@ -339,9 +385,9 @@ class SetJaccard(_SetComparator):
             return None
         return value
 
-    def set_sql(self, common, target_size, reference_size):
+    def set_sql(self, common, target_size, reference_size, dialect=MINIDB_DIALECT):
         return (
-            f"CAST_FLOAT({common}) / "
+            f"{dialect.cast_float(common)} / "
             f"({target_size} + {reference_size} - {common})"
         )
 
@@ -358,8 +404,9 @@ class SetOverlap(_SetComparator):
             return None
         return value
 
-    def set_sql(self, common, target_size, reference_size):
-        return f"CAST_FLOAT({common}) / LEAST({target_size}, {reference_size})"
+    def set_sql(self, common, target_size, reference_size, dialect=MINIDB_DIALECT):
+        least = dialect.func("least", target_size, reference_size)
+        return f"{dialect.cast_float(common)} / {least}"
 
 
 class CommonCount(_SetComparator):
@@ -368,8 +415,8 @@ class CommonCount(_SetComparator):
     name = "common_count"
     measure = staticmethod(similarity.common_count)
 
-    def set_sql(self, common, target_size, reference_size):
-        return f"CAST_FLOAT({common})"
+    def set_sql(self, common, target_size, reference_size, dialect=MINIDB_DIALECT):
+        return dialect.cast_float(common)
 
 
 # ---------------------------------------------------------------------------

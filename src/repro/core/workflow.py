@@ -92,9 +92,10 @@ class Workflow:
     def __init__(self, root: Operator, name: str = "workflow") -> None:
         self.root = root
         self.name = name
-        # Memoized (validate + compile) artifact for one database; see
-        # _compiled_for.  Holds a weakref so caching never pins a Database.
-        self._compiled: Optional[Tuple[Any, int, int, Any]] = None
+        # Memoized (validate + compile) artifacts keyed by dialect name;
+        # see compiled_for.  Entries hold a weakref so caching never pins
+        # a Database.
+        self._compiled: Dict[str, Tuple[Any, int, int, Any]] = {}
 
     # -- validation --------------------------------------------------------
 
@@ -192,8 +193,11 @@ class Workflow:
         self.validate(database)
         return execute_workflow(self, database)
 
-    def _compiled_for(self, database: Database) -> Any:
-        """Validate + compile once per (database, schema, functions) state.
+    def compiled_for(
+        self, database: Database, dialect: Optional[Any] = None
+    ) -> Any:
+        """Validate + compile once per (database, schema, functions,
+        dialect) state.
 
         The compiler emits deterministic SQL (its alias counter restarts
         per compilation), so the memoized text also keys straight into the
@@ -201,9 +205,14 @@ class Workflow:
         validation, compilation, parsing, and planning entirely.  The
         version vector is captured *after* compiling because a first
         compile may register comparator UDFs and bump the function
-        registry's version.
+        registry's version.  Each SQL dialect gets its own memo slot, so
+        a workflow alternating between backends stays warm on both.
         """
-        cached = self._compiled
+        from repro.backends.dialects import MINIDB_DIALECT, get_dialect
+        from repro.core.compiler import compile_workflow
+
+        resolved = MINIDB_DIALECT if dialect is None else get_dialect(dialect)
+        cached = self._compiled.get(resolved.name)
         if cached is not None:
             db_ref, epoch, functions_version, compiled = cached
             if (
@@ -212,11 +221,9 @@ class Workflow:
                 and functions_version == database.functions.version
             ):
                 return compiled
-        from repro.core.compiler import compile_workflow
-
         self.validate(database)
-        compiled = compile_workflow(self, database)
-        self._compiled = (
+        compiled = compile_workflow(self, database, dialect=resolved)
+        self._compiled[resolved.name] = (
             weakref.ref(database),
             database.schema_epoch,
             database.functions.version,
@@ -224,16 +231,31 @@ class Workflow:
         )
         return compiled
 
+    # Backwards-compatible private spelling used by older call sites.
+    _compiled_for = compiled_for
+
     def run_sql(self, database: Database) -> Recommendation:
         """Compile to SQL and execute through the minidb SQL engine."""
-        compiled = self._compiled_for(database)
+        compiled = self.compiled_for(database)
         result = database.query(compiled.sql)
         rows = [dict(zip(result.columns, row)) for row in result.rows]
         return Recommendation(columns=list(result.columns), rows=rows)
 
-    def to_sql(self, database: Database) -> str:
+    def run_backend(self, backend: Any) -> Recommendation:
+        """Render for ``backend``'s dialect and execute on its engine.
+
+        The backend's catalog database is the semantic authority; for
+        external engines (sqlite3, any registered DB-API driver) the
+        backend first syncs its data mirror, so the same workflow object
+        runs unchanged on either side.
+        """
+        return backend.execute_workflow(self)
+
+    def to_sql(
+        self, database: Database, dialect: Optional[Any] = None
+    ) -> str:
         """The SQL this workflow compiles to (for inspection/EXPLAIN)."""
-        return self._compiled_for(database).sql
+        return self.compiled_for(database, dialect).sql
 
     def explain(self) -> str:
         """Render the operator tree."""

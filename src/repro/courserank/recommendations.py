@@ -5,8 +5,15 @@
 (Section 3.2).  This module is the *site administrator* surface: a
 registry of named strategies (the prebuilt ones plus any custom workflow
 factory the administrator registers), per-user personalization
-parameters, an execution-path switch (direct vs compiled SQL), and the
-post-filter removing courses the student already took.
+parameters, an execution-path switch (direct vs compiled SQL, on any
+registered execution backend), and the post-filter removing courses the
+student already took.
+
+Backend selection: ``RecommendationService(db, backend="sqlite3")`` (or
+the ``REPRO_BACKEND`` environment variable) routes the compiled-SQL path
+through any driver registered with :mod:`repro.backends` — the same
+workflow objects run unchanged, rendered in the target engine's dialect.
+``path`` may also name a registered backend directly per call.
 """
 
 from __future__ import annotations
@@ -43,13 +50,40 @@ class RecommendationService:
         self,
         database: Database,
         use_compiled_sql: bool = True,
+        backend: Optional[str] = None,
     ) -> None:
+        from repro.backends.registry import default_backend_name
+
         self.database = database
         self.use_compiled_sql = use_compiled_sql
+        #: name of the execution backend the compiled-SQL path routes
+        #: through; ``None`` in the constructor defers to REPRO_BACKEND
+        #: (default: the in-process minidb engine)
+        self.backend_name = backend or default_backend_name()
+        # Instantiated drivers, created lazily per backend name so an
+        # external engine's data mirror persists (and stays version-
+        # synced) across calls.
+        self._backends: Dict[str, Any] = {}
         self._registry: Dict[str, StrategyFactory] = dict(DEFAULT_STRATEGIES)
         #: RecommendStats of the most recent direct-path run (the SQL
         #: paths execute inside the engine and record none)
         self.last_stats: List[RecommendStats] = []
+
+    def backend(self, name: Optional[str] = None) -> Any:
+        """The (lazily created, cached) driver for ``name``.
+
+        Defaults to this service's configured backend.  Drivers are
+        bound to the service's catalog database and reused across calls
+        so snapshot syncs stay incremental.
+        """
+        from repro.backends.registry import create_backend
+
+        key = (name or self.backend_name).lower()
+        driver = self._backends.get(key)
+        if driver is None:
+            driver = create_backend(key, self.database)
+            self._backends[key] = driver
+        return driver
 
     # -- administrator surface ----------------------------------------------
 
@@ -104,9 +138,11 @@ class RecommendationService:
     ) -> Recommendation:
         """Run a strategy.
 
-        ``path`` forces 'direct', 'sql' (one compiled statement), or
-        'staged' (a sequence of SQL calls with temp tables).
-        ``optimize=True`` applies the algebraic rewriter first.
+        ``path`` forces 'direct', 'sql' (one compiled statement on the
+        configured backend), 'staged' (a sequence of SQL calls with temp
+        tables), or the name of any registered execution backend
+        ('minidb', 'sqlite3', ...).  ``optimize=True`` applies the
+        algebraic rewriter first.
         """
         workflow = self.build(name, **params)
         return self.run_workflow(workflow, path=path, optimize=optimize)
@@ -127,7 +163,12 @@ class RecommendationService:
             "recommend.run", {"workflow": workflow.name, "path": path}
         ):
             if path == "sql":
-                return workflow.run_sql(self.database)
+                # The classic in-engine path when the service targets
+                # minidb; otherwise render + execute on the configured
+                # backend (same workflow object, different dialect).
+                if self.backend_name == "minidb":
+                    return workflow.run_sql(self.database)
+                return workflow.run_backend(self.backend())
             if path == "direct":
                 recommendation = workflow.run(self.database)
                 self.last_stats = recommendation.stats
@@ -137,6 +178,10 @@ class RecommendationService:
 
                 workflow.validate(self.database)
                 return run_staged(workflow, self.database)
+            from repro.backends.registry import REGISTRY
+
+            if REGISTRY.is_registered(path):
+                return workflow.run_backend(self.backend(path))
         raise FlexRecsError(f"unknown execution path {path!r}")
 
     # -- course recommendation post-processing --------------------------------

@@ -76,6 +76,14 @@ class CompilationError(FlexRecsError):
     """A workflow could not be compiled to SQL."""
 
 
+class BackendError(ReproError):
+    """Base class for execution-backend (driver/dialect) errors."""
+
+
+class BackendCapabilityError(BackendError):
+    """A workflow needs a feature the target backend's dialect lacks."""
+
+
 class CourseRankError(ReproError):
     """Base class for application-level errors."""
 

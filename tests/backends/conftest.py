@@ -1,0 +1,8 @@
+"""Backend-suite fixtures.
+
+Reuses the FlexRecs ``flexdb`` dataset (the hand-built CourseRank schema
+with known similarity structure) so equivalence assertions here line up
+with the dual-path tests in ``tests/core``.
+"""
+
+from tests.core.conftest import flexdb  # noqa: F401

@@ -24,6 +24,14 @@ clear plan caches) themselves.
 equivalence tests build their :class:`repro.service.CourseRankService`
 with; the CI matrix runs a ``REPRO_SHARDS=4`` leg so tier-1 exercises a
 second sharding geometry end to end.
+
+``REPRO_BACKEND`` (default ``minidb``) selects the execution backend the
+:class:`~repro.courserank.recommendations.RecommendationService` routes
+compiled-SQL workflow runs through; the CI matrix runs a
+``REPRO_BACKEND=sqlite3`` leg so the whole tier-1 suite exercises the
+DB-API driver end to end.  The variable is read lazily by
+``repro.backends.registry.default_backend_name`` — nothing to pin here
+beyond failing fast on an unknown name.
 """
 
 import os
@@ -33,6 +41,18 @@ from hypothesis import settings
 import repro.minidb.planner as _planner
 
 _planner.VECTORIZE = os.environ.get("REPRO_VECTORIZE", "1") != "0"
+
+# Fail fast (at collection, not mid-suite) if the run names a backend
+# that is not registered.
+_backend = os.environ.get("REPRO_BACKEND", "").strip().lower()
+if _backend:
+    from repro.backends.registry import REGISTRY as _backend_registry
+
+    if not _backend_registry.is_registered(_backend):
+        raise RuntimeError(
+            f"REPRO_BACKEND={_backend!r} is not a registered backend; "
+            f"available: {_backend_registry.names()}"
+        )
 
 _DERANDOMIZE = os.environ.get("HYPOTHESIS_DERANDOMIZE", "1") != "0"
 

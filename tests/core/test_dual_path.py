@@ -228,12 +228,12 @@ class TestWarmCompiledPath:
     def test_compile_memo_reused_and_invalidated(self, flexdb):
         workflow = self.workflow()
         workflow.run_sql(flexdb)
-        memo = workflow._compiled
+        memo = workflow._compiled["minidb"]
         workflow.run_sql(flexdb)
-        assert workflow._compiled is memo  # no recompilation
+        assert workflow._compiled["minidb"] is memo  # no recompilation
         flexdb.execute("CREATE TABLE Scratch (X INTEGER PRIMARY KEY)")
         workflow.run_sql(flexdb)  # schema epoch moved: recompiles
-        assert workflow._compiled is not memo
+        assert workflow._compiled["minidb"] is not memo
 
     def test_warm_run_sees_new_data(self, flexdb):
         workflow = self.workflow()

@@ -1,0 +1,18 @@
+"""Standalone replay for testkit corpus seed 'xbackend_empty_in_subquery'.
+
+cross-backend pin: IN / NOT IN over an empty subquery (incl. NULL operands) folds identically
+
+Run with ``PYTHONPATH=src python xbackend_empty_in_subquery.py``; exits nonzero if the two
+engines still diverge.
+"""
+
+import pathlib
+
+from repro.testkit import oracle
+
+rendered = oracle.load_seed(pathlib.Path(__file__).with_suffix(".json"))
+report = oracle.run_rendered(rendered)
+for line in report.divergences:
+    print(line)
+print(f"query ops: {report.query_ops}, errors: {report.error_ops}")
+raise SystemExit(1 if report.divergences else 0)

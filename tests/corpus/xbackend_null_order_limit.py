@@ -1,0 +1,18 @@
+"""Standalone replay for testkit corpus seed 'xbackend_null_order_limit'.
+
+cross-backend pin: NULLs sort low under totalized ORDER BY ASC/DESC with LIMIT, before and after DML
+
+Run with ``PYTHONPATH=src python xbackend_null_order_limit.py``; exits nonzero if the two
+engines still diverge.
+"""
+
+import pathlib
+
+from repro.testkit import oracle
+
+rendered = oracle.load_seed(pathlib.Path(__file__).with_suffix(".json"))
+report = oracle.run_rendered(rendered)
+for line in report.divergences:
+    print(line)
+print(f"query ops: {report.query_ops}, errors: {report.error_ops}")
+raise SystemExit(1 if report.divergences else 0)
