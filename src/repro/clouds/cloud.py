@@ -11,6 +11,7 @@ survive — the paper's Figure 3 cloud for "American" prominently features
 
 from __future__ import annotations
 
+import copy
 import heapq
 import time
 from dataclasses import dataclass
@@ -106,6 +107,17 @@ class CloudBuilder:
         self.source.prepare()
         self._prepared = True
 
+    def with_scoring(self, scoring: Any) -> "CloudBuilder":
+        """A shallow variant of this builder using a different scoring.
+
+        Shares the term source (and its gathered-stats caches) — only the
+        significance model differs, so e.g. a graph-weighted cloud reuses
+        every aggregate the plain builder already computed.
+        """
+        clone = copy.copy(self)
+        clone.scoring = get_scoring(scoring)
+        return clone
+
     def build(self, result: SearchResult) -> DataCloud:
         """Compute the data cloud for a search result."""
         return self.build_for_docs(
@@ -123,18 +135,38 @@ class CloudBuilder:
         whole result set.  Output is identical to :meth:`build` — the
         incremental path is purely a cost optimization.
         """
+        return self.build_for_docs_narrowed(
+            result.doc_ids(),
+            parent.doc_ids(),
+            query=result.query,
+            query_terms=result.terms,
+            result_size=len(result.hits),
+        )
+
+    def build_for_docs_narrowed(
+        self,
+        doc_ids: Sequence[DocId],
+        parent_doc_ids: Sequence[DocId],
+        query: str = "",
+        query_terms: Optional[Sequence[str]] = None,
+        result_size: Optional[int] = None,
+    ) -> DataCloud:
+        """Cloud for a doc subset, derived from a superset's cached stats.
+
+        The doc-id-level spelling of :meth:`build_narrowed` — cube
+        navigation narrows along lattice edges rather than query
+        refinements, but the subtraction trick is the same.  Output is
+        identical to :meth:`build_for_docs` over ``doc_ids``.
+        """
         if not self._prepared:
             self.prepare()
         with OBS.span("cloud.build_narrowed") as span:
             started = time.perf_counter()
-            stats = self.source.gather_narrowed(
-                parent.doc_ids(), result.doc_ids()
-            )
-            cloud = self._cloud_from_stats(
-                stats, len(result.hits), result.query, result.terms
-            )
+            stats = self.source.gather_narrowed(parent_doc_ids, doc_ids)
+            size = len(doc_ids) if result_size is None else result_size
+            cloud = self._cloud_from_stats(stats, size, query, query_terms)
             if OBS.enabled:
-                span.set(docs=len(result.hits), terms=len(cloud.terms))
+                span.set(docs=size, terms=len(cloud.terms))
                 OBS.metrics.inc("cloud.build_narrowed.count")
                 OBS.metrics.observe(
                     "cloud.build.ms",

@@ -1,0 +1,327 @@
+"""OLAP-style cloud cubes: dimensional drill-down over data clouds.
+
+"Collaborative OLAP with Tag Clouds" (Aouiche et al.) treats a tag cloud
+as the *measure* of an OLAP cell: pick dimensions, and every coordinate
+in the lattice owns the cloud of the documents matching it.  Here the
+documents are courses and the shipped dimensions are department, quarter
+(offering term), and instructor — the axes a student actually browses.
+
+The navigational operators are the classic three:
+
+* :meth:`CloudCube.drill_down` — split a cell along a new dimension into
+  one child cell per value;
+* :meth:`CloudCube.roll_up` — return to the parent cell (drop the last
+  coordinate);
+* :meth:`CloudCube.slice` — fix one value of a dimension.
+
+The cost trick generalizes PR 2's refinement narrowing to lattice edges:
+a child cell's documents are a subset of its parent's, so the child cloud
+is derived by *subtracting the dropped documents* from the parent's
+cached term aggregates (:meth:`CloudBuilder.build_for_docs_narrowed`)
+instead of re-merging from scratch.  The differential tests in
+``tests/clouds/test_cube.py`` pin every navigated cloud bit-identical to
+a cold build over the same filtered doc set.
+
+Dimension membership maps are version-keyed per database (schema epoch +
+source-table data versions, the extendcache discipline), so any DML
+invalidates them by construction.  A :class:`CloudCube` itself is a
+snapshot navigator: its cell memo embeds the database version vector, so
+after a write a freshly constructed cube (or any cell access) observes
+the new data, while cells already handed out keep their snapshot.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+from weakref import WeakKeyDictionary
+
+from repro.caching import LRUCache
+from repro.errors import CloudError
+from repro.minidb.catalog import Database
+from repro.obs import OBS
+from repro.clouds.cloud import CloudBuilder, DataCloud, DocId
+
+Coordinate = Tuple[Tuple[str, Any], ...]
+
+
+@dataclass(frozen=True)
+class DimensionSpec:
+    """One cube dimension: a name and the SQL yielding (doc, value) rows.
+
+    ``sql`` must select exactly two columns — the document id and the
+    dimension value; a document may have several values (a course offered
+    in two quarters belongs to both slices).  ``tables`` lists the source
+    tables, which key the membership-map invalidation.
+    """
+
+    name: str
+    sql: str
+    tables: Tuple[str, ...]
+
+
+#: the course dimensions the paper's site would expose
+COURSE_DIMENSIONS: Tuple[DimensionSpec, ...] = (
+    DimensionSpec(
+        name="department",
+        sql="SELECT CourseID, DepID FROM Courses",
+        tables=("Courses",),
+    ),
+    DimensionSpec(
+        name="quarter",
+        sql="SELECT CourseID, Term FROM Offerings",
+        tables=("Offerings",),
+    ),
+    DimensionSpec(
+        name="instructor",
+        sql="SELECT CourseID, InstructorID FROM Teaches",
+        tables=("Teaches",),
+    ),
+)
+
+_MEMBERSHIPS: "WeakKeyDictionary[Database, LRUCache]" = WeakKeyDictionary()
+_MEMBERSHIPS_LOCK = threading.Lock()
+
+
+def database_version_vector(database: Database) -> Tuple[Any, ...]:
+    """Schema epoch + every table's data version — the snapshot identity."""
+    return (
+        database.schema_epoch,
+        tuple(
+            (name, database.table(name).data_version)
+            for name in database.table_names()
+        ),
+    )
+
+
+def membership_for(
+    database: Database, spec: DimensionSpec
+) -> Dict[DocId, Tuple[Any, ...]]:
+    """``{doc_id: sorted value tuple}`` for one dimension, version-cached."""
+    with _MEMBERSHIPS_LOCK:
+        cache = _MEMBERSHIPS.get(database)
+        if cache is None:
+            cache = LRUCache(maxsize=32)
+            _MEMBERSHIPS[database] = cache
+    key = (
+        spec.name,
+        spec.sql,
+        database.schema_epoch,
+        tuple(
+            (table, database.table(table).data_version)
+            for table in spec.tables
+        ),
+    )
+    cached = cache.get(key)
+    if cached is not None:
+        return cached
+    grouped: Dict[DocId, List[Any]] = {}
+    for doc_id, value in database.query(spec.sql).rows:
+        if doc_id is None or value is None:
+            continue
+        grouped.setdefault(doc_id, []).append(value)
+    membership = {
+        doc_id: tuple(sorted(set(values)))
+        for doc_id, values in grouped.items()
+    }
+    cache.put(key, membership)
+    return membership
+
+
+@dataclass(frozen=True)
+class CubeCell:
+    """One lattice cell: a coordinate, its documents, and their cloud."""
+
+    coordinate: Coordinate
+    doc_ids: Tuple[DocId, ...]
+    cloud: DataCloud
+
+    @property
+    def result_size(self) -> int:
+        return len(self.doc_ids)
+
+
+class CloudCube:
+    """A navigable lattice of data clouds over one document set.
+
+    ``base_doc_ids`` roots the cube (default: the whole corpus); a cube
+    rooted at a search result is the paper's "cloud over these hits,
+    broken down by department".  Cells are memoized per (database
+    version, coordinate), so roll-up after drill-down is a cache hit and
+    repeated walks cost nothing.
+    """
+
+    def __init__(
+        self,
+        database: Database,
+        builder: CloudBuilder,
+        base_doc_ids: Optional[Sequence[DocId]] = None,
+        dimensions: Optional[Sequence[DimensionSpec]] = None,
+        query: str = "",
+        query_terms: Optional[Sequence[str]] = None,
+    ) -> None:
+        self.database = database
+        self.builder = builder
+        self.dimensions: Tuple[DimensionSpec, ...] = tuple(
+            dimensions if dimensions is not None else COURSE_DIMENSIONS
+        )
+        names = [spec.name for spec in self.dimensions]
+        if len(set(names)) != len(names):
+            raise CloudError(f"duplicate cube dimensions: {names}")
+        self._by_name = {spec.name: spec for spec in self.dimensions}
+        if base_doc_ids is None:
+            base_doc_ids = builder.source.engine.index.document_ids()
+        self.base_doc_ids: Tuple[DocId, ...] = tuple(base_doc_ids)
+        self.query = query
+        self.query_terms = (
+            tuple(query_terms) if query_terms is not None else None
+        )
+        self._cells: Dict[Tuple[Any, ...], CubeCell] = {}
+        #: build-path counters, asserted on by the differential tests
+        self.stats = {
+            "cold_builds": 0,
+            "incremental_builds": 0,
+            "memo_hits": 0,
+        }
+
+    # -- plumbing ------------------------------------------------------------
+
+    def _spec(self, dimension: str) -> DimensionSpec:
+        spec = self._by_name.get(dimension)
+        if spec is None:
+            raise CloudError(
+                f"unknown cube dimension {dimension!r}; "
+                f"available: {sorted(self._by_name)}"
+            )
+        return spec
+
+    def _membership(self, dimension: str) -> Dict[DocId, Tuple[Any, ...]]:
+        return membership_for(self.database, self._spec(dimension))
+
+    def _memo_key(self, coordinate: Coordinate) -> Tuple[Any, ...]:
+        return (database_version_vector(self.database), coordinate)
+
+    def _validate(self, coordinate: Coordinate) -> Coordinate:
+        coordinate = tuple(
+            (dimension, value) for dimension, value in coordinate
+        )
+        seen = set()
+        for dimension, _value in coordinate:
+            self._spec(dimension)
+            if dimension in seen:
+                raise CloudError(
+                    f"dimension {dimension!r} fixed twice in {coordinate!r}"
+                )
+            seen.add(dimension)
+        return coordinate
+
+    def _filter_docs(
+        self, doc_ids: Sequence[DocId], dimension: str, value: Any
+    ) -> Tuple[DocId, ...]:
+        membership = self._membership(dimension)
+        return tuple(
+            doc_id
+            for doc_id in doc_ids
+            if value in membership.get(doc_id, ())
+        )
+
+    # -- cell construction ---------------------------------------------------
+
+    def cell(self, coordinate: Coordinate = ()) -> CubeCell:
+        """The cell at ``coordinate``, cold-built (and memoized)."""
+        coordinate = self._validate(coordinate)
+        key = self._memo_key(coordinate)
+        cached = self._cells.get(key)
+        if cached is not None:
+            self.stats["memo_hits"] += 1
+            return cached
+        docs: Tuple[DocId, ...] = self.base_doc_ids
+        for dimension, value in coordinate:
+            docs = self._filter_docs(docs, dimension, value)
+        with OBS.span(
+            "cloud.cube.cell", {"coordinate": repr(coordinate)}
+        ) as span:
+            started = time.perf_counter()
+            cloud = self.builder.build_for_docs(
+                docs, query=self.query, query_terms=self.query_terms
+            )
+            if OBS.enabled:
+                span.set(docs=len(docs), terms=len(cloud.terms))
+                OBS.metrics.inc("cloud.cube.cold_build")
+                OBS.metrics.observe(
+                    "cloud.cube.cell.ms",
+                    (time.perf_counter() - started) * 1000.0,
+                )
+        self.stats["cold_builds"] += 1
+        cell = CubeCell(coordinate=coordinate, doc_ids=docs, cloud=cloud)
+        self._cells[key] = cell
+        return cell
+
+    def root(self) -> CubeCell:
+        """The apex cell — every base document, no dimension fixed."""
+        return self.cell(())
+
+    # -- navigation ----------------------------------------------------------
+
+    def dimension_values(self, cell: CubeCell, dimension: str) -> List[Any]:
+        """The values ``dimension`` takes within ``cell`` (sorted)."""
+        membership = self._membership(dimension)
+        values = set()
+        for doc_id in cell.doc_ids:
+            values.update(membership.get(doc_id, ()))
+        return sorted(values)
+
+    def slice(self, cell: CubeCell, dimension: str, value: Any) -> CubeCell:
+        """Fix ``dimension = value`` within ``cell`` (one lattice edge).
+
+        The child cloud is derived incrementally from the parent's cached
+        aggregates; the memoized result is shared with any other path
+        that reaches the same coordinate.
+        """
+        coordinate = self._validate(
+            cell.coordinate + ((dimension, value),)
+        )
+        key = self._memo_key(coordinate)
+        cached = self._cells.get(key)
+        if cached is not None:
+            self.stats["memo_hits"] += 1
+            return cached
+        docs = self._filter_docs(cell.doc_ids, dimension, value)
+        with OBS.span(
+            "cloud.cube.slice", {"dimension": dimension, "value": repr(value)}
+        ) as span:
+            started = time.perf_counter()
+            cloud = self.builder.build_for_docs_narrowed(
+                docs,
+                cell.doc_ids,
+                query=self.query,
+                query_terms=self.query_terms,
+            )
+            if OBS.enabled:
+                span.set(docs=len(docs), terms=len(cloud.terms))
+                OBS.metrics.inc("cloud.cube.incremental_build")
+                OBS.metrics.observe(
+                    "cloud.cube.cell.ms",
+                    (time.perf_counter() - started) * 1000.0,
+                )
+        self.stats["incremental_builds"] += 1
+        child = CubeCell(coordinate=coordinate, doc_ids=docs, cloud=cloud)
+        self._cells[key] = child
+        return child
+
+    def drill_down(
+        self, cell: CubeCell, dimension: str
+    ) -> Dict[Any, CubeCell]:
+        """Split ``cell`` along ``dimension``: one child per value."""
+        return {
+            value: self.slice(cell, dimension, value)
+            for value in self.dimension_values(cell, dimension)
+        }
+
+    def roll_up(self, cell: CubeCell) -> CubeCell:
+        """The parent cell (drop the last fixed dimension)."""
+        if not cell.coordinate:
+            raise CloudError("cannot roll up from the apex cell")
+        return self.cell(cell.coordinate[:-1])

@@ -94,6 +94,23 @@ class RefinementSession:
         new_query = f"{self.query} {term}".strip()
         return self._push(new_query, within=self.result.doc_id_set())
 
+    def cube(self, dimensions: Optional[Any] = None):
+        """A cloud cube rooted at the current result set.
+
+        The paper's Figure 4 step sideways: instead of refining by a
+        term, break the current hits down along course dimensions.
+        """
+        from repro.clouds.cube import CloudCube
+
+        return CloudCube(
+            self.engine.database,
+            self.builder,
+            base_doc_ids=self.result.doc_ids(),
+            dimensions=dimensions,
+            query=self.query,
+            query_terms=self.result.terms,
+        )
+
     def back(self) -> RefinementStep:
         """Undo the last refinement."""
         if len(self._steps) == 1:

@@ -52,6 +52,7 @@ from repro.core.library import (
 from repro.core.operators import (
     Extend,
     ExtendInfo,
+    GraphRecommend,
     Join,
     Operator,
     Project,
@@ -99,6 +100,7 @@ __all__ = [
     "Join",
     "Operator",
     "Project",
+    "GraphRecommend",
     "Recommend",
     "Select",
     "Source",

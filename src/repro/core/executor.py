@@ -19,6 +19,7 @@ from repro.core.extendcache import extend_vectors, stats_of
 from repro.core.library import _get
 from repro.core.operators import (
     Extend,
+    GraphRecommend,
     Join,
     MaterializedSource,
     Operator,
@@ -116,6 +117,8 @@ class _Executor:
             return self._eval_extend(node)
         if isinstance(node, Recommend):
             return self._eval_recommend(node)
+        if isinstance(node, GraphRecommend):
+            return self._eval_graph_recommend(node)
         if isinstance(node, TopK):
             return self._eval_topk(node)
         raise FlexRecsError(f"unknown operator {type(node).__name__}")
@@ -132,6 +135,38 @@ class _Executor:
         result = self.database.query(node.sql)
         rows = [dict(zip(result.columns, row)) for row in result.rows]
         return _Relation(list(result.columns), rows)
+
+    def _eval_graph_recommend(self, node: GraphRecommend) -> _Relation:
+        from repro.graphrank.engine import GraphRankEngine
+
+        engine = GraphRankEngine.for_database(self.database)
+        ranked = engine.rank_courses(
+            node.preference,
+            top_k=node.top_k,
+            exclude_seed=node.exclude_seed,
+            damping=node.damping,
+            epsilon=node.epsilon,
+            max_iters=node.max_iters,
+            preference_weight=node.preference_weight,
+        )
+        table = self.database.table("Courses")
+        columns = list(table.schema.column_names)
+        key_column = next(
+            (c for c in columns if c.lower() == "courseid"), None
+        )
+        if key_column is None:
+            raise FlexRecsError("GraphRecommend needs a Courses.CourseID column")
+        key_index = columns.index(key_column)
+        by_id = {row[key_index]: row for row in table.rows()}
+        out_rows: List[Dict[str, Any]] = []
+        for course_id, score in ranked:
+            course = by_id.get(course_id)
+            if course is None:
+                continue
+            row = dict(zip(columns, course))
+            row[node.score_column] = score
+            out_rows.append(row)
+        return _Relation(columns + [node.score_column], out_rows)
 
     # -- unary relational operators -------------------------------------------
 

@@ -353,3 +353,47 @@ class TopK(Operator):
     def describe(self) -> str:
         direction = "DESC" if self.descending else "ASC"
         return f"TopK({self.k} by {self.by_column} {direction})"
+
+
+@dataclass(frozen=True)
+class GraphRecommend(Operator):
+    """Leaf operator: FolkRank differential ranking over Courses.
+
+    Produces the ``Courses`` relation extended with ``score_column``,
+    ranked by the preference-biased, baseline-subtracted graph walk (see
+    :mod:`repro.graphrank`).  ``preference`` is a tuple of
+    ``(kind, key)`` seeds (``"user"``, ``"course"``, or ``"term"``);
+    with ``exclude_seed`` any seeded course is dropped from the answer.
+    The graph is built from live tables at execution time, so this
+    operator has no SQL compilation — workflows using it are direct-only.
+    """
+
+    preference: Tuple[Tuple[str, Any], ...]
+    top_k: int = 10
+    score_column: str = "score"
+    exclude_seed: bool = True
+    damping: float = 0.85
+    epsilon: float = 1e-12
+    max_iters: int = 250
+    preference_weight: float = 0.3
+
+    def children(self) -> Tuple[Operator, ...]:
+        return ()
+
+    def output_columns(self, database: Database) -> List[str]:
+        columns = list(database.table("Courses").schema.column_names)
+        if self.score_column.lower() in {c.lower() for c in columns}:
+            raise WorkflowValidationError(
+                f"score column {self.score_column!r} collides with a Courses column"
+            )
+        if self.top_k < 1:
+            raise WorkflowValidationError("top_k must be at least 1")
+        if not self.preference:
+            raise WorkflowValidationError(
+                "GraphRecommend needs at least one preference seed"
+            )
+        return columns + [self.score_column]
+
+    def describe(self) -> str:
+        seeds = ", ".join(f"{kind}:{key}" for kind, key in self.preference)
+        return f"GraphRecommend[{seeds} top_k={self.top_k}]"

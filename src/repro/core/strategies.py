@@ -394,3 +394,65 @@ def similar_audience_courses(
         exclude_self=("CourseID", "CourseID"),
     )
     return Workflow(root, name=f"similar_audience_courses({course_id})")
+
+
+def graph_rank_courses(
+    student_id: int,
+    top_k: int = 10,
+    damping: float = 0.85,
+    epsilon: float = 1e-12,
+    max_iters: int = 250,
+    preference_weight: float = 0.3,
+) -> Workflow:
+    """Courses ranked by the student's FolkRank differential.
+
+    Seeds the preference-biased walk at the student's user node and
+    reads off the baseline-subtracted course ranking — recommendations
+    driven by the whole tripartite graph (enrollments, comments, course
+    text) rather than one pairwise comparator.  Direct-only: the graph
+    lives outside the relational algebra, so there is no SQL form.
+    """
+    from repro.core.operators import GraphRecommend
+
+    root = GraphRecommend(
+        preference=(("user", student_id),),
+        top_k=top_k,
+        damping=damping,
+        epsilon=epsilon,
+        max_iters=max_iters,
+        preference_weight=preference_weight,
+    )
+    return Workflow(
+        root, name=f"graph_rank_courses({student_id})", direct_only=True
+    )
+
+
+def similar_by_folkrank(
+    course_id: int,
+    top_k: int = 10,
+    damping: float = 0.85,
+    epsilon: float = 1e-12,
+    max_iters: int = 250,
+    preference_weight: float = 0.3,
+) -> Workflow:
+    """Courses most lifted by seeding the walk at the given course.
+
+    The differential cancels global popularity, so the answer is "what
+    this course specifically pulls up" — its graph neighborhood through
+    shared students, commenters, and vocabulary.  The seed course itself
+    is excluded.  Direct-only, like :func:`graph_rank_courses`.
+    """
+    from repro.core.operators import GraphRecommend
+
+    root = GraphRecommend(
+        preference=(("course", course_id),),
+        top_k=top_k,
+        exclude_seed=True,
+        damping=damping,
+        epsilon=epsilon,
+        max_iters=max_iters,
+        preference_weight=preference_weight,
+    )
+    return Workflow(
+        root, name=f"similar_by_folkrank({course_id})", direct_only=True
+    )

@@ -14,7 +14,7 @@ import weakref
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
 
-from repro.errors import WorkflowValidationError
+from repro.errors import CompilationError, WorkflowValidationError
 from repro.core.library import Comparator
 from repro.core.operators import (
     Extend,
@@ -89,9 +89,18 @@ class Recommendation:
 class Workflow:
     """A named, validated recommendation strategy."""
 
-    def __init__(self, root: Operator, name: str = "workflow") -> None:
+    def __init__(
+        self,
+        root: Operator,
+        name: str = "workflow",
+        direct_only: bool = False,
+    ) -> None:
         self.root = root
         self.name = name
+        #: workflows whose operators read non-relational state (e.g. the
+        #: graph ranker) cannot compile to SQL; the service layer routes
+        #: them to the direct executor regardless of the configured path.
+        self.direct_only = direct_only
         # Memoized (validate + compile) artifacts keyed by dialect name;
         # see compiled_for.  Entries hold a weakref so caching never pins
         # a Database.
@@ -211,6 +220,10 @@ class Workflow:
         from repro.backends.dialects import MINIDB_DIALECT, get_dialect
         from repro.core.compiler import compile_workflow
 
+        if self.direct_only:
+            raise CompilationError(
+                f"workflow {self.name!r} is direct-only and has no SQL form"
+            )
         resolved = MINIDB_DIALECT if dialect is None else get_dialect(dialect)
         cached = self._compiled.get(resolved.name)
         if cached is not None:

@@ -59,6 +59,13 @@ class CourseRank:
             self.db, use_compiled_sql=use_compiled_sql
         )
 
+    @property
+    def graph(self):
+        """The shared FolkRank engine over this site's database."""
+        from repro.graphrank.engine import GraphRankEngine
+
+        return GraphRankEngine.for_database(self.db)
+
     # -- search + clouds ------------------------------------------------------
 
     def search_courses(self, query: str, limit: Optional[int] = None):

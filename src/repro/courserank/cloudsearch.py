@@ -98,6 +98,38 @@ class CourseCloudSearch:
         self.ensure_built()
         return RefinementSession(self.engine, self.builder, query)
 
+    # -- cloud cubes ------------------------------------------------------------
+
+    def cube(
+        self,
+        result: Optional[SearchResult] = None,
+        dimensions: Optional[Any] = None,
+        scoring: Optional[Any] = None,
+    ):
+        """An OLAP cloud cube over courses (see :mod:`repro.clouds.cube`).
+
+        Rooted at ``result``'s hits when given, else the whole corpus.
+        ``scoring`` swaps the significance model for every cell — e.g. a
+        :class:`~repro.graphrank.engine.GraphWeightedScoring` instance
+        for preference-weighted clouds.
+        """
+        from repro.clouds.cube import CloudCube
+
+        self.ensure_built()
+        builder = (
+            self.builder
+            if scoring is None
+            else self.builder.with_scoring(scoring)
+        )
+        return CloudCube(
+            self.database,
+            builder,
+            base_doc_ids=result.doc_ids() if result is not None else None,
+            dimensions=dimensions,
+            query=result.query if result is not None else "",
+            query_terms=result.terms if result is not None else None,
+        )
+
     # -- hit resolution -----------------------------------------------------
 
     def resolve_courses(

@@ -40,6 +40,8 @@ DEFAULT_STRATEGIES: Dict[str, StrategyFactory] = {
     "recommended_quarters": strategies.recommended_quarters,
     "courses_taken_together": strategies.courses_taken_together,
     "similar_audience_courses": strategies.similar_audience_courses,
+    "graph_rank_courses": strategies.graph_rank_courses,
+    "similar_by_folkrank": strategies.similar_by_folkrank,
 }
 
 
@@ -157,6 +159,11 @@ class RecommendationService:
             from repro.core.optimizer import optimize as rewrite
 
             workflow = rewrite(workflow, self.database)
+        if getattr(workflow, "direct_only", False):
+            # Graph-backed workflows have no SQL form on any backend;
+            # whatever path was configured or requested, they run on the
+            # reference executor.
+            path = "direct"
         if path is None:
             path = "sql" if self.use_compiled_sql else "direct"
         with OBS.span(

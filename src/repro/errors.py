@@ -64,6 +64,10 @@ class CloudError(ReproError):
     """Base class for data-cloud errors."""
 
 
+class GraphRankError(ReproError):
+    """Base class for tripartite graph-ranking errors."""
+
+
 class FlexRecsError(ReproError):
     """Base class for FlexRecs workflow errors."""
 

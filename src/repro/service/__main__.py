@@ -24,6 +24,12 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=11)
     parser.add_argument("--write-fraction", type=float, default=0.0)
     parser.add_argument(
+        "--graph-fraction",
+        type=float,
+        default=0.0,
+        help="share of ops split between graphrank and cube-walk",
+    )
+    parser.add_argument(
         "--no-baseline",
         action="store_true",
         help="skip the single-threaded unsharded baseline run",
@@ -39,6 +45,7 @@ def main(argv=None) -> int:
         operations=options.ops,
         seed=options.seed,
         write_fraction=options.write_fraction,
+        graph_fraction=options.graph_fraction,
         with_baseline=not options.no_baseline,
     )
     print(

@@ -92,6 +92,9 @@ class CourseRankService:
         # Recommendation memo, keyed by the owning shard's data/schema
         # versions: a write anywhere on the shard retires its entries.
         self._recommend_cache = LRUCache(maxsize=response_cache_size)
+        # Union graph-ranking engine, built lazily on first graph
+        # strategy / cloud-weighting request.
+        self._graphrank = None
 
     @property
     def num_shards(self) -> int:
@@ -138,6 +141,17 @@ class CourseRankService:
     def session(self, query: str) -> "ServiceSession":
         """A scatter-gather refinement session (mirrors RefinementSession)."""
         return ServiceSession(self, query)
+
+    def cube(self, dimensions: Optional[Any] = None):
+        """An OLAP cloud cube over the whole sharded corpus.
+
+        Navigation scatter-gathers cell clouds exactly over shards — see
+        :mod:`repro.service.cube`.
+        """
+        from repro.service.cube import ServiceCube
+
+        with self.rwlock.read_locked():
+            return ServiceCube(self, dimensions=dimensions)
 
     # -- merged answer construction -----------------------------------------
 
@@ -241,12 +255,41 @@ class CourseRankService:
         parents: Optional[Tuple[Tuple[DocId, ...], ...]] = None,
     ) -> DataCloud:
         """Merge per-shard term partials and score them once, globally."""
+        return self._merged_cloud_for_docs(
+            query,
+            all_terms,
+            [result.doc_ids() for result in shard_results],
+            result_size,
+            parents=parents,
+        )
+
+    def _merged_cloud_for_docs(
+        self,
+        query: str,
+        all_terms: Optional[List[str]],
+        per_shard_docs: List[Tuple[DocId, ...]],
+        result_size: int,
+        parents: Optional[Tuple[Tuple[DocId, ...], ...]] = None,
+        builders: Optional[List[Any]] = None,
+    ) -> DataCloud:
+        """The doc-id-level merge: per-shard partials → one global cloud.
+
+        ``parents`` (per-shard supersets) routes each shard's gather
+        through the incremental subtract-dropped-docs path first — cube
+        navigation hands each cell's parent here, so slicing scatter-
+        gathers exactly as refinement does.  ``builders`` substitutes
+        per-shard cloud builders (e.g. graph-weighted scoring variants);
+        default is each shard's standard builder.
+        """
+        if builders is None:
+            builders = [app.cloudsearch.builder for app in self.apps]
         occurrences: Counter = Counter()
         result_df: Counter = Counter()
         partials = []
-        for index, (app, result) in enumerate(zip(self.apps, shard_results)):
-            source = app.cloudsearch.builder.source
-            doc_ids = result.doc_ids()
+        for index, (builder, doc_ids) in enumerate(
+            zip(builders, per_shard_docs)
+        ):
+            source = builder.source
             if parents is not None:
                 # Warm the shard's gather cache through the incremental
                 # (subtract-the-dropped-docs) path; the partial below is
@@ -272,7 +315,7 @@ class CourseRankService:
             )
             for term in occurrences
         ]
-        return self.apps[0].cloudsearch.builder.build_from_stats(
+        return builders[0].build_from_stats(
             merged_stats,
             result_size,
             query=query,
@@ -316,15 +359,30 @@ class CourseRankService:
                 course_id, viewer
             )
 
+    @property
+    def graphrank(self):
+        """The union graph-ranking engine (merged per-shard adjacency)."""
+        engine = self._graphrank
+        if engine is None:
+            from repro.service.graph import ShardedGraphRank
+
+            engine = self._graphrank = ShardedGraphRank(self)
+        return engine
+
     def recommend(self, name: str, **params: Any):
         """Run a FlexRecs strategy on the owning shard.
 
         Strategies keyed by ``course_id`` route to that course's shard
         (its enrollments, plans, and comments are co-located there);
         anything else runs on shard 0.  Unlike search/cloud/metrics, no
-        cross-build equality is claimed: a shard-local recommender sees
-        only shard-local behavior data.
+        cross-build equality is claimed for shard-local recommenders —
+        **except** the graph strategies, which scatter-gather the
+        per-shard adjacency layers into the union graph (an exact
+        integer-sum merge, see :mod:`repro.service.graph`) and so answer
+        bit-identically to an unsharded engine.
         """
+        if name in ("graph_rank_courses", "similar_by_folkrank"):
+            return self._graph_recommend(name, params)
         course_id = params.get("course_id")
         shard_index = (
             self.sharded.shard_of_course(course_id)
@@ -342,6 +400,61 @@ class CourseRankService:
             if key is not None:
                 self._recommend_cache.put(key, recommendation)
             return recommendation
+
+    def _graph_recommend(self, name: str, params: Dict[str, Any]):
+        """Graph strategies over the merged union adjacency.
+
+        The workflow is still built (and validated) by shard 0's
+        :class:`~repro.courserank.recommendations.RecommendationService`,
+        so parameter defaults cannot drift from the unsharded path; only
+        ranking and row materialization are service-level — the ranking
+        on the union graph, the course rows fetched from each course's
+        owning shard.
+        """
+        from repro.core.workflow import Recommendation
+
+        workflow = self.apps[0].recommendations.build(name, **params)
+        node = workflow.root
+        with self.rwlock.read_locked(), OBS.span(
+            "service.graph.recommend", {"workflow": workflow.name}
+        ):
+            ranked = self.graphrank.rank_courses(
+                node.preference,
+                top_k=node.top_k,
+                exclude_seed=node.exclude_seed,
+                damping=node.damping,
+                epsilon=node.epsilon,
+                max_iters=node.max_iters,
+                preference_weight=node.preference_weight,
+            )
+            schema = self.sharded.shards[0].table("Courses").schema
+            columns = list(schema.column_names)
+            key_index = next(
+                index
+                for index, column in enumerate(columns)
+                if column.lower() == "courseid"
+            )
+            by_id: Dict[Any, Any] = {}
+            scanned = set()
+            rows = []
+            for course_id, score in ranked:
+                shard_index = self.sharded.course_shard.get(course_id)
+                if shard_index is None:
+                    continue
+                if shard_index not in scanned:
+                    scanned.add(shard_index)
+                    table = self.sharded.shards[shard_index].table("Courses")
+                    for raw in table.rows():
+                        by_id[raw[key_index]] = raw
+                course = by_id.get(course_id)
+                if course is None:
+                    continue
+                row = dict(zip(columns, course))
+                row[node.score_column] = score
+                rows.append(row)
+            return Recommendation(
+                columns=columns + [node.score_column], rows=rows
+            )
 
     def _recommend_key(
         self, shard_index: int, name: str, params: Dict[str, Any]
@@ -460,6 +573,25 @@ class ServiceSession:
     def reset(self, query: str) -> "_SessionStep":
         self._steps.clear()
         return self._push(query)
+
+    def cube(self, dimensions: Optional[Any] = None):
+        """A cloud cube rooted at the current result set.
+
+        The sharded twin of ``RefinementSession.cube()``: cells break the
+        session's hits down along course dimensions, each cell merged
+        over shards through the coordinator.
+        """
+        from repro.service.cube import ServiceCube
+
+        response = self.current.response
+        with self.service.rwlock.read_locked():
+            return ServiceCube(
+                self.service,
+                shard_base=response.shard_doc_ids,
+                dimensions=dimensions,
+                query=self.query,
+                query_terms=response.terms,
+            )
 
     # -- internals -----------------------------------------------------------
 

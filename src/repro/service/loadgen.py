@@ -82,13 +82,17 @@ def build_trace(
     seed: int = 11,
     mix: Optional[Dict[str, float]] = None,
     write_fraction: float = 0.0,
+    graph_fraction: float = 0.0,
 ) -> List[Tuple[Any, ...]]:
     """A deterministic mixed-operation trace.
 
     Each entry is ``(kind, *args)``: ``("search", query)``,
     ``("session", query)``, ``("recommend", course_id)``, or
     ``("comment", course_id, text, rating)``.  ``write_fraction`` carves
-    that share out of the read mix for comment writes.
+    that share out of the read mix for comment writes, and
+    ``graph_fraction`` carves a further share split evenly between
+    ``("graphrank", student_id)`` FolkRank recommendations and
+    ``("cube-walk", dimension)`` OLAP cloud-cube navigations.
     """
     import random
 
@@ -98,6 +102,11 @@ def build_trace(
         scale = 1.0 - write_fraction
         mix = {kind: share * scale for kind, share in mix.items()}
         mix["comment"] = write_fraction
+    if graph_fraction > 0.0:
+        scale = 1.0 - graph_fraction
+        mix = {kind: share * scale for kind, share in mix.items()}
+        mix["graphrank"] = graph_fraction / 2.0
+        mix["cube-walk"] = graph_fraction / 2.0
     kinds = sorted(mix)
     shares = [mix[kind] for kind in kinds]
     queries = build_query_pool(database, rng)
@@ -105,6 +114,11 @@ def build_trace(
         "SELECT CourseID FROM Courses ORDER BY CourseID"
     ).rows
     course_ids = [row[0] for row in course_rows]
+    student_rows = database.query(
+        "SELECT SuID FROM Students ORDER BY SuID"
+    ).rows
+    student_ids = [row[0] for row in student_rows]
+    dimensions = ("department", "quarter", "instructor")
     trace: List[Tuple[Any, ...]] = []
     for step in range(operations):
         kind = rng.choices(kinds, weights=shares, k=1)[0]
@@ -112,6 +126,10 @@ def build_trace(
             trace.append((kind, zipf_pick(rng, queries)))
         elif kind == "recommend":
             trace.append((kind, zipf_pick(rng, course_ids)))
+        elif kind == "graphrank":
+            trace.append((kind, zipf_pick(rng, student_ids)))
+        elif kind == "cube-walk":
+            trace.append((kind, zipf_pick(rng, dimensions)))
         else:
             course_id = zipf_pick(rng, course_ids)
             word = zipf_pick(rng, queries).split()[0]
@@ -137,6 +155,20 @@ class ServiceClient:
     ) -> None:
         self.service = service
         self.user = user
+        # One shared cube navigator: its cell memo is version-keyed, so
+        # reuse across operations (and after writes) stays correct while
+        # the Zipfian walk repetition gets the memo hits it deserves.
+        self._cube = None
+
+    def _walk_cube(self, dimension: str) -> None:
+        if self._cube is None:
+            self._cube = self.service.cube()
+        cube = self._cube
+        root = cube.root()
+        values = cube.dimension_values(root, dimension)
+        if values:
+            child = cube.slice(root, dimension, values[0])
+            cube.roll_up(child)
 
     def run(self, op: Tuple[Any, ...]) -> None:
         kind = op[0]
@@ -149,6 +181,12 @@ class ServiceClient:
                 session.back()
         elif kind == "recommend":
             self.service.recommend("related_courses", course_id=op[1])
+        elif kind == "graphrank":
+            self.service.recommend(
+                "graph_rank_courses", student_id=op[1], top_k=10
+            )
+        elif kind == "cube-walk":
+            self._walk_cube(op[1])
         elif kind == "comment":
             if self.user is None:
                 raise ValueError("comment ops need a registered user")
@@ -163,6 +201,17 @@ class BaselineClient:
     def __init__(self, app: CourseRank, user: Optional[User] = None) -> None:
         self.app = app
         self.user = user
+        self._cube = None
+
+    def _walk_cube(self, dimension: str) -> None:
+        if self._cube is None:
+            self._cube = self.app.cloudsearch.cube()
+        cube = self._cube
+        root = cube.root()
+        values = cube.dimension_values(root, dimension)
+        if values:
+            child = cube.slice(root, dimension, values[0])
+            cube.roll_up(child)
 
     def run(self, op: Tuple[Any, ...]) -> None:
         kind = op[0]
@@ -175,6 +224,12 @@ class BaselineClient:
                 session.back()
         elif kind == "recommend":
             self.app.recommendations.run("related_courses", course_id=op[1])
+        elif kind == "graphrank":
+            self.app.recommendations.run(
+                "graph_rank_courses", student_id=op[1], top_k=10
+            )
+        elif kind == "cube-walk":
+            self._walk_cube(op[1])
         elif kind == "comment":
             if self.user is None:
                 raise ValueError("comment ops need a registered user")
@@ -335,6 +390,7 @@ def load_test(
     operations: int = 400,
     seed: int = 11,
     write_fraction: float = 0.0,
+    graph_fraction: float = 0.0,
     with_baseline: bool = True,
 ) -> LoadReport:
     """Generate a university, shard it, and measure sustained throughput.
@@ -353,6 +409,7 @@ def load_test(
         operations=operations,
         seed=seed,
         write_fraction=write_fraction,
+        graph_fraction=graph_fraction,
     )
 
     baseline_qps = None

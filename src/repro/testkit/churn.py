@@ -44,6 +44,8 @@ CREATE TABLE Enrollments (SuID INTEGER, CourseID INTEGER,
   Year INTEGER, Term TEXT, Grade TEXT,
   PRIMARY KEY (SuID, CourseID));
 CREATE TABLE Docs (DocID INTEGER PRIMARY KEY, Title TEXT, Body TEXT);
+CREATE TABLE DocDims (DocID INTEGER PRIMARY KEY, Topic TEXT,
+  Shelf INTEGER);
 CREATE INDEX idx_comments_course ON Comments (CourseID) USING hash;
 CREATE INDEX idx_students_gpa ON Students (GPA) USING sorted;
 CREATE INDEX idx_enroll_course ON Enrollments (CourseID) USING hash;
@@ -98,6 +100,12 @@ QUERIES: Tuple[Tuple[str, Tuple[Any, ...]], ...] = (
 SEARCH_QUERIES = ("american history", "jazz", "database systems", "war")
 CLOUD_TERMS = ("history", "revolution", "culture", "jazz")
 
+#: cube dimensions over the churned Docs corpus (see ``_check_cube``)
+DOC_DIMENSIONS: Tuple[Tuple[str, str], ...] = (
+    ("topic", "SELECT DocID, Topic FROM DocDims"),
+    ("shelf", "SELECT DocID, Shelf FROM DocDims"),
+)
+
 
 @dataclass
 class ChurnReport:
@@ -122,7 +130,11 @@ class _Shadow:
     courses: Dict[int, Tuple[int, str, str, int, str]] = field(
         default_factory=dict
     )
-    ratings: Dict[Tuple[int, int], float] = field(default_factory=dict)
+    #: (rating, comment text) per (student, course) pair — the text feeds
+    #: term edges into the graph ranker's comment layer
+    ratings: Dict[Tuple[int, int], Tuple[float, str]] = field(
+        default_factory=dict
+    )
     docs: Dict[int, Tuple[str, str]] = field(default_factory=dict)
 
 
@@ -173,7 +185,9 @@ class ChurnDriver:
             )
         for _ in range(12):
             key = (rng.randint(1, 6), rng.randint(1, 6))
-            self.shadow.ratings[key] = rng.randint(4, 20) / 4.0
+            self.shadow.ratings[key] = (
+                rng.randint(4, 20) / 4.0, self._comment_text()
+            )
         for doc_id in range(1, 7):
             self.shadow.docs[doc_id] = self._doc_text()
         self._next_doc_id = 7
@@ -196,6 +210,15 @@ class ChurnDriver:
         )
         return title, body
 
+    def _comment_text(self) -> str:
+        rng = self.rng
+        return f"{rng.choice(DOC_WORDS)} {rng.choice(DOC_WORDS)}"
+
+    @staticmethod
+    def _dims_for(title: str, body: str) -> Tuple[str, int]:
+        """Deterministic cube coordinates of one shadow doc."""
+        return title.split()[0], len(body.split()) % 3
+
     def _populate(self, db: Any, with_docs: bool) -> None:
         for suid, row in sorted(self.shadow.students.items()):
             db.table("Students").insert([suid, *row])
@@ -205,11 +228,15 @@ class ChurnDriver:
         if with_docs:
             for doc_id, (title, body) in sorted(self.shadow.docs.items()):
                 db.table("Docs").insert([doc_id, title, body])
+                topic, shelf = self._dims_for(title, body)
+                db.table("DocDims").insert([doc_id, topic, shelf])
 
     def _populate_ratings(self, db: Any) -> None:
-        for (suid, course_id), rating in sorted(self.shadow.ratings.items()):
+        for (suid, course_id), (rating, text) in sorted(
+            self.shadow.ratings.items()
+        ):
             db.table("Comments").insert(
-                [suid, course_id, 2008, "Aut", "t", rating, "2008-01-01"]
+                [suid, course_id, 2008, "Aut", text, rating, "2008-01-01"]
             )
             db.table("Enrollments").insert(
                 [suid, course_id, 2008, "Aut", "A"]
@@ -264,11 +291,12 @@ class ChurnDriver:
         if key in self.shadow.ratings:
             return
         rating = rng.randint(4, 20) / 4.0
-        self.shadow.ratings[key] = rating
+        text = self._comment_text()
+        self.shadow.ratings[key] = (rating, text)
         suid, course_id = key
         self.db.execute(
             f"INSERT INTO Comments VALUES ({suid}, {course_id}, 2008, "
-            f"'Aut', 't', {rating!r}, '2008-01-01')"
+            f"'Aut', '{text}', {rating!r}, '2008-01-01')"
         )
         self.db.execute(
             f"INSERT INTO Enrollments VALUES ({suid}, {course_id}, "
@@ -281,9 +309,10 @@ class ChurnDriver:
         rng = self.rng
         key = rng.choice(sorted(self.shadow.ratings))
         rating = rng.randint(4, 20) / 4.0
-        self.shadow.ratings[key] = rating
+        text = self._comment_text()
+        self.shadow.ratings[key] = (rating, text)
         self.db.execute(
-            f"UPDATE Comments SET Rating = {rating!r} "
+            f"UPDATE Comments SET Rating = {rating!r}, Text = '{text}' "
             f"WHERE SuID = {key[0]} AND CourseID = {key[1]}"
         )
 
@@ -322,6 +351,10 @@ class ChurnDriver:
             self.db.execute(
                 f"INSERT INTO Docs VALUES ({doc_id}, '{title}', '{body}')"
             )
+            topic, shelf = self._dims_for(title, body)
+            self.db.execute(
+                f"INSERT INTO DocDims VALUES ({doc_id}, '{topic}', {shelf})"
+            )
         elif roll < 0.75:
             doc_id = rng.choice(sorted(self.shadow.docs))
             title, body = self._doc_text()
@@ -330,10 +363,16 @@ class ChurnDriver:
                 f"UPDATE Docs SET Title = '{title}', Body = '{body}' "
                 f"WHERE DocID = {doc_id}"
             )
+            topic, shelf = self._dims_for(title, body)
+            self.db.execute(
+                f"UPDATE DocDims SET Topic = '{topic}', Shelf = {shelf} "
+                f"WHERE DocID = {doc_id}"
+            )
         else:
             doc_id = rng.choice(sorted(self.shadow.docs))
             del self.shadow.docs[doc_id]
             self.db.execute(f"DELETE FROM Docs WHERE DocID = {doc_id}")
+            self.db.execute(f"DELETE FROM DocDims WHERE DocID = {doc_id}")
         self.engine.refresh_document(doc_id)
 
     def _drop_recreate_comments(self) -> None:
@@ -342,10 +381,12 @@ class ChurnDriver:
         self.db.execute("DROP TABLE Comments")
         self.db.execute(COMMENTS_DDL)
         self.db.execute(COMMENTS_INDEX_DDL)
-        for (suid, course_id), rating in sorted(self.shadow.ratings.items()):
+        for (suid, course_id), (rating, text) in sorted(
+            self.shadow.ratings.items()
+        ):
             self.db.execute(
                 f"INSERT INTO Comments VALUES ({suid}, {course_id}, 2008, "
-                f"'Aut', 't', {rating!r}, '2008-01-01')"
+                f"'Aut', '{text}', {rating!r}, '2008-01-01')"
             )
 
     # -- checks -------------------------------------------------------------
@@ -361,6 +402,8 @@ class ChurnDriver:
         self._check_sql()
         self._check_recommend()
         self._check_search_and_cloud()
+        self._check_graphrank()
+        self._check_cube()
 
     def _check_sql(self) -> None:
         import repro.minidb.planner as planner_module
@@ -469,6 +512,83 @@ class ChurnDriver:
             )
         else:
             self._bump("cloud_refinements")
+
+    def _check_graphrank(self) -> None:
+        from repro.core import strategies as flexrecs
+        from repro.graphrank.engine import GraphRankEngine
+
+        # The live engine persists across checks (for_database memo), so
+        # after churn it refreshes *incrementally* — only layers whose
+        # source tables moved rebuild.  The cold engine never cached
+        # anything; bit-identical differentials prove incremental ≡ cold.
+        live = GraphRankEngine.for_database(self.db)
+        reused_before = live.layers_reused
+        replica = self._replica()
+        cold = GraphRankEngine(replica)
+        preference = (("user", 1),)
+        live_scores = live.differential(preference)
+        cold_scores = cold.differential(preference)
+        if live_scores != cold_scores:
+            self._fail(
+                "incremental graph differential != cold rebuild after churn"
+            )
+        else:
+            self._bump("graphrank_checks")
+        self._bump(
+            "graphrank_layer_reuse", live.layers_reused - reused_before
+        )
+        live_rec = flexrecs.similar_by_folkrank(1, top_k=4).run(self.db)
+        cold_rec = flexrecs.similar_by_folkrank(1, top_k=4).run(replica)
+        if self._rec_rows(live_rec) != self._rec_rows(cold_rec):
+            self._fail("similar_by_folkrank live != replica after churn")
+
+    def _check_cube(self) -> None:
+        from repro.clouds.cloud import CloudBuilder
+        from repro.clouds.cube import CloudCube, DimensionSpec
+
+        dims = tuple(
+            DimensionSpec(name=name, sql=sql, tables=("DocDims",))
+            for name, sql in DOC_DIMENSIONS
+        )
+        self.builder.prepare()
+        cold_db = self._replica(with_docs=True)
+        cold_builder = CloudBuilder(
+            self._make_engine(cold_db), strategy="forward", min_result_df=1
+        )
+        cold_builder.prepare()
+        cube = CloudCube(self.db, self.builder, dimensions=dims)
+        root = cube.root()
+        # Every drill-down child (derived incrementally from the root's
+        # aggregates) must match a cold build over the same doc subset on
+        # an engine that shares no caches with the live stack.
+        for topic, cell in cube.drill_down(root, "topic").items():
+            cold = cold_builder.build_for_docs(cell.doc_ids)
+            if self._cloud_signature(cell.cloud) != self._cloud_signature(
+                cold
+            ):
+                self._fail(
+                    f"cube slice topic={topic!r} != cold build after churn"
+                )
+            else:
+                self._bump("cube_cells")
+            shelves = cube.dimension_values(cell, "shelf")
+            if shelves:
+                deeper = cube.slice(cell, "shelf", shelves[0])
+                cold_deep = cold_builder.build_for_docs(deeper.doc_ids)
+                if self._cloud_signature(
+                    deeper.cloud
+                ) != self._cloud_signature(cold_deep):
+                    self._fail(
+                        f"cube slice (topic={topic!r}, shelf="
+                        f"{shelves[0]!r}) != cold build after churn"
+                    )
+                parent = cube.roll_up(deeper)
+                if parent.coordinate != cell.coordinate or (
+                    parent.doc_ids != cell.doc_ids
+                ):
+                    self._fail("cube roll_up did not restore the parent")
+                else:
+                    self._bump("cube_walks")
 
     @staticmethod
     def _cloud_signature(cloud: Any) -> List[Tuple[Any, ...]]:

@@ -1,0 +1,28 @@
+"""Standalone replay for churn corpus pin 'churn_cube_lattice'.
+
+churn pin: cube lattice drill-down/slice/roll-up matches cold per-cell
+builds while DocDims churns underneath (driver seed 3)
+
+Run with ``PYTHONPATH=src python churn_cube_lattice.py``; exits nonzero if
+any navigated cell diverges from a cold build or the lattice walk stops
+being exercised.
+"""
+
+import json
+import pathlib
+
+from repro.testkit.churn import ChurnDriver
+
+pin = json.loads(pathlib.Path(__file__).with_suffix(".json").read_text())
+report = ChurnDriver(
+    seed=pin["seed"], steps=pin["steps"], check_every=pin["check_every"]
+).run()
+for line in report.failures:
+    print(line)
+print(f"coverage: {report.coverage}")
+missing = [
+    key for key in pin["require_coverage"] if report.coverage.get(key, 0) == 0
+]
+if missing:
+    print(f"fast paths no longer exercised: {missing}")
+raise SystemExit(1 if (not report.ok or missing) else 0)

@@ -1,0 +1,28 @@
+"""Standalone replay for churn corpus pin 'churn_graphrank_incremental'.
+
+churn pin: incremental graphrank layer reuse stays bit-identical to a cold
+rebuild across rating/comment/doc DML (driver seed 1)
+
+Run with ``PYTHONPATH=src python churn_graphrank_incremental.py``; exits
+nonzero if the live (incremental) engine diverges from cold replicas or the
+fast path stops being exercised.
+"""
+
+import json
+import pathlib
+
+from repro.testkit.churn import ChurnDriver
+
+pin = json.loads(pathlib.Path(__file__).with_suffix(".json").read_text())
+report = ChurnDriver(
+    seed=pin["seed"], steps=pin["steps"], check_every=pin["check_every"]
+).run()
+for line in report.failures:
+    print(line)
+print(f"coverage: {report.coverage}")
+missing = [
+    key for key in pin["require_coverage"] if report.coverage.get(key, 0) == 0
+]
+if missing:
+    print(f"fast paths no longer exercised: {missing}")
+raise SystemExit(1 if (not report.ok or missing) else 0)

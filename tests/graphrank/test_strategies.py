@@ -1,0 +1,194 @@
+"""Graph-backed FlexRecs strategies, end to end.
+
+``graph_rank_courses`` / ``similar_by_folkrank`` are direct-only
+workflows: they must run through :class:`RecommendationService` on every
+requested path (any SQL-ish path reroutes to the reference executor),
+refuse to compile, route through the sharded service layer, and feed the
+cloud scoring exposure deterministically.
+"""
+
+import os
+
+import pytest
+
+from repro.core import strategies
+from repro.courserank import CourseRank
+from repro.datagen import generate_university
+from repro.errors import CompilationError, GraphRankError
+from repro.graphrank import GraphRankEngine, GraphWeightedScoring
+from repro.service import CourseRankService
+
+REPRO_SHARDS = int(os.environ.get("REPRO_SHARDS", "3"))
+
+
+@pytest.fixture(scope="module")
+def app():
+    return CourseRank(generate_university(scale="tiny", seed=7))
+
+
+def _scores(recommendation):
+    return [row["score"] for row in recommendation.rows]
+
+
+class TestGraphRankCourses:
+    def test_end_to_end_via_recommendation_service(self, app):
+        recommendation = app.recommendations.run(
+            "graph_rank_courses", student_id=1, top_k=5
+        )
+        assert 0 < len(recommendation.rows) <= 5
+        assert "score" in recommendation.columns
+        scores = _scores(recommendation)
+        assert scores == sorted(scores, reverse=True)
+        known = set(app.db.query("SELECT CourseID FROM Courses").column(
+            "CourseID"
+        ))
+        assert {row["CourseID"] for row in recommendation.rows} <= known
+
+    def test_every_requested_path_reroutes_to_direct(self, app):
+        baseline = app.recommendations.run(
+            "graph_rank_courses", student_id=1, top_k=5
+        )
+        for path in ("direct", "sql", "staged", "minidb"):
+            rerouted = app.recommendations.run(
+                "graph_rank_courses", student_id=1, top_k=5, path=path
+            )
+            assert rerouted.as_tuples("CourseID", "score") == (
+                baseline.as_tuples("CourseID", "score")
+            )
+
+    def test_courses_for_student_post_processing(self, app):
+        recommendation = app.recommendations.courses_for_student(
+            1, strategy="graph_rank_courses", top_k=5
+        )
+        taken = set(
+            app.db.query(
+                "SELECT CourseID FROM Enrollments WHERE SuID = 1"
+            ).column("CourseID")
+        )
+        assert len(recommendation.rows) <= 5
+        for row in recommendation.rows:
+            assert row["CourseID"] not in taken
+            assert "missing_prerequisites" in row
+
+    def test_workflow_refuses_to_compile(self, app):
+        workflow = strategies.graph_rank_courses(1, top_k=5)
+        assert workflow.direct_only
+        with pytest.raises(CompilationError):
+            workflow.compiled_for(app.db)
+
+    def test_repeated_runs_are_bit_identical(self, app):
+        first = app.recommendations.run(
+            "graph_rank_courses", student_id=1, top_k=8
+        )
+        second = app.recommendations.run(
+            "graph_rank_courses", student_id=1, top_k=8
+        )
+        assert first.as_tuples("CourseID", "score") == second.as_tuples(
+            "CourseID", "score"
+        )
+
+
+class TestSimilarByFolkrank:
+    def test_seed_course_is_excluded(self, app):
+        recommendation = app.recommendations.run(
+            "similar_by_folkrank", course_id=4, top_k=6
+        )
+        assert recommendation.rows
+        assert 4 not in {row["CourseID"] for row in recommendation.rows}
+
+    def test_matches_engine_ranking(self, app):
+        recommendation = app.recommendations.run(
+            "similar_by_folkrank", course_id=4, top_k=6
+        )
+        expected = GraphRankEngine.for_database(app.db).rank_courses(
+            (("course", 4),), top_k=6
+        )
+        assert recommendation.as_tuples("CourseID", "score") == [
+            tuple(pair) for pair in expected
+        ]
+
+
+class TestShardedService:
+    @pytest.fixture(scope="class")
+    def service(self):
+        return CourseRankService(
+            generate_university(scale="tiny", seed=7),
+            num_shards=REPRO_SHARDS,
+        )
+
+    def test_graph_rank_courses_matches_the_unsharded_app(
+        self, app, service
+    ):
+        base = app.recommendations.run(
+            "graph_rank_courses", student_id=1, top_k=5
+        )
+        sharded = service.recommend(
+            "graph_rank_courses", student_id=1, top_k=5
+        )
+        assert sharded.rows
+        assert sharded.columns == base.columns
+        assert sharded.as_tuples(*base.columns) == base.as_tuples(
+            *base.columns
+        )
+
+    def test_similar_by_folkrank_matches_the_unsharded_app(
+        self, app, service
+    ):
+        base = app.recommendations.run(
+            "similar_by_folkrank", course_id=2, top_k=5
+        )
+        sharded = service.recommend(
+            "similar_by_folkrank", course_id=2, top_k=5
+        )
+        assert sharded.rows
+        assert 2 not in {row["CourseID"] for row in sharded.rows}
+        assert sharded.as_tuples(*base.columns) == base.as_tuples(
+            *base.columns
+        )
+
+    def test_union_merge_reuses_layers_across_calls(self, service):
+        engine = service.graphrank
+        service.recommend("graph_rank_courses", student_id=2, top_k=5)
+        rebuilt, reused = engine.layers_rebuilt, engine.layers_reused
+        service.recommend("graph_rank_courses", student_id=3, top_k=5)
+        assert engine.layers_rebuilt == rebuilt  # merge is warm
+        assert engine.layers_reused > reused
+
+
+class TestGraphWeightedScoring:
+    def test_negative_boost_rejected(self, app):
+        with pytest.raises(GraphRankError):
+            GraphWeightedScoring(app.graph, (("user", 1),), boost=-1.0)
+
+    def test_boost_only_lifts_positive_differentials(self, app):
+        app.cloudsearch.ensure_built()
+        builder = app.cloudsearch.builder
+        plain = builder.with_scoring("popularity")
+        boosted = builder.with_scoring(
+            GraphWeightedScoring(app.graph, (("user", 1),), boost=500.0)
+        )
+        weights = app.graph.term_weights((("user", 1),))
+        docs = tuple(plain.source.engine.index.document_ids())
+        plain_cloud = plain.build_for_docs(docs)
+        boosted_cloud = boosted.build_for_docs(docs)
+        plain_scores = {term.term: term.score for term in plain_cloud.terms}
+        boosted_scores = {
+            term.term: term.score for term in boosted_cloud.terms
+        }
+        lifted = dropped = 0
+        for term, score in plain_scores.items():
+            if term not in boosted_scores:
+                continue
+            lift = weights.get(term, 0.0)
+            if lift > 0.0 and score > 0:
+                assert boosted_scores[term] == score * (1.0 + 500.0 * lift)
+                lifted += 1
+            else:
+                assert boosted_scores[term] == score
+                dropped += 1
+        assert lifted > 0  # the preference actually moved some terms
+
+    def test_weights_snapshot_is_deterministic(self, app):
+        one = GraphWeightedScoring(app.graph, (("course", 3),))
+        two = GraphWeightedScoring(app.graph, (("course", 3),))
+        assert one.weights() == two.weights()

@@ -43,6 +43,22 @@ class TestTrace:
         for op in comments:
             assert 1.0 <= op[3] <= 5.0
 
+    def test_graph_fraction_adds_graph_and_cube_ops(self):
+        database = generate_university(scale="tiny", seed=3)
+        trace = build_trace(
+            database, operations=200, seed=9, graph_fraction=0.2
+        )
+        kinds = [op[0] for op in trace]
+        assert kinds.count("graphrank") > 0
+        assert kinds.count("cube-walk") > 0
+        graph_share = (
+            kinds.count("graphrank") + kinds.count("cube-walk")
+        ) / len(kinds)
+        assert 0.1 <= graph_share <= 0.3
+        for op in trace:
+            if op[0] == "cube-walk":
+                assert op[1] in ("department", "quarter", "instructor")
+
     def test_zipf_head_dominates(self):
         import random
 
@@ -68,6 +84,7 @@ class TestLoadTest:
             operations=45,
             seed=11,
             write_fraction=0.1,
+            graph_fraction=0.15,
         )
 
     def test_counts_and_rates(self, report):

@@ -1,9 +1,18 @@
 """Replay every committed corpus seed against the current engine.
 
-Seeds are the *rendered* SQL of minimized failing (now fixed) or
-feature-rich cases, so they keep replaying verbatim even if the
-generator drifts.  Any divergence here is a regression of a previously
-fixed bug.
+Two pin kinds live under ``tests/corpus/``:
+
+* **oracle** pins (the default) — rendered SQL of minimized failing (now
+  fixed) or feature-rich cases, replayed live-vs-reference through
+  :mod:`repro.testkit.oracle`;
+* **churn** pins (``"kind": "churn"``) — shrunk churn-driver runs whose
+  seeds empirically exercise the graphrank/cube fast paths, replayed
+  through :class:`repro.testkit.churn.ChurnDriver` with the coverage
+  counters they were pinned for asserted non-zero.
+
+Seeds keep replaying verbatim even if the generators drift.  Any
+divergence here is a regression of a previously fixed bug (or a fast
+path silently going stale).
 """
 
 import json
@@ -13,17 +22,26 @@ import pytest
 
 from repro.testkit.oracle import load_seed, run_rendered
 
-CORPUS = sorted(
+_ALL = sorted(
     (pathlib.Path(__file__).parent.parent / "corpus").glob("*.json")
 )
 
 
+def _kind(path: pathlib.Path) -> str:
+    return json.loads(path.read_text()).get("kind", "oracle")
+
+
+ORACLE = [path for path in _ALL if _kind(path) == "oracle"]
+CHURN = [path for path in _ALL if _kind(path) == "churn"]
+
+
 def test_corpus_is_not_empty():
-    assert len(CORPUS) >= 3
+    assert len(ORACLE) >= 3
+    assert len(CHURN) >= 2
 
 
 @pytest.mark.parametrize(
-    "seed_path", CORPUS, ids=lambda path: path.stem
+    "seed_path", ORACLE, ids=lambda path: path.stem
 )
 def test_corpus_seed_replays_clean(seed_path):
     rendered = load_seed(seed_path)
@@ -34,3 +52,26 @@ def test_corpus_seed_replays_clean(seed_path):
         + "\n".join(report.divergences[:4])
     )
     assert report.error_ops == 0
+
+
+@pytest.mark.parametrize(
+    "seed_path", CHURN, ids=lambda path: path.stem
+)
+def test_churn_pin_replays_clean(seed_path):
+    from repro.testkit.churn import ChurnDriver
+
+    pin = json.loads(seed_path.read_text())
+    report = ChurnDriver(
+        seed=pin["seed"],
+        steps=pin["steps"],
+        check_every=pin["check_every"],
+    ).run()
+    assert report.ok, (
+        f"churn pin {seed_path.stem} regressed ({pin.get('note', '')}):\n"
+        + "\n".join(report.failures[:4])
+    )
+    for key in pin.get("require_coverage", []):
+        assert report.coverage.get(key, 0) > 0, (
+            f"churn pin {seed_path.stem} no longer exercises {key!r}; "
+            f"coverage: {report.coverage}"
+        )
